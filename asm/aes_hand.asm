@@ -1,0 +1,486 @@
+; AES-128 encryption, hand-optimized Rabbit 2000 assembly.
+;
+; This plays the role of the assembly implementation "supplied by Rabbit
+; Semiconductor" in the paper's Section 6 experiment: the same cipher as
+; dc/aes.dc, but written the way a human optimizes for this CPU:
+;   * all tables page-aligned in root RAM, so a lookup is just
+;     "ld l, value / ld a, (hl)" with H pinned to the table page;
+;   * SubBytes+ShiftRows and MixColumns fully unrolled with the state held
+;     in registers (B,C,D,E) per column;
+;   * MixColumns uses the identity a0^t = a1^a2^a3 so no temporary is
+;     needed at all;
+;   * round keys walked with IY, key expansion with IX-relative accesses.
+;
+; Tables are *computed* by aes_init (log/antilog over generator 3, affine
+; transform), so the source carries no transcribed constants; tests verify
+; every byte against the host C++ implementation.
+;
+; Host interface (image symbols):
+;   aes_init      build sbox/xtime tables                 (call once)
+;   aes_set_key   expand key_buf into the round keys
+;   aes_encrypt   out_buf = AES-128-Encrypt(in_buf)
+;   key_buf/in_buf/out_buf  16-byte buffers
+
+; ---------------------------------------------------------------------------
+; Data (data segment RAM; tables page-aligned)
+; ---------------------------------------------------------------------------
+        org 6100h
+sbox_t:  ds 256
+        org 6200h
+xt_t:    ds 256
+        org 6300h
+alog_t:  ds 256
+        org 6400h
+logt_t:  ds 256
+        org 6500h
+rk_t:    ds 176
+rcon_v:  ds 1
+round_v: ds 1
+        org 65c0h
+st_t:    ds 16
+tmp_t:   ds 16
+key_buf: ds 16
+in_buf:  ds 16
+out_buf: ds 16
+
+; ---------------------------------------------------------------------------
+; aes_init: build alog/log, xtime and sbox tables
+; ---------------------------------------------------------------------------
+        org 0100h
+aes_init:
+        ; alog[i] = 3^i, logt[3^i] = i   (255 entries)
+        ld hl, alog_t
+        ld c, 1                 ; x = 1
+        ld e, 0                 ; i = 0
+        ld b, 255
+ai_log:
+        ld (hl), c
+        push hl
+        ld h, hi(logt_t)
+        ld l, c
+        ld (hl), e
+        ld a, c                 ; x = x ^ xtime(x)  (multiply by 3)
+        add a, a
+        jr nc, ai1
+        xor 1bh
+ai1:
+        xor c
+        ld c, a
+        pop hl
+        inc hl
+        inc e
+        djnz ai_log
+
+        ; xt[i] = xtime(i)   (256 entries; b=0 loops 256 times)
+        ld hl, xt_t
+        ld b, 0
+        ld c, 0
+ai_xt:
+        ld a, c
+        add a, a
+        jr nc, ai2
+        xor 1bh
+ai2:
+        ld (hl), a
+        inc hl
+        inc c
+        djnz ai_xt
+
+        ; sbox[i] = affine(inverse(i))
+        ld hl, sbox_t
+        ld b, 0
+        ld c, 0
+ai_sb:
+        ld a, c
+        or a
+        jr nz, ai3
+        xor a                   ; inverse(0) = 0
+        jr ai_aff
+ai3:
+        push hl
+        ld h, hi(logt_t)
+        ld l, c
+        ld a, (hl)              ; log(i)
+        cpl                     ; 255 - log(i)
+        cp 255
+        jr nz, ai4
+        xor a                   ; (255 - 0) mod 255 = 0
+ai4:
+        ld h, hi(alog_t)
+        ld l, a
+        ld a, (hl)              ; inverse
+        pop hl
+ai_aff:
+        ld d, a                 ; rotating copy
+        ld e, a                 ; accumulator
+        rlc d
+        ld a, d
+        xor e
+        ld e, a
+        rlc d
+        ld a, d
+        xor e
+        ld e, a
+        rlc d
+        ld a, d
+        xor e
+        ld e, a
+        rlc d
+        ld a, d
+        xor e
+        xor 63h
+        ld (hl), a
+        inc hl
+        inc c
+        djnz ai_sb
+        ret
+
+; ---------------------------------------------------------------------------
+; aes_set_key: expand key_buf -> rk_t (11 round keys)
+; ---------------------------------------------------------------------------
+aes_set_key:
+        ld hl, key_buf
+        ld de, rk_t
+        ld bc, 16
+        ldir
+        ld ix, rk_t+16
+        ld a, 1
+        ld (rcon_v), a
+        ld b, 10
+ks_round:
+        push bc
+        ; first word of the group: Rot+Sub+Rcon
+        ld h, hi(sbox_t)
+        ld a, (ix-3)
+        ld l, a
+        ld c, (hl)              ; c = sbox[b1]
+        ld a, (rcon_v)
+        xor c
+        xor (ix-16)
+        ld (ix+0), a
+        ld a, (ix-2)
+        ld l, a
+        ld a, (hl)
+        xor (ix-15)
+        ld (ix+1), a
+        ld a, (ix-1)
+        ld l, a
+        ld a, (hl)
+        xor (ix-14)
+        ld (ix+2), a
+        ld a, (ix-4)
+        ld l, a
+        ld a, (hl)
+        xor (ix-13)
+        ld (ix+3), a
+        ; rcon = xtime(rcon)
+        ld a, (rcon_v)
+        add a, a
+        jr nc, ks1
+        xor 1bh
+ks1:
+        ld (rcon_v), a
+        ; three plain words, byte-wise: w[i] = w[i-1] ^ w[i-4]
+        ld de, 4
+        add ix, de
+        ld b, 12
+ks_plain:
+        ld a, (ix-4)
+        xor (ix-16)
+        ld (ix+0), a
+        inc ix
+        djnz ks_plain
+        pop bc
+        djnz ks_round
+        ret
+
+; ---------------------------------------------------------------------------
+; sub_shift: tmp = ShiftRows(SubBytes(st)), fully unrolled
+; ---------------------------------------------------------------------------
+sub_shift:
+        ld h, hi(sbox_t)
+        ld a, (st_t+0)
+        ld l, a
+        ld a, (hl)
+        ld (tmp_t+0), a
+        ld a, (st_t+5)
+        ld l, a
+        ld a, (hl)
+        ld (tmp_t+1), a
+        ld a, (st_t+10)
+        ld l, a
+        ld a, (hl)
+        ld (tmp_t+2), a
+        ld a, (st_t+15)
+        ld l, a
+        ld a, (hl)
+        ld (tmp_t+3), a
+        ld a, (st_t+4)
+        ld l, a
+        ld a, (hl)
+        ld (tmp_t+4), a
+        ld a, (st_t+9)
+        ld l, a
+        ld a, (hl)
+        ld (tmp_t+5), a
+        ld a, (st_t+14)
+        ld l, a
+        ld a, (hl)
+        ld (tmp_t+6), a
+        ld a, (st_t+3)
+        ld l, a
+        ld a, (hl)
+        ld (tmp_t+7), a
+        ld a, (st_t+8)
+        ld l, a
+        ld a, (hl)
+        ld (tmp_t+8), a
+        ld a, (st_t+13)
+        ld l, a
+        ld a, (hl)
+        ld (tmp_t+9), a
+        ld a, (st_t+2)
+        ld l, a
+        ld a, (hl)
+        ld (tmp_t+10), a
+        ld a, (st_t+7)
+        ld l, a
+        ld a, (hl)
+        ld (tmp_t+11), a
+        ld a, (st_t+12)
+        ld l, a
+        ld a, (hl)
+        ld (tmp_t+12), a
+        ld a, (st_t+1)
+        ld l, a
+        ld a, (hl)
+        ld (tmp_t+13), a
+        ld a, (st_t+6)
+        ld l, a
+        ld a, (hl)
+        ld (tmp_t+14), a
+        ld a, (st_t+11)
+        ld l, a
+        ld a, (hl)
+        ld (tmp_t+15), a
+        ret
+
+; ---------------------------------------------------------------------------
+; mix_columns: st = MixColumns(tmp), registers per column, no temporaries
+; (uses a0^t = a1^a2^a3 with t = a0^a1^a2^a3)
+; ---------------------------------------------------------------------------
+mix_columns:
+        ld h, hi(xt_t)
+        ; ---- column 0: B,C,D,E = a0..a3
+        ld a, (tmp_t+0)
+        ld b, a
+        ld a, (tmp_t+1)
+        ld c, a
+        ld a, (tmp_t+2)
+        ld d, a
+        ld a, (tmp_t+3)
+        ld e, a
+        ld a, b
+        xor c
+        ld l, a
+        ld a, (hl)
+        xor c
+        xor d
+        xor e
+        ld (st_t+0), a
+        ld a, c
+        xor d
+        ld l, a
+        ld a, (hl)
+        xor b
+        xor d
+        xor e
+        ld (st_t+1), a
+        ld a, d
+        xor e
+        ld l, a
+        ld a, (hl)
+        xor b
+        xor c
+        xor e
+        ld (st_t+2), a
+        ld a, e
+        xor b
+        ld l, a
+        ld a, (hl)
+        xor b
+        xor c
+        xor d
+        ld (st_t+3), a
+        ; ---- column 1
+        ld a, (tmp_t+4)
+        ld b, a
+        ld a, (tmp_t+5)
+        ld c, a
+        ld a, (tmp_t+6)
+        ld d, a
+        ld a, (tmp_t+7)
+        ld e, a
+        ld a, b
+        xor c
+        ld l, a
+        ld a, (hl)
+        xor c
+        xor d
+        xor e
+        ld (st_t+4), a
+        ld a, c
+        xor d
+        ld l, a
+        ld a, (hl)
+        xor b
+        xor d
+        xor e
+        ld (st_t+5), a
+        ld a, d
+        xor e
+        ld l, a
+        ld a, (hl)
+        xor b
+        xor c
+        xor e
+        ld (st_t+6), a
+        ld a, e
+        xor b
+        ld l, a
+        ld a, (hl)
+        xor b
+        xor c
+        xor d
+        ld (st_t+7), a
+        ; ---- column 2
+        ld a, (tmp_t+8)
+        ld b, a
+        ld a, (tmp_t+9)
+        ld c, a
+        ld a, (tmp_t+10)
+        ld d, a
+        ld a, (tmp_t+11)
+        ld e, a
+        ld a, b
+        xor c
+        ld l, a
+        ld a, (hl)
+        xor c
+        xor d
+        xor e
+        ld (st_t+8), a
+        ld a, c
+        xor d
+        ld l, a
+        ld a, (hl)
+        xor b
+        xor d
+        xor e
+        ld (st_t+9), a
+        ld a, d
+        xor e
+        ld l, a
+        ld a, (hl)
+        xor b
+        xor c
+        xor e
+        ld (st_t+10), a
+        ld a, e
+        xor b
+        ld l, a
+        ld a, (hl)
+        xor b
+        xor c
+        xor d
+        ld (st_t+11), a
+        ; ---- column 3
+        ld a, (tmp_t+12)
+        ld b, a
+        ld a, (tmp_t+13)
+        ld c, a
+        ld a, (tmp_t+14)
+        ld d, a
+        ld a, (tmp_t+15)
+        ld e, a
+        ld a, b
+        xor c
+        ld l, a
+        ld a, (hl)
+        xor c
+        xor d
+        xor e
+        ld (st_t+12), a
+        ld a, c
+        xor d
+        ld l, a
+        ld a, (hl)
+        xor b
+        xor d
+        xor e
+        ld (st_t+13), a
+        ld a, d
+        xor e
+        ld l, a
+        ld a, (hl)
+        xor b
+        xor c
+        xor e
+        ld (st_t+14), a
+        ld a, e
+        xor b
+        ld l, a
+        ld a, (hl)
+        xor b
+        xor c
+        xor d
+        ld (st_t+15), a
+        ret
+
+; ---------------------------------------------------------------------------
+; add_round_key: st ^= (iy..iy+15); advances IY to the next round key
+; ---------------------------------------------------------------------------
+add_round_key:
+        ld hl, st_t
+        ld b, 16
+ark_loop:
+        ld a, (iy+0)
+        xor (hl)
+        ld (hl), a
+        inc hl
+        inc iy
+        djnz ark_loop
+        ret
+
+; ---------------------------------------------------------------------------
+; aes_encrypt: out_buf = Encrypt(in_buf) under the expanded key
+; ---------------------------------------------------------------------------
+aes_encrypt:
+        ld hl, in_buf
+        ld de, st_t
+        ld bc, 16
+        ldir
+        ld iy, rk_t
+        call add_round_key      ; round 0
+        ld a, 9
+        ld (round_v), a
+enc_round:
+        call sub_shift
+        call mix_columns
+        call add_round_key
+        ld a, (round_v)
+        dec a
+        ld (round_v), a
+        jr nz, enc_round
+        ; final round: no MixColumns
+        call sub_shift
+        ld hl, tmp_t
+        ld de, st_t
+        ld bc, 16
+        ldir
+        call add_round_key
+        ld hl, st_t
+        ld de, out_buf
+        ld bc, 16
+        ldir
+        ret

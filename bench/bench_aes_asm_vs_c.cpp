@@ -1,0 +1,103 @@
+// E1 — paper §6: "A testbench that pumped keys through the two
+// implementations of the AES cipher showed the assembly implementation ran
+// faster than the C port by a factor of [10-15x / more than an order of
+// magnitude]."
+//
+// Regenerates the comparison: hand Rabbit assembly vs the MiniDynC C port
+// (debug build, as a first direct port would be), over a sweep of keys and
+// blocks, with per-phase cycle counts and 30 MHz wall-clock equivalents.
+#include <cstdio>
+
+#include "common/bytes.h"
+#include "common/prng.h"
+#include "crypto/aes.h"
+#include "services/aes_port.h"
+
+using namespace rmc;
+using common::u64;
+using common::u8;
+
+namespace {
+
+struct Sample {
+  u64 keyexp = 0;
+  u64 encrypt = 0;
+};
+
+Sample pump(services::AesOnBoard& aes, int keys, int blocks_per_key,
+            bool verify) {
+  Sample total;
+  common::Xorshift64 rng(0xDA7E2003);
+  std::array<u8, 16> key{}, pt{}, ct{}, expect{};
+  for (int k = 0; k < keys; ++k) {
+    rng.fill(key);
+    total.keyexp += *aes.set_key(key);
+    auto host = crypto::Aes::create(key);
+    for (int b = 0; b < blocks_per_key; ++b) {
+      rng.fill(pt);
+      total.encrypt += *aes.encrypt(pt, ct);
+      if (verify) {
+        host->encrypt_block(pt, expect);
+        if (ct != expect) {
+          std::printf("MISMATCH at key %d block %d\n", k, b);
+          std::exit(1);
+        }
+      }
+    }
+  }
+  total.keyexp /= keys;
+  total.encrypt /= (keys * blocks_per_key);
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("============================================================");
+  std::puts("E1: AES-128 hand assembly vs direct C port (paper Section 6)");
+  std::puts("============================================================");
+  const int kKeys = 8, kBlocks = 2;
+  std::printf("workload: %d random keys x %d blocks each, every ciphertext\n"
+              "checked against the host FIPS-197 implementation\n\n",
+              kKeys, kBlocks);
+
+  auto hand = services::AesOnBoard::create_from_repo(
+      services::AesImpl::kHandAssembly, RMC_REPO_ROOT);
+  auto cport = services::AesOnBoard::create_from_repo(
+      services::AesImpl::kCompiledC, RMC_REPO_ROOT,
+      dcc::CodegenOptions::debug_defaults());
+  if (!hand.ok() || !cport.ok()) {
+    std::puts("failed to load AES implementations");
+    return 1;
+  }
+
+  const Sample hand_s = pump(*hand, kKeys, kBlocks, true);
+  const Sample c_s = pump(*cport, kKeys, kBlocks, true);
+
+  auto us = [](u64 cyc) { return rabbit::Board::seconds(cyc) * 1e6; };
+  auto kibs = [](u64 cyc) {
+    return 16.0 / rabbit::Board::seconds(cyc) / 1024.0;
+  };
+
+  std::printf("%-18s %14s %12s %12s %10s\n", "", "keyexp cyc", "enc cyc/blk",
+              "enc us/blk", "KiB/s");
+  std::printf("%-18s %14llu %12llu %12.1f %10.1f\n", "hand assembly",
+              static_cast<unsigned long long>(hand_s.keyexp),
+              static_cast<unsigned long long>(hand_s.encrypt),
+              us(hand_s.encrypt), kibs(hand_s.encrypt));
+  std::printf("%-18s %14llu %12llu %12.1f %10.1f\n", "C port (direct)",
+              static_cast<unsigned long long>(c_s.keyexp),
+              static_cast<unsigned long long>(c_s.encrypt), us(c_s.encrypt),
+              kibs(c_s.encrypt));
+
+  const double factor =
+      static_cast<double>(c_s.encrypt) / static_cast<double>(hand_s.encrypt);
+  const double kx_factor =
+      static_cast<double>(c_s.keyexp) / static_cast<double>(hand_s.keyexp);
+  std::printf("\nassembly-over-C speedup: encrypt %.1fx, key expansion %.1fx\n",
+              factor, kx_factor);
+  std::printf("paper's reported band: 10-15x (\"more than an order of "
+              "magnitude\")  ->  %s\n",
+              factor >= 10.0 ? "REPRODUCED (>= 10x)" : "NOT reproduced");
+  return 0;
+}

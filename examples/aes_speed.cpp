@@ -1,0 +1,107 @@
+// aes_speed — the paper's Section 6 testbench, interactive edition:
+// "a testbench that pumped keys through the two implementations of the AES
+// cipher". Loads the hand assembly and the compiled C port onto simulated
+// boards, runs the FIPS-197 vector plus a key sweep, and prints the
+// cycle-count comparison that is the paper's headline result.
+//
+// Run: ./build/examples/aes_speed
+#include <cstdio>
+
+#include "common/bytes.h"
+#include "common/prng.h"
+#include "crypto/aes.h"
+#include "services/aes_port.h"
+
+using namespace rmc;
+using common::u64;
+using common::u8;
+
+namespace {
+
+struct Measured {
+  u64 set_key_cycles = 0;
+  u64 encrypt_cycles = 0;
+  std::size_t code_bytes = 0;
+};
+
+Measured measure(services::AesOnBoard& aes, int blocks) {
+  Measured m;
+  m.code_bytes = aes.image_bytes();
+  common::Xorshift64 rng(2003);
+  std::array<u8, 16> key{}, pt{}, ct{};
+  for (int i = 0; i < blocks; ++i) {
+    rng.fill(key);
+    rng.fill(pt);
+    m.set_key_cycles += *aes.set_key(key);
+    m.encrypt_cycles += *aes.encrypt(pt, ct);
+  }
+  m.set_key_cycles /= blocks;
+  m.encrypt_cycles /= blocks;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("AES-128 on the simulated RMC2000: hand assembly vs compiled C");
+  std::puts("(the paper's Section 6 experiment)\n");
+
+  auto hand = services::AesOnBoard::create_from_repo(
+      services::AesImpl::kHandAssembly, RMC_REPO_ROOT);
+  auto c_debug = services::AesOnBoard::create_from_repo(
+      services::AesImpl::kCompiledC, RMC_REPO_ROOT,
+      dcc::CodegenOptions::debug_defaults());
+  auto c_opt = services::AesOnBoard::create_from_repo(
+      services::AesImpl::kCompiledC, RMC_REPO_ROOT,
+      dcc::CodegenOptions::all_optimizations());
+  if (!hand.ok() || !c_debug.ok() || !c_opt.ok()) {
+    std::puts("failed to load implementations (run from the repo root)");
+    return 1;
+  }
+
+  // Correctness first: FIPS-197 known answer on all three.
+  const auto key = common::from_hex("000102030405060708090a0b0c0d0e0f");
+  const auto pt = common::from_hex("00112233445566778899aabbccddeeff");
+  for (auto* impl : {&*hand, &*c_debug, &*c_opt}) {
+    std::array<u8, 16> ct{};
+    (void)impl->set_key(key);
+    (void)impl->encrypt(pt, ct);
+    if (common::to_hex(ct) != "69c4e0d86a7b0430d8cdb78070b4c55a") {
+      std::puts("FIPS-197 check FAILED");
+      return 1;
+    }
+  }
+  std::puts("FIPS-197 known-answer check: all three implementations agree\n");
+
+  const int kBlocks = 4;
+  const Measured hand_m = measure(*hand, kBlocks);
+  const Measured dbg_m = measure(*c_debug, kBlocks);
+  const Measured opt_m = measure(*c_opt, kBlocks);
+
+  auto throughput = [](u64 cycles) {
+    return 16.0 / rabbit::Board::seconds(cycles) / 1024.0;  // KiB/s @30 MHz
+  };
+  std::printf("%-22s %12s %12s %10s %10s\n", "implementation",
+              "enc cyc/blk", "keyexp cyc", "KiB/s", "code B");
+  auto row = [&](const char* name, const Measured& m) {
+    std::printf("%-22s %12llu %12llu %10.1f %10zu\n", name,
+                static_cast<unsigned long long>(m.encrypt_cycles),
+                static_cast<unsigned long long>(m.set_key_cycles),
+                throughput(m.encrypt_cycles), m.code_bytes);
+  };
+  row("hand assembly", hand_m);
+  row("C port (debug)", dbg_m);
+  row("C port (optimized)", opt_m);
+
+  std::printf("\nassembly speedup vs debug C:     %.1fx\n",
+              static_cast<double>(dbg_m.encrypt_cycles) / hand_m.encrypt_cycles);
+  std::printf("assembly speedup vs optimized C: %.1fx\n",
+              static_cast<double>(opt_m.encrypt_cycles) / hand_m.encrypt_cycles);
+  std::printf("optimization knobs bought:       %.0f%%\n",
+              100.0 * (1.0 - static_cast<double>(opt_m.encrypt_cycles) /
+                                 dbg_m.encrypt_cycles));
+  std::printf("\npaper: \"the assembly implementation ran more than an order "
+              "of magnitude faster\";\n       optimizations \"only improved "
+              "run time by perhaps 20%%\".\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// serial_monitor — the paper's §5.1 debugging setup: the serial port
+// interrupts the processor when a character arrives, and the ISR either
+// reports status or resets the application. This example assembles the
+// whole interrupt plumbing (vector slot, ISR, SACR enable) from source and
+// drives it from the host side, including the Dynamic C-style ISR
+// registration the paper contrasts with Unix signal().
+//
+// Run: ./build/examples/serial_monitor
+#include <cstdio>
+
+#include "rabbit/board.h"
+#include "rasm/assembler.h"
+
+using namespace rmc;
+
+int main() {
+  // The monitor program: counts timer-less "work" in the main loop; the
+  // serial ISR answers '?' with the current counter (as a letter) and 'r'
+  // by resetting the counter — the "status message or reset" behaviour.
+  const std::string src = R"(
+sadr  equ 0c0h          ; serial data register
+sacr  equ 0c2h          ; serial control register (bit0 = RX irq enable)
+
+      org 6000h
+count: dw 0
+
+      org 0048h         ; interrupt slot for vector 1 (serial port A)
+      jp isr
+
+      org 0100h
+main:
+      ld a, 1           ; enable serial RX interrupt (SetVectExtern2000 +
+      out (sacr), a     ; WrPortI(SACR,...) of the paper, in two lines)
+      ei
+work:                   ; the "application": count forever
+      ld hl, (count)
+      inc hl
+      ld (count), hl
+      jr work
+
+isr:
+      in a, (sadr)      ; read the incoming character
+      cp '?'
+      jr z, report
+      cp 'r'
+      jr z, reset
+      reti              ; ignore anything else (the port's error policy)
+report:
+      ld a, (count)     ; low byte of the counter as a crude status
+      and 0fh
+      add a, 'A'
+      out (sadr), a     ; echo status letter back up the serial line
+      reti
+reset:
+      ld hl, 0
+      ld (count), hl
+      ld a, '!'
+      out (sadr), a
+      reti
+)";
+
+  auto assembled = rasm::assemble(src);
+  if (!assembled.ok()) {
+    std::printf("assemble failed: %s\n", assembled.status().to_string().c_str());
+    return 1;
+  }
+  rabbit::Board board;
+  board.load(assembled->image);
+  board.cpu().regs().pc = 0x0100;
+
+  std::puts("serial monitor running on the simulated board;");
+  std::puts("host pokes it over the serial line:\n");
+
+  auto poke = [&](char c, unsigned run_cycles) {
+    board.serial().host_send(std::string(1, c));
+    board.run(run_cycles);
+    const std::string reply = board.serial().host_collect();
+    common::u32 addr = 0;
+    (void)assembled->image.find_symbol("count", addr);
+    const common::u16 count = board.mem().read16(static_cast<common::u16>(addr));
+    std::printf("  host sends '%c'  -> reply \"%s\"   (count=%u, cycles=%llu)\n",
+                c, reply.c_str(), count,
+                static_cast<unsigned long long>(board.cpu().cycles()));
+  };
+
+  board.run(5'000);  // let the main loop spin a while
+  poke('?', 2'000);
+  board.run(20'000);
+  poke('?', 2'000);
+  poke('r', 2'000);  // reset the counter
+  poke('?', 2'000);
+  poke('x', 2'000);  // ignored character
+
+  std::puts("\nthe ISR ran via the interrupt vector table at 0x0048 — the");
+  std::puts("hand-rolled plumbing the paper contrasts with Unix signal().");
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "common/bytes.h"
+
+#include <array>
+#include <cctype>
+
+namespace rmc::common {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int nibble_of(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(std::span<const u8> bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (u8 b : bytes) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xF]);
+  }
+  return out;
+}
+
+std::vector<u8> from_hex(std::string_view text) {
+  std::vector<u8> out;
+  out.reserve(text.size() / 2);
+  int pending = -1;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    const int n = nibble_of(c);
+    if (n < 0) return {};
+    if (pending < 0) {
+      pending = n;
+    } else {
+      out.push_back(static_cast<u8>((pending << 4) | n));
+      pending = -1;
+    }
+  }
+  if (pending >= 0) return {};  // odd nibble count
+  return out;
+}
+
+std::string hexdump(std::span<const u8> bytes, u32 base_addr) {
+  std::string out;
+  for (std::size_t row = 0; row < bytes.size(); row += 16) {
+    char addr[16];
+    std::snprintf(addr, sizeof addr, "%06x  ",
+                  static_cast<unsigned>(base_addr + row));
+    out += addr;
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (row + i < bytes.size()) {
+        const u8 b = bytes[row + i];
+        out.push_back(kHexDigits[b >> 4]);
+        out.push_back(kHexDigits[b & 0xF]);
+        out.push_back(' ');
+      } else {
+        out += "   ";
+      }
+      if (i == 7) out.push_back(' ');
+    }
+    out += " |";
+    for (std::size_t i = 0; i < 16 && row + i < bytes.size(); ++i) {
+      const u8 b = bytes[row + i];
+      out.push_back((b >= 0x20 && b < 0x7F) ? static_cast<char>(b) : '.');
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+bool ct_equal(std::span<const u8> a, std::span<const u8> b) {
+  if (a.size() != b.size()) return false;
+  u8 acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= static_cast<u8>(a[i] ^ b[i]);
+  return acc == 0;
+}
+
+}  // namespace rmc::common

@@ -1,0 +1,78 @@
+// Deterministic PRNGs.
+//
+// Two generators live here for two different reasons:
+//  * `Xorshift64` — the simulation-side source of randomness (network loss,
+//    test fuzzing, nonce generation in the host build). Fast, seedable,
+//    reproducible.
+//  * `Rmc16Rand` — a reproduction of the tiny 16-bit generator the port had
+//    to write because "Dynamic C does not provide the standard random
+//    function" (§5). It is a classic 16-bit LCG of exactly the kind one
+//    writes on an 8-bit micro: cheap, low quality, good enough for session
+//    nonces in a case study. The embedded issl build draws from it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.h"
+
+namespace rmc::common {
+
+class Xorshift64 {
+ public:
+  explicit Xorshift64(u64 seed = 0x9E3779B97F4A7C15ULL)
+      : state_(seed ? seed : 1) {}
+
+  u64 next() {
+    u64 x = state_;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    state_ = x;
+    return x;
+  }
+
+  u32 next_u32() { return static_cast<u32>(next() >> 32); }
+  u8 next_u8() { return static_cast<u8>(next() >> 56); }
+
+  /// Uniform in [0, bound). bound must be nonzero.
+  u32 next_below(u32 bound) { return next_u32() % bound; }
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  bool chance(double p) {
+    if (p <= 0) return false;
+    if (p >= 1) return true;
+    return (next() >> 11) * 0x1.0p-53 < p;
+  }
+
+  void fill(std::span<u8> out) {
+    for (auto& b : out) b = next_u8();
+  }
+
+ private:
+  u64 state_;
+};
+
+/// The "we had to write random() ourselves" generator: a 16-bit multiplicative
+/// LCG (x' = 25173*x + 13849 mod 2^16), seeded from a timer value on the real
+/// board, from an explicit seed here.
+class Rmc16Rand {
+ public:
+  explicit Rmc16Rand(u16 seed = 0x1234) : state_(seed) {}
+
+  u16 next() {
+    state_ = static_cast<u16>(25173U * state_ + 13849U);
+    return state_;
+  }
+
+  u8 next_u8() { return static_cast<u8>(next() >> 8); }
+
+  void fill(std::span<u8> out) {
+    for (auto& b : out) b = next_u8();
+  }
+
+ private:
+  u16 state_;
+};
+
+}  // namespace rmc::common

@@ -1,0 +1,28 @@
+#include "common/ringlog.h"
+
+namespace rmc::common {
+
+RingLog::RingLog(std::size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+void RingLog::append(std::string_view line) {
+  ++total_appended_;
+  std::string entry(line.substr(0, capacity_));
+  while (!entries_.empty() && used_ + entry.size() > capacity_) {
+    used_ -= entries_.front().size();
+    entries_.pop_front();
+  }
+  if (entry.size() > capacity_) return;  // capacity 0 edge case
+  used_ += entry.size();
+  entries_.push_back(std::move(entry));
+}
+
+std::vector<std::string> RingLog::entries() const {
+  return {entries_.begin(), entries_.end()};
+}
+
+void RingLog::clear() {
+  entries_.clear();
+  used_ = 0;
+}
+
+}  // namespace rmc::common

@@ -1,0 +1,50 @@
+// RingLog — the paper's "circular buffer instead of a log file" fix (§5).
+//
+// The original Unix service logged to the filesystem; the RMC2000 has none.
+// The port's documented solution is a fixed-capacity circular buffer that
+// overwrites the oldest entries. This type reproduces that behaviour and is
+// used by the embedded redirector service; the Unix-style service uses an
+// unbounded sink instead (see services/).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rmc::common {
+
+class RingLog {
+ public:
+  /// `capacity_bytes` bounds the total payload stored, mimicking a static
+  /// buffer carved out of SRAM. Entries are dropped oldest-first when a new
+  /// entry would exceed the budget. A single entry larger than the capacity
+  /// is truncated to fit.
+  explicit RingLog(std::size_t capacity_bytes);
+
+  /// Append one log line (newline not required).
+  void append(std::string_view line);
+
+  /// Oldest-to-newest snapshot of retained entries.
+  std::vector<std::string> entries() const;
+
+  std::size_t entry_count() const { return entries_.size(); }
+  std::size_t used_bytes() const { return used_; }
+  std::size_t capacity_bytes() const { return capacity_; }
+
+  /// Total appends ever made, including those since evicted — lets tests and
+  /// benches measure how much history a given SRAM budget retains.
+  std::size_t total_appended() const { return total_appended_; }
+  std::size_t dropped() const { return total_appended_ - entries_.size(); }
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::size_t total_appended_ = 0;
+  std::deque<std::string> entries_;
+};
+
+}  // namespace rmc::common

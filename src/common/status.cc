@@ -1,0 +1,34 @@
+#include "common/status.h"
+
+namespace rmc::common {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kOutOfRange: return "out_of_range";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kAlreadyExists: return "already_exists";
+    case ErrorCode::kResourceExhausted: return "resource_exhausted";
+    case ErrorCode::kFailedPrecondition: return "failed_precondition";
+    case ErrorCode::kUnimplemented: return "unimplemented";
+    case ErrorCode::kDataLoss: return "data_loss";
+    case ErrorCode::kAborted: return "aborted";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  std::string out = error_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace rmc::common

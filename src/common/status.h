@@ -1,0 +1,102 @@
+// Lightweight status / result types.
+//
+// The embedded idiom (and the paper's target environment) has no exceptions;
+// library entry points report failure through return values. `Status` carries
+// an error code plus a human-readable message; `Result<T>` is a tiny
+// expected-like wrapper so APIs can return values without out-parameters.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace rmc::common {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,  // e.g. xalloc arena full, no free costatement slot
+  kFailedPrecondition,
+  kUnimplemented,
+  kDataLoss,     // MAC failure, corrupt record
+  kAborted,      // peer reset, handshake failure
+  kTimeout,
+  kUnavailable,  // would-block: try again after more ticks
+  kInternal,
+};
+
+/// Human-readable name of an error code ("resource_exhausted", ...).
+const char* error_code_name(ErrorCode code);
+
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code_name>: <message>" for logs and test failure output.
+  std::string to_string() const;
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status make_error(ErrorCode code, std::string message) {
+  return Status(code, std::move(message));
+}
+
+/// Minimal expected<T, Status>. Intentionally tiny: value() asserts on error
+/// (callers must check ok() first), mirroring the project's no-exceptions
+/// policy.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(implicit)
+  Result(Status status) : data_(std::move(status)) {    // NOLINT(implicit)
+    assert(!std::get<Status>(data_).is_ok() &&
+           "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  Status status() const {
+    if (ok()) return Status::ok();
+    return std::get<Status>(data_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace rmc::common

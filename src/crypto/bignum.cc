@@ -1,0 +1,373 @@
+#include "crypto/bignum.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rmc::crypto {
+
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+using common::u32;
+using common::u64;
+
+BigNum::BigNum(u64 value) {
+  while (value) {
+    limbs_.push_back(static_cast<u32>(value));
+    value >>= 32;
+  }
+}
+
+void BigNum::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigNum BigNum::from_bytes(std::span<const u8> be) {
+  BigNum n;
+  for (u8 b : be) {
+    n = (n << 8) + BigNum(b);
+  }
+  return n;
+}
+
+std::vector<u8> BigNum::to_bytes() const {
+  if (is_zero()) return {0};
+  std::vector<u8> out;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int s = 24; s >= 0; s -= 8) {
+      out.push_back(static_cast<u8>(limbs_[i] >> s));
+    }
+  }
+  // Strip leading zeros.
+  std::size_t lead = 0;
+  while (lead + 1 < out.size() && out[lead] == 0) ++lead;
+  out.erase(out.begin(), out.begin() + lead);
+  return out;
+}
+
+Result<std::vector<u8>> BigNum::to_bytes_padded(std::size_t width) const {
+  std::vector<u8> raw = to_bytes();
+  if (raw.size() == 1 && raw[0] == 0) raw.clear();
+  if (raw.size() > width) {
+    return Status(ErrorCode::kOutOfRange, "value wider than requested pad");
+  }
+  std::vector<u8> out(width - raw.size(), 0);
+  out.insert(out.end(), raw.begin(), raw.end());
+  return out;
+}
+
+Result<BigNum> BigNum::from_hex(std::string_view hex) {
+  BigNum n;
+  for (char c : hex) {
+    int d;
+    if (c >= '0' && c <= '9') d = c - '0';
+    else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+    else if (std::isspace(static_cast<unsigned char>(c))) continue;
+    else return Status(ErrorCode::kInvalidArgument, "bad hex digit");
+    n = (n << 4) + BigNum(static_cast<u64>(d));
+  }
+  return n;
+}
+
+std::string BigNum::to_hex() const {
+  if (is_zero()) return "0";
+  std::string out;
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%x", limbs_.back());
+  out += buf;
+  for (std::size_t i = limbs_.size() - 1; i-- > 0;) {
+    std::snprintf(buf, sizeof buf, "%08x", limbs_[i]);
+    out += buf;
+  }
+  return out;
+}
+
+std::size_t BigNum::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  u32 top = limbs_.back();
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigNum::bit(std::size_t i) const {
+  const std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+std::strong_ordering BigNum::operator<=>(const BigNum& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() <=> other.limbs_.size();
+  }
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) return limbs_[i] <=> other.limbs_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+BigNum BigNum::operator+(const BigNum& other) const {
+  BigNum out;
+  const std::size_t n = std::max(limbs_.size(), other.limbs_.size());
+  out.limbs_.resize(n + 1, 0);
+  u64 carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    u64 sum = carry;
+    if (i < limbs_.size()) sum += limbs_[i];
+    if (i < other.limbs_.size()) sum += other.limbs_[i];
+    out.limbs_[i] = static_cast<u32>(sum);
+    carry = sum >> 32;
+  }
+  out.limbs_[n] = static_cast<u32>(carry);
+  out.trim();
+  return out;
+}
+
+BigNum BigNum::operator-(const BigNum& other) const {
+  assert(*this >= other && "BigNum subtraction underflow");
+  BigNum out;
+  out.limbs_.resize(limbs_.size(), 0);
+  common::i64 borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    common::i64 diff = static_cast<common::i64>(limbs_[i]) - borrow;
+    if (i < other.limbs_.size()) diff -= other.limbs_[i];
+    if (diff < 0) {
+      diff += (common::i64{1} << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<u32>(diff);
+  }
+  out.trim();
+  return out;
+}
+
+BigNum BigNum::operator*(const BigNum& other) const {
+  if (is_zero() || other.is_zero()) return BigNum();
+  BigNum out;
+  out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    u64 carry = 0;
+    for (std::size_t j = 0; j < other.limbs_.size(); ++j) {
+      u64 cur = static_cast<u64>(limbs_[i]) * other.limbs_[j] +
+                out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<u32>(cur);
+      carry = cur >> 32;
+    }
+    out.limbs_[i + other.limbs_.size()] += static_cast<u32>(carry);
+  }
+  out.trim();
+  return out;
+}
+
+BigNum BigNum::operator<<(std::size_t bits) const {
+  if (is_zero() || bits == 0) return *this;
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  BigNum out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const u64 v = static_cast<u64>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<u32>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<u32>(v >> 32);
+  }
+  out.trim();
+  return out;
+}
+
+BigNum BigNum::operator>>(std::size_t bits) const {
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  if (limb_shift >= limbs_.size()) return BigNum();
+  BigNum out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    u64 v = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift && i + limb_shift + 1 < limbs_.size()) {
+      v |= static_cast<u64>(limbs_[i + limb_shift + 1]) << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<u32>(v);
+  }
+  out.trim();
+  return out;
+}
+
+Result<BigNum::DivMod> BigNum::divmod(const BigNum& divisor) const {
+  if (divisor.is_zero()) {
+    return Status(ErrorCode::kInvalidArgument, "division by zero");
+  }
+  DivMod dm;
+  if (*this < divisor) {
+    dm.remainder = *this;
+    return dm;
+  }
+  // Binary long division.
+  const std::size_t shift = bit_length() - divisor.bit_length();
+  BigNum rem = *this;
+  BigNum den = divisor << shift;
+  std::vector<bool> qbits(shift + 1, false);
+  for (std::size_t i = shift + 1; i-- > 0;) {
+    if (rem >= den) {
+      rem = rem - den;
+      qbits[i] = true;
+    }
+    den = den >> 1;
+  }
+  BigNum q;
+  q.limbs_.assign((qbits.size() + 31) / 32, 0);
+  for (std::size_t i = 0; i < qbits.size(); ++i) {
+    if (qbits[i]) q.limbs_[i / 32] |= (1u << (i % 32));
+  }
+  q.trim();
+  dm.quotient = std::move(q);
+  dm.remainder = std::move(rem);
+  return dm;
+}
+
+BigNum BigNum::mod(const BigNum& m) const {
+  auto dm = divmod(m);
+  assert(dm.ok());
+  return std::move(dm->remainder);
+}
+
+BigNum BigNum::modexp(const BigNum& exponent, const BigNum& m) const {
+  assert(!m.is_zero());
+  BigNum base = mod(m);
+  BigNum result(1);
+  result = result.mod(m);
+  const std::size_t nbits = exponent.bit_length();
+  for (std::size_t i = nbits; i-- > 0;) {
+    result = (result * result).mod(m);
+    if (exponent.bit(i)) result = (result * base).mod(m);
+  }
+  return result;
+}
+
+BigNum BigNum::gcd(BigNum a, BigNum b) {
+  while (!b.is_zero()) {
+    BigNum r = a.mod(b);
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+Result<BigNum> BigNum::modinverse(const BigNum& a, const BigNum& m) {
+  // Extended Euclid on non-negative values, tracking signs separately.
+  BigNum old_r = a.mod(m), r = m;
+  BigNum old_s(1), s(0);
+  bool old_s_neg = false, s_neg = false;
+  while (!r.is_zero()) {
+    auto dm = old_r.divmod(r);
+    if (!dm.ok()) return dm.status();
+    const BigNum& q = dm->quotient;
+    // (old_r, r) = (r, old_r - q*r)
+    BigNum new_r = dm->remainder;
+    old_r = r;
+    r = std::move(new_r);
+    // (old_s, s) = (s, old_s - q*s) with sign tracking.
+    BigNum qs = q * s;
+    BigNum new_s;
+    bool new_s_neg;
+    if (old_s_neg == s_neg) {
+      // old_s - q*s where both share sign: may flip.
+      if (old_s >= qs) {
+        new_s = old_s - qs;
+        new_s_neg = old_s_neg;
+      } else {
+        new_s = qs - old_s;
+        new_s_neg = !old_s_neg;
+      }
+    } else {
+      new_s = old_s + qs;
+      new_s_neg = old_s_neg;
+    }
+    old_s = s;
+    old_s_neg = s_neg;
+    s = std::move(new_s);
+    s_neg = new_s_neg;
+  }
+  if (old_r != BigNum(1)) {
+    return Status(ErrorCode::kInvalidArgument, "values not coprime");
+  }
+  if (old_s_neg) return m - old_s.mod(m);
+  return old_s.mod(m);
+}
+
+BigNum BigNum::random_bits(std::size_t bits, common::Xorshift64& rng) {
+  assert(bits > 0);
+  BigNum n;
+  n.limbs_.assign((bits + 31) / 32, 0);
+  for (auto& l : n.limbs_) l = rng.next_u32();
+  const std::size_t top_bit = (bits - 1) % 32;
+  // Clear bits above the requested width; force the top bit.
+  n.limbs_.back() &= (top_bit == 31) ? 0xFFFFFFFFu : ((1u << (top_bit + 1)) - 1);
+  n.limbs_.back() |= (1u << top_bit);
+  n.trim();
+  return n;
+}
+
+BigNum BigNum::random_below(const BigNum& bound, common::Xorshift64& rng) {
+  assert(!bound.is_zero());
+  const std::size_t bits = bound.bit_length();
+  while (true) {
+    BigNum n;
+    n.limbs_.assign((bits + 31) / 32, 0);
+    for (auto& l : n.limbs_) l = rng.next_u32();
+    const std::size_t excess = n.limbs_.size() * 32 - bits;
+    if (excess && !n.limbs_.empty()) {
+      n.limbs_.back() >>= excess;
+    }
+    n.trim();
+    if (n < bound) return n;
+  }
+}
+
+bool BigNum::is_probable_prime(const BigNum& n, common::Xorshift64& rng,
+                               int rounds) {
+  if (n < BigNum(2)) return false;
+  for (u64 p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull,
+                29ull, 31ull, 37ull}) {
+    const BigNum bp(p);
+    if (n == bp) return true;
+    if (n.mod(bp).is_zero()) return false;
+  }
+  // n - 1 = d * 2^r
+  const BigNum n_minus_1 = n - BigNum(1);
+  BigNum d = n_minus_1;
+  std::size_t r = 0;
+  while (!d.is_odd()) {
+    d = d >> 1;
+    ++r;
+  }
+  for (int round = 0; round < rounds; ++round) {
+    const BigNum a = BigNum(2) + random_below(n - BigNum(4), rng);
+    BigNum x = a.modexp(d, n);
+    if (x == BigNum(1) || x == n_minus_1) continue;
+    bool witness = true;
+    for (std::size_t i = 0; i + 1 < r; ++i) {
+      x = (x * x).mod(n);
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+BigNum BigNum::generate_prime(std::size_t bits, common::Xorshift64& rng) {
+  while (true) {
+    BigNum candidate = random_bits(bits, rng);
+    if (!candidate.is_odd()) candidate = candidate + BigNum(1);
+    if (is_probable_prime(candidate, rng)) return candidate;
+  }
+}
+
+}  // namespace rmc::crypto

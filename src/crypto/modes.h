@@ -1,0 +1,71 @@
+// Block-cipher modes used by the issl record layer: CBC with PKCS#7 padding
+// (bulk records) and raw ECB (key-block derivation, tests).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/aes.h"
+
+namespace rmc::crypto {
+
+/// PKCS#7: pad to a multiple of `block` (always appends 1..block bytes).
+std::vector<u8> pkcs7_pad(std::span<const u8> data, std::size_t block);
+
+/// Strip PKCS#7 padding; fails on malformed padding (wrong length byte or
+/// inconsistent fill) — the error path a tampered record takes.
+common::Result<std::vector<u8>> pkcs7_unpad(std::span<const u8> data,
+                                            std::size_t block);
+
+/// CBC encrypt with explicit IV; input length must be a block multiple
+/// (combine with pkcs7_pad). Cipher may be Aes or AesFast.
+template <typename Cipher>
+std::vector<u8> cbc_encrypt(const Cipher& cipher, std::span<const u8> iv,
+                            std::span<const u8> plaintext) {
+  std::vector<u8> out(plaintext.size());
+  u8 chain[kAesBlockBytes];
+  for (std::size_t i = 0; i < kAesBlockBytes; ++i) chain[i] = iv[i];
+  for (std::size_t off = 0; off + kAesBlockBytes <= plaintext.size();
+       off += kAesBlockBytes) {
+    u8 block[kAesBlockBytes];
+    for (std::size_t i = 0; i < kAesBlockBytes; ++i) {
+      block[i] = static_cast<u8>(plaintext[off + i] ^ chain[i]);
+    }
+    cipher.encrypt_block(block, std::span<u8>(out).subspan(off));
+    for (std::size_t i = 0; i < kAesBlockBytes; ++i) chain[i] = out[off + i];
+  }
+  return out;
+}
+
+template <typename Cipher>
+std::vector<u8> cbc_decrypt(const Cipher& cipher, std::span<const u8> iv,
+                            std::span<const u8> ciphertext) {
+  std::vector<u8> out(ciphertext.size());
+  u8 chain[kAesBlockBytes];
+  for (std::size_t i = 0; i < kAesBlockBytes; ++i) chain[i] = iv[i];
+  for (std::size_t off = 0; off + kAesBlockBytes <= ciphertext.size();
+       off += kAesBlockBytes) {
+    u8 block[kAesBlockBytes];
+    cipher.decrypt_block(ciphertext.subspan(off), block);
+    for (std::size_t i = 0; i < kAesBlockBytes; ++i) {
+      out[off + i] = static_cast<u8>(block[i] ^ chain[i]);
+      chain[i] = ciphertext[off + i];
+    }
+  }
+  return out;
+}
+
+/// ECB over whole buffers (length must be a block multiple).
+template <typename Cipher>
+std::vector<u8> ecb_encrypt(const Cipher& cipher, std::span<const u8> data) {
+  std::vector<u8> out(data.size());
+  for (std::size_t off = 0; off + kAesBlockBytes <= data.size();
+       off += kAesBlockBytes) {
+    cipher.encrypt_block(data.subspan(off), std::span<u8>(out).subspan(off));
+  }
+  return out;
+}
+
+}  // namespace rmc::crypto

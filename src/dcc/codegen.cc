@@ -1,0 +1,1147 @@
+#include "dcc/codegen.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "dcc/parser.h"
+#include "rasm/assembler.h"
+
+namespace rmc::dcc {
+
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Constant folding (shares semantics with the interpreter: unsigned 16-bit)
+// ---------------------------------------------------------------------------
+
+bool fold_expr(ExprPtr& e);
+
+bool fold_binary(Expr& e) {
+  const u16 a = e.lhs->number, b = e.rhs->number;
+  u16 v = 0;
+  switch (e.bin_op) {
+    case BinOp::kAdd: v = static_cast<u16>(a + b); break;
+    case BinOp::kSub: v = static_cast<u16>(a - b); break;
+    case BinOp::kMul: v = static_cast<u16>(a * b); break;
+    case BinOp::kDiv:
+      if (b == 0) return false;  // preserve the runtime's div-by-zero path
+      v = static_cast<u16>(a / b);
+      break;
+    case BinOp::kMod:
+      if (b == 0) return false;
+      v = static_cast<u16>(a % b);
+      break;
+    case BinOp::kAnd: v = static_cast<u16>(a & b); break;
+    case BinOp::kOr: v = static_cast<u16>(a | b); break;
+    case BinOp::kXor: v = static_cast<u16>(a ^ b); break;
+    case BinOp::kShl: v = static_cast<u16>(b >= 16 ? 0 : a << b); break;
+    case BinOp::kShr: v = static_cast<u16>(b >= 16 ? 0 : a >> b); break;
+    case BinOp::kLt: v = static_cast<u16>(a < b); break;
+    case BinOp::kLe: v = static_cast<u16>(a <= b); break;
+    case BinOp::kGt: v = static_cast<u16>(a > b); break;
+    case BinOp::kGe: v = static_cast<u16>(a >= b); break;
+    case BinOp::kEq: v = static_cast<u16>(a == b); break;
+    case BinOp::kNe: v = static_cast<u16>(a != b); break;
+    case BinOp::kLogAnd: v = static_cast<u16>(a && b); break;
+    case BinOp::kLogOr: v = static_cast<u16>(a || b); break;
+  }
+  e.kind = ExprKind::kNumber;
+  e.number = v;
+  e.lhs.reset();
+  e.rhs.reset();
+  return true;
+}
+
+bool fold_expr(ExprPtr& e) {
+  if (!e) return false;
+  bool changed = false;
+  switch (e->kind) {
+    case ExprKind::kNumber:
+    case ExprKind::kVar:
+      return false;
+    case ExprKind::kIndex:
+      return fold_expr(e->lhs);
+    case ExprKind::kCall:
+      for (auto& a : e->args) changed |= fold_expr(a);
+      return changed;
+    case ExprKind::kAssign:
+      changed |= fold_expr(e->lhs->lhs);  // index expression, if any
+      changed |= fold_expr(e->rhs);
+      return changed;
+    case ExprKind::kUnary:
+      changed |= fold_expr(e->lhs);
+      if (e->lhs->kind == ExprKind::kNumber) {
+        const u16 v = e->lhs->number;
+        u16 r = 0;
+        switch (e->unary_op) {
+          case '-': r = static_cast<u16>(-v); break;
+          case '~': r = static_cast<u16>(~v); break;
+          case '!': r = static_cast<u16>(v == 0 ? 1 : 0); break;
+        }
+        e->kind = ExprKind::kNumber;
+        e->number = r;
+        e->lhs.reset();
+        return true;
+      }
+      return changed;
+    case ExprKind::kBinary:
+      changed |= fold_expr(e->lhs);
+      changed |= fold_expr(e->rhs);
+      if (e->lhs->kind == ExprKind::kNumber &&
+          e->rhs->kind == ExprKind::kNumber) {
+        changed |= fold_binary(*e);
+      }
+      return changed;
+  }
+  return changed;
+}
+
+void fold_stmt(Stmt& s) {
+  fold_expr(s.expr);
+  fold_expr(s.init);
+  fold_expr(s.step);
+  if (s.then_branch) fold_stmt(*s.then_branch);
+  if (s.else_branch) fold_stmt(*s.else_branch);
+  if (s.body) fold_stmt(*s.body);
+  for (auto& inner : s.stmts) fold_stmt(*inner);
+}
+
+// ---------------------------------------------------------------------------
+// Unroll analysis
+// ---------------------------------------------------------------------------
+
+// Does this subtree assign to `name` (directly or via any call — calls are
+// treated as opaque and conservatively block unrolling)?
+bool may_modify(const Expr* e, const std::string& name) {
+  if (e == nullptr) return false;
+  switch (e->kind) {
+    case ExprKind::kNumber:
+    case ExprKind::kVar:
+      return false;
+    case ExprKind::kIndex:
+      return may_modify(e->lhs.get(), name);
+    case ExprKind::kCall:
+      return true;  // conservative
+    case ExprKind::kUnary:
+      return may_modify(e->lhs.get(), name);
+    case ExprKind::kBinary:
+      return may_modify(e->lhs.get(), name) || may_modify(e->rhs.get(), name);
+    case ExprKind::kAssign:
+      if (e->lhs->kind == ExprKind::kVar && e->lhs->name == name) return true;
+      return may_modify(e->lhs->lhs.get(), name) ||
+             may_modify(e->rhs.get(), name);
+  }
+  return true;
+}
+
+bool may_modify(const Stmt* s, const std::string& name) {
+  if (s == nullptr) return false;
+  if (may_modify(s->expr.get(), name) || may_modify(s->init.get(), name) ||
+      may_modify(s->step.get(), name)) {
+    return true;
+  }
+  if (may_modify(s->then_branch.get(), name)) return true;
+  if (may_modify(s->else_branch.get(), name)) return true;
+  if (may_modify(s->body.get(), name)) return true;
+  for (const auto& inner : s->stmts) {
+    if (may_modify(inner.get(), name)) return true;
+  }
+  return false;
+}
+
+struct UnrollPlan {
+  bool viable = false;
+  std::string var;
+  u16 start = 0;
+  u16 limit = 0;  // exclusive
+};
+
+// Does the subtree contain a break/continue that would bind to THIS loop
+// (i.e. not nested inside a deeper loop)? Such loops cannot be unrolled.
+bool has_loose_break(const Stmt* s) {
+  if (s == nullptr) return false;
+  switch (s->kind) {
+    case StmtKind::kBreak:
+    case StmtKind::kContinue:
+      return true;
+    case StmtKind::kWhile:
+    case StmtKind::kFor:
+      return false;  // inner loop captures its own break/continue
+    case StmtKind::kIf:
+      return has_loose_break(s->then_branch.get()) ||
+             has_loose_break(s->else_branch.get());
+    case StmtKind::kBlock:
+      for (const auto& inner : s->stmts) {
+        if (has_loose_break(inner.get())) return true;
+      }
+      return false;
+    default:
+      return false;
+  }
+}
+
+// Rough AST size of a statement/expression, used to gate unrolling so a big
+// loop body (e.g. a whole cipher round) never gets replicated into more code
+// than the 24 KiB root region can hold.
+std::size_t weight(const Expr* e) {
+  if (e == nullptr) return 0;
+  std::size_t w = 1 + weight(e->lhs.get()) + weight(e->rhs.get());
+  for (const auto& a : e->args) w += weight(a.get());
+  return w;
+}
+
+std::size_t weight(const Stmt* s) {
+  if (s == nullptr) return 0;
+  std::size_t w = 1 + weight(s->expr.get()) + weight(s->init.get()) +
+                  weight(s->step.get()) + weight(s->then_branch.get()) +
+                  weight(s->else_branch.get()) + weight(s->body.get());
+  for (const auto& inner : s->stmts) w += weight(inner.get());
+  return w;
+}
+
+// Matches: for (i = C0; i < C1; i = i + 1) body, with body not touching i
+// and trip count in (0, 32].
+UnrollPlan analyze_unroll(const Stmt& s) {
+  UnrollPlan plan;
+  if (s.kind != StmtKind::kFor || !s.init || !s.expr || !s.step || !s.body) {
+    return plan;
+  }
+  const Expr& init = *s.init;
+  if (init.kind != ExprKind::kAssign || init.lhs->kind != ExprKind::kVar ||
+      init.rhs->kind != ExprKind::kNumber) {
+    return plan;
+  }
+  const std::string& var = init.lhs->name;
+  const Expr& cond = *s.expr;
+  if (cond.kind != ExprKind::kBinary || cond.bin_op != BinOp::kLt ||
+      cond.lhs->kind != ExprKind::kVar || cond.lhs->name != var ||
+      cond.rhs->kind != ExprKind::kNumber) {
+    return plan;
+  }
+  const Expr& step = *s.step;
+  if (step.kind != ExprKind::kAssign || step.lhs->kind != ExprKind::kVar ||
+      step.lhs->name != var || step.rhs->kind != ExprKind::kBinary ||
+      step.rhs->bin_op != BinOp::kAdd ||
+      step.rhs->lhs->kind != ExprKind::kVar || step.rhs->lhs->name != var ||
+      step.rhs->rhs->kind != ExprKind::kNumber ||
+      step.rhs->rhs->number != 1) {
+    return plan;
+  }
+  const u16 start = init.rhs->number;
+  const u16 limit = cond.rhs->number;
+  if (limit <= start || limit - start > 32) return plan;
+  // Expansion budget: replicating the body must stay cheap in code bytes.
+  if (static_cast<std::size_t>(limit - start) * weight(s.body.get()) > 400) {
+    return plan;
+  }
+  if (may_modify(s.body.get(), var)) return plan;
+  if (has_loose_break(s.body.get())) return plan;
+  plan.viable = true;
+  plan.var = var;
+  plan.start = start;
+  plan.limit = limit;
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Code generator
+// ---------------------------------------------------------------------------
+
+struct VarInfo {
+  std::string label;
+  Type type = Type::kInt;
+  bool is_array = false;
+  bool is_xmem = false;
+  u16 array_len = 0;
+};
+
+class Codegen {
+ public:
+  Codegen(const Program& prog, const CodegenOptions& opts)
+      : prog_(prog), opts_(opts) {}
+
+  Result<CompileOutput> run() {
+    // Collect globals.
+    for (const auto& g : prog_.globals) {
+      VarInfo info;
+      info.label = "g_" + g.name;
+      info.type = g.type;
+      info.is_array = g.is_array;
+      info.array_len = g.array_len;
+      info.is_xmem = g.is_xmem && g.is_array && opts_.xmem_tables;
+      if (globals_.count(g.name)) {
+        return err(g.line, "duplicate global: " + g.name);
+      }
+      globals_.emplace(g.name, info);
+    }
+
+    emit("        org 0100h");
+    // Runtime helpers first so short jumps inside them stay local.
+    emit_runtime();
+    for (const auto& fn : prog_.functions) {
+      Status s = gen_function(fn);
+      if (!s.is_ok()) return s;
+    }
+    emit_data_segment();
+    Status sx = emit_xmem_segment();
+    if (!sx.is_ok()) return sx;
+
+    if (opts_.peephole) peephole();
+
+    std::string text;
+    for (const auto& line : lines_) {
+      text += line;
+      text += '\n';
+    }
+
+    auto assembled = rasm::assemble(text);
+    if (!assembled.ok()) {
+      return Status(assembled.status().code(),
+                    "internal: generated assembly rejected: " +
+                        assembled.status().message());
+    }
+    CompileOutput out;
+    out.asm_text = std::move(text);
+    out.image = std::move(assembled->image);
+    out.debug_hook_count = debug_hooks_;
+    for (const auto& chunk : out.image.chunks) {
+      if (chunk.phys_addr < 0x6000) {
+        out.code_bytes += chunk.bytes.size();
+        // The root region ends at logical 0x6000; code flowing past it would
+        // be fetched through the data-segment mapping and executed as
+        // garbage.
+        if (chunk.phys_addr + chunk.bytes.size() > 0x6000) {
+          return Status(ErrorCode::kResourceExhausted,
+                        "generated code overflows the 24 KiB root region");
+        }
+      } else if (chunk.phys_addr >= 0x90000) {
+        out.xmem_bytes += chunk.bytes.size();
+      } else {
+        out.data_bytes += chunk.bytes.size();
+      }
+    }
+    return out;
+  }
+
+ private:
+  Status err(int line, const std::string& msg) const {
+    return Status(ErrorCode::kInvalidArgument,
+                  "line " + std::to_string(line) + ": " + msg);
+  }
+
+  void emit(std::string line) { lines_.push_back(std::move(line)); }
+  void op(const std::string& text) { emit("        " + text); }
+  void label(const std::string& name) { emit(name + ":"); }
+  std::string new_label() { return "lbl_" + std::to_string(label_counter_++); }
+
+  // ----- variable resolution ----------------------------------------------
+
+  Result<VarInfo> resolve(const std::string& name, int line) const {
+    auto lit = locals_.find(name);
+    if (lit != locals_.end()) return lit->second;
+    auto git = globals_.find(name);
+    if (git != globals_.end()) return git->second;
+    return err(line, "undefined variable: " + name);
+  }
+
+  // ----- expressions (result in HL) ---------------------------------------
+
+  Status gen_expr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kNumber:
+        op("ld hl, " + std::to_string(e.number));
+        return Status::ok();
+      case ExprKind::kVar: {
+        auto v = resolve(e.name, e.line);
+        if (!v.ok()) return v.status();
+        if (v->is_array) return err(e.line, "array used as scalar: " + e.name);
+        if (v->type == Type::kUchar) {
+          op("ld a, (" + v->label + ")");
+          op("ld l, a");
+          op("ld h, 0");
+        } else {
+          op("ld hl, (" + v->label + ")");
+        }
+        return Status::ok();
+      }
+      case ExprKind::kIndex:
+        return gen_load_element(e);
+      case ExprKind::kUnary: {
+        Status s = gen_expr(*e.lhs);
+        if (!s.is_ok()) return s;
+        switch (e.unary_op) {
+          case '-':
+            op("ld a, l");
+            op("cpl");
+            op("ld l, a");
+            op("ld a, h");
+            op("cpl");
+            op("ld h, a");
+            op("inc hl");
+            break;
+          case '~':
+            op("ld a, l");
+            op("cpl");
+            op("ld l, a");
+            op("ld a, h");
+            op("cpl");
+            op("ld h, a");
+            break;
+          case '!':
+            op("bool hl");
+            op("ld a, l");
+            op("xor 1");
+            op("ld l, a");
+            break;
+        }
+        return Status::ok();
+      }
+      case ExprKind::kBinary:
+        return gen_binary(e);
+      case ExprKind::kAssign:
+        return gen_assign(e);
+      case ExprKind::kCall:
+        return gen_call(e);
+    }
+    return err(e.line, "unreachable expression kind");
+  }
+
+  Status gen_binary(const Expr& e) {
+    if (e.bin_op == BinOp::kLogAnd || e.bin_op == BinOp::kLogOr) {
+      const std::string short_lbl = new_label();
+      const std::string end_lbl = new_label();
+      Status s = gen_expr(*e.lhs);
+      if (!s.is_ok()) return s;
+      op("bool hl");
+      if (e.bin_op == BinOp::kLogAnd) {
+        op("jp z, " + short_lbl);
+      } else {
+        op("jp nz, " + short_lbl);
+      }
+      s = gen_expr(*e.rhs);
+      if (!s.is_ok()) return s;
+      op("bool hl");
+      op("jp " + end_lbl);
+      label(short_lbl);
+      op(e.bin_op == BinOp::kLogAnd ? "ld hl, 0" : "ld hl, 1");
+      label(end_lbl);
+      return Status::ok();
+    }
+
+    Status s = gen_expr(*e.lhs);
+    if (!s.is_ok()) return s;
+    op("push hl");
+    s = gen_expr(*e.rhs);
+    if (!s.is_ok()) return s;
+    op("pop de");  // DE = lhs, HL = rhs
+    switch (e.bin_op) {
+      case BinOp::kAdd:
+        op("add hl, de");
+        break;
+      case BinOp::kSub:
+        op("ex de, hl");
+        op("or a");
+        op("sbc hl, de");
+        break;
+      case BinOp::kMul:
+        op("ld b, d");
+        op("ld c, e");
+        op("ex de, hl");  // DE = rhs
+        op("mul");        // HL:BC = BC*DE
+        op("ld h, b");
+        op("ld l, c");
+        break;
+      case BinOp::kDiv:
+        op("ex de, hl");
+        op("call rt_udiv");
+        break;
+      case BinOp::kMod:
+        op("ex de, hl");
+        op("call rt_udiv");
+        op("ex de, hl");
+        break;
+      case BinOp::kAnd:
+        op("ld a, h");
+        op("and d");
+        op("ld h, a");
+        op("ld a, l");
+        op("and e");
+        op("ld l, a");
+        break;
+      case BinOp::kOr:
+        op("ld a, h");
+        op("or d");
+        op("ld h, a");
+        op("ld a, l");
+        op("or e");
+        op("ld l, a");
+        break;
+      case BinOp::kXor:
+        op("ld a, h");
+        op("xor d");
+        op("ld h, a");
+        op("ld a, l");
+        op("xor e");
+        op("ld l, a");
+        break;
+      case BinOp::kShl:
+        op("ld a, l");    // count (rhs low byte; rhs >= 256 -> handled in rt)
+        op("ex de, hl");  // HL = value
+        op("call rt_shl");
+        break;
+      case BinOp::kShr:
+        op("ld a, l");
+        op("ex de, hl");
+        op("call rt_shr");
+        break;
+      case BinOp::kEq:
+        op("ex de, hl");
+        op("or a");
+        op("sbc hl, de");
+        op("bool hl");
+        op("ld a, l");
+        op("xor 1");
+        op("ld l, a");
+        break;
+      case BinOp::kNe:
+        op("ex de, hl");
+        op("or a");
+        op("sbc hl, de");
+        op("bool hl");
+        break;
+      case BinOp::kLt:  // lhs < rhs: compute lhs - rhs, carry => true
+        op("ex de, hl");
+        op("or a");
+        op("sbc hl, de");
+        op("ld hl, 0");
+        op("adc hl, hl");
+        break;
+      case BinOp::kGt:  // lhs > rhs <=> rhs < lhs: rhs - lhs carries
+        op("or a");
+        op("sbc hl, de");
+        op("ld hl, 0");
+        op("adc hl, hl");
+        break;
+      case BinOp::kLe:  // !(lhs > rhs)
+        op("or a");
+        op("sbc hl, de");
+        op("ld hl, 0");
+        op("adc hl, hl");
+        op("ld a, l");
+        op("xor 1");
+        op("ld l, a");
+        break;
+      case BinOp::kGe:  // !(lhs < rhs)
+        op("ex de, hl");
+        op("or a");
+        op("sbc hl, de");
+        op("ld hl, 0");
+        op("adc hl, hl");
+        op("ld a, l");
+        op("xor 1");
+        op("ld l, a");
+        break;
+      default:
+        return err(e.line, "unhandled binary op");
+    }
+    return Status::ok();
+  }
+
+  // Load array element, result in HL.
+  Status gen_load_element(const Expr& e) {
+    auto v = resolve(e.name, e.line);
+    if (!v.ok()) return v.status();
+    if (!v->is_array) return err(e.line, "indexing non-array: " + e.name);
+    Status s = gen_expr(*e.lhs);  // index in HL
+    if (!s.is_ok()) return s;
+    if (!v->is_xmem) {
+      if (v->type == Type::kInt) op("add hl, hl");
+      op("ld de, " + v->label);
+      op("add hl, de");
+      if (v->type == Type::kUchar) {
+        op("ld a, (hl)");
+        op("ld l, a");
+        op("ld h, 0");
+      } else {
+        op("ld a, (hl)");
+        op("inc hl");
+        op("ld h, (hl)");
+        op("ld l, a");
+      }
+      return Status::ok();
+    }
+    // xmem element load: bank-switch dance around the access.
+    op("ld a, xpc");
+    op("ld (t_xpc), a");
+    op("ld a, xpcof(" + v->label + ")");
+    op("ld xpc, a");
+    if (v->type == Type::kInt) op("add hl, hl");
+    op("ld de, winof(" + v->label + ")");
+    op("add hl, de");
+    if (v->type == Type::kUchar) {
+      op("ld a, (hl)");
+      op("ld l, a");
+      op("ld h, 0");
+    } else {
+      op("ld a, (hl)");
+      op("inc hl");
+      op("ld h, (hl)");
+      op("ld l, a");
+    }
+    op("ld a, (t_xpc)");
+    op("ld xpc, a");
+    return Status::ok();
+  }
+
+  Status gen_assign(const Expr& e) {
+    const Expr& target = *e.lhs;
+    auto v = resolve(target.name, e.line);
+    if (!v.ok()) return v.status();
+
+    if (target.kind == ExprKind::kVar) {
+      if (v->is_array) return err(e.line, "assigning to array: " + target.name);
+      Status s = gen_expr(*e.rhs);
+      if (!s.is_ok()) return s;
+      if (v->type == Type::kUchar) {
+        op("ld a, l");
+        op("ld (" + v->label + "), a");
+        op("ld h, 0");
+      } else {
+        op("ld (" + v->label + "), hl");
+      }
+      return Status::ok();
+    }
+
+    // Element store.
+    if (!v->is_array) return err(e.line, "indexing non-array: " + target.name);
+    Status s = gen_expr(*target.lhs);  // index
+    if (!s.is_ok()) return s;
+    if (!v->is_xmem) {
+      if (v->type == Type::kInt) op("add hl, hl");
+      op("ld de, " + v->label);
+      op("add hl, de");
+      op("push hl");  // element address
+      s = gen_expr(*e.rhs);
+      if (!s.is_ok()) return s;
+      op("pop de");
+      if (v->type == Type::kUchar) {
+        op("ld a, l");
+        op("ld (de), a");
+        op("ld h, 0");
+      } else {
+        op("ex de, hl");
+        op("ld (hl), e");
+        op("inc hl");
+        op("ld (hl), d");
+        op("ex de, hl");
+      }
+      return Status::ok();
+    }
+    // xmem element store: index is only an offset (the window address is
+    // computed after the value, inside the switched bank).
+    if (v->type == Type::kInt) op("add hl, hl");
+    op("push hl");  // offset
+    s = gen_expr(*e.rhs);
+    if (!s.is_ok()) return s;
+    op("pop de");  // DE = offset, HL = value
+    op("ld a, xpc");
+    op("ld (t_xpc), a");
+    op("ld a, xpcof(" + v->label + ")");
+    op("ld xpc, a");
+    op("push hl");  // value
+    op("ld hl, winof(" + v->label + ")");
+    op("add hl, de");  // HL = window address
+    op("pop de");      // DE = value
+    if (v->type == Type::kUchar) {
+      op("ld a, e");
+      op("ld (hl), a");
+      op("ld l, e");
+      op("ld h, 0");
+    } else {
+      op("ld (hl), e");
+      op("inc hl");
+      op("ld (hl), d");
+      op("ex de, hl");
+    }
+    op("ld a, (t_xpc)");
+    op("ld xpc, a");
+    return Status::ok();
+  }
+
+  Status gen_call(const Expr& e) {
+    // Builtin port I/O — MiniDynC's RdPortI/WrPortI (the Dynamic C calls
+    // the paper's §5.1 interrupt setup uses). The port number must be a
+    // literal (matching the IN A,(n)/OUT (n),A encodings).
+    if (e.name == "rdport" || e.name == "wrport") {
+      const bool is_write = e.name == "wrport";
+      const std::size_t want_args = is_write ? 2u : 1u;
+      if (e.args.size() != want_args) {
+        return err(e.line, e.name + " takes " + std::to_string(want_args) +
+                               " argument(s)");
+      }
+      if (e.args[0]->kind != ExprKind::kNumber) {
+        return err(e.line, e.name + " port must be a literal constant");
+      }
+      const u16 port = e.args[0]->number;
+      if (port > 0xFF) return err(e.line, "port out of range");
+      if (is_write) {
+        Status s = gen_expr(*e.args[1]);
+        if (!s.is_ok()) return s;
+        op("ld a, l");
+        op("out (" + std::to_string(port) + "), a");
+        op("ld h, 0");
+      } else {
+        op("in a, (" + std::to_string(port) + ")");
+        op("ld l, a");
+        op("ld h, 0");
+      }
+      return Status::ok();
+    }
+
+    const Function* fn = prog_.find_function(e.name);
+    if (fn == nullptr) return err(e.line, "undefined function: " + e.name);
+    if (fn->params.size() != e.args.size()) {
+      return err(e.line, "argument count mismatch calling " + e.name);
+    }
+    for (const auto& arg : e.args) {
+      Status s = gen_expr(*arg);
+      if (!s.is_ok()) return s;
+      op("push hl");
+    }
+    for (std::size_t i = e.args.size(); i-- > 0;) {
+      op("pop hl");
+      op("ld (l_" + fn->name + "_" + fn->params[i] + "), hl");
+    }
+    op("call f_" + fn->name);
+    return Status::ok();
+  }
+
+  // ----- statements ---------------------------------------------------------
+
+  void debug_hook() {
+    if (opts_.debug_hooks) {
+      op("rst 28h");
+      ++debug_hooks_;
+    }
+  }
+
+  Status gen_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kEmpty:
+        return Status::ok();
+      case StmtKind::kBreak:
+        if (loop_stack_.empty()) {
+          return err(s.line, "break outside a loop");
+        }
+        debug_hook();
+        op("jp " + loop_stack_.back().break_label);
+        return Status::ok();
+      case StmtKind::kContinue:
+        if (loop_stack_.empty()) {
+          return err(s.line, "continue outside a loop");
+        }
+        debug_hook();
+        op("jp " + loop_stack_.back().continue_label);
+        return Status::ok();
+      case StmtKind::kExpr:
+        debug_hook();
+        return gen_expr(*s.expr);
+      case StmtKind::kReturn: {
+        debug_hook();
+        if (s.expr) {
+          Status st = gen_expr(*s.expr);
+          if (!st.is_ok()) return st;
+        } else {
+          op("ld hl, 0");
+        }
+        op("ret");
+        return Status::ok();
+      }
+      case StmtKind::kBlock:
+        for (const auto& inner : s.stmts) {
+          Status st = gen_stmt(*inner);
+          if (!st.is_ok()) return st;
+        }
+        return Status::ok();
+      case StmtKind::kIf: {
+        debug_hook();
+        Status st = gen_expr(*s.expr);
+        if (!st.is_ok()) return st;
+        const std::string else_lbl = new_label();
+        op("ld a, h");
+        op("or l");
+        op("jp z, " + else_lbl);
+        st = gen_stmt(*s.then_branch);
+        if (!st.is_ok()) return st;
+        if (s.else_branch) {
+          const std::string end_lbl = new_label();
+          op("jp " + end_lbl);
+          label(else_lbl);
+          st = gen_stmt(*s.else_branch);
+          if (!st.is_ok()) return st;
+          label(end_lbl);
+        } else {
+          label(else_lbl);
+        }
+        return Status::ok();
+      }
+      case StmtKind::kWhile: {
+        const std::string cond_lbl = new_label();
+        const std::string end_lbl = new_label();
+        label(cond_lbl);
+        debug_hook();
+        Status st = gen_expr(*s.expr);
+        if (!st.is_ok()) return st;
+        op("ld a, h");
+        op("or l");
+        op("jp z, " + end_lbl);
+        loop_stack_.push_back({end_lbl, cond_lbl});
+        st = gen_stmt(*s.body);
+        loop_stack_.pop_back();
+        if (!st.is_ok()) return st;
+        op("jp " + cond_lbl);
+        label(end_lbl);
+        return Status::ok();
+      }
+      case StmtKind::kFor: {
+        if (opts_.unroll_loops) {
+          const UnrollPlan plan = analyze_unroll(s);
+          if (plan.viable) return gen_unrolled_for(s, plan);
+        }
+        debug_hook();
+        if (s.init) {
+          Status st = gen_expr(*s.init);
+          if (!st.is_ok()) return st;
+        }
+        const std::string cond_lbl = new_label();
+        const std::string step_lbl = new_label();
+        const std::string end_lbl = new_label();
+        label(cond_lbl);
+        if (s.expr) {
+          debug_hook();
+          Status st = gen_expr(*s.expr);
+          if (!st.is_ok()) return st;
+          op("ld a, h");
+          op("or l");
+          op("jp z, " + end_lbl);
+        }
+        loop_stack_.push_back({end_lbl, step_lbl});  // continue -> step
+        Status st = gen_stmt(*s.body);
+        loop_stack_.pop_back();
+        if (!st.is_ok()) return st;
+        label(step_lbl);
+        if (s.step) {
+          Status st2 = gen_expr(*s.step);
+          if (!st2.is_ok()) return st2;
+        }
+        op("jp " + cond_lbl);
+        label(end_lbl);
+        return Status::ok();
+      }
+    }
+    return err(s.line, "unreachable statement kind");
+  }
+
+  // Fully unrolled counted loop: init once, then (body; step) per iteration
+  // with no compare/branch overhead. The induction variable is still stored
+  // through its static slot so observable state matches the rolled loop.
+  Status gen_unrolled_for(const Stmt& s, const UnrollPlan& plan) {
+    debug_hook();
+    Status st = gen_expr(*s.init);
+    if (!st.is_ok()) return st;
+    for (u16 k = plan.start; k < plan.limit; ++k) {
+      st = gen_stmt(*s.body);
+      if (!st.is_ok()) return st;
+      st = gen_expr(*s.step);
+      if (!st.is_ok()) return st;
+    }
+    return Status::ok();
+  }
+
+  // ----- functions / segments ----------------------------------------------
+
+  Status gen_function(const Function& fn) {
+    locals_.clear();
+    for (const auto& p : fn.params) {
+      VarInfo info;
+      info.label = "l_" + fn.name + "_" + p;
+      info.type = Type::kInt;
+      locals_.emplace(p, info);
+      data_decls_.emplace_back(info.label, 2, std::vector<u16>{});
+    }
+    for (const auto& l : fn.locals) {
+      if (locals_.count(l.name)) {
+        return err(l.line, "duplicate local: " + l.name);
+      }
+      VarInfo info;
+      info.label = "l_" + fn.name + "_" + l.name;
+      info.type = l.type;
+      info.is_array = l.is_array;
+      info.array_len = l.array_len;
+      locals_.emplace(l.name, info);
+      const std::size_t elem = (l.type == Type::kUchar) ? 1 : 2;
+      const std::size_t count = l.is_array ? l.array_len : 1;
+      data_decls_.emplace_back(info.label, elem * count, std::vector<u16>{});
+    }
+    emit("");
+    label("f_" + fn.name);
+    for (const auto& stmt : fn.body) {
+      Status s = gen_stmt(*stmt);
+      if (!s.is_ok()) return s;
+    }
+    op("ld hl, 0");
+    op("ret");
+    return Status::ok();
+  }
+
+  void emit_runtime() {
+    // rt_udiv: HL = HL / DE (unsigned), remainder in DE. Division by zero
+    // yields 0/0 (the interpreter treats it as an error; programs that hit
+    // this path are outside the language contract).
+    label("rt_udiv");
+    op("ld a, d");
+    op("or e");
+    op("jp nz, rt_udiv_go");
+    op("ld hl, 0");
+    op("ld d, h");
+    op("ld e, l");
+    op("ret");
+    label("rt_udiv_go");
+    op("ld b, 0");
+    op("ld c, 0");
+    op("ld a, 16");
+    label("rt_udiv_loop");
+    op("add hl, hl");
+    op("rl c");
+    op("rl b");
+    op("push hl");
+    op("ld h, b");
+    op("ld l, c");
+    op("or a");
+    op("sbc hl, de");
+    op("jr c, rt_udiv_nosub");
+    op("ld b, h");
+    op("ld c, l");
+    op("pop hl");
+    op("inc hl");
+    op("jr rt_udiv_cont");
+    label("rt_udiv_nosub");
+    op("pop hl");
+    label("rt_udiv_cont");
+    op("dec a");
+    op("jr nz, rt_udiv_loop");
+    op("ld d, b");
+    op("ld e, c");
+    op("ret");
+
+    // rt_shl / rt_shr: HL shifted by A bits (A >= 16 -> 0).
+    label("rt_shl");
+    op("or a");
+    op("ret z");
+    op("cp 16");
+    op("jr c, rt_shl_go");
+    op("ld hl, 0");
+    op("ret");
+    label("rt_shl_go");
+    op("add hl, hl");
+    op("dec a");
+    op("jr nz, rt_shl_go");
+    op("ret");
+
+    label("rt_shr");
+    op("or a");
+    op("ret z");
+    op("cp 16");
+    op("jr c, rt_shr_go");
+    op("ld hl, 0");
+    op("ret");
+    label("rt_shr_go");
+    op("srl h");
+    op("rr l");
+    op("dec a");
+    op("jr nz, rt_shr_go");
+    op("ret");
+  }
+
+  void emit_data_segment() {
+    emit("");
+    emit("        org 6000h");
+    label("t_xpc");
+    op("ds 1");
+    for (const auto& g : prog_.globals) {
+      const auto& info = globals_.at(g.name);
+      if (info.is_xmem) continue;
+      emit_var_storage(info.label, g);
+    }
+    for (const auto& [lbl, size, init] : data_decls_) {
+      (void)init;
+      label(lbl);
+      op("ds " + std::to_string(size));
+    }
+  }
+
+  Status emit_xmem_segment() {
+    bool any = false;
+    for (const auto& g : prog_.globals) {
+      if (globals_.at(g.name).is_xmem) any = true;
+    }
+    if (!any) return Status::ok();
+    emit("");
+    emit("        xorg 98000h");  // extended SRAM, writable, behind XPC
+    std::size_t used = 0;
+    for (const auto& g : prog_.globals) {
+      const auto& info = globals_.at(g.name);
+      if (!info.is_xmem) continue;
+      const std::size_t bytes =
+          (g.type == Type::kUchar ? 1u : 2u) * g.array_len;
+      // Keep each array inside one window mapping (see rasm's winof).
+      if (used + bytes > 0x1000) {
+        return err(g.line, "xmem data exceeds the single-bank budget");
+      }
+      used += bytes;
+      emit_var_storage(info.label, g);
+    }
+    return Status::ok();
+  }
+
+  void emit_var_storage(const std::string& lbl, const VarDecl& g) {
+    label(lbl);
+    const std::size_t count = g.is_array ? g.array_len : 1;
+    if (!g.has_init) {
+      op("ds " + std::to_string((g.type == Type::kUchar ? 1 : 2) * count));
+      return;
+    }
+    std::string dir = (g.type == Type::kUchar) ? "db " : "dw ";
+    std::string line;
+    for (std::size_t i = 0; i < count; ++i) {
+      const u16 v = i < g.init.size() ? g.init[i] : 0;
+      if (!line.empty()) line += ", ";
+      line += std::to_string(g.type == Type::kUchar ? (v & 0xFF) : v);
+      if (line.size() > 60 || i + 1 == count) {
+        op(dir + line);
+        line.clear();
+      }
+    }
+  }
+
+  // ----- peephole ------------------------------------------------------------
+
+  static std::string_view trimmed(const std::string& s) {
+    std::string_view v = s;
+    while (!v.empty() && (v.front() == ' ' || v.front() == '\t'))
+      v.remove_prefix(1);
+    return v;
+  }
+
+  void peephole() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      std::vector<std::string> out;
+      out.reserve(lines_.size());
+      for (std::size_t i = 0; i < lines_.size(); ++i) {
+        const std::string_view cur = trimmed(lines_[i]);
+        const std::string_view next =
+            i + 1 < lines_.size() ? trimmed(lines_[i + 1]) : std::string_view();
+
+        // push hl / pop de -> register copy (17 -> 4 cycles).
+        if (cur == "push hl" && next == "pop de") {
+          out.push_back("        ld d, h");
+          out.push_back("        ld e, l");
+          ++i;
+          changed = true;
+          continue;
+        }
+        // push hl / <reload hl> / pop de -> ex de, hl / <reload hl>.
+        // The reload forms are the two scalar-operand loads the generator
+        // emits; neither touches DE or the stack.
+        if (cur == "push hl" && next.rfind("ld hl, ", 0) == 0 &&
+            i + 2 < lines_.size() && trimmed(lines_[i + 2]) == "pop de") {
+          out.push_back("        ex de, hl");
+          out.push_back(lines_[i + 1]);
+          i += 2;
+          changed = true;
+          continue;
+        }
+        if (cur == "push hl" && next.rfind("ld a, (", 0) == 0 &&
+            i + 4 < lines_.size() && trimmed(lines_[i + 2]) == "ld l, a" &&
+            trimmed(lines_[i + 3]) == "ld h, 0" &&
+            trimmed(lines_[i + 4]) == "pop de") {
+          out.push_back("        ex de, hl");
+          out.push_back(lines_[i + 1]);
+          out.push_back(lines_[i + 2]);
+          out.push_back(lines_[i + 3]);
+          i += 4;
+          changed = true;
+          continue;
+        }
+        // ex de, hl / ex de, hl cancels.
+        if (cur == "ex de, hl" && next == "ex de, hl") {
+          ++i;
+          changed = true;
+          continue;
+        }
+        // ld (X), hl / ld hl, (X) -> drop the reload.
+        if (cur.rfind("ld (", 0) == 0 && cur.size() > 8 &&
+            cur.substr(cur.size() - 4) == ", hl" &&
+            next.rfind("ld hl, (", 0) == 0) {
+          const std::string_view store_target =
+              cur.substr(4, cur.size() - 4 - 5);  // between "ld (" and "), hl"
+          const std::string_view load_source =
+              next.substr(8, next.size() - 8 - 1);  // between "(" and ")"
+          if (store_target == load_source) {
+            out.push_back(lines_[i]);
+            ++i;
+            changed = true;
+            continue;
+          }
+        }
+        // jp L directly followed by label L:.
+        if (cur.rfind("jp ", 0) == 0 && !next.empty() && next.back() == ':' &&
+            cur.substr(3) == next.substr(0, next.size() - 1)) {
+          changed = true;
+          continue;
+        }
+        out.push_back(lines_[i]);
+      }
+      lines_ = std::move(out);
+    }
+  }
+
+  const Program& prog_;
+  const CodegenOptions& opts_;
+  std::vector<std::string> lines_;
+  std::map<std::string, VarInfo> globals_;
+  std::map<std::string, VarInfo> locals_;
+  std::vector<std::tuple<std::string, std::size_t, std::vector<u16>>>
+      data_decls_;
+  struct LoopLabels {
+    std::string break_label;
+    std::string continue_label;
+  };
+  std::vector<LoopLabels> loop_stack_;
+  int label_counter_ = 0;
+  std::size_t debug_hooks_ = 0;
+};
+
+}  // namespace
+
+Result<CompileOutput> compile(std::string_view source,
+                              const CodegenOptions& options) {
+  auto prog = parse(source);
+  if (!prog.ok()) return prog.status();
+  if (options.fold_constants) {
+    for (auto& fn : prog->functions) {
+      for (auto& stmt : fn.body) fold_stmt(*stmt);
+    }
+  }
+  Codegen cg(*prog, options);
+  return cg.run();
+}
+
+}  // namespace rmc::dcc

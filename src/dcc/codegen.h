@@ -1,0 +1,67 @@
+// MiniDynC -> Rabbit assembly code generator, plus the optimization knobs
+// the paper's Section 6 sweeps:
+//
+//   debug_hooks     Dynamic C plants an RST 28h debugger hook before every
+//                   statement; `false` reproduces "disabling debugging".
+//   fold_constants  constant folding ("enabling compiler optimization").
+//   peephole        assembly-level peephole pass (same knob).
+//   unroll_loops    full unrolling of small counted loops ("unrolling
+//                   loops").
+//   xmem_tables     honor `xmem` array placement (Dynamic C keeps large
+//                   constant tables in extended flash); `false` forces all
+//                   arrays into root/data memory ("moving data to root").
+//
+// Code model (deliberately naive, mirroring a one-pass Dynamic-C-style
+// compiler): every expression evaluates into HL through a stack-machine
+// discipline (push/pop around binary operators); all locals, parameters,
+// and temporaries are static memory slots; xmem array accesses save/switch/
+// restore XPC around every element touch. This is what makes compiled code
+// an order of magnitude slower than the register-resident hand assembly —
+// the mechanism behind the paper's E1 result, not just its number.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "dcc/lang.h"
+#include "rabbit/image.h"
+
+namespace rmc::dcc {
+
+struct CodegenOptions {
+  bool debug_hooks = true;
+  bool fold_constants = false;
+  bool peephole = false;
+  bool unroll_loops = false;
+  bool xmem_tables = true;
+
+  /// Convenience presets.
+  static CodegenOptions debug_defaults() { return {}; }
+  static CodegenOptions all_optimizations() {
+    CodegenOptions o;
+    o.debug_hooks = false;
+    o.fold_constants = true;
+    o.peephole = true;
+    o.unroll_loops = true;
+    o.xmem_tables = false;
+    return o;
+  }
+};
+
+struct CompileOutput {
+  std::string asm_text;    // generated assembly (before assembling)
+  rabbit::Image image;     // loadable image
+  std::size_t code_bytes = 0;   // root code+const bytes (E3's size metric)
+  std::size_t data_bytes = 0;   // data-segment footprint
+  std::size_t xmem_bytes = 0;   // extended-memory footprint
+  std::size_t debug_hook_count = 0;  // RST 28h sites emitted
+};
+
+/// Compile MiniDynC source all the way to a loadable image.
+/// Symbol naming in the image: function `f` -> `f_f`, global `g` -> `g_g`
+/// (assembler symbols are lower-cased; see mangle notes in codegen.cc).
+common::Result<CompileOutput> compile(std::string_view source,
+                                      const CodegenOptions& options = {});
+
+}  // namespace rmc::dcc

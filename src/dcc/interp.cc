@@ -1,0 +1,350 @@
+#include "dcc/interp.h"
+
+namespace rmc::dcc {
+
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+namespace {
+u16 mask_for(Type t, u16 v) {
+  return t == Type::kUchar ? static_cast<u16>(v & 0xFF) : v;
+}
+}  // namespace
+
+Result<Interpreter> Interpreter::create(const Program& program) {
+  Interpreter in;
+  in.program_ = &program;
+  for (const auto& g : program.globals) {
+    Storage st;
+    st.type = g.type;
+    st.is_array = g.is_array;
+    st.values.assign(g.is_array ? g.array_len : 1, 0);
+    for (std::size_t i = 0; i < g.init.size() && i < st.values.size(); ++i) {
+      st.values[i] = mask_for(g.type, g.init[i]);
+    }
+    if (in.globals_.count(g.name)) {
+      return Status(ErrorCode::kAlreadyExists, "duplicate global: " + g.name);
+    }
+    in.globals_.emplace(g.name, std::move(st));
+  }
+  // Pre-create static storage for every function's params + locals.
+  for (const auto& f : program.functions) {
+    auto& statics = in.function_statics_[f.name];
+    for (const auto& p : f.params) {
+      Storage st;
+      st.type = Type::kInt;
+      st.values.assign(1, 0);
+      statics.emplace(p, std::move(st));
+    }
+    for (const auto& l : f.locals) {
+      Storage st;
+      st.type = l.type;
+      st.is_array = l.is_array;
+      st.values.assign(l.is_array ? l.array_len : 1, 0);
+      if (statics.count(l.name)) {
+        return Status(ErrorCode::kAlreadyExists,
+                      "duplicate local in " + f.name + ": " + l.name);
+      }
+      statics.emplace(l.name, std::move(st));
+    }
+  }
+  return in;
+}
+
+Status Interpreter::rt_error(int line, const std::string& msg) const {
+  return Status(ErrorCode::kInternal,
+                "line " + std::to_string(line) + ": " + msg);
+}
+
+Status Interpreter::step_budget_check() {
+  if (++steps_ > max_steps_) {
+    return Status(ErrorCode::kTimeout, "interpreter step budget exhausted");
+  }
+  return Status::ok();
+}
+
+Result<Interpreter::Storage*> Interpreter::lookup(const std::string& name) {
+  if (!stack_.empty()) {
+    auto& locals = *stack_.back().locals;
+    auto it = locals.find(name);
+    if (it != locals.end()) return &it->second;
+  }
+  auto it = globals_.find(name);
+  if (it != globals_.end()) return &it->second;
+  return Status(ErrorCode::kNotFound, "undefined variable: " + name);
+}
+
+Result<u16> Interpreter::eval(const Expr& e) {
+  if (Status s = step_budget_check(); !s.is_ok()) return s;
+  switch (e.kind) {
+    case ExprKind::kNumber:
+      return e.number;
+    case ExprKind::kVar: {
+      auto st = lookup(e.name);
+      if (!st.ok()) return st.status();
+      if ((*st)->is_array) {
+        return rt_error(e.line, "array used as scalar: " + e.name);
+      }
+      return (*st)->values[0];
+    }
+    case ExprKind::kIndex: {
+      auto st = lookup(e.name);
+      if (!st.ok()) return st.status();
+      if (!(*st)->is_array) {
+        return rt_error(e.line, "indexing non-array: " + e.name);
+      }
+      auto idx = eval(*e.lhs);
+      if (!idx.ok()) return idx;
+      if (*idx >= (*st)->values.size()) {
+        return rt_error(e.line, "index out of bounds on " + e.name);
+      }
+      return (*st)->values[*idx];
+    }
+    case ExprKind::kUnary: {
+      auto v = eval(*e.lhs);
+      if (!v.ok()) return v;
+      switch (e.unary_op) {
+        case '-': return static_cast<u16>(-*v);
+        case '~': return static_cast<u16>(~*v);
+        case '!': return static_cast<u16>(*v == 0 ? 1 : 0);
+        default: return rt_error(e.line, "bad unary op");
+      }
+    }
+    case ExprKind::kBinary: {
+      // Short-circuit forms first.
+      if (e.bin_op == BinOp::kLogAnd || e.bin_op == BinOp::kLogOr) {
+        auto lhs = eval(*e.lhs);
+        if (!lhs.ok()) return lhs;
+        const bool lhs_true = *lhs != 0;
+        if (e.bin_op == BinOp::kLogAnd && !lhs_true) return u16{0};
+        if (e.bin_op == BinOp::kLogOr && lhs_true) return u16{1};
+        auto rhs = eval(*e.rhs);
+        if (!rhs.ok()) return rhs;
+        return static_cast<u16>(*rhs != 0 ? 1 : 0);
+      }
+      auto lhs = eval(*e.lhs);
+      if (!lhs.ok()) return lhs;
+      auto rhs = eval(*e.rhs);
+      if (!rhs.ok()) return rhs;
+      const u16 a = *lhs, b = *rhs;
+      switch (e.bin_op) {
+        case BinOp::kAdd: return static_cast<u16>(a + b);
+        case BinOp::kSub: return static_cast<u16>(a - b);
+        case BinOp::kMul: return static_cast<u16>(a * b);
+        case BinOp::kDiv:
+          if (b == 0) return rt_error(e.line, "division by zero");
+          return static_cast<u16>(a / b);
+        case BinOp::kMod:
+          if (b == 0) return rt_error(e.line, "modulo by zero");
+          return static_cast<u16>(a % b);
+        case BinOp::kAnd: return static_cast<u16>(a & b);
+        case BinOp::kOr: return static_cast<u16>(a | b);
+        case BinOp::kXor: return static_cast<u16>(a ^ b);
+        case BinOp::kShl: return static_cast<u16>(b >= 16 ? 0 : a << b);
+        case BinOp::kShr: return static_cast<u16>(b >= 16 ? 0 : a >> b);
+        case BinOp::kLt: return static_cast<u16>(a < b);
+        case BinOp::kLe: return static_cast<u16>(a <= b);
+        case BinOp::kGt: return static_cast<u16>(a > b);
+        case BinOp::kGe: return static_cast<u16>(a >= b);
+        case BinOp::kEq: return static_cast<u16>(a == b);
+        case BinOp::kNe: return static_cast<u16>(a != b);
+        default: return rt_error(e.line, "bad binary op");
+      }
+    }
+    case ExprKind::kAssign: {
+      auto value = eval(*e.rhs);
+      if (!value.ok()) return value;
+      const Expr& target = *e.lhs;
+      auto st = lookup(target.name);
+      if (!st.ok()) return st.status();
+      if (target.kind == ExprKind::kVar) {
+        if ((*st)->is_array) {
+          return rt_error(e.line, "assigning to array: " + target.name);
+        }
+        (*st)->values[0] = mask_for((*st)->type, *value);
+        return (*st)->values[0];
+      }
+      auto idx = eval(*target.lhs);
+      if (!idx.ok()) return idx;
+      if (!(*st)->is_array || *idx >= (*st)->values.size()) {
+        return rt_error(e.line, "bad element assignment on " + target.name);
+      }
+      (*st)->values[*idx] = mask_for((*st)->type, *value);
+      return (*st)->values[*idx];
+    }
+    case ExprKind::kCall: {
+      if (e.name == "rdport" || e.name == "wrport") {
+        return rt_error(e.line,
+                        "port I/O is only meaningful on the board; the "
+                        "interpreter has no I/O bus");
+      }
+      const Function* fn = program_->find_function(e.name);
+      if (fn == nullptr) {
+        return rt_error(e.line, "undefined function: " + e.name);
+      }
+      if (fn->params.size() != e.args.size()) {
+        return rt_error(e.line, "argument count mismatch calling " + e.name);
+      }
+      // Evaluate args in the caller's frame, then write into the callee's
+      // static parameter slots (matching the compiler's protocol).
+      std::vector<u16> values;
+      values.reserve(e.args.size());
+      for (const auto& arg : e.args) {
+        auto v = eval(*arg);
+        if (!v.ok()) return v;
+        values.push_back(*v);
+      }
+      auto& statics = function_statics_[fn->name];
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        statics[fn->params[i]].values[0] = values[i];
+      }
+      stack_.push_back(Frame{&statics});
+      returning_ = false;
+      return_value_ = 0;
+      Status s = Status::ok();
+      for (const auto& stmt : fn->body) {
+        s = exec(*stmt);
+        if (!s.is_ok() || returning_ || breaking_ || continuing_) break;
+      }
+      stack_.pop_back();
+      // break/continue must never leak across a call boundary.
+      breaking_ = false;
+      continuing_ = false;
+      if (!s.is_ok()) return s;
+      const u16 rv = returning_ ? return_value_ : 0;
+      returning_ = false;
+      return rv;
+    }
+  }
+  return rt_error(e.line, "unreachable expression kind");
+}
+
+Status Interpreter::exec(const Stmt& s) {
+  if (Status b = step_budget_check(); !b.is_ok()) return b;
+  switch (s.kind) {
+    case StmtKind::kEmpty:
+      return Status::ok();
+    case StmtKind::kBreak:
+      breaking_ = true;
+      return Status::ok();
+    case StmtKind::kContinue:
+      continuing_ = true;
+      return Status::ok();
+    case StmtKind::kExpr: {
+      auto v = eval(*s.expr);
+      return v.ok() ? Status::ok() : v.status();
+    }
+    case StmtKind::kReturn: {
+      if (s.expr) {
+        auto v = eval(*s.expr);
+        if (!v.ok()) return v.status();
+        return_value_ = *v;
+      } else {
+        return_value_ = 0;
+      }
+      returning_ = true;
+      return Status::ok();
+    }
+    case StmtKind::kBlock:
+      for (const auto& inner : s.stmts) {
+        Status st = exec(*inner);
+        if (!st.is_ok() || returning_ || breaking_ || continuing_) return st;
+      }
+      return Status::ok();
+    case StmtKind::kIf: {
+      auto cond = eval(*s.expr);
+      if (!cond.ok()) return cond.status();
+      if (*cond != 0) return exec(*s.then_branch);
+      if (s.else_branch) return exec(*s.else_branch);
+      return Status::ok();
+    }
+    case StmtKind::kWhile:
+      while (true) {
+        auto cond = eval(*s.expr);
+        if (!cond.ok()) return cond.status();
+        if (*cond == 0) return Status::ok();
+        Status st = exec(*s.body);
+        if (!st.is_ok() || returning_) return st;
+        continuing_ = false;
+        if (breaking_) {
+          breaking_ = false;
+          return Status::ok();
+        }
+      }
+    case StmtKind::kFor: {
+      if (s.init) {
+        auto v = eval(*s.init);
+        if (!v.ok()) return v.status();
+      }
+      while (true) {
+        if (s.expr) {
+          auto cond = eval(*s.expr);
+          if (!cond.ok()) return cond.status();
+          if (*cond == 0) return Status::ok();
+        }
+        Status st = exec(*s.body);
+        if (!st.is_ok() || returning_) return st;
+        continuing_ = false;  // continue still runs the step expression
+        if (breaking_) {
+          breaking_ = false;
+          return Status::ok();
+        }
+        if (s.step) {
+          auto v = eval(*s.step);
+          if (!v.ok()) return v.status();
+        }
+      }
+    }
+  }
+  return Status(ErrorCode::kInternal, "unreachable statement kind");
+}
+
+Result<u16> Interpreter::call(const std::string& name,
+                              const std::vector<u16>& args,
+                              common::u64 max_steps) {
+  const Function* fn = program_->find_function(name);
+  if (fn == nullptr) {
+    return Status(ErrorCode::kNotFound, "no such function: " + name);
+  }
+  if (fn->params.size() != args.size()) {
+    return Status(ErrorCode::kInvalidArgument, "argument count mismatch");
+  }
+  steps_ = 0;
+  max_steps_ = max_steps;
+  Expr call_expr;
+  call_expr.kind = ExprKind::kCall;
+  call_expr.name = name;
+  for (u16 a : args) {
+    auto lit = std::make_unique<Expr>();
+    lit->kind = ExprKind::kNumber;
+    lit->number = a;
+    call_expr.args.push_back(std::move(lit));
+  }
+  return eval(call_expr);
+}
+
+Result<u16> Interpreter::global(const std::string& name, u16 index) const {
+  auto it = globals_.find(name);
+  if (it == globals_.end()) {
+    return Status(ErrorCode::kNotFound, "no such global: " + name);
+  }
+  if (index >= it->second.values.size()) {
+    return Status(ErrorCode::kOutOfRange, "global index out of range");
+  }
+  return it->second.values[index];
+}
+
+Status Interpreter::set_global(const std::string& name, u16 index, u16 value) {
+  auto it = globals_.find(name);
+  if (it == globals_.end()) {
+    return Status(ErrorCode::kNotFound, "no such global: " + name);
+  }
+  if (index >= it->second.values.size()) {
+    return Status(ErrorCode::kOutOfRange, "global index out of range");
+  }
+  it->second.values[index] = mask_for(it->second.type, value);
+  return Status::ok();
+}
+
+}  // namespace rmc::dcc

@@ -1,0 +1,66 @@
+// MiniDynC host interpreter — the reference semantics the compiler is
+// differentially tested against: every compiled program must produce the
+// same observable state (return value + globals) as the interpreter.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dcc/lang.h"
+
+namespace rmc::dcc {
+
+class Interpreter {
+ public:
+  /// Binds globals (zero- or initializer-filled). The program must outlive
+  /// the interpreter.
+  static common::Result<Interpreter> create(const Program& program);
+
+  /// Call a function by name with u16 arguments; returns its value
+  /// (0 for void). Enforces a step budget to catch runaway loops.
+  common::Result<u16> call(const std::string& name,
+                           const std::vector<u16>& args,
+                           common::u64 max_steps = 10'000'000);
+
+  /// Read back a global scalar or array element (for differential tests).
+  common::Result<u16> global(const std::string& name, u16 index = 0) const;
+  /// Write a global (to set up test inputs).
+  common::Status set_global(const std::string& name, u16 index, u16 value);
+
+ private:
+  Interpreter() = default;
+
+  struct Storage {
+    Type type = Type::kInt;
+    bool is_array = false;
+    std::vector<u16> values;  // uchar storage still held in u16, masked
+  };
+
+  struct Frame {
+    std::map<std::string, Storage>* locals;  // static per-function storage
+  };
+
+  common::Result<u16> eval(const Expr& e);
+  common::Status exec(const Stmt& s);
+  common::Result<Storage*> lookup(const std::string& name);
+
+  common::Status step_budget_check();
+  common::Status rt_error(int line, const std::string& msg) const;
+
+  const Program* program_ = nullptr;
+  std::map<std::string, Storage> globals_;
+  // Static local storage per function (Dynamic C semantics: locals persist
+  // across calls).
+  std::map<std::string, std::map<std::string, Storage>> function_statics_;
+  std::vector<Frame> stack_;
+  common::u64 steps_ = 0;
+  common::u64 max_steps_ = 0;
+  bool returning_ = false;
+  bool breaking_ = false;
+  bool continuing_ = false;
+  u16 return_value_ = 0;
+};
+
+}  // namespace rmc::dcc

@@ -1,0 +1,161 @@
+// MiniDynC — a restricted Dynamic-C-like language.
+//
+// This is the compiler the reproduction uses where the paper used Dynamic C:
+// the AES "C port" (dc/aes.dc) is written in it, compiled to Rabbit assembly
+// by src/dcc, assembled by src/rasm, and executed/cycle-counted by
+// src/rabbit. Its *semantics deliberately mirror the Dynamic C hazards the
+// paper describes*:
+//
+//  * all locals and parameters have static storage (Dynamic C: "local
+//    variables are static by default" §4.1) — so recursion is unsupported,
+//    exactly the hazard the paper calls out;
+//  * `xmem` global arrays live in extended memory behind the 8 KiB XPC
+//    window and every access pays the bank-switch dance (the reason
+//    "moving data to root memory" was one of the paper's optimizations);
+//  * debug builds plant an RST 28h hook before every statement, as Dynamic C
+//    does (the reason "disabling debugging" was another).
+//
+// Language summary:
+//   types        int (u16), uchar (u8); 1-D arrays of both
+//   globals      [xmem] [const] type name[N] [= {..}]; type name [= expr];
+//   functions    int f(int a, int b) { ... }   (ints only in signatures)
+//   locals       declared at block top; static storage
+//   statements   if/else, while, for, return, expression-stmt, blocks
+//   expressions  = + - * / % & | ^ << >> < <= > >= == != && || ! ~ unary-
+//                array indexing, calls, decimal/hex/char literals
+//   builtins     rdport(LIT) / wrport(LIT, expr) — the RdPortI/WrPortI
+//                port I/O of Dynamic C (board builds only; the interpreter
+//                rejects them)
+//   semantics    ALL arithmetic is unsigned 16-bit; uchar array elements
+//                zero-extend on load and truncate on store
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace rmc::dcc {
+
+using common::u16;
+using common::u32;
+using common::u8;
+
+// ---------------------------------------------------------------------------
+// Tokens
+// ---------------------------------------------------------------------------
+
+enum class Tok {
+  kEnd,
+  kIdent,
+  kNumber,
+  // keywords
+  kInt, kUchar, kVoid, kIf, kElse, kWhile, kFor, kReturn, kXmem, kConst,
+  kBreak, kContinue,
+  // punctuation / operators
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kSemi, kComma, kAssign,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAmp, kPipe, kCaret, kShl, kShr,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kAndAnd, kOrOr, kBang, kTilde,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;   // identifier spelling
+  u16 value = 0;      // number value
+  int line = 1;
+};
+
+// ---------------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------------
+
+enum class Type { kInt, kUchar, kVoid };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind {
+  kNumber,     // value
+  kVar,        // name
+  kIndex,      // name[index]
+  kCall,       // name(args...)
+  kUnary,      // op: '-' '~' '!'
+  kBinary,     // op: see BinOp
+  kAssign,     // target (kVar or kIndex) = value
+};
+
+enum class BinOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kAnd, kOr, kXor, kShl, kShr,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kLogAnd, kLogOr,
+};
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+
+  u16 number = 0;                // kNumber
+  std::string name;              // kVar / kIndex / kCall
+  std::vector<ExprPtr> args;     // kCall
+  ExprPtr lhs, rhs;              // kBinary / kIndex(index in lhs) / kAssign
+  char unary_op = 0;             // kUnary
+  BinOp bin_op = BinOp::kAdd;    // kBinary
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind {
+  kExpr, kIf, kWhile, kFor, kReturn, kBlock, kEmpty, kBreak, kContinue,
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+
+  ExprPtr expr;                  // kExpr / kReturn (may be null) / condition
+  StmtPtr then_branch, else_branch;  // kIf
+  StmtPtr body;                  // kWhile / kFor
+  ExprPtr init, step;            // kFor (init/step are expressions)
+  std::vector<StmtPtr> stmts;    // kBlock
+};
+
+struct VarDecl {
+  std::string name;
+  Type type = Type::kInt;
+  bool is_array = false;
+  u16 array_len = 0;
+  bool is_xmem = false;   // globals only
+  bool is_const = false;
+  std::vector<u16> init;  // scalar: one entry; array: up to array_len
+  bool has_init = false;
+  int line = 0;
+};
+
+struct Function {
+  std::string name;
+  Type return_type = Type::kInt;
+  std::vector<std::string> params;  // all int
+  std::vector<VarDecl> locals;
+  std::vector<StmtPtr> body;
+  int line = 0;
+};
+
+struct Program {
+  std::vector<VarDecl> globals;
+  std::vector<Function> functions;
+
+  const Function* find_function(const std::string& name) const {
+    for (const auto& f : functions) {
+      if (f.name == name) return &f;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace rmc::dcc

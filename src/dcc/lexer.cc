@@ -1,0 +1,185 @@
+#include "dcc/lexer.h"
+
+#include <cctype>
+#include <map>
+
+namespace rmc::dcc {
+
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+Result<std::vector<Token>> lex(std::string_view src) {
+  static const std::map<std::string, Tok, std::less<>> kKeywords = {
+      {"int", Tok::kInt},     {"uchar", Tok::kUchar}, {"char", Tok::kUchar},
+      {"void", Tok::kVoid},   {"if", Tok::kIf},       {"else", Tok::kElse},
+      {"while", Tok::kWhile}, {"for", Tok::kFor},     {"return", Tok::kReturn},
+      {"xmem", Tok::kXmem},   {"const", Tok::kConst},
+      {"break", Tok::kBreak}, {"continue", Tok::kContinue},
+  };
+
+  std::vector<Token> out;
+  int line = 1;
+  std::size_t i = 0;
+  auto error = [&](const std::string& msg) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "line " + std::to_string(line) + ": " + msg);
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= src.size()) return error("unterminated comment");
+      i += 2;
+      continue;
+    }
+
+    Token tok;
+    tok.line = line;
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(src[i])) ||
+              src[i] == '_')) {
+        ++i;
+      }
+      const std::string_view word = src.substr(start, i - start);
+      auto kw = kKeywords.find(word);
+      if (kw != kKeywords.end()) {
+        tok.kind = kw->second;
+      } else {
+        tok.kind = Tok::kIdent;
+        tok.text = std::string(word);
+      }
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      unsigned value = 0;
+      if (c == '0' && i + 1 < src.size() &&
+          (src[i + 1] == 'x' || src[i + 1] == 'X')) {
+        i += 2;
+        bool any = false;
+        while (i < src.size() &&
+               std::isxdigit(static_cast<unsigned char>(src[i]))) {
+          const char d = src[i];
+          value = value * 16 +
+                  (d <= '9' ? d - '0'
+                            : (d | 0x20) - 'a' + 10);
+          ++i;
+          any = true;
+        }
+        if (!any) return error("malformed hex literal");
+      } else {
+        while (i < src.size() &&
+               std::isdigit(static_cast<unsigned char>(src[i]))) {
+          value = value * 10 + (src[i] - '0');
+          ++i;
+        }
+      }
+      tok.kind = Tok::kNumber;
+      tok.value = static_cast<u16>(value);
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    if (c == '\'') {
+      if (i + 2 >= src.size()) return error("unterminated char literal");
+      char v = src[i + 1];
+      std::size_t close = i + 2;
+      if (v == '\\') {
+        if (i + 3 >= src.size()) return error("unterminated char literal");
+        switch (src[i + 2]) {
+          case 'n': v = '\n'; break;
+          case 't': v = '\t'; break;
+          case 'r': v = '\r'; break;
+          case '0': v = '\0'; break;
+          default: v = src[i + 2]; break;
+        }
+        close = i + 3;
+      }
+      if (close >= src.size() || src[close] != '\'') {
+        return error("unterminated char literal");
+      }
+      tok.kind = Tok::kNumber;
+      tok.value = static_cast<u8>(v);
+      out.push_back(std::move(tok));
+      i = close + 1;
+      continue;
+    }
+
+    auto two = [&](char a, char b, Tok kind) -> bool {
+      if (c == a && i + 1 < src.size() && src[i + 1] == b) {
+        tok.kind = kind;
+        out.push_back(tok);
+        i += 2;
+        return true;
+      }
+      return false;
+    };
+    if (two('<', '<', Tok::kShl) || two('>', '>', Tok::kShr) ||
+        two('<', '=', Tok::kLe) || two('>', '=', Tok::kGe) ||
+        two('=', '=', Tok::kEq) || two('!', '=', Tok::kNe) ||
+        two('&', '&', Tok::kAndAnd) || two('|', '|', Tok::kOrOr)) {
+      continue;
+    }
+
+    Tok kind;
+    switch (c) {
+      case '(': kind = Tok::kLParen; break;
+      case ')': kind = Tok::kRParen; break;
+      case '{': kind = Tok::kLBrace; break;
+      case '}': kind = Tok::kRBrace; break;
+      case '[': kind = Tok::kLBracket; break;
+      case ']': kind = Tok::kRBracket; break;
+      case ';': kind = Tok::kSemi; break;
+      case ',': kind = Tok::kComma; break;
+      case '=': kind = Tok::kAssign; break;
+      case '+': kind = Tok::kPlus; break;
+      case '-': kind = Tok::kMinus; break;
+      case '*': kind = Tok::kStar; break;
+      case '/': kind = Tok::kSlash; break;
+      case '%': kind = Tok::kPercent; break;
+      case '&': kind = Tok::kAmp; break;
+      case '|': kind = Tok::kPipe; break;
+      case '^': kind = Tok::kCaret; break;
+      case '<': kind = Tok::kLt; break;
+      case '>': kind = Tok::kGt; break;
+      case '!': kind = Tok::kBang; break;
+      case '~': kind = Tok::kTilde; break;
+      default:
+        return error(std::string("unexpected character '") + c + "'");
+    }
+    tok.kind = kind;
+    out.push_back(tok);
+    ++i;
+  }
+
+  Token end;
+  end.kind = Tok::kEnd;
+  end.line = line;
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace rmc::dcc

@@ -1,0 +1,16 @@
+// MiniDynC lexer.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "dcc/lang.h"
+
+namespace rmc::dcc {
+
+/// Tokenize source. Comments: // and /* */. Numbers: decimal, 0x hex, 'c'
+/// char literals. Fails with "line N: ..." on a bad character.
+common::Result<std::vector<Token>> lex(std::string_view source);
+
+}  // namespace rmc::dcc

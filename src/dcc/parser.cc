@@ -1,0 +1,471 @@
+#include "dcc/parser.h"
+
+#include "dcc/lexer.h"
+
+namespace rmc::dcc {
+
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> parse_program() {
+    Program prog;
+    while (peek().kind != Tok::kEnd) {
+      Status s = parse_top_level(prog);
+      if (!s.is_ok()) return s;
+    }
+    return prog;
+  }
+
+ private:
+  const Token& peek(int ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  Token take() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool at(Tok k) const { return peek().kind == k; }
+  bool accept(Tok k) {
+    if (at(k)) {
+      take();
+      return true;
+    }
+    return false;
+  }
+  Status error(const std::string& msg) const {
+    return Status(ErrorCode::kInvalidArgument,
+                  "line " + std::to_string(peek().line) + ": " + msg);
+  }
+  Status expect(Tok k, const char* what) {
+    if (accept(k)) return Status::ok();
+    return error(std::string("expected ") + what);
+  }
+
+  // type-specifier := [xmem] [const] (int | uchar | void)
+  struct TypeSpec {
+    Type type = Type::kInt;
+    bool is_xmem = false;
+    bool is_const = false;
+  };
+  Result<TypeSpec> parse_type() {
+    TypeSpec ts;
+    while (true) {
+      if (accept(Tok::kXmem)) {
+        ts.is_xmem = true;
+      } else if (accept(Tok::kConst)) {
+        ts.is_const = true;
+      } else {
+        break;
+      }
+    }
+    if (accept(Tok::kInt)) ts.type = Type::kInt;
+    else if (accept(Tok::kUchar)) ts.type = Type::kUchar;
+    else if (accept(Tok::kVoid)) ts.type = Type::kVoid;
+    else return error("expected type");
+    return ts;
+  }
+
+  Status parse_top_level(Program& prog) {
+    auto ts = parse_type();
+    if (!ts.ok()) return ts.status();
+    if (!at(Tok::kIdent)) return error("expected identifier");
+    Token name = take();
+
+    if (at(Tok::kLParen)) {
+      return parse_function(prog, ts->type, name);
+    }
+    // Global variable(s).
+    if (ts->type == Type::kVoid) return error("void variable");
+    while (true) {
+      auto decl = parse_var_tail(ts->type, name, /*allow_init=*/true);
+      if (!decl.ok()) return decl.status();
+      decl->is_xmem = ts->is_xmem;
+      decl->is_const = ts->is_const;
+      prog.globals.push_back(std::move(*decl));
+      if (accept(Tok::kComma)) {
+        if (!at(Tok::kIdent)) return error("expected identifier");
+        name = take();
+        continue;
+      }
+      return expect(Tok::kSemi, "';'");
+    }
+  }
+
+  // After "type name": optional [N], optional initializer.
+  Result<VarDecl> parse_var_tail(Type type, const Token& name,
+                                 bool allow_init) {
+    VarDecl decl;
+    decl.name = name.text;
+    decl.type = type;
+    decl.line = name.line;
+    if (accept(Tok::kLBracket)) {
+      if (!at(Tok::kNumber)) return error("array length must be a literal");
+      decl.is_array = true;
+      decl.array_len = take().value;
+      if (decl.array_len == 0) return error("zero-length array");
+      Status s = expect(Tok::kRBracket, "']'");
+      if (!s.is_ok()) return s;
+    }
+    if (allow_init && accept(Tok::kAssign)) {
+      decl.has_init = true;
+      if (decl.is_array) {
+        Status s = expect(Tok::kLBrace, "'{'");
+        if (!s.is_ok()) return s;
+        while (!at(Tok::kRBrace)) {
+          if (!at(Tok::kNumber)) {
+            return error("array initializers must be literals");
+          }
+          decl.init.push_back(take().value);
+          if (!accept(Tok::kComma)) break;
+        }
+        Status s2 = expect(Tok::kRBrace, "'}'");
+        if (!s2.is_ok()) return s2;
+        if (decl.init.size() > decl.array_len) {
+          return error("too many initializers");
+        }
+      } else {
+        if (!at(Tok::kNumber)) {
+          return error("scalar initializers must be literals");
+        }
+        decl.init.push_back(take().value);
+      }
+    }
+    return decl;
+  }
+
+  Status parse_function(Program& prog, Type ret, const Token& name) {
+    Function fn;
+    fn.name = name.text;
+    fn.return_type = ret;
+    fn.line = name.line;
+    Status s = expect(Tok::kLParen, "'('");
+    if (!s.is_ok()) return s;
+    if (!accept(Tok::kRParen)) {
+      if (accept(Tok::kVoid)) {
+        s = expect(Tok::kRParen, "')'");
+        if (!s.is_ok()) return s;
+      } else {
+        while (true) {
+          if (!accept(Tok::kInt)) return error("parameters must be int");
+          if (!at(Tok::kIdent)) return error("expected parameter name");
+          fn.params.push_back(take().text);
+          if (accept(Tok::kComma)) continue;
+          s = expect(Tok::kRParen, "')'");
+          if (!s.is_ok()) return s;
+          break;
+        }
+      }
+    }
+    s = expect(Tok::kLBrace, "'{'");
+    if (!s.is_ok()) return s;
+
+    // Local declarations first (C89 style), then statements.
+    while (at(Tok::kInt) || at(Tok::kUchar)) {
+      auto ts = parse_type();
+      if (!ts.ok()) return ts.status();
+      while (true) {
+        if (!at(Tok::kIdent)) return error("expected identifier");
+        Token lname = take();
+        auto decl = parse_var_tail(ts->type, lname, /*allow_init=*/false);
+        if (!decl.ok()) return decl.status();
+        fn.locals.push_back(std::move(*decl));
+        if (accept(Tok::kComma)) continue;
+        s = expect(Tok::kSemi, "';'");
+        if (!s.is_ok()) return s;
+        break;
+      }
+    }
+    while (!at(Tok::kRBrace)) {
+      if (at(Tok::kEnd)) return error("unexpected end of file in function");
+      auto stmt = parse_stmt();
+      if (!stmt.ok()) return stmt.status();
+      fn.body.push_back(std::move(*stmt));
+    }
+    take();  // '}'
+    prog.functions.push_back(std::move(fn));
+    return Status::ok();
+  }
+
+  Result<StmtPtr> parse_stmt() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->line = peek().line;
+    if (accept(Tok::kSemi)) {
+      stmt->kind = StmtKind::kEmpty;
+      return stmt;
+    }
+    if (accept(Tok::kLBrace)) {
+      stmt->kind = StmtKind::kBlock;
+      while (!at(Tok::kRBrace)) {
+        if (at(Tok::kEnd)) return error("unexpected end of file in block");
+        auto inner = parse_stmt();
+        if (!inner.ok()) return inner.status();
+        stmt->stmts.push_back(std::move(*inner));
+      }
+      take();
+      return stmt;
+    }
+    if (accept(Tok::kIf)) {
+      stmt->kind = StmtKind::kIf;
+      Status s = expect(Tok::kLParen, "'('");
+      if (!s.is_ok()) return s;
+      auto cond = parse_expr();
+      if (!cond.ok()) return cond.status();
+      stmt->expr = std::move(*cond);
+      s = expect(Tok::kRParen, "')'");
+      if (!s.is_ok()) return s;
+      auto then_branch = parse_stmt();
+      if (!then_branch.ok()) return then_branch.status();
+      stmt->then_branch = std::move(*then_branch);
+      if (accept(Tok::kElse)) {
+        auto else_branch = parse_stmt();
+        if (!else_branch.ok()) return else_branch.status();
+        stmt->else_branch = std::move(*else_branch);
+      }
+      return stmt;
+    }
+    if (accept(Tok::kWhile)) {
+      stmt->kind = StmtKind::kWhile;
+      Status s = expect(Tok::kLParen, "'('");
+      if (!s.is_ok()) return s;
+      auto cond = parse_expr();
+      if (!cond.ok()) return cond.status();
+      stmt->expr = std::move(*cond);
+      s = expect(Tok::kRParen, "')'");
+      if (!s.is_ok()) return s;
+      auto body = parse_stmt();
+      if (!body.ok()) return body.status();
+      stmt->body = std::move(*body);
+      return stmt;
+    }
+    if (accept(Tok::kFor)) {
+      stmt->kind = StmtKind::kFor;
+      Status s = expect(Tok::kLParen, "'('");
+      if (!s.is_ok()) return s;
+      if (!at(Tok::kSemi)) {
+        auto init = parse_expr();
+        if (!init.ok()) return init.status();
+        stmt->init = std::move(*init);
+      }
+      s = expect(Tok::kSemi, "';'");
+      if (!s.is_ok()) return s;
+      if (!at(Tok::kSemi)) {
+        auto cond = parse_expr();
+        if (!cond.ok()) return cond.status();
+        stmt->expr = std::move(*cond);
+      }
+      s = expect(Tok::kSemi, "';'");
+      if (!s.is_ok()) return s;
+      if (!at(Tok::kRParen)) {
+        auto step = parse_expr();
+        if (!step.ok()) return step.status();
+        stmt->step = std::move(*step);
+      }
+      s = expect(Tok::kRParen, "')'");
+      if (!s.is_ok()) return s;
+      auto body = parse_stmt();
+      if (!body.ok()) return body.status();
+      stmt->body = std::move(*body);
+      return stmt;
+    }
+    if (accept(Tok::kBreak)) {
+      stmt->kind = StmtKind::kBreak;
+      return expect(Tok::kSemi, "';'").is_ok()
+                 ? common::Result<StmtPtr>(std::move(stmt))
+                 : common::Result<StmtPtr>(error("expected ';' after break"));
+    }
+    if (accept(Tok::kContinue)) {
+      stmt->kind = StmtKind::kContinue;
+      return expect(Tok::kSemi, "';'").is_ok()
+                 ? common::Result<StmtPtr>(std::move(stmt))
+                 : common::Result<StmtPtr>(
+                       error("expected ';' after continue"));
+    }
+    if (accept(Tok::kReturn)) {
+      stmt->kind = StmtKind::kReturn;
+      if (!at(Tok::kSemi)) {
+        auto value = parse_expr();
+        if (!value.ok()) return value.status();
+        stmt->expr = std::move(*value);
+      }
+      Status s = expect(Tok::kSemi, "';'");
+      if (!s.is_ok()) return s;
+      return stmt;
+    }
+    stmt->kind = StmtKind::kExpr;
+    auto expr = parse_expr();
+    if (!expr.ok()) return expr.status();
+    stmt->expr = std::move(*expr);
+    Status s = expect(Tok::kSemi, "';'");
+    if (!s.is_ok()) return s;
+    return stmt;
+  }
+
+  // Expression grammar (lowest to highest precedence):
+  //   assign := logor ('=' assign)?       (target must be var or index)
+  //   logor  := logand ('||' logand)*
+  //   logand := bitor ('&&' bitor)*
+  //   bitor  := bitxor ('|' bitxor)*
+  //   bitxor := bitand ('^' bitand)*
+  //   bitand := equality ('&' equality)*
+  //   equality := rel (('=='|'!=') rel)*
+  //   rel    := shift (('<'|'<='|'>'|'>=') shift)*
+  //   shift  := add (('<<'|'>>') add)*
+  //   add    := mul (('+'|'-') mul)*
+  //   mul    := unary (('*'|'/'|'%') unary)*
+  //   unary  := ('-'|'~'|'!') unary | primary
+  //   primary := number | ident | ident '[' expr ']' | ident '(' args ')'
+  //            | '(' expr ')'
+  Result<ExprPtr> parse_expr() { return parse_assign(); }
+
+  Result<ExprPtr> parse_assign() {
+    auto lhs = parse_binary(0);
+    if (!lhs.ok()) return lhs;
+    if (accept(Tok::kAssign)) {
+      if ((*lhs)->kind != ExprKind::kVar && (*lhs)->kind != ExprKind::kIndex) {
+        return error("assignment target must be a variable or element");
+      }
+      auto rhs = parse_assign();
+      if (!rhs.ok()) return rhs;
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kAssign;
+      node->line = (*lhs)->line;
+      node->lhs = std::move(*lhs);
+      node->rhs = std::move(*rhs);
+      return node;
+    }
+    return lhs;
+  }
+
+  struct Level {
+    Tok tok;
+    BinOp op;
+  };
+
+  Result<ExprPtr> parse_binary(int level) {
+    static const std::vector<std::vector<Level>> kLevels = {
+        {{Tok::kOrOr, BinOp::kLogOr}},
+        {{Tok::kAndAnd, BinOp::kLogAnd}},
+        {{Tok::kPipe, BinOp::kOr}},
+        {{Tok::kCaret, BinOp::kXor}},
+        {{Tok::kAmp, BinOp::kAnd}},
+        {{Tok::kEq, BinOp::kEq}, {Tok::kNe, BinOp::kNe}},
+        {{Tok::kLt, BinOp::kLt},
+         {Tok::kLe, BinOp::kLe},
+         {Tok::kGt, BinOp::kGt},
+         {Tok::kGe, BinOp::kGe}},
+        {{Tok::kShl, BinOp::kShl}, {Tok::kShr, BinOp::kShr}},
+        {{Tok::kPlus, BinOp::kAdd}, {Tok::kMinus, BinOp::kSub}},
+        {{Tok::kStar, BinOp::kMul},
+         {Tok::kSlash, BinOp::kDiv},
+         {Tok::kPercent, BinOp::kMod}},
+    };
+    if (level >= static_cast<int>(kLevels.size())) return parse_unary();
+    auto lhs = parse_binary(level + 1);
+    if (!lhs.ok()) return lhs;
+    while (true) {
+      const Level* match = nullptr;
+      for (const auto& l : kLevels[level]) {
+        if (at(l.tok)) {
+          match = &l;
+          break;
+        }
+      }
+      if (match == nullptr) return lhs;
+      const int line = peek().line;
+      take();
+      auto rhs = parse_binary(level + 1);
+      if (!rhs.ok()) return rhs;
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kBinary;
+      node->bin_op = match->op;
+      node->line = line;
+      node->lhs = std::move(*lhs);
+      node->rhs = std::move(*rhs);
+      *lhs = std::move(node);
+    }
+  }
+
+  Result<ExprPtr> parse_unary() {
+    char op = 0;
+    if (accept(Tok::kMinus)) op = '-';
+    else if (accept(Tok::kTilde)) op = '~';
+    else if (accept(Tok::kBang)) op = '!';
+    if (op) {
+      auto operand = parse_unary();
+      if (!operand.ok()) return operand;
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kUnary;
+      node->unary_op = op;
+      node->line = (*operand)->line;
+      node->lhs = std::move(*operand);
+      return node;
+    }
+    return parse_primary();
+  }
+
+  Result<ExprPtr> parse_primary() {
+    auto node = std::make_unique<Expr>();
+    node->line = peek().line;
+    if (at(Tok::kNumber)) {
+      node->kind = ExprKind::kNumber;
+      node->number = take().value;
+      return node;
+    }
+    if (accept(Tok::kLParen)) {
+      auto inner = parse_expr();
+      if (!inner.ok()) return inner;
+      Status s = expect(Tok::kRParen, "')'");
+      if (!s.is_ok()) return s;
+      return std::move(*inner);
+    }
+    if (at(Tok::kIdent)) {
+      node->name = take().text;
+      if (accept(Tok::kLBracket)) {
+        node->kind = ExprKind::kIndex;
+        auto index = parse_expr();
+        if (!index.ok()) return index;
+        node->lhs = std::move(*index);
+        Status s = expect(Tok::kRBracket, "']'");
+        if (!s.is_ok()) return s;
+        return node;
+      }
+      if (accept(Tok::kLParen)) {
+        node->kind = ExprKind::kCall;
+        if (!accept(Tok::kRParen)) {
+          while (true) {
+            auto arg = parse_expr();
+            if (!arg.ok()) return arg;
+            node->args.push_back(std::move(*arg));
+            if (accept(Tok::kComma)) continue;
+            Status s = expect(Tok::kRParen, "')'");
+            if (!s.is_ok()) return s;
+            break;
+          }
+        }
+        return node;
+      }
+      node->kind = ExprKind::kVar;
+      return node;
+    }
+    return error("expected expression");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> parse(std::string_view source) {
+  auto tokens = lex(source);
+  if (!tokens.ok()) return tokens.status();
+  Parser p(std::move(*tokens));
+  return p.parse_program();
+}
+
+}  // namespace rmc::dcc

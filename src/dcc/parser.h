@@ -1,0 +1,14 @@
+// MiniDynC recursive-descent parser.
+#pragma once
+
+#include <string_view>
+
+#include "common/status.h"
+#include "dcc/lang.h"
+
+namespace rmc::dcc {
+
+/// Parse a whole translation unit. Errors carry "line N: ...".
+common::Result<Program> parse(std::string_view source);
+
+}  // namespace rmc::dcc

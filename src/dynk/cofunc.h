@@ -1,0 +1,152 @@
+// Cofunctions and the slice statement — the rest of Dynamic C's
+// multitasking menu (paper §4.2):
+//
+//   "Cofunctions are similar [to costatements], but also take arguments and
+//    may return a result."
+//   "Dynamic C provides ... preemptive multitasking through either the
+//    slice statement or a port of Labrosse's µC/OS-II."
+//
+// Cofunc<T>: a resumable computation that yields/waits like a costatement
+// and eventually produces a value (Dynamic C's `wfd result = cofunc(...)`
+// idiom becomes `co_await`-free polling: drive with poll(), read result()).
+//
+// SliceScheduler: budgeted round-robin — each task gets at most
+// `budget_polls` resumptions per slice before the scheduler moves on,
+// approximating the slice statement's time-boxing on top of cooperative
+// tasks (the real thing preempts mid-statement; ours preempts at yield
+// points, which is the closest a cooperative model can get — the paper's
+// port used neither, so this is an extension, exercised by tests only).
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+
+#include "dynk/costate.h"
+
+namespace rmc::dynk {
+
+template <typename T>
+class Cofunc {
+ public:
+  struct promise_type {
+    std::optional<T> value;
+    std::function<bool()> wait_predicate;
+
+    Cofunc get_return_object() {
+      return Cofunc(
+          std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_value(T v) { value = std::move(v); }
+    void unhandled_exception() { std::terminate(); }
+
+    auto await_transform(Yield) noexcept {
+      wait_predicate = nullptr;
+      return std::suspend_always{};
+    }
+    auto await_transform(WaitFor w) noexcept {
+      wait_predicate = std::move(w.predicate);
+      return std::suspend_always{};
+    }
+  };
+
+  Cofunc() = default;
+  explicit Cofunc(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Cofunc(Cofunc&& other) noexcept : handle_(other.handle_) {
+    other.handle_ = {};
+  }
+  Cofunc& operator=(Cofunc&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = other.handle_;
+      other.handle_ = {};
+    }
+    return *this;
+  }
+  Cofunc(const Cofunc&) = delete;
+  Cofunc& operator=(const Cofunc&) = delete;
+  ~Cofunc() { destroy(); }
+
+  bool done() const { return handle_ && handle_.done(); }
+  bool has_result() const {
+    return done() && handle_.promise().value.has_value();
+  }
+  const T& result() const { return *handle_.promise().value; }
+
+  /// Resume to the next yield/waitfor/return. Returns true if it ran.
+  bool poll() {
+    if (!handle_ || handle_.done()) return false;
+    auto& p = handle_.promise();
+    if (p.wait_predicate && !p.wait_predicate()) return false;
+    p.wait_predicate = nullptr;
+    handle_.resume();
+    return true;
+  }
+
+  /// The `wfd` idiom: drive to completion within a poll budget.
+  std::optional<T> run_to_completion(int max_polls) {
+    for (int i = 0; i < max_polls && !done(); ++i) poll();
+    if (has_result()) return result();
+    return std::nullopt;
+  }
+
+ private:
+  void destroy() {
+    if (handle_) handle_.destroy();
+    handle_ = {};
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// Budgeted round-robin over costatements: per tick, each task is resumed
+/// at most `budget_polls` times (through its yields) before the scheduler
+/// moves on — the slice statement's fairness on cooperative tasks.
+class SliceScheduler {
+ public:
+  explicit SliceScheduler(std::size_t budget_polls)
+      : budget_(budget_polls) {}
+
+  common::Status add(Costate task) {
+    if (!task.valid()) {
+      return common::Status(common::ErrorCode::kInvalidArgument,
+                            "invalid costate");
+    }
+    tasks_.push_back(std::move(task));
+    return common::Status::ok();
+  }
+
+  /// One slice pass. Returns total resumptions performed.
+  std::size_t tick() {
+    std::size_t ran = 0;
+    for (auto& t : tasks_) {
+      for (std::size_t i = 0; i < budget_ && !t.done(); ++i) {
+        if (!t.poll()) break;  // blocked in waitfor: yield the slice early
+        ++ran;
+      }
+    }
+    return ran;
+  }
+
+  bool all_done() const {
+    for (const auto& t : tasks_) {
+      if (!t.done()) return false;
+    }
+    return true;
+  }
+
+  bool run(common::u64 max_ticks) {
+    for (common::u64 i = 0; i < max_ticks; ++i) {
+      if (all_done()) return true;
+      tick();
+    }
+    return all_done();
+  }
+
+ private:
+  std::size_t budget_;
+  std::vector<Costate> tasks_;
+};
+
+}  // namespace rmc::dynk

@@ -1,0 +1,53 @@
+#include "dynk/costate.h"
+
+namespace rmc::dynk {
+
+using common::ErrorCode;
+using common::Status;
+
+Status Scheduler::add(Costate task, std::string name) {
+  if (tasks_.size() >= max_slots_) {
+    return Status(ErrorCode::kResourceExhausted,
+                  "all " + std::to_string(max_slots_) +
+                      " costatement slots in use (recompile with more)");
+  }
+  if (!task.valid()) {
+    return Status(ErrorCode::kInvalidArgument, "invalid costate");
+  }
+  tasks_.push_back(std::move(task));
+  names_.push_back(name.empty() ? "costate" + std::to_string(tasks_.size())
+                                : std::move(name));
+  return Status::ok();
+}
+
+std::size_t Scheduler::tick(common::u32 ms_per_tick) {
+  std::size_t ran = 0;
+  // Index-based: a running task may add() new tasks (the fork-style
+  // acceptor does), which can reallocate the vector. New tasks first run on
+  // the next tick.
+  const std::size_t n = tasks_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (tasks_[i].poll()) ++ran;
+  }
+  now_ms_ += ms_per_tick;
+  ++tick_count_;
+  return ran;
+}
+
+bool Scheduler::run(common::u64 max_ticks, common::u32 ms_per_tick) {
+  for (common::u64 i = 0; i < max_ticks; ++i) {
+    if (all_done()) return true;
+    tick(ms_per_tick);
+  }
+  return all_done();
+}
+
+std::size_t Scheduler::tasks_done() const {
+  std::size_t n = 0;
+  for (const auto& t : tasks_) {
+    if (t.done()) ++n;
+  }
+  return n;
+}
+
+}  // namespace rmc::dynk

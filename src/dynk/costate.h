@@ -1,0 +1,153 @@
+// Costatements — Dynamic C's cooperative multitasking (paper §4.2), modelled
+// with C++20 coroutines.
+//
+// Dynamic C:                          this module:
+//   costate { ... }                     Costate task = f(); scheduler.add(task)
+//   yield;                              co_await Yield{};
+//   waitfor(expr);                      co_await WaitFor{[&]{ return expr; }};
+//   DelayMs(n) inside waitfor           co_await scheduler.delay(n);
+//
+// The scheduler polls tasks round-robin, exactly like the big-loop structure
+// in the paper's Figure 3 (three connection handlers + one TCP-tick driver).
+// The number of slots is fixed at construction — "Dynamic C effectively
+// limits the number of simultaneous connections by limiting the number of
+// costatements ... the program would have to be re-compiled" (§5.3) — and
+// add() fails with kResourceExhausted once they are used.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace rmc::dynk {
+
+struct Yield {};
+
+struct WaitFor {
+  std::function<bool()> predicate;
+};
+
+/// A costatement: a coroutine that may `co_await Yield{}` / `co_await
+/// WaitFor{...}`. Move-only handle; destroying it destroys the coroutine.
+class Costate {
+ public:
+  struct promise_type {
+    std::function<bool()> wait_predicate;  // empty => runnable
+    bool finished = false;
+
+    Costate get_return_object() {
+      return Costate(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept {
+      finished = true;
+      return {};
+    }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+
+    auto await_transform(Yield) noexcept {
+      wait_predicate = nullptr;
+      return std::suspend_always{};
+    }
+    auto await_transform(WaitFor w) noexcept {
+      wait_predicate = std::move(w.predicate);
+      return std::suspend_always{};
+    }
+  };
+
+  Costate() = default;
+  explicit Costate(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Costate(Costate&& other) noexcept : handle_(other.handle_) {
+    other.handle_ = {};
+  }
+  Costate& operator=(Costate&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = other.handle_;
+      other.handle_ = {};
+    }
+    return *this;
+  }
+  Costate(const Costate&) = delete;
+  Costate& operator=(const Costate&) = delete;
+  ~Costate() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return !handle_ || handle_.done(); }
+
+  /// True if the task is blocked in a waitfor whose predicate is false.
+  bool blocked() const {
+    return valid() && !done() && handle_.promise().wait_predicate &&
+           !handle_.promise().wait_predicate();
+  }
+
+  /// Resume up to the next yield/waitfor/completion. Returns false if the
+  /// task was not runnable (done, or waitfor predicate still false).
+  bool poll() {
+    if (done() || blocked()) return false;
+    handle_.promise().wait_predicate = nullptr;
+    handle_.resume();
+    return true;
+  }
+
+ private:
+  void destroy() {
+    if (handle_) handle_.destroy();
+    handle_ = {};
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// Round-robin costatement scheduler with a fixed slot count and a virtual
+/// millisecond clock (Dynamic C has no OS timer; the paper's port derived
+/// timeouts from the hardware timer — `now_ms`/`delay` model that).
+class Scheduler {
+ public:
+  explicit Scheduler(std::size_t max_slots) : max_slots_(max_slots) {}
+
+  /// Install a costatement. Fails once all slots are taken (recompile-time
+  /// limit in Dynamic C).
+  common::Status add(Costate task, std::string name = {});
+
+  /// One pass over all tasks (one trip around the Figure-3 main loop).
+  /// Advances the virtual clock by `ms_per_tick`. Returns the number of
+  /// tasks that actually ran.
+  std::size_t tick(common::u32 ms_per_tick = 1);
+
+  /// Run ticks until all tasks are done or `max_ticks` elapse. Returns true
+  /// if everything completed.
+  bool run(common::u64 max_ticks, common::u32 ms_per_tick = 1);
+
+  /// Virtual time in milliseconds.
+  common::u64 now_ms() const { return now_ms_; }
+
+  /// Awaitable that blocks the costatement for `ms` virtual milliseconds:
+  /// the waitfor(DelayMs(n)) idiom.
+  WaitFor delay(common::u32 ms) {
+    const common::u64 deadline = now_ms_ + ms;
+    return WaitFor{[this, deadline] { return now_ms_ >= deadline; }};
+  }
+
+  std::size_t slots_total() const { return max_slots_; }
+  std::size_t slots_used() const { return tasks_.size(); }
+  std::size_t tasks_done() const;
+  bool all_done() const { return tasks_done() == tasks_.size(); }
+  common::u64 ticks() const { return tick_count_; }
+
+  const std::string& task_name(std::size_t i) const { return names_[i]; }
+
+ private:
+  std::size_t max_slots_;
+  std::vector<Costate> tasks_;
+  std::vector<std::string> names_;
+  common::u64 now_ms_ = 0;
+  common::u64 tick_count_ = 0;
+};
+
+}  // namespace rmc::dynk

@@ -1,0 +1,26 @@
+#include "dynk/error.h"
+
+namespace rmc::dynk {
+
+const char* runtime_error_name(RuntimeErrorKind kind) {
+  switch (kind) {
+    case RuntimeErrorKind::kDivideByZero: return "divide_by_zero";
+    case RuntimeErrorKind::kRangeFault: return "range_fault";
+    case RuntimeErrorKind::kStackOverflow: return "stack_overflow";
+    case RuntimeErrorKind::kBadInterrupt: return "bad_interrupt";
+    case RuntimeErrorKind::kXmemFault: return "xmem_fault";
+    case RuntimeErrorKind::kWatchdog: return "watchdog";
+  }
+  return "unknown";
+}
+
+void ErrorDispatcher::raise(const RuntimeErrorInfo& info) {
+  history_.push_back(info);
+  if (handler_) {
+    handler_(info);
+    return;
+  }
+  fatal_ = true;  // no handler: the ROM would reset the board
+}
+
+}  // namespace rmc::dynk

@@ -1,0 +1,63 @@
+// Runtime error dispatch — defineErrorHandler() (paper §4.1):
+//
+//   "We could not rely on an operating system to handle these errors, so
+//    instead we specified an error handler using the
+//    defineerrorhandler(void *errfcn) system call. Whenever the system
+//    encounters an error, the hardware passes information about the source
+//    and type of error on the stack and calls this user-defined handler.
+//    ... Because our application was not designed for high reliability, we
+//    simply ignored most errors."
+//
+// The default handler here mimics the ROM behaviour (record and halt-flag);
+// installing a handler replaces it. The "ignore most errors" policy of the
+// port is reproduced in services/redirector_rmc.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace rmc::dynk {
+
+enum class RuntimeErrorKind {
+  kDivideByZero,
+  kRangeFault,
+  kStackOverflow,
+  kBadInterrupt,
+  kXmemFault,
+  kWatchdog,
+};
+
+const char* runtime_error_name(RuntimeErrorKind kind);
+
+struct RuntimeErrorInfo {
+  RuntimeErrorKind kind;
+  common::u16 address = 0;  // "information about the source ... on the stack"
+  std::string detail;
+};
+
+class ErrorDispatcher {
+ public:
+  using Handler = std::function<void(const RuntimeErrorInfo&)>;
+
+  /// defineErrorHandler(): install/replace the user handler.
+  void define_error_handler(Handler handler) { handler_ = std::move(handler); }
+
+  /// Raise an error: calls the user handler if installed, otherwise the
+  /// default (records it and sets the fatal flag, like the ROM reset path).
+  void raise(const RuntimeErrorInfo& info);
+
+  bool fatal_pending() const { return fatal_; }
+  void clear_fatal() { fatal_ = false; }
+  const std::vector<RuntimeErrorInfo>& history() const { return history_; }
+  common::u64 raised_count() const { return history_.size(); }
+
+ private:
+  Handler handler_;
+  bool fatal_ = false;
+  std::vector<RuntimeErrorInfo> history_;
+};
+
+}  // namespace rmc::dynk

@@ -1,0 +1,36 @@
+#include "dynk/funcchain.h"
+
+namespace rmc::dynk {
+
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+Status FuncChainRegistry::make_chain(const std::string& name) {
+  if (chains_.count(name)) {
+    return Status(ErrorCode::kAlreadyExists, "chain exists: " + name);
+  }
+  chains_[name];
+  return Status::ok();
+}
+
+Status FuncChainRegistry::add(const std::string& name,
+                              std::function<void()> segment) {
+  auto it = chains_.find(name);
+  if (it == chains_.end()) {
+    return Status(ErrorCode::kNotFound, "no #makechain for: " + name);
+  }
+  it->second.push_back(std::move(segment));
+  return Status::ok();
+}
+
+Result<std::size_t> FuncChainRegistry::invoke(const std::string& name) {
+  auto it = chains_.find(name);
+  if (it == chains_.end()) {
+    return Status(ErrorCode::kNotFound, "no such chain: " + name);
+  }
+  for (auto& segment : it->second) segment();
+  return it->second.size();
+}
+
+}  // namespace rmc::dynk

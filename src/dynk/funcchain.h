@@ -1,0 +1,42 @@
+// Function chains (paper §4.4): named sequences of code segments that run
+// together when the chain is invoked.
+//
+//   #makechain recover                  registry.make_chain("recover")
+//   #funcchain recover free_memory      registry.add("recover", free_memory)
+//   recover();                          registry.invoke("recover")
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rmc::dynk {
+
+class FuncChainRegistry {
+ public:
+  /// #makechain: declare a chain. Fails if it already exists.
+  common::Status make_chain(const std::string& name);
+
+  /// #funcchain: append a segment. Fails if the chain was never declared.
+  common::Status add(const std::string& name, std::function<void()> segment);
+
+  /// Invoke every segment in registration order. Returns the number of
+  /// segments run, or an error for an unknown chain.
+  common::Result<std::size_t> invoke(const std::string& name);
+
+  bool has_chain(const std::string& name) const {
+    return chains_.count(name) != 0;
+  }
+  std::size_t segment_count(const std::string& name) const {
+    auto it = chains_.find(name);
+    return it == chains_.end() ? 0 : it->second.size();
+  }
+
+ private:
+  std::map<std::string, std::vector<std::function<void()>>> chains_;
+};
+
+}  // namespace rmc::dynk

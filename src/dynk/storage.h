@@ -1,0 +1,103 @@
+// `shared` and `protected` storage-class emulation (paper §4.3).
+//
+// shared:    Dynamic C disables interrupts around updates of multibyte
+//            `shared` variables so an ISR never sees a torn value.
+//            SharedVar<T> models that with an explicit critical section and
+//            counts the interrupt-disabled windows so tests/benches can
+//            price the guarantee.
+//
+// protected: every modification first copies the old value to battery-backed
+//            RAM; after a reset, _sysIsSoftReset() restores the last good
+//            value. ProtectedVar<T> keeps the backup copy and implements the
+//            restore path, including the "power failed mid-write" case.
+#pragma once
+
+#include <functional>
+
+#include "common/bytes.h"
+
+namespace rmc::dynk {
+
+/// Counts simulated interrupt-disable windows (DI/EI pairs).
+class InterruptGate {
+ public:
+  void disable() { ++depth_; ++windows_; }
+  void enable() { if (depth_ > 0) --depth_; }
+  bool enabled() const { return depth_ == 0; }
+  common::u64 windows() const { return windows_; }
+
+ private:
+  int depth_ = 0;
+  common::u64 windows_ = 0;
+};
+
+template <typename T>
+class SharedVar {
+ public:
+  SharedVar(InterruptGate& gate, T initial = T{})
+      : gate_(&gate), value_(initial) {}
+
+  /// Atomic store: interrupts disabled across the (multibyte) update.
+  void store(const T& v) {
+    gate_->disable();
+    value_ = v;
+    gate_->enable();
+  }
+
+  /// Atomic read-modify-write.
+  void update(const std::function<T(T)>& f) {
+    gate_->disable();
+    value_ = f(value_);
+    gate_->enable();
+  }
+
+  T load() const {
+    gate_->disable();
+    T v = value_;
+    gate_->enable();
+    return v;
+  }
+
+ private:
+  mutable InterruptGate* gate_;
+  T value_;
+};
+
+template <typename T>
+class ProtectedVar {
+ public:
+  explicit ProtectedVar(T initial = T{})
+      : value_(initial), backup_(initial) {}
+
+  /// Modification protocol: back up the current value (to battery-backed
+  /// RAM), then write the new one.
+  void store(const T& v) {
+    backup_ = value_;  // copy to battery-backed RAM first
+    ++backups_taken_;
+    value_ = v;
+  }
+
+  T load() const { return value_; }
+  T backup() const { return backup_; }
+
+  /// Simulate losing main RAM mid-operation (power failure): the live value
+  /// becomes garbage.
+  void corrupt(const T& garbage) { value_ = garbage; }
+
+  /// _sysIsSoftReset(): restore the battery-backed copy after a restart.
+  void restore_after_reset() {
+    value_ = backup_;
+    ++restores_;
+  }
+
+  common::u64 backups_taken() const { return backups_taken_; }
+  common::u64 restores() const { return restores_; }
+
+ private:
+  T value_;
+  T backup_;
+  common::u64 backups_taken_ = 0;
+  common::u64 restores_ = 0;
+};
+
+}  // namespace rmc::dynk

@@ -1,0 +1,24 @@
+#include "dynk/xalloc.h"
+
+namespace rmc::dynk {
+
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+Result<XmemHandle> XallocArena::xalloc(std::size_t n, std::size_t align) {
+  if (n == 0 || align == 0 || (align & (align - 1)) != 0) {
+    return Status(ErrorCode::kInvalidArgument, "bad xalloc request");
+  }
+  const std::size_t aligned = (used_ + align - 1) & ~(align - 1);
+  if (aligned + n > capacity_) {
+    ++failures_;
+    return Status(ErrorCode::kResourceExhausted,
+                  "xalloc arena exhausted (no free exists; restart required)");
+  }
+  used_ = aligned + n;
+  ++allocations_;
+  return base_ + static_cast<common::u32>(aligned);
+}
+
+}  // namespace rmc::dynk

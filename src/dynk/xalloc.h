@@ -1,0 +1,54 @@
+// xalloc — Dynamic C's extended-memory allocator (paper §5.2):
+//
+//   "Dynamic C does not support the standard library functions malloc and
+//    free. Instead, it provides the xalloc function that allocates extended
+//    memory only ... More seriously, there is no analogue to free; allocated
+//    memory cannot be returned to a pool."
+//
+// This arena reproduces those semantics exactly: bump allocation out of a
+// fixed budget, aligned, *no deallocation interface at all*. The returned
+// XmemHandle is an opaque 20-bit-style offset — arithmetic on it is not
+// pointer arithmetic (the real xalloc returns physical xmem addresses that
+// cannot be dereferenced through a 16-bit pointer).
+//
+// The consequence the paper reports — "we chose to remove all references to
+// malloc and statically allocate all variables", dropping multi-key-size
+// support — is exercised by the services and measured by bench_memory.
+#pragma once
+
+#include <cstddef>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace rmc::dynk {
+
+using XmemHandle = common::u32;
+
+class XallocArena {
+ public:
+  /// `capacity` bytes of simulated extended SRAM. `base` is where handles
+  /// start (cosmetic; mirrors physical xmem addresses).
+  explicit XallocArena(std::size_t capacity, common::u32 base = 0x90000)
+      : capacity_(capacity), base_(base) {}
+
+  /// Allocate `n` bytes (aligned to `align`). Fails with kResourceExhausted
+  /// when the arena is spent — permanently: there is deliberately no free().
+  common::Result<XmemHandle> xalloc(std::size_t n, std::size_t align = 2);
+
+  /// Bytes handed out so far (also the high-water mark; they never return).
+  std::size_t used() const { return used_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t remaining() const { return capacity_ - used_; }
+  common::u64 allocation_count() const { return allocations_; }
+  common::u64 failed_allocations() const { return failures_; }
+
+ private:
+  std::size_t capacity_;
+  common::u32 base_;
+  std::size_t used_ = 0;
+  common::u64 allocations_ = 0;
+  common::u64 failures_ = 0;
+};
+
+}  // namespace rmc::dynk

@@ -1,0 +1,45 @@
+// issl build configurations (paper §2):
+//
+//   "By default, issl supports key lengths of 128, 192, or 256 bits ...
+//    but to keep our implementation simple, we only implemented 128-bit
+//    keys ... our final port did not implement the RSA cipher because it
+//    relied on a fairly complex bignum library."
+//
+// `unix_default()` is the full-featured original; `embedded_port()` is the
+// configuration the paper actually shipped on the RMC2000: AES-128 only,
+// RSA replaced with a pre-shared key, static allocation. The drop is a
+// *configuration*, not a fork — both run through the same code.
+#pragma once
+
+#include <cstddef>
+
+namespace rmc::issl {
+
+enum class KeyExchange {
+  kRsa,  // RSA-encrypted premaster secret (needs the bignum package)
+  kPsk,  // pre-shared key (what the port fell back to)
+};
+
+struct Config {
+  KeyExchange key_exchange = KeyExchange::kRsa;
+  std::size_t aes_key_bits = 128;  // 128 / 192 / 256
+  std::size_t rsa_modulus_bits = 256;  // small for simulation speed
+  bool valid() const {
+    return aes_key_bits == 128 || aes_key_bits == 192 || aes_key_bits == 256;
+  }
+
+  static Config unix_default() {
+    Config c;
+    c.key_exchange = KeyExchange::kRsa;
+    c.aes_key_bits = 256;
+    return c;
+  }
+  static Config embedded_port() {
+    Config c;
+    c.key_exchange = KeyExchange::kPsk;  // RSA dropped with the bignum package
+    c.aes_key_bits = 128;                // only key length kept
+    return c;
+  }
+};
+
+}  // namespace rmc::issl

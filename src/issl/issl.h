@@ -1,0 +1,45 @@
+// issl — public API in the idiom the paper describes (§2): create a normal
+// socket, *bind* issl to it, then do secure reads/writes.
+//
+//   auto session = issl_bind_client(stream, config, rng);
+//   while (!session.established()) { session.pump(); <let transport run>; }
+//   issl_write(session, data);
+//   auto plain = issl_read(session);
+//
+// These are thin veneers over Session (see session.h for the protocol);
+// they exist so the examples and services read like the original code.
+#pragma once
+
+#include "issl/session.h"
+
+namespace rmc::issl {
+
+/// Bind a client session onto an established transport stream.
+inline Session issl_bind_client(ByteStream& stream, const Config& config,
+                                common::Xorshift64& rng,
+                                std::vector<u8> psk = {}) {
+  return Session::client(config, stream, rng, std::move(psk));
+}
+
+/// Bind a server session onto an accepted transport stream.
+inline Session issl_bind_server(ByteStream& stream, const Config& config,
+                                common::Xorshift64& rng,
+                                ServerIdentity identity) {
+  return Session::server(config, stream, rng, std::move(identity));
+}
+
+/// Secure write (session must be established).
+inline common::Result<std::size_t> issl_write(Session& session,
+                                              std::span<const u8> data) {
+  return session.write(data);
+}
+
+/// Secure read: kUnavailable = nothing yet, empty vector = clean close.
+inline common::Result<std::vector<u8>> issl_read(Session& session) {
+  return session.read();
+}
+
+/// Graceful shutdown (close_notify).
+inline common::Status issl_close(Session& session) { return session.close(); }
+
+}  // namespace rmc::issl

@@ -1,0 +1,142 @@
+#include "issl/record.h"
+
+#include "crypto/modes.h"
+
+namespace rmc::issl {
+
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+Status RecordCodec::activate_keys(const DirectionKeys& send,
+                                  const DirectionKeys& recv) {
+  auto send_cipher = crypto::AesFast::create(send.aes_key);
+  if (!send_cipher.ok()) return send_cipher.status();
+  auto recv_cipher = crypto::AesFast::create(recv.aes_key);
+  if (!recv_cipher.ok()) return recv_cipher.status();
+  send_keys_ = send;
+  recv_keys_ = recv;
+  send_cipher_ = std::move(*send_cipher);
+  recv_cipher_ = std::move(*recv_cipher);
+  sealed_ = true;
+  return Status::ok();
+}
+
+std::array<u8, 20> RecordCodec::record_mac(
+    const DirectionKeys& keys, u64 seq, RecordType type,
+    std::span<const u8> plaintext) const {
+  std::vector<u8> msg;
+  msg.reserve(9 + plaintext.size());
+  for (int i = 7; i >= 0; --i) msg.push_back(static_cast<u8>(seq >> (8 * i)));
+  msg.push_back(static_cast<u8>(type));
+  msg.insert(msg.end(), plaintext.begin(), plaintext.end());
+  return crypto::hmac_sha1(keys.mac_key, msg);
+}
+
+Result<std::vector<u8>> RecordCodec::seal(RecordType type,
+                                          std::span<const u8> plaintext) {
+  if (plaintext.size() > kMaxRecordPayload) {
+    return Status(ErrorCode::kInvalidArgument, "record too large");
+  }
+  std::vector<u8> body;
+  if (!sealed_) {
+    body.assign(plaintext.begin(), plaintext.end());
+  } else {
+    // plaintext || MAC, padded, CBC under a fresh IV.
+    const auto mac = record_mac(send_keys_, seq_send_, type, plaintext);
+    std::vector<u8> with_mac(plaintext.begin(), plaintext.end());
+    with_mac.insert(with_mac.end(), mac.begin(), mac.end());
+    const auto padded = crypto::pkcs7_pad(with_mac, crypto::kAesBlockBytes);
+    std::vector<u8> iv(crypto::kAesBlockBytes);
+    rng_->fill(iv);
+    auto ct = crypto::cbc_encrypt(*send_cipher_, iv, padded);
+    body = std::move(iv);
+    body.insert(body.end(), ct.begin(), ct.end());
+  }
+  ++seq_send_;
+
+  std::vector<u8> wire;
+  wire.reserve(kRecordHeaderBytes + body.size());
+  wire.push_back(static_cast<u8>(type));
+  wire.push_back(kIsslVersion);
+  wire.push_back(static_cast<u8>(body.size() >> 8));
+  wire.push_back(static_cast<u8>(body.size() & 0xFF));
+  wire.insert(wire.end(), body.begin(), body.end());
+  return wire;
+}
+
+Result<std::vector<u8>> RecordCodec::open_payload(RecordType type,
+                                                  std::span<const u8> wire) {
+  if (!sealed_) {
+    ++seq_recv_;
+    return std::vector<u8>(wire.begin(), wire.end());
+  }
+  if (wire.size() < 2 * crypto::kAesBlockBytes ||
+      (wire.size() % crypto::kAesBlockBytes) != 0) {
+    return Status(ErrorCode::kDataLoss, "bad sealed record length");
+  }
+  const auto iv = wire.subspan(0, crypto::kAesBlockBytes);
+  const auto ct = wire.subspan(crypto::kAesBlockBytes);
+  const auto padded = crypto::cbc_decrypt(*recv_cipher_, iv, ct);
+  auto unpadded = crypto::pkcs7_unpad(padded, crypto::kAesBlockBytes);
+  if (!unpadded.ok()) return unpadded.status();
+  if (unpadded->size() < crypto::kSha1DigestBytes) {
+    return Status(ErrorCode::kDataLoss, "record shorter than its MAC");
+  }
+  const std::size_t data_len = unpadded->size() - crypto::kSha1DigestBytes;
+  std::span<const u8> data(unpadded->data(), data_len);
+  std::span<const u8> mac(unpadded->data() + data_len,
+                          crypto::kSha1DigestBytes);
+  const auto expect = record_mac(recv_keys_, seq_recv_, type, data);
+  if (!common::ct_equal(mac, expect)) {
+    return Status(ErrorCode::kDataLoss, "record MAC mismatch");
+  }
+  ++seq_recv_;
+  return std::vector<u8>(data.begin(), data.end());
+}
+
+Status RecordCodec::feed(std::span<const u8> bytes) {
+  if (poisoned_) {
+    return Status(ErrorCode::kDataLoss, "record stream poisoned");
+  }
+  // Defense in depth: more buffered bytes than two maximum records can ever
+  // need means the peer is not speaking the protocol.
+  if (rx_buffer_.size() + bytes.size() > 2 * (kMaxRecordPayload + 128)) {
+    poisoned_ = true;
+    return Status(ErrorCode::kDataLoss, "record reassembly overflow");
+  }
+  rx_buffer_.insert(rx_buffer_.end(), bytes.begin(), bytes.end());
+  return Status::ok();
+}
+
+Result<std::optional<Record>> RecordCodec::pop() {
+  if (poisoned_) {
+    return Status(ErrorCode::kDataLoss, "record stream poisoned");
+  }
+  if (rx_buffer_.size() < kRecordHeaderBytes) return std::optional<Record>{};
+  const u8 type_byte = rx_buffer_[0];
+  const u8 version = rx_buffer_[1];
+  const std::size_t len =
+      (static_cast<std::size_t>(rx_buffer_[2]) << 8) | rx_buffer_[3];
+  if (version != kIsslVersion || type_byte < 1 || type_byte > 3 ||
+      len > kMaxRecordPayload + 64) {
+    poisoned_ = true;
+    return Status(ErrorCode::kDataLoss, "malformed record header");
+  }
+  if (rx_buffer_.size() < kRecordHeaderBytes + len) {
+    return std::optional<Record>{};  // need more bytes
+  }
+  const RecordType type = static_cast<RecordType>(type_byte);
+  auto payload = open_payload(
+      type, std::span<const u8>(rx_buffer_.data() + kRecordHeaderBytes, len));
+  rx_buffer_.erase(
+      rx_buffer_.begin(),
+      rx_buffer_.begin() + static_cast<long>(kRecordHeaderBytes + len));
+  if (!payload.ok()) {
+    poisoned_ = true;
+    return payload.status();
+  }
+  return std::optional<Record>(Record{type, std::move(*payload)});
+}
+
+}  // namespace rmc::issl

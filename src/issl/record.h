@@ -1,0 +1,100 @@
+// issl record layer: authenticated encryption of application and handshake
+// data, SSL-3.0-vintage construction (MAC-then-encrypt, AES-CBC, per-record
+// IV, sequence numbers against replay/reorder).
+//
+// Wire format of one record:
+//   u8  type        (1=handshake, 2=application data, 3=alert)
+//   u8  version     (0x30, "issl 3.0")
+//   u16 length      (big-endian; bytes after the header)
+//   [length bytes]  IV(16) || AES-CBC(plaintext || HMAC-SHA1(seq||type||plaintext))
+//
+// Handshake records before keys are derived travel in the clear
+// ("null cipher"), as in SSL: the codec starts in plaintext mode and
+// switches to sealed mode when activate_keys() installs the key block.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/prng.h"
+#include "common/status.h"
+#include "crypto/aes.h"
+#include "crypto/sha1.h"
+#include "issl/stream.h"
+
+namespace rmc::issl {
+
+using common::u16;
+using common::u32;
+using common::u64;
+
+enum class RecordType : u8 {
+  kHandshake = 1,
+  kApplicationData = 2,
+  kAlert = 3,
+};
+
+inline constexpr u8 kIsslVersion = 0x30;
+inline constexpr std::size_t kRecordHeaderBytes = 4;
+inline constexpr std::size_t kMaxRecordPayload = 16 * 1024;
+
+struct Record {
+  RecordType type;
+  std::vector<u8> payload;  // decrypted/verified plaintext
+};
+
+/// Directional key material.
+struct DirectionKeys {
+  std::vector<u8> aes_key;            // 16/24/32 bytes
+  std::array<u8, 20> mac_key{};
+};
+
+class RecordCodec {
+ public:
+  explicit RecordCodec(common::Xorshift64& rng) : rng_(&rng) {}
+
+  /// Switch from the null cipher to sealed mode.
+  common::Status activate_keys(const DirectionKeys& send,
+                               const DirectionKeys& recv);
+  bool sealed() const { return sealed_; }
+
+  /// Frame (and after activation, encrypt+MAC) one record.
+  common::Result<std::vector<u8>> seal(RecordType type,
+                                       std::span<const u8> plaintext);
+
+  /// Feed raw stream bytes into the reassembly buffer. Decoding is lazy —
+  /// see pop() — because a record may arrive *before* the keys that decrypt
+  /// it are activated (the peer pipelines ClientKeyExchange and Finished).
+  common::Status feed(std::span<const u8> bytes);
+
+  /// Decode and verify the next complete record. ok(nullopt) = need more
+  /// bytes; an error (malformed header, MAC/padding failure) poisons the
+  /// codec permanently — the fail-closed behaviour a tampered connection
+  /// must have.
+  common::Result<std::optional<Record>> pop();
+
+  u64 records_sealed() const { return seq_send_; }
+  u64 records_opened() const { return seq_recv_; }
+
+ private:
+  common::Result<std::vector<u8>> open_payload(RecordType type,
+                                               std::span<const u8> wire);
+  std::array<u8, 20> record_mac(const DirectionKeys& keys, u64 seq,
+                                RecordType type,
+                                std::span<const u8> plaintext) const;
+
+  common::Xorshift64* rng_;
+  bool sealed_ = false;
+  bool poisoned_ = false;
+  DirectionKeys send_keys_;
+  DirectionKeys recv_keys_;
+  std::optional<crypto::AesFast> send_cipher_;
+  std::optional<crypto::AesFast> recv_cipher_;
+  u64 seq_send_ = 0;
+  u64 seq_recv_ = 0;
+  std::vector<u8> rx_buffer_;
+};
+
+}  // namespace rmc::issl

@@ -1,0 +1,454 @@
+#include "issl/session.h"
+
+#include <cstring>
+
+namespace rmc::issl {
+
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+namespace {
+constexpr u8 kMsgClientHello = 1;
+constexpr u8 kMsgServerHello = 2;
+constexpr u8 kMsgClientKeyExchange = 3;
+constexpr u8 kMsgFinished = 4;
+
+constexpr u8 kAlertCloseNotify = 0;
+constexpr u8 kAlertHandshakeFailure = 1;
+
+constexpr std::size_t kPremasterBytes = 48;
+constexpr std::size_t kMasterBytes = 48;
+
+void append_u16(std::vector<u8>& v, std::size_t n) {
+  v.push_back(static_cast<u8>(n >> 8));
+  v.push_back(static_cast<u8>(n & 0xFF));
+}
+
+std::size_t read_u16(std::span<const u8> b) {
+  return (static_cast<std::size_t>(b[0]) << 8) | b[1];
+}
+}  // namespace
+
+const char* session_state_name(SessionState s) {
+  switch (s) {
+    case SessionState::kStart: return "START";
+    case SessionState::kAwaitServerHello: return "AWAIT_SERVER_HELLO";
+    case SessionState::kAwaitClientHello: return "AWAIT_CLIENT_HELLO";
+    case SessionState::kAwaitClientKeyExchange: return "AWAIT_CKE";
+    case SessionState::kAwaitFinished: return "AWAIT_FINISHED";
+    case SessionState::kEstablished: return "ESTABLISHED";
+    case SessionState::kClosed: return "CLOSED";
+    case SessionState::kFailed: return "FAILED";
+  }
+  return "?";
+}
+
+Session::Session(Role role, const Config& config, ByteStream& stream,
+                 common::Xorshift64& rng)
+    : role_(role), config_(config), stream_(&stream), rng_(&rng),
+      codec_(rng) {}
+
+Session Session::client(const Config& config, ByteStream& stream,
+                        common::Xorshift64& rng, std::vector<u8> psk) {
+  Session s(Role::kClient, config, stream, rng);
+  s.psk_ = std::move(psk);
+  return s;
+}
+
+Session Session::server(const Config& config, ByteStream& stream,
+                        common::Xorshift64& rng, ServerIdentity identity) {
+  Session s(Role::kServer, config, stream, rng);
+  s.identity_ = std::move(identity);
+  s.state_ = SessionState::kAwaitClientHello;
+  return s;
+}
+
+Status Session::fail(Status status) {
+  state_ = SessionState::kFailed;
+  error_ = status;
+  (void)send_alert(kAlertHandshakeFailure);
+  return status;
+}
+
+Status Session::send_alert(u8 code) {
+  const u8 body[1] = {code};
+  auto wire = codec_.seal(RecordType::kAlert, body);
+  if (!wire.ok()) return wire.status();
+  auto n = stream_->write(*wire);
+  return n.ok() ? Status::ok() : n.status();
+}
+
+Status Session::send_handshake(u8 msg_type, std::span<const u8> body) {
+  std::vector<u8> msg;
+  msg.push_back(msg_type);
+  append_u16(msg, body.size());
+  msg.insert(msg.end(), body.begin(), body.end());
+  // Finished is sent under the session keys and is NOT part of the
+  // transcript (both sides snapshot the hash at key derivation).
+  if (msg_type != kMsgFinished) transcript_.update(msg);
+  auto wire = codec_.seal(RecordType::kHandshake, msg);
+  if (!wire.ok()) return wire.status();
+  auto n = stream_->write(*wire);
+  return n.ok() ? Status::ok() : n.status();
+}
+
+Status Session::flush_and_fill() {
+  u8 buf[512];
+  // Bounded intake per pump: a transport spraying garbage must hit record
+  // validation (and fail the session) instead of growing the reassembly
+  // buffer without limit.
+  for (int round = 0; round < 64; ++round) {
+    auto n = stream_->read(buf);
+    if (!n.ok()) {
+      if (n.status().code() == ErrorCode::kUnavailable) return Status::ok();
+      return n.status();
+    }
+    if (*n == 0) {
+      // Transport EOF. Mid-handshake that is a failure; established
+      // sessions treat it as an unclean close.
+      if (state_ == SessionState::kEstablished) {
+        state_ = SessionState::kClosed;
+        return Status::ok();
+      }
+      if (state_ != SessionState::kClosed && state_ != SessionState::kFailed &&
+          state_ != SessionState::kStart) {
+        return Status(ErrorCode::kAborted, "transport EOF mid-handshake");
+      }
+      return Status::ok();
+    }
+    Status s = codec_.feed(std::span<const u8>(buf, *n));
+    if (!s.is_ok()) return s;
+  }
+  return Status::ok();
+}
+
+Status Session::pump() {
+  if (state_ == SessionState::kFailed) return error_;
+
+  // Client kicks off the handshake on the first pump.
+  if (role_ == Role::kClient && state_ == SessionState::kStart) {
+    rng_->fill(client_random_);
+    std::vector<u8> body(client_random_.begin(), client_random_.end());
+    body.push_back(static_cast<u8>(config_.key_exchange));
+    body.push_back(static_cast<u8>(config_.aes_key_bits / 8));
+    Status s = send_handshake(kMsgClientHello, body);
+    if (!s.is_ok()) return fail(s);
+    state_ = SessionState::kAwaitServerHello;
+  }
+
+  Status s = flush_and_fill();
+  if (!s.is_ok()) return fail(s);
+
+  while (true) {
+    auto record = codec_.pop();
+    if (!record.ok()) return fail(record.status());
+    if (!record->has_value()) break;
+    s = handle_record(**record);
+    if (!s.is_ok()) return fail(s);
+    if (state_ == SessionState::kFailed || state_ == SessionState::kClosed) {
+      break;
+    }
+  }
+  return Status::ok();
+}
+
+Status Session::handle_record(const Record& record) {
+  switch (record.type) {
+    case RecordType::kHandshake: {
+      hs_reassembly_.insert(hs_reassembly_.end(), record.payload.begin(),
+                            record.payload.end());
+      while (hs_reassembly_.size() >= 3) {
+        const u8 msg_type = hs_reassembly_[0];
+        const std::size_t len =
+            read_u16(std::span<const u8>(hs_reassembly_.data() + 1, 2));
+        if (hs_reassembly_.size() < 3 + len) break;
+        // Transcript covers every handshake message except Finished.
+        if (msg_type != kMsgFinished) {
+          transcript_.update(
+              std::span<const u8>(hs_reassembly_.data(), 3 + len));
+        }
+        std::vector<u8> body(hs_reassembly_.begin() + 3,
+                             hs_reassembly_.begin() + 3 +
+                                 static_cast<long>(len));
+        hs_reassembly_.erase(hs_reassembly_.begin(),
+                             hs_reassembly_.begin() + 3 +
+                                 static_cast<long>(len));
+        ++hs_messages_;
+        Status s = handle_handshake_message(msg_type, body);
+        if (!s.is_ok()) return s;
+      }
+      return Status::ok();
+    }
+    case RecordType::kApplicationData:
+      if (state_ != SessionState::kEstablished) {
+        return Status(ErrorCode::kAborted, "application data before Finished");
+      }
+      app_rx_.insert(app_rx_.end(), record.payload.begin(),
+                     record.payload.end());
+      return Status::ok();
+    case RecordType::kAlert: {
+      const u8 code = record.payload.empty() ? 255 : record.payload[0];
+      if (code == kAlertCloseNotify) {
+        state_ = SessionState::kClosed;
+        return Status::ok();
+      }
+      state_ = SessionState::kFailed;
+      error_ = Status(ErrorCode::kAborted,
+                      "peer alert " + std::to_string(code));
+      return Status::ok();
+    }
+  }
+  return Status(ErrorCode::kInternal, "unknown record type");
+}
+
+Status Session::handle_handshake_message(u8 msg_type,
+                                         std::span<const u8> body) {
+  switch (msg_type) {
+    case kMsgClientHello: return on_client_hello(body);
+    case kMsgServerHello: return on_server_hello(body);
+    case kMsgClientKeyExchange: return on_client_key_exchange(body);
+    case kMsgFinished: return on_finished(body);
+    default:
+      return Status(ErrorCode::kAborted, "unknown handshake message");
+  }
+}
+
+Status Session::on_client_hello(std::span<const u8> body) {
+  if (role_ != Role::kServer || state_ != SessionState::kAwaitClientHello) {
+    return Status(ErrorCode::kAborted, "unexpected ClientHello");
+  }
+  if (body.size() != 34) {
+    return Status(ErrorCode::kAborted, "malformed ClientHello");
+  }
+  std::memcpy(client_random_.data(), body.data(), 32);
+  const auto kx = static_cast<KeyExchange>(body[32]);
+  const std::size_t key_bytes = body[33];
+  // The negotiation reproduces the port's dropped features: an embedded
+  // server (PSK/128) refuses an RSA or 256-bit request outright.
+  if (kx != config_.key_exchange) {
+    return Status(ErrorCode::kAborted, "key exchange not supported");
+  }
+  if (key_bytes * 8 != config_.aes_key_bits) {
+    return Status(ErrorCode::kAborted, "key length not supported");
+  }
+  if (config_.key_exchange == KeyExchange::kRsa && !identity_.rsa) {
+    return Status(ErrorCode::kFailedPrecondition, "server has no RSA key");
+  }
+
+  rng_->fill(server_random_);
+  std::vector<u8> reply(server_random_.begin(), server_random_.end());
+  reply.push_back(static_cast<u8>(config_.key_exchange));
+  reply.push_back(static_cast<u8>(config_.aes_key_bits / 8));
+  if (config_.key_exchange == KeyExchange::kRsa) {
+    const auto n_bytes = identity_.rsa->pub.n.to_bytes();
+    const auto e_bytes = identity_.rsa->pub.e.to_bytes();
+    append_u16(reply, n_bytes.size());
+    reply.insert(reply.end(), n_bytes.begin(), n_bytes.end());
+    append_u16(reply, e_bytes.size());
+    reply.insert(reply.end(), e_bytes.begin(), e_bytes.end());
+  }
+  Status s = send_handshake(kMsgServerHello, reply);
+  if (!s.is_ok()) return s;
+  state_ = SessionState::kAwaitClientKeyExchange;
+  return Status::ok();
+}
+
+Status Session::on_server_hello(std::span<const u8> body) {
+  if (role_ != Role::kClient || state_ != SessionState::kAwaitServerHello) {
+    return Status(ErrorCode::kAborted, "unexpected ServerHello");
+  }
+  if (body.size() < 34) {
+    return Status(ErrorCode::kAborted, "malformed ServerHello");
+  }
+  std::memcpy(server_random_.data(), body.data(), 32);
+  const auto kx = static_cast<KeyExchange>(body[32]);
+  const std::size_t key_bytes = body[33];
+  if (kx != config_.key_exchange || key_bytes * 8 != config_.aes_key_bits) {
+    return Status(ErrorCode::kAborted, "server chose unsupported parameters");
+  }
+
+  std::vector<u8> cke;
+  if (config_.key_exchange == KeyExchange::kRsa) {
+    std::span<const u8> rest = body.subspan(34);
+    if (rest.size() < 2) return Status(ErrorCode::kAborted, "bad pubkey");
+    const std::size_t n_len = read_u16(rest);
+    if (rest.size() < 2 + n_len + 2) {
+      return Status(ErrorCode::kAborted, "bad pubkey");
+    }
+    crypto::RsaPublicKey pub;
+    pub.n = crypto::BigNum::from_bytes(rest.subspan(2, n_len));
+    const std::size_t e_len = read_u16(rest.subspan(2 + n_len));
+    if (rest.size() < 2 + n_len + 2 + e_len) {
+      return Status(ErrorCode::kAborted, "bad pubkey");
+    }
+    pub.e = crypto::BigNum::from_bytes(rest.subspan(4 + n_len, e_len));
+    server_pubkey_ = pub;
+
+    premaster_.resize(kPremasterBytes);
+    rng_->fill(premaster_);
+    // PKCS#1 caps the message at modulus_bytes - 11; with small simulation
+    // moduli, encrypt the leading chunk and derive from the whole secret.
+    const std::size_t max_chunk = pub.modulus_bytes() - 11;
+    const std::size_t chunk = std::min(premaster_.size(), max_chunk);
+    auto ct = crypto::rsa_encrypt(
+        pub, std::span<const u8>(premaster_.data(), chunk), *rng_);
+    if (!ct.ok()) return ct.status();
+    // The tail of the premaster travels... nowhere: both sides must agree,
+    // so with small keys we simply truncate the premaster to the encrypted
+    // chunk. (Real issl used >= 512-bit moduli where 48 bytes fit.)
+    premaster_.resize(chunk);
+    append_u16(cke, ct->size());
+    cke.insert(cke.end(), ct->begin(), ct->end());
+  } else {
+    if (psk_.empty()) {
+      return Status(ErrorCode::kFailedPrecondition, "client has no PSK");
+    }
+    premaster_ = psk_;
+    const auto proof = crypto::Sha1::digest(psk_);
+    cke.insert(cke.end(), proof.begin(), proof.end());
+  }
+  Status s = send_handshake(kMsgClientKeyExchange, cke);
+  if (!s.is_ok()) return s;
+
+  s = derive_keys_and_activate();
+  if (!s.is_ok()) return s;
+  const auto mac = finished_mac(Role::kClient);
+  s = send_handshake(kMsgFinished, mac);
+  if (!s.is_ok()) return s;
+  sent_finished_ = true;
+  state_ = SessionState::kAwaitFinished;
+  return Status::ok();
+}
+
+Status Session::on_client_key_exchange(std::span<const u8> body) {
+  if (role_ != Role::kServer ||
+      state_ != SessionState::kAwaitClientKeyExchange) {
+    return Status(ErrorCode::kAborted, "unexpected ClientKeyExchange");
+  }
+  if (config_.key_exchange == KeyExchange::kRsa) {
+    if (body.size() < 2) return Status(ErrorCode::kAborted, "bad CKE");
+    const std::size_t len = read_u16(body);
+    if (body.size() < 2 + len) return Status(ErrorCode::kAborted, "bad CKE");
+    auto pm = crypto::rsa_decrypt(identity_.rsa->priv, body.subspan(2, len));
+    if (!pm.ok()) return Status(ErrorCode::kAborted, "premaster decrypt failed");
+    premaster_ = std::move(*pm);
+  } else {
+    const auto expect = crypto::Sha1::digest(identity_.psk);
+    if (body.size() != expect.size() ||
+        !common::ct_equal(body, expect)) {
+      return Status(ErrorCode::kAborted, "PSK proof mismatch");
+    }
+    premaster_ = identity_.psk;
+  }
+  Status s = derive_keys_and_activate();
+  if (!s.is_ok()) return s;
+  state_ = SessionState::kAwaitFinished;
+  return Status::ok();
+}
+
+Status Session::on_finished(std::span<const u8> body) {
+  if (state_ != SessionState::kAwaitFinished) {
+    return Status(ErrorCode::kAborted, "unexpected Finished");
+  }
+  const Role peer = role_ == Role::kClient ? Role::kServer : Role::kClient;
+  const auto expect = finished_mac(peer);
+  if (body.size() != expect.size() || !common::ct_equal(body, expect)) {
+    return Status(ErrorCode::kAborted, "Finished verification failed");
+  }
+  if (role_ == Role::kServer) {
+    const auto mac = finished_mac(Role::kServer);
+    Status s = send_handshake(kMsgFinished, mac);
+    if (!s.is_ok()) return s;
+    sent_finished_ = true;
+  }
+  state_ = SessionState::kEstablished;
+  return Status::ok();
+}
+
+Status Session::derive_keys_and_activate() {
+  // Snapshot the transcript (ClientHello..ClientKeyExchange).
+  crypto::Sha1 copy = transcript_;
+  transcript_hash_ = copy.finish();
+
+  std::vector<u8> randoms(client_random_.begin(), client_random_.end());
+  randoms.insert(randoms.end(), server_random_.begin(), server_random_.end());
+
+  master_.resize(kMasterBytes);
+  const std::string master_label = "master secret";
+  crypto::prf_sha1(premaster_,
+                   std::span<const u8>(
+                       reinterpret_cast<const u8*>(master_label.data()),
+                       master_label.size()),
+                   randoms, master_);
+
+  const std::size_t key_len = config_.aes_key_bits / 8;
+  std::vector<u8> key_block(20 + 20 + key_len + key_len);
+  const std::string key_label = "key expansion";
+  crypto::prf_sha1(master_,
+                   std::span<const u8>(
+                       reinterpret_cast<const u8*>(key_label.data()),
+                       key_label.size()),
+                   randoms, key_block);
+
+  DirectionKeys client_dir, server_dir;
+  std::memcpy(client_dir.mac_key.data(), key_block.data(), 20);
+  std::memcpy(server_dir.mac_key.data(), key_block.data() + 20, 20);
+  client_dir.aes_key.assign(key_block.begin() + 40,
+                            key_block.begin() + 40 + static_cast<long>(key_len));
+  server_dir.aes_key.assign(
+      key_block.begin() + 40 + static_cast<long>(key_len),
+      key_block.begin() + 40 + static_cast<long>(2 * key_len));
+
+  if (role_ == Role::kClient) {
+    return codec_.activate_keys(client_dir, server_dir);
+  }
+  return codec_.activate_keys(server_dir, client_dir);
+}
+
+std::array<u8, 20> Session::finished_mac(Role sender) const {
+  std::vector<u8> msg(transcript_hash_.begin(), transcript_hash_.end());
+  const std::string label =
+      sender == Role::kClient ? "client finished" : "server finished";
+  msg.insert(msg.end(), label.begin(), label.end());
+  return crypto::hmac_sha1(master_, msg);
+}
+
+Result<std::size_t> Session::write(std::span<const u8> data) {
+  if (state_ != SessionState::kEstablished) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  std::string("session not established: ") +
+                      session_state_name(state_));
+  }
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const std::size_t n = std::min(data.size() - sent, kMaxRecordPayload);
+    auto wire = codec_.seal(RecordType::kApplicationData,
+                            data.subspan(sent, n));
+    if (!wire.ok()) return wire.status();
+    auto w = stream_->write(*wire);
+    if (!w.ok()) return w.status();
+    sent += n;
+  }
+  return sent;
+}
+
+Result<std::vector<u8>> Session::read() {
+  if (!app_rx_.empty()) {
+    std::vector<u8> out;
+    out.swap(app_rx_);
+    return out;
+  }
+  if (state_ == SessionState::kClosed) return std::vector<u8>{};
+  if (state_ == SessionState::kFailed) return error_;
+  return Status(ErrorCode::kUnavailable, "no application data");
+}
+
+Status Session::close() {
+  if (state_ == SessionState::kClosed) return Status::ok();
+  Status s = send_alert(kAlertCloseNotify);
+  state_ = SessionState::kClosed;
+  return s;
+}
+
+}  // namespace rmc::issl

@@ -1,0 +1,133 @@
+// issl sessions: the handshake state machine and the application-data API.
+//
+// This reproduces the paper's described functionality: "issl is a
+// cryptographic library that layers on top of the Unix sockets layer to
+// provide secure point-to-point communications. After a normal unencrypted
+// socket is created, the issl API allows a user to bind to the socket and
+// then do secure read/writes on it" (§2), with both key exchanges: RSA
+// (Unix build) and pre-shared key (the embedded port that dropped RSA).
+//
+// Handshake (SSL-3.0-shaped, not wire-compatible with any RFC):
+//   C -> S  ClientHello        client_random, requested kx + key size
+//   S -> C  ServerHello        server_random, confirmation (+ RSA pubkey)
+//   C -> S  ClientKeyExchange  RSA(premaster)  or  SHA1(psk) proof
+//           -- both sides derive the key block and switch on encryption --
+//   C -> S  Finished           HMAC(master, transcript || "client finished")
+//   S -> C  Finished           HMAC(master, transcript || "server finished")
+//
+// Everything is non-blocking: call pump() whenever the underlying transport
+// may have made progress (from a costatement loop on the embedded side, a
+// scheduler loop on the Unix side).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/prng.h"
+#include "common/status.h"
+#include "crypto/rsa.h"
+#include "crypto/sha1.h"
+#include "issl/config.h"
+#include "issl/record.h"
+#include "issl/stream.h"
+
+namespace rmc::issl {
+
+enum class Role { kClient, kServer };
+
+enum class SessionState {
+  kStart,
+  kAwaitServerHello,        // client
+  kAwaitClientHello,        // server
+  kAwaitClientKeyExchange,  // server
+  kAwaitFinished,           // both (peer's Finished)
+  kEstablished,
+  kClosed,   // clean close_notify
+  kFailed,
+};
+
+const char* session_state_name(SessionState s);
+
+/// What a server needs to identify itself / accept clients.
+struct ServerIdentity {
+  std::optional<crypto::RsaKeyPair> rsa;  // required for KeyExchange::kRsa
+  std::vector<u8> psk;                    // required for KeyExchange::kPsk
+};
+
+class Session {
+ public:
+  /// Client endpoint. For PSK configs, `psk` must match the server's.
+  static Session client(const Config& config, ByteStream& stream,
+                        common::Xorshift64& rng, std::vector<u8> psk = {});
+
+  /// Server endpoint.
+  static Session server(const Config& config, ByteStream& stream,
+                        common::Xorshift64& rng, ServerIdentity identity);
+
+  /// Drive the session: flush pending handshake messages, consume transport
+  /// bytes, advance the state machine. Call repeatedly. Failures latch.
+  common::Status pump();
+
+  SessionState state() const { return state_; }
+  bool established() const { return state_ == SessionState::kEstablished; }
+  bool failed() const { return state_ == SessionState::kFailed; }
+  bool closed() const { return state_ == SessionState::kClosed; }
+  const common::Status& error() const { return error_; }
+
+  /// Send application data (established sessions only).
+  common::Result<std::size_t> write(std::span<const u8> data);
+
+  /// Receive application data: kUnavailable = nothing yet; an empty vector
+  /// = peer sent close_notify and the session is drained.
+  common::Result<std::vector<u8>> read();
+
+  /// Graceful close: sends the close_notify alert.
+  common::Status close();
+
+  // Introspection for tests and benches.
+  std::size_t handshake_messages_seen() const { return hs_messages_; }
+  const Config& config() const { return config_; }
+
+ private:
+  Session(Role role, const Config& config, ByteStream& stream,
+          common::Xorshift64& rng);
+
+  common::Status fail(common::Status status);
+  common::Status send_alert(u8 code);
+  common::Status send_handshake(u8 msg_type, std::span<const u8> body);
+  common::Status flush_and_fill();
+  common::Status handle_record(const Record& record);
+  common::Status handle_handshake_message(u8 msg_type,
+                                          std::span<const u8> body);
+  common::Status on_client_hello(std::span<const u8> body);
+  common::Status on_server_hello(std::span<const u8> body);
+  common::Status on_client_key_exchange(std::span<const u8> body);
+  common::Status on_finished(std::span<const u8> body);
+  common::Status derive_keys_and_activate();
+  std::array<u8, 20> finished_mac(Role sender) const;
+
+  Role role_;
+  Config config_;
+  ByteStream* stream_;
+  common::Xorshift64* rng_;
+  RecordCodec codec_;
+  SessionState state_ = SessionState::kStart;
+  common::Status error_;
+
+  ServerIdentity identity_;   // server side
+  std::vector<u8> psk_;       // client side
+  std::array<u8, 32> client_random_{};
+  std::array<u8, 32> server_random_{};
+  std::vector<u8> premaster_;
+  std::vector<u8> master_;
+  std::optional<crypto::RsaPublicKey> server_pubkey_;  // client side, from hello
+  crypto::Sha1 transcript_;
+  std::array<u8, 20> transcript_hash_{};  // snapshot at key derivation
+  bool sent_finished_ = false;
+  std::vector<u8> hs_reassembly_;  // partial handshake messages
+  std::vector<u8> app_rx_;
+  std::size_t hs_messages_ = 0;
+};
+
+}  // namespace rmc::issl

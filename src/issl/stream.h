@@ -1,0 +1,89 @@
+// ByteStream — the seam that let issl "layer on top of the Unix sockets
+// layer" (paper §2) and the seam our port swaps for the Dynamic C API.
+// The record layer and handshake speak only to this interface; adapters
+// exist for a raw TcpStack socket, a BSD-facade fd, and a Dynamic-C-facade
+// tcp_Socket.
+#pragma once
+
+#include "common/status.h"
+#include "net/bsd.h"
+#include "net/dcnet.h"
+#include "net/tcp.h"
+
+namespace rmc::issl {
+
+using common::u8;
+
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+  /// Queue bytes. Returns the count accepted (all or error).
+  virtual common::Result<std::size_t> write(std::span<const u8> data) = 0;
+  /// Non-blocking read: kUnavailable when nothing buffered, 0 = EOF.
+  virtual common::Result<std::size_t> read(std::span<u8> out) = 0;
+  virtual bool open() const = 0;
+  virtual void close() = 0;
+};
+
+/// Directly over a TcpStack connection socket.
+class TcpStream final : public ByteStream {
+ public:
+  TcpStream(net::TcpStack& stack, int sock) : stack_(stack), sock_(sock) {}
+  common::Result<std::size_t> write(std::span<const u8> data) override {
+    return stack_.send(sock_, data);
+  }
+  common::Result<std::size_t> read(std::span<u8> out) override {
+    return stack_.recv(sock_, out);
+  }
+  bool open() const override {
+    return stack_.is_open(sock_) || stack_.bytes_available(sock_) > 0;
+  }
+  void close() override { (void)stack_.close(sock_); }
+
+ private:
+  net::TcpStack& stack_;
+  int sock_;
+};
+
+/// Over the BSD facade (the original Unix service's view).
+class BsdStream final : public ByteStream {
+ public:
+  BsdStream(net::BsdSocketApi& api, int fd) : api_(api), fd_(fd) {}
+  common::Result<std::size_t> write(std::span<const u8> data) override {
+    return api_.send_fd(fd_, data);
+  }
+  common::Result<std::size_t> read(std::span<u8> out) override {
+    return api_.recv_fd(fd_, out);
+  }
+  bool open() const override {
+    return api_.open_fd(fd_) || api_.bytes_ready_fd(fd_) > 0;
+  }
+  void close() override { (void)api_.close_fd(fd_); }
+
+ private:
+  net::BsdSocketApi& api_;
+  int fd_;
+};
+
+/// Over the Dynamic C facade (the ported service's view).
+class DcStream final : public ByteStream {
+ public:
+  DcStream(net::DcTcpApi& api, net::tcp_Socket* sock)
+      : api_(api), sock_(sock) {}
+  common::Result<std::size_t> write(std::span<const u8> data) override {
+    return api_.sock_fastwrite(sock_, data);
+  }
+  common::Result<std::size_t> read(std::span<u8> out) override {
+    return api_.sock_fastread(sock_, out);
+  }
+  bool open() const override {
+    return api_.tcp_tick(sock_) || api_.sock_bytes_ready(sock_) > 0;
+  }
+  void close() override { api_.sock_close(sock_); }
+
+ private:
+  net::DcTcpApi& api_;
+  net::tcp_Socket* sock_;
+};
+
+}  // namespace rmc::issl

@@ -1,0 +1,111 @@
+#include "net/bsd.h"
+
+namespace rmc::net {
+
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+const BsdSocketApi::FdEntry* BsdSocketApi::find(int fd) const {
+  auto it = fds_.find(fd);
+  return it == fds_.end() ? nullptr : &it->second;
+}
+BsdSocketApi::FdEntry* BsdSocketApi::find(int fd) {
+  auto it = fds_.find(fd);
+  return it == fds_.end() ? nullptr : &it->second;
+}
+
+Result<int> BsdSocketApi::socket_fd() {
+  const int fd = next_fd_++;
+  fds_[fd] = FdEntry{};
+  return fd;
+}
+
+Status BsdSocketApi::bind_fd(int fd, Port port) {
+  FdEntry* e = find(fd);
+  if (e == nullptr) return Status(ErrorCode::kNotFound, "bad fd");
+  if (e->bound_port != 0) {
+    return Status(ErrorCode::kFailedPrecondition, "already bound");
+  }
+  e->bound_port = port;
+  return Status::ok();
+}
+
+Status BsdSocketApi::listen_fd(int fd, int backlog) {
+  FdEntry* e = find(fd);
+  if (e == nullptr) return Status(ErrorCode::kNotFound, "bad fd");
+  if (e->bound_port == 0) {
+    return Status(ErrorCode::kFailedPrecondition, "bind before listen");
+  }
+  auto sock = stack_.listen(e->bound_port, backlog);
+  if (!sock.ok()) return sock.status();
+  e->sock = *sock;
+  e->listening = true;
+  return Status::ok();
+}
+
+Result<int> BsdSocketApi::accept_fd(int fd) {
+  FdEntry* e = find(fd);
+  if (e == nullptr || !e->listening) {
+    return Status(ErrorCode::kInvalidArgument, "not a listening fd");
+  }
+  auto conn = stack_.accept(e->sock);
+  if (!conn.ok()) return conn.status();
+  const int newfd = next_fd_++;
+  fds_[newfd] = FdEntry{e->bound_port, *conn, false};
+  return newfd;
+}
+
+Status BsdSocketApi::connect_fd(int fd, IpAddr ip, Port port) {
+  FdEntry* e = find(fd);
+  if (e == nullptr) return Status(ErrorCode::kNotFound, "bad fd");
+  if (e->sock >= 0) {
+    return Status(ErrorCode::kFailedPrecondition, "already connected");
+  }
+  auto sock = stack_.connect(ip, port);
+  if (!sock.ok()) return sock.status();
+  e->sock = *sock;
+  return Status::ok();
+}
+
+bool BsdSocketApi::connected_fd(int fd) const {
+  const FdEntry* e = find(fd);
+  return e != nullptr && e->sock >= 0 && stack_.is_established(e->sock);
+}
+
+Result<std::size_t> BsdSocketApi::send_fd(int fd, std::span<const u8> data) {
+  const FdEntry* e = find(fd);
+  if (e == nullptr || e->sock < 0 || e->listening) {
+    return Status(ErrorCode::kInvalidArgument, "not a connected fd");
+  }
+  return stack_.send(e->sock, data);
+}
+
+Result<std::size_t> BsdSocketApi::recv_fd(int fd, std::span<u8> out) {
+  const FdEntry* e = find(fd);
+  if (e == nullptr || e->sock < 0 || e->listening) {
+    return Status(ErrorCode::kInvalidArgument, "not a connected fd");
+  }
+  return stack_.recv(e->sock, out);
+}
+
+std::size_t BsdSocketApi::bytes_ready_fd(int fd) const {
+  const FdEntry* e = find(fd);
+  return (e == nullptr || e->sock < 0) ? 0 : stack_.bytes_available(e->sock);
+}
+
+Status BsdSocketApi::close_fd(int fd) {
+  FdEntry* e = find(fd);
+  if (e == nullptr) return Status(ErrorCode::kNotFound, "bad fd");
+  Status s = Status::ok();
+  if (e->sock >= 0) s = stack_.close(e->sock);
+  fds_.erase(fd);
+  return s;
+}
+
+bool BsdSocketApi::open_fd(int fd) const {
+  const FdEntry* e = find(fd);
+  return e != nullptr && e->sock >= 0 && stack_.is_open(e->sock);
+}
+
+}  // namespace rmc::net

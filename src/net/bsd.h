@@ -1,0 +1,66 @@
+// BSD-sockets-style facade — the API the original Unix issl service was
+// written against (paper Figure 2(a): socket/bind/listen/accept/recv/send).
+//
+// Calls are non-blocking (accept/recv return kUnavailable instead of
+// blocking); the Unix-style service wraps them in scheduler waitfor loops.
+// The point of this facade is the *shape contrast* with net/dcnet.h: the
+// port's hardest problems were exactly this API gap (§5, Figure 2).
+#pragma once
+
+#include <map>
+
+#include "common/status.h"
+#include "net/tcp.h"
+
+namespace rmc::net {
+
+class BsdSocketApi {
+ public:
+  explicit BsdSocketApi(TcpStack& stack) : stack_(stack) {}
+
+  /// socket(AF_INET, SOCK_STREAM, 0)
+  common::Result<int> socket_fd();
+
+  /// bind(fd, {INADDR_ANY, port})
+  common::Status bind_fd(int fd, Port port);
+
+  /// listen(fd, backlog)
+  common::Status listen_fd(int fd, int backlog);
+
+  /// accept(fd) -> new connected fd, or kUnavailable (would block).
+  common::Result<int> accept_fd(int fd);
+
+  /// connect(fd, {ip, port}) — starts the handshake; poll connected_fd().
+  common::Status connect_fd(int fd, IpAddr ip, Port port);
+  bool connected_fd(int fd) const;
+
+  /// send(fd, buf, len, 0)
+  common::Result<std::size_t> send_fd(int fd, std::span<const u8> data);
+
+  /// recv(fd, buf, len, 0): kUnavailable would-block, 0 = orderly shutdown.
+  common::Result<std::size_t> recv_fd(int fd, std::span<u8> out);
+
+  std::size_t bytes_ready_fd(int fd) const;
+
+  /// close(fd)
+  common::Status close_fd(int fd);
+
+  /// Connection still alive (for service loops)?
+  bool open_fd(int fd) const;
+
+ private:
+  struct FdEntry {
+    Port bound_port = 0;
+    int sock = -1;       // TcpStack socket id (listener or connection)
+    bool listening = false;
+  };
+
+  const FdEntry* find(int fd) const;
+  FdEntry* find(int fd);
+
+  TcpStack& stack_;
+  std::map<int, FdEntry> fds_;
+  int next_fd_ = 3;  // 0/1/2 are stdio, as on Unix
+};
+
+}  // namespace rmc::net

@@ -1,0 +1,138 @@
+#include "net/dcnet.h"
+
+namespace rmc::net {
+
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+int DcTcpApi::sock_init() {
+  initialized_ = true;
+  return 0;
+}
+
+Status DcTcpApi::tcp_listen(tcp_Socket* s, Port port) {
+  if (!initialized_) {
+    return Status(ErrorCode::kFailedPrecondition, "sock_init not called");
+  }
+  auto it = listeners_.find(port);
+  if (it == listeners_.end()) {
+    // Backlog matches the number of tcp_Sockets that can listen on one
+    // port in Dynamic C — effectively the compiled-in connection slots.
+    auto l = stack_.listen(port, /*backlog=*/8);
+    if (!l.ok()) return l.status();
+    it = listeners_.emplace(port, *l).first;
+  }
+  s->conn = -1;
+  s->port = port;
+  s->gather.clear();
+  s->peer_eof = false;
+  return Status::ok();
+}
+
+bool DcTcpApi::sock_established(tcp_Socket* s) {
+  if (s->conn < 0) {
+    auto it = listeners_.find(s->port);
+    if (it == listeners_.end()) return false;
+    auto conn = stack_.accept(it->second);
+    if (!conn.ok()) return false;
+    s->conn = *conn;
+  }
+  return stack_.is_established(s->conn);
+}
+
+bool DcTcpApi::tcp_tick(tcp_Socket* s) {
+  ++tick_calls_;
+  if (s == nullptr) {
+    if (medium_ != nullptr) medium_->tick(1);
+    return true;
+  }
+  if (s->conn < 0) return false;
+  return stack_.is_open(s->conn) || stack_.bytes_available(s->conn) > 0;
+}
+
+void DcTcpApi::sock_mode(tcp_Socket* s, bool ascii) { s->ascii_mode = ascii; }
+
+Status DcTcpApi::fill_gather(tcp_Socket* s) {
+  u8 buf[256];
+  while (true) {
+    auto n = stack_.recv(s->conn, buf);
+    if (!n.ok()) {
+      // kUnavailable just means "no more right now".
+      return n.status().code() == ErrorCode::kUnavailable ? Status::ok()
+                                                          : n.status();
+    }
+    if (*n == 0) {
+      s->peer_eof = true;  // orderly shutdown: surrender partial lines
+      return Status::ok();
+    }
+    s->gather.append(reinterpret_cast<const char*>(buf), *n);
+  }
+}
+
+Result<std::string> DcTcpApi::sock_gets(tcp_Socket* s, std::size_t max_len) {
+  if (!s->ascii_mode) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "sock_gets requires TCP_MODE_ASCII");
+  }
+  if (s->conn < 0) return Status(ErrorCode::kFailedPrecondition, "no peer");
+  Status st = fill_gather(s);
+  if (!st.is_ok()) return st;
+  const std::size_t nl = s->gather.find('\n');
+  if (nl != std::string::npos) {
+    std::string line = s->gather.substr(0, std::min(nl, max_len));
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    s->gather.erase(0, nl + 1);
+    return line;
+  }
+  // No complete line. Once the peer has shut down (half-close included),
+  // surrender whatever is left — no terminator is ever coming.
+  if (s->peer_eof || !stack_.is_open(s->conn)) {
+    std::string rest = s->gather.substr(0, max_len);
+    s->gather.clear();
+    return rest;
+  }
+  return Status(ErrorCode::kUnavailable, "line incomplete");
+}
+
+Status DcTcpApi::sock_puts(tcp_Socket* s, std::string_view line) {
+  if (s->conn < 0) return Status(ErrorCode::kFailedPrecondition, "no peer");
+  std::vector<u8> data(line.begin(), line.end());
+  data.push_back('\n');
+  auto n = stack_.send(s->conn, data);
+  return n.ok() ? Status::ok() : n.status();
+}
+
+Result<std::size_t> DcTcpApi::sock_fastread(tcp_Socket* s, std::span<u8> out) {
+  if (s->conn < 0) return Status(ErrorCode::kFailedPrecondition, "no peer");
+  // Serve buffered gather bytes first so ASCII and binary reads compose.
+  if (!s->gather.empty()) {
+    const std::size_t n = std::min(out.size(), s->gather.size());
+    for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<u8>(s->gather[i]);
+    s->gather.erase(0, n);
+    return n;
+  }
+  return stack_.recv(s->conn, out);
+}
+
+Result<std::size_t> DcTcpApi::sock_fastwrite(tcp_Socket* s,
+                                             std::span<const u8> data) {
+  if (s->conn < 0) return Status(ErrorCode::kFailedPrecondition, "no peer");
+  return stack_.send(s->conn, data);
+}
+
+std::size_t DcTcpApi::sock_bytes_ready(tcp_Socket* s) const {
+  if (s->conn < 0) return 0;
+  return stack_.bytes_available(s->conn);
+}
+
+void DcTcpApi::sock_close(tcp_Socket* s) {
+  if (s->conn >= 0) {
+    (void)stack_.close(s->conn);
+    s->conn = -1;
+  }
+  s->gather.clear();
+  s->peer_eof = false;
+}
+
+}  // namespace rmc::net

@@ -1,0 +1,88 @@
+// Dynamic-C-style TCP facade — the API the RMC2000 kit actually provides
+// (paper Figure 2(b): sock_init / tcp_listen / sock_established / tcp_tick /
+// sock_gets / sock_puts), with its two structural quirks reproduced:
+//
+//  * "the socket bound to the port also handles the request, so each
+//    connection is required to have a corresponding call to tcp_listen"
+//    (§5.3) — a tcp_Socket is both the passive and the connected endpoint;
+//  * the stack only makes progress when someone calls tcp_tick — the reason
+//    Figure 3 dedicates one costatement to `tcp_tick(NULL)`.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "net/tcp.h"
+
+namespace rmc::net {
+
+/// Named after Dynamic C's tcp_Socket. One of these per connection slot.
+struct tcp_Socket {
+  int conn = -1;       // TcpStack connection id once a peer arrives
+  Port port = 0;       // listening port
+  bool ascii_mode = false;
+  bool peer_eof = false;  // saw the peer's orderly shutdown
+  std::string gather;  // partial line for sock_gets
+};
+
+class DcTcpApi {
+ public:
+  /// `medium` may be null; if set, tcp_tick(nullptr) advances it by 1 ms —
+  /// making the Figure-3 "driver costatement" structurally necessary.
+  DcTcpApi(TcpStack& stack, SimNet* medium = nullptr)
+      : stack_(stack), medium_(medium) {}
+
+  /// sock_init(): bring up the stack (bookkeeping; returns 0 like the real
+  /// call).
+  int sock_init();
+
+  /// tcp_listen(&s, port, 0, 0, NULL, 0): open (or re-arm) a passive socket.
+  /// Re-arming after a closed connection reuses the same underlying
+  /// listener.
+  common::Status tcp_listen(tcp_Socket* s, Port port);
+
+  /// sock_established(&s): promotes a pending connection onto the socket and
+  /// reports whether it is usable.
+  bool sock_established(tcp_Socket* s);
+
+  /// tcp_tick(&s) / tcp_tick(NULL): drive the stack. With a socket, returns
+  /// whether that connection is still alive; with NULL advances the medium.
+  bool tcp_tick(tcp_Socket* s);
+
+  /// sock_mode(&s, TCP_MODE_ASCII / binary)
+  void sock_mode(tcp_Socket* s, bool ascii);
+
+  /// sock_gets(&s, buf, len): ASCII mode only — a complete '\n'-terminated
+  /// line (newline stripped), the remaining partial data at EOF, or
+  /// kUnavailable while the line is still incomplete on a live connection.
+  common::Result<std::string> sock_gets(tcp_Socket* s, std::size_t max_len);
+
+  /// sock_puts(&s, str): writes the string plus '\n'.
+  common::Status sock_puts(tcp_Socket* s, std::string_view line);
+
+  /// sock_fastread / sock_fastwrite: binary, non-blocking.
+  common::Result<std::size_t> sock_fastread(tcp_Socket* s, std::span<u8> out);
+  common::Result<std::size_t> sock_fastwrite(tcp_Socket* s,
+                                             std::span<const u8> data);
+
+  std::size_t sock_bytes_ready(tcp_Socket* s) const;
+
+  /// sock_close(&s): graceful close; the tcp_Socket can be re-armed with
+  /// tcp_listen afterwards.
+  void sock_close(tcp_Socket* s);
+
+  common::u64 tick_calls() const { return tick_calls_; }
+  bool initialized() const { return initialized_; }
+
+ private:
+  common::Status fill_gather(tcp_Socket* s);
+
+  TcpStack& stack_;
+  SimNet* medium_;
+  std::map<Port, int> listeners_;  // persistent per-port listeners
+  bool initialized_ = false;
+  common::u64 tick_calls_ = 0;
+};
+
+}  // namespace rmc::net

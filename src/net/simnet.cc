@@ -1,0 +1,48 @@
+#include "net/simnet.h"
+
+#include <algorithm>
+
+namespace rmc::net {
+
+void SimNet::attach(IpAddr addr, NetworkEndpoint* endpoint) {
+  endpoints_[addr] = endpoint;
+}
+
+void SimNet::send(Segment segment) {
+  ++sent_;
+  if (rng_.chance(loss_)) {
+    ++dropped_;
+    return;
+  }
+  in_flight_.push_back(InFlight{now_ms_ + latency_ms_, std::move(segment)});
+}
+
+void SimNet::tick(u32 ms) {
+  for (u32 step = 0; step < ms; ++step) {
+    ++now_ms_;
+    // Deliver everything due. Delivery can enqueue replies (ACKs), which get
+    // their own latency and thus a later due time — no reentrancy hazard.
+    for (std::size_t i = 0; i < in_flight_.size();) {
+      if (in_flight_[i].due_ms <= now_ms_) {
+        Segment seg = std::move(in_flight_[i].segment);
+        in_flight_.erase(in_flight_.begin() + static_cast<long>(i));
+        auto it = endpoints_.find(seg.dst_ip);
+        if (it != endpoints_.end()) {
+          ++delivered_;
+          payload_bytes_ += seg.payload.size();
+          it->second->deliver(seg);
+        } else {
+          ++dropped_;  // no host at that address
+        }
+      } else {
+        ++i;
+      }
+    }
+    for (auto& [addr, ep] : endpoints_) {
+      (void)addr;
+      ep->on_tick(now_ms_);
+    }
+  }
+}
+
+}  // namespace rmc::net

@@ -1,0 +1,113 @@
+// SimNet — the simulated 10Base-T segment the RMC2000 kit plugs into.
+//
+// The paper's experiments ran over a real LAN we don't have; SimNet is the
+// substitution: a virtual medium carrying TCP segments between attached
+// endpoints with configurable latency and random loss, driven by an explicit
+// virtual clock. Deterministic by construction (seeded PRNG), so every
+// protocol test and throughput bench is reproducible.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/prng.h"
+#include "common/status.h"
+
+namespace rmc::net {
+
+using common::u16;
+using common::u32;
+using common::u64;
+using common::u8;
+
+using IpAddr = u32;  // host identity on the simulated segment
+using Port = u16;
+
+/// TCP segment header flags.
+struct TcpFlags {
+  static constexpr u8 kSyn = 0x01;
+  static constexpr u8 kAck = 0x02;
+  static constexpr u8 kFin = 0x04;
+  static constexpr u8 kRst = 0x08;
+};
+
+/// IP protocol numbers carried on the medium (the kit's stack "implements
+/// TCP/IP, UDP and ICMP", paper §4).
+struct IpProto {
+  static constexpr u8 kIcmp = 1;
+  static constexpr u8 kTcp = 6;
+  static constexpr u8 kUdp = 17;
+};
+
+struct Segment {
+  IpAddr src_ip = 0;
+  IpAddr dst_ip = 0;
+  u8 protocol = IpProto::kTcp;
+  Port src_port = 0;
+  Port dst_port = 0;
+  u32 seq = 0;   // TCP sequence / ICMP echo sequence
+  u32 ack = 0;
+  u8 flags = 0;  // TCP flags / ICMP type
+  std::vector<u8> payload;
+
+  bool has(u8 flag) const { return (flags & flag) != 0; }
+};
+
+/// Something attached to the wire (a TcpStack).
+class NetworkEndpoint {
+ public:
+  virtual ~NetworkEndpoint() = default;
+  /// A segment addressed to this endpoint arrived.
+  virtual void deliver(const Segment& segment) = 0;
+  /// Virtual time advanced (retransmission timers etc.).
+  virtual void on_tick(u64 now_ms) = 0;
+};
+
+class SimNet {
+ public:
+  explicit SimNet(u64 seed = 1) : rng_(seed) {}
+
+  /// Attach an endpoint at `addr`; later attachments at the same address
+  /// replace earlier ones.
+  void attach(IpAddr addr, NetworkEndpoint* endpoint);
+
+  /// Medium characteristics.
+  void set_loss_probability(double p) { loss_ = p; }
+  void set_latency_ms(u32 ms) { latency_ms_ = ms; }
+
+  /// Transmit. Subject to loss; delivery happens `latency_ms` later.
+  void send(Segment segment);
+
+  /// Advance virtual time by `ms`, delivering due segments and ticking all
+  /// endpoints once per millisecond step.
+  void tick(u32 ms = 1);
+
+  u64 now_ms() const { return now_ms_; }
+
+  // Wire statistics (bench_ssl_throughput reports these).
+  u64 segments_sent() const { return sent_; }
+  u64 segments_delivered() const { return delivered_; }
+  u64 segments_dropped() const { return dropped_; }
+  u64 payload_bytes_delivered() const { return payload_bytes_; }
+
+ private:
+  struct InFlight {
+    u64 due_ms;
+    Segment segment;
+  };
+
+  std::map<IpAddr, NetworkEndpoint*> endpoints_;
+  std::deque<InFlight> in_flight_;
+  common::Xorshift64 rng_;
+  double loss_ = 0.0;
+  u32 latency_ms_ = 1;
+  u64 now_ms_ = 0;
+  u64 sent_ = 0;
+  u64 delivered_ = 0;
+  u64 dropped_ = 0;
+  u64 payload_bytes_ = 0;
+};
+
+}  // namespace rmc::net

@@ -1,0 +1,493 @@
+#include "net/tcp.h"
+
+#include <algorithm>
+
+namespace rmc::net {
+
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+const char* tcp_state_name(TcpState s) {
+  switch (s) {
+    case TcpState::kClosed: return "CLOSED";
+    case TcpState::kListen: return "LISTEN";
+    case TcpState::kSynSent: return "SYN_SENT";
+    case TcpState::kSynRcvd: return "SYN_RCVD";
+    case TcpState::kEstablished: return "ESTABLISHED";
+    case TcpState::kFinWait1: return "FIN_WAIT_1";
+    case TcpState::kFinWait2: return "FIN_WAIT_2";
+    case TcpState::kCloseWait: return "CLOSE_WAIT";
+    case TcpState::kLastAck: return "LAST_ACK";
+    case TcpState::kTimeWait: return "TIME_WAIT";
+  }
+  return "?";
+}
+
+TcpStack::TcpStack(SimNet& net, IpAddr addr, u64 seed)
+    : net_(net), addr_(addr), rng_(seed ^ addr) {
+  net_.attach(addr, this);
+}
+
+TcpStack::Tcb* TcpStack::find(int sock) {
+  auto it = socks_.find(sock);
+  return it == socks_.end() ? nullptr : &it->second;
+}
+const TcpStack::Tcb* TcpStack::find(int sock) const {
+  auto it = socks_.find(sock);
+  return it == socks_.end() ? nullptr : &it->second;
+}
+
+int TcpStack::find_connection(IpAddr rip, Port rport, Port lport) const {
+  for (const auto& [id, tcb] : socks_) {
+    if (tcb.state != TcpState::kListen && tcb.state != TcpState::kClosed &&
+        tcb.remote_ip == rip && tcb.remote_port == rport &&
+        tcb.local_port == lport) {
+      return id;
+    }
+  }
+  return -1;
+}
+
+int TcpStack::find_listener(Port lport) const {
+  for (const auto& [id, tcb] : socks_) {
+    if (tcb.state == TcpState::kListen && tcb.local_port == lport) return id;
+  }
+  return -1;
+}
+
+Result<int> TcpStack::listen(Port port, int backlog) {
+  if (find_listener(port) >= 0) {
+    return Status(ErrorCode::kAlreadyExists,
+                  "port already listening: " + std::to_string(port));
+  }
+  const int id = next_id_++;
+  Tcb tcb;
+  tcb.state = TcpState::kListen;
+  tcb.local_port = port;
+  tcb.backlog = backlog;
+  socks_.emplace(id, std::move(tcb));
+  return id;
+}
+
+Result<int> TcpStack::connect(IpAddr dst_ip, Port dst_port) {
+  const int id = next_id_++;
+  Tcb tcb;
+  tcb.state = TcpState::kSynSent;
+  tcb.remote_ip = dst_ip;
+  tcb.remote_port = dst_port;
+  tcb.local_port = static_cast<Port>(0xC000 + (next_id_ * 13) % 0x3FFF);
+  tcb.iss = rng_.next_u32();
+  tcb.snd_una = tcb.iss;
+  tcb.snd_nxt = tcb.iss + 1;  // SYN occupies one sequence number
+  transmit(tcb, tcb.iss, TcpFlags::kSyn, {});
+  auto [it, ok] = socks_.emplace(id, std::move(tcb));
+  (void)ok;
+  arm_retx(it->second);
+  return id;
+}
+
+Result<int> TcpStack::accept(int listener) {
+  Tcb* l = find(listener);
+  if (l == nullptr || l->state != TcpState::kListen) {
+    return Status(ErrorCode::kInvalidArgument, "not a listening socket");
+  }
+  for (std::size_t i = 0; i < l->accept_queue.size(); ++i) {
+    const int id = l->accept_queue[i];
+    const Tcb* c = find(id);
+    if (c != nullptr && (c->state == TcpState::kEstablished ||
+                         c->state == TcpState::kCloseWait)) {
+      l->accept_queue.erase(l->accept_queue.begin() + static_cast<long>(i));
+      return id;
+    }
+  }
+  return Status(ErrorCode::kUnavailable, "no pending connection");
+}
+
+Result<std::size_t> TcpStack::send(int sock, std::span<const u8> data) {
+  Tcb* t = find(sock);
+  if (t == nullptr) return Status(ErrorCode::kNotFound, "bad socket");
+  if (t->state != TcpState::kEstablished &&
+      t->state != TcpState::kCloseWait && t->state != TcpState::kSynSent &&
+      t->state != TcpState::kSynRcvd) {
+    return Status(ErrorCode::kAborted, "connection not writable");
+  }
+  if (t->fin_pending || t->fin_sent) {
+    return Status(ErrorCode::kFailedPrecondition, "socket closed for writing");
+  }
+  t->send_queue.insert(t->send_queue.end(), data.begin(), data.end());
+  pump(*t);
+  return data.size();
+}
+
+Result<std::size_t> TcpStack::recv(int sock, std::span<u8> out) {
+  Tcb* t = find(sock);
+  if (t == nullptr) return Status(ErrorCode::kNotFound, "bad socket");
+  if (t->reset) return Status(ErrorCode::kAborted, "connection reset");
+  if (t->recv_queue.empty()) {
+    if (t->peer_fin || t->state == TcpState::kClosed ||
+        t->state == TcpState::kTimeWait) {
+      return std::size_t{0};  // EOF
+    }
+    return Status(ErrorCode::kUnavailable, "no data");
+  }
+  const std::size_t n = std::min(out.size(), t->recv_queue.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = t->recv_queue.front();
+    t->recv_queue.pop_front();
+  }
+  return n;
+}
+
+std::size_t TcpStack::bytes_available(int sock) const {
+  const Tcb* t = find(sock);
+  return t == nullptr ? 0 : t->recv_queue.size();
+}
+
+Status TcpStack::close(int sock) {
+  Tcb* t = find(sock);
+  if (t == nullptr) return Status(ErrorCode::kNotFound, "bad socket");
+  if (t->state == TcpState::kListen) {
+    // Reset embryonic connections still queued.
+    for (int id : t->accept_queue) {
+      if (Tcb* c = find(id)) kill(*c, /*reset=*/true);
+    }
+    t->state = TcpState::kClosed;
+    return Status::ok();
+  }
+  if (t->state == TcpState::kClosed || t->fin_pending || t->fin_sent) {
+    return Status::ok();
+  }
+  if (t->state == TcpState::kSynSent) {
+    t->state = TcpState::kClosed;
+    return Status::ok();
+  }
+  t->fin_pending = true;
+  pump(*t);
+  return Status::ok();
+}
+
+TcpState TcpStack::state(int sock) const {
+  const Tcb* t = find(sock);
+  return t == nullptr ? TcpState::kClosed : t->state;
+}
+
+bool TcpStack::was_reset(int sock) const {
+  const Tcb* t = find(sock);
+  return t != nullptr && t->reset;
+}
+
+// ---------------------------------------------------------------------------
+// Wire side
+// ---------------------------------------------------------------------------
+
+void TcpStack::transmit(const Tcb& tcb, u32 seq, u8 flags,
+                        std::vector<u8> payload) {
+  Segment seg;
+  seg.src_ip = addr_;
+  seg.dst_ip = tcb.remote_ip;
+  seg.src_port = tcb.local_port;
+  seg.dst_port = tcb.remote_port;
+  seg.seq = seq;
+  seg.ack = tcb.rcv_nxt;
+  seg.flags = flags;
+  seg.payload = std::move(payload);
+  net_.send(std::move(seg));
+}
+
+void TcpStack::arm_retx(Tcb& tcb) {
+  if (tcb.retx_deadline == 0) tcb.retx_deadline = now_ms_ + kRtoMs;
+}
+
+void TcpStack::pump(Tcb& tcb) {
+  if (tcb.state != TcpState::kEstablished &&
+      tcb.state != TcpState::kCloseWait) {
+    return;
+  }
+  while (!tcb.send_queue.empty() && tcb.inflight.size() < kWindow) {
+    const std::size_t n = std::min(
+        {tcb.send_queue.size(), kMss, kWindow - tcb.inflight.size()});
+    std::vector<u8> payload(tcb.send_queue.begin(),
+                            tcb.send_queue.begin() + static_cast<long>(n));
+    tcb.send_queue.erase(tcb.send_queue.begin(),
+                         tcb.send_queue.begin() + static_cast<long>(n));
+    transmit(tcb, tcb.snd_nxt, TcpFlags::kAck, payload);
+    tcb.inflight.insert(tcb.inflight.end(), payload.begin(), payload.end());
+    tcb.snd_nxt += static_cast<u32>(n);
+    arm_retx(tcb);
+  }
+  if (tcb.fin_pending && !tcb.fin_sent && tcb.send_queue.empty()) {
+    transmit(tcb, tcb.snd_nxt, TcpFlags::kFin | TcpFlags::kAck, {});
+    tcb.snd_nxt += 1;  // FIN occupies one sequence number
+    tcb.fin_sent = true;
+    tcb.state = (tcb.state == TcpState::kCloseWait) ? TcpState::kLastAck
+                                                    : TcpState::kFinWait1;
+    arm_retx(tcb);
+  }
+}
+
+void TcpStack::retransmit(Tcb& tcb) {
+  ++retransmissions_;
+  ++tcb.retx_count;
+  if (tcb.retx_count > kMaxRetx) {
+    kill(tcb, /*reset=*/true);
+    return;
+  }
+  switch (tcb.state) {
+    case TcpState::kSynSent:
+      transmit(tcb, tcb.iss, TcpFlags::kSyn, {});
+      break;
+    case TcpState::kSynRcvd:
+      transmit(tcb, tcb.iss, TcpFlags::kSyn | TcpFlags::kAck, {});
+      break;
+    default: {
+      if (!tcb.inflight.empty()) {
+        const std::size_t n = std::min(tcb.inflight.size(), kMss);
+        std::vector<u8> payload(tcb.inflight.begin(),
+                                tcb.inflight.begin() + static_cast<long>(n));
+        transmit(tcb, tcb.snd_una, TcpFlags::kAck, std::move(payload));
+      } else if (tcb.fin_sent) {
+        transmit(tcb, tcb.snd_nxt - 1, TcpFlags::kFin | TcpFlags::kAck, {});
+      }
+      break;
+    }
+  }
+  tcb.retx_deadline = now_ms_ + kRtoMs;
+}
+
+void TcpStack::kill(Tcb& tcb, bool reset) {
+  if (reset && tcb.state != TcpState::kClosed) {
+    transmit(tcb, tcb.snd_nxt, TcpFlags::kRst, {});
+    ++resets_sent_;
+    tcb.reset = true;
+  }
+  tcb.state = TcpState::kClosed;
+  tcb.retx_deadline = 0;
+}
+
+void TcpStack::handle_listener(Tcb& listener, const Segment& seg) {
+  if (!seg.has(TcpFlags::kSyn)) return;  // stray segment to a listener
+  if (static_cast<int>(listener.accept_queue.size()) >= listener.backlog) {
+    return;  // backlog full: silently drop (client will retransmit SYN)
+  }
+  const int id = next_id_++;
+  Tcb conn;
+  conn.state = TcpState::kSynRcvd;
+  conn.remote_ip = seg.src_ip;
+  conn.remote_port = seg.src_port;
+  conn.local_port = listener.local_port;
+  conn.rcv_nxt = seg.seq + 1;
+  conn.iss = rng_.next_u32();
+  conn.snd_una = conn.iss;
+  conn.snd_nxt = conn.iss + 1;
+  transmit(conn, conn.iss, TcpFlags::kSyn | TcpFlags::kAck, {});
+  auto [it, ok] = socks_.emplace(id, std::move(conn));
+  (void)ok;
+  arm_retx(it->second);
+  listener.accept_queue.push_back(id);
+}
+
+void TcpStack::handle_connection(int id, Tcb& tcb, const Segment& seg) {
+  (void)id;
+  if (seg.has(TcpFlags::kRst)) {
+    tcb.reset = true;
+    tcb.state = TcpState::kClosed;
+    return;
+  }
+
+  if (tcb.state == TcpState::kSynSent) {
+    if (seg.has(TcpFlags::kSyn) && seg.has(TcpFlags::kAck) &&
+        seg.ack == tcb.iss + 1) {
+      tcb.rcv_nxt = seg.seq + 1;
+      tcb.snd_una = seg.ack;
+      tcb.state = TcpState::kEstablished;
+      tcb.retx_deadline = 0;
+      tcb.retx_count = 0;
+      transmit(tcb, tcb.snd_nxt, TcpFlags::kAck, {});
+      pump(tcb);
+    }
+    return;
+  }
+
+  // ACK processing (cumulative).
+  if (seg.has(TcpFlags::kAck)) {
+    const u32 acked = seg.ack - tcb.snd_una;
+    const u32 outstanding = tcb.snd_nxt - tcb.snd_una;
+    if (acked > 0 && acked <= outstanding) {
+      u32 remaining = acked;
+      if (tcb.state == TcpState::kSynRcvd) {
+        // Our SYN consumed one unit that is not in the byte buffer.
+        tcb.state = TcpState::kEstablished;
+        remaining -= 1;
+      }
+      const std::size_t pop =
+          std::min<std::size_t>(remaining, tcb.inflight.size());
+      tcb.inflight.erase(tcb.inflight.begin(),
+                         tcb.inflight.begin() + static_cast<long>(pop));
+      tcb.snd_una = seg.ack;
+      tcb.retx_count = 0;
+      tcb.retx_deadline =
+          (tcb.snd_una == tcb.snd_nxt) ? 0 : now_ms_ + kRtoMs;
+      // FIN fully acknowledged?
+      if (tcb.fin_sent && tcb.snd_una == tcb.snd_nxt) {
+        if (tcb.state == TcpState::kFinWait1) {
+          tcb.state = TcpState::kFinWait2;
+        } else if (tcb.state == TcpState::kLastAck) {
+          tcb.state = TcpState::kClosed;
+        }
+      }
+      pump(tcb);
+    }
+  }
+
+  // In-order payload.
+  if (!seg.payload.empty()) {
+    if (seg.seq == tcb.rcv_nxt) {
+      tcb.recv_queue.insert(tcb.recv_queue.end(), seg.payload.begin(),
+                            seg.payload.end());
+      tcb.rcv_nxt += static_cast<u32>(seg.payload.size());
+      transmit(tcb, tcb.snd_nxt, TcpFlags::kAck, {});
+    } else {
+      // Out of order or duplicate: dup-ACK what we actually have.
+      transmit(tcb, tcb.snd_nxt, TcpFlags::kAck, {});
+    }
+  }
+
+  // FIN (its sequence position is after any payload in this segment).
+  if (seg.has(TcpFlags::kFin)) {
+    const u32 fin_seq = seg.seq + static_cast<u32>(seg.payload.size());
+    if (fin_seq == tcb.rcv_nxt && !tcb.peer_fin) {
+      tcb.rcv_nxt += 1;
+      tcb.peer_fin = true;
+      transmit(tcb, tcb.snd_nxt, TcpFlags::kAck, {});
+      switch (tcb.state) {
+        case TcpState::kEstablished:
+          tcb.state = TcpState::kCloseWait;
+          break;
+        case TcpState::kFinWait1:
+          // Simultaneous close: our FIN not yet acked.
+          tcb.state = TcpState::kTimeWait;
+          break;
+        case TcpState::kFinWait2:
+          tcb.state = TcpState::kTimeWait;
+          break;
+        default:
+          break;
+      }
+    } else if (fin_seq < tcb.rcv_nxt || tcb.peer_fin) {
+      transmit(tcb, tcb.snd_nxt, TcpFlags::kAck, {});  // dup FIN: re-ACK
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// UDP / ICMP
+// ---------------------------------------------------------------------------
+
+Status TcpStack::udp_bind(Port port) {
+  if (udp_ports_.count(port)) {
+    return Status(ErrorCode::kAlreadyExists, "UDP port in use");
+  }
+  udp_ports_[port];
+  return Status::ok();
+}
+
+void TcpStack::udp_sendto(IpAddr dst_ip, Port dst_port,
+                          std::span<const u8> payload, Port src_port) {
+  Segment seg;
+  seg.src_ip = addr_;
+  seg.dst_ip = dst_ip;
+  seg.protocol = IpProto::kUdp;
+  seg.src_port = src_port;
+  seg.dst_port = dst_port;
+  seg.payload.assign(payload.begin(), payload.end());
+  net_.send(std::move(seg));
+}
+
+Result<TcpStack::Datagram> TcpStack::udp_recvfrom(Port port) {
+  auto it = udp_ports_.find(port);
+  if (it == udp_ports_.end()) {
+    return Status(ErrorCode::kFailedPrecondition, "UDP port not bound");
+  }
+  if (it->second.empty()) {
+    return Status(ErrorCode::kUnavailable, "no datagram");
+  }
+  Datagram d = std::move(it->second.front());
+  it->second.pop_front();
+  return d;
+}
+
+void TcpStack::ping(IpAddr dst, u32 seq) {
+  Segment seg;
+  seg.src_ip = addr_;
+  seg.dst_ip = dst;
+  seg.protocol = IpProto::kIcmp;
+  seg.flags = 8;  // echo request
+  seg.seq = seq;
+  net_.send(std::move(seg));
+}
+
+void TcpStack::deliver(const Segment& seg) {
+  if (seg.dst_ip != addr_) return;
+
+  if (seg.protocol == IpProto::kUdp) {
+    auto it = udp_ports_.find(seg.dst_port);
+    if (it == udp_ports_.end()) return;  // unreachable port: dropped
+    it->second.push_back(Datagram{seg.src_ip, seg.src_port, seg.payload});
+    return;
+  }
+  if (seg.protocol == IpProto::kIcmp) {
+    if (seg.flags == 8) {  // echo request -> reply
+      Segment reply;
+      reply.src_ip = addr_;
+      reply.dst_ip = seg.src_ip;
+      reply.protocol = IpProto::kIcmp;
+      reply.flags = 0;  // echo reply
+      reply.seq = seg.seq;
+      reply.payload = seg.payload;
+      net_.send(std::move(reply));
+      ++echo_requests_answered_;
+    } else if (seg.flags == 0) {
+      ++echo_replies_;
+      last_echo_seq_ = seg.seq;
+    }
+    return;
+  }
+
+  const int conn = find_connection(seg.src_ip, seg.src_port, seg.dst_port);
+  if (conn >= 0) {
+    handle_connection(conn, socks_.at(conn), seg);
+    return;
+  }
+  const int listener = find_listener(seg.dst_port);
+  if (listener >= 0) {
+    handle_listener(socks_.at(listener), seg);
+    return;
+  }
+  // Nothing at this port: RST (so connects to dead ports fail fast).
+  if (!seg.has(TcpFlags::kRst)) {
+    Tcb ghost;
+    ghost.remote_ip = seg.src_ip;
+    ghost.remote_port = seg.src_port;
+    ghost.local_port = seg.dst_port;
+    ghost.rcv_nxt = seg.seq + 1;
+    transmit(ghost, seg.ack, TcpFlags::kRst, {});
+    ++resets_sent_;
+  }
+}
+
+void TcpStack::on_tick(u64 now_ms) {
+  now_ms_ = now_ms;
+  for (auto& [id, tcb] : socks_) {
+    (void)id;
+    if (tcb.state == TcpState::kClosed || tcb.state == TcpState::kListen) {
+      continue;
+    }
+    if (tcb.retx_deadline != 0 && now_ms_ >= tcb.retx_deadline) {
+      retransmit(tcb);
+    }
+    pump(tcb);
+  }
+}
+
+}  // namespace rmc::net

@@ -1,0 +1,164 @@
+// TCP-lite: the transport the RMC2000 kit's software stack provides
+// ("comes with software implementing TCP/IP, UDP and ICMP", paper §4) and
+// the one the Unix side of the case study speaks.
+//
+// Implemented: 3-way handshake, cumulative ACKs, in-order delivery with
+// dup-ACK on out-of-order segments, go-back-N retransmission with a fixed
+// RTO, graceful FIN teardown in both directions, RST on unexpected
+// segments, listener backlogs. Not implemented (out of scope, documented in
+// DESIGN.md): sliding receive windows, congestion control, SACK, urgent
+// data.
+//
+// All calls are non-blocking: "blocking" behaviour is built by the service
+// layer out of costatement waitfor loops, exactly as the port had to (§5.3).
+#pragma once
+
+#include <deque>
+#include <map>
+
+#include "common/status.h"
+#include "net/simnet.h"
+
+namespace rmc::net {
+
+enum class TcpState {
+  kClosed,
+  kListen,
+  kSynSent,
+  kSynRcvd,
+  kEstablished,
+  kFinWait1,
+  kFinWait2,
+  kCloseWait,
+  kLastAck,
+  kTimeWait,
+};
+
+const char* tcp_state_name(TcpState s);
+
+class TcpStack : public NetworkEndpoint {
+ public:
+  static constexpr std::size_t kMss = 536;          // classic default MSS
+  static constexpr std::size_t kWindow = 4 * kMss;  // fixed send window
+  static constexpr u64 kRtoMs = 200;
+  static constexpr int kMaxRetx = 8;
+
+  TcpStack(SimNet& net, IpAddr addr, u64 seed = 7);
+
+  /// Passive open. Returns the listener socket id.
+  common::Result<int> listen(Port port, int backlog = 4);
+
+  /// Active open: starts the handshake, returns the connection socket id
+  /// immediately (poll is_established / state).
+  common::Result<int> connect(IpAddr dst_ip, Port dst_port);
+
+  /// Pop one established connection off a listener (kUnavailable if none).
+  common::Result<int> accept(int listener);
+
+  /// Queue bytes for transmission. Fails once the connection is closing.
+  common::Result<std::size_t> send(int sock, std::span<const u8> data);
+
+  /// Drain received bytes. Returns 0 exactly at EOF (peer FIN and buffer
+  /// empty); kUnavailable when no data yet on a live connection.
+  common::Result<std::size_t> recv(int sock, std::span<u8> out);
+
+  std::size_t bytes_available(int sock) const;
+
+  /// Graceful close: FIN after queued data drains.
+  common::Status close(int sock);
+
+  TcpState state(int sock) const;
+  bool is_established(int sock) const {
+    const TcpState s = state(sock);
+    return s == TcpState::kEstablished || s == TcpState::kCloseWait;
+  }
+  /// Connection still consuming resources (not fully torn down)?
+  bool is_open(int sock) const {
+    const TcpState s = state(sock);
+    return s != TcpState::kClosed && s != TcpState::kTimeWait;
+  }
+  /// True if the connection died from RST or retransmission give-up.
+  bool was_reset(int sock) const;
+
+  IpAddr address() const { return addr_; }
+  u64 retransmissions() const { return retransmissions_; }
+  u64 resets_sent() const { return resets_sent_; }
+
+  // --- UDP (datagram, unreliable — no retransmission) --------------------
+  struct Datagram {
+    IpAddr src_ip = 0;
+    Port src_port = 0;
+    std::vector<u8> payload;
+  };
+  /// Open a UDP port for receiving. Fails if already bound.
+  common::Status udp_bind(Port port);
+  /// Fire-and-forget datagram.
+  void udp_sendto(IpAddr dst_ip, Port dst_port, std::span<const u8> payload,
+                  Port src_port);
+  /// Pop the next datagram queued on `port` (kUnavailable when none).
+  common::Result<Datagram> udp_recvfrom(Port port);
+
+  // --- ICMP echo (ping) ----------------------------------------------------
+  /// Send an echo request with the given sequence number.
+  void ping(IpAddr dst, u32 seq);
+  /// Echo replies received, and the highest reply sequence seen.
+  u64 echo_replies() const { return echo_replies_; }
+  u32 last_echo_seq() const { return last_echo_seq_; }
+  u64 echo_requests_answered() const { return echo_requests_answered_; }
+
+  // NetworkEndpoint
+  void deliver(const Segment& segment) override;
+  void on_tick(u64 now_ms) override;
+
+ private:
+  struct Tcb {
+    TcpState state = TcpState::kClosed;
+    IpAddr remote_ip = 0;
+    Port local_port = 0;
+    Port remote_port = 0;
+    u32 iss = 0;       // initial send sequence
+    u32 snd_una = 0;   // oldest unacked
+    u32 snd_nxt = 0;   // next to send
+    u32 rcv_nxt = 0;   // next expected
+    std::deque<u8> send_queue;  // not yet transmitted
+    std::deque<u8> inflight;    // transmitted, unacked (aligned to snd_una)
+    std::deque<u8> recv_queue;
+    bool fin_pending = false;   // close() requested
+    bool fin_sent = false;
+    bool peer_fin = false;
+    bool reset = false;
+    u64 retx_deadline = 0;
+    int retx_count = 0;
+    // Listener-only:
+    int backlog = 0;
+    std::deque<int> accept_queue;
+  };
+
+  Tcb* find(int sock);
+  const Tcb* find(int sock) const;
+  int find_connection(IpAddr rip, Port rport, Port lport) const;
+  int find_listener(Port lport) const;
+
+  void transmit(const Tcb& tcb, u32 seq, u8 flags, std::vector<u8> payload);
+  void pump(Tcb& tcb);            // move send_queue -> wire within window
+  void arm_retx(Tcb& tcb);
+  void retransmit(Tcb& tcb);
+  void kill(Tcb& tcb, bool reset);
+  void handle_listener(Tcb& listener, const Segment& seg);
+  void handle_connection(int id, Tcb& tcb, const Segment& seg);
+
+  SimNet& net_;
+  IpAddr addr_;
+  common::Xorshift64 rng_;
+  std::map<int, Tcb> socks_;
+  int next_id_ = 1;
+  u64 now_ms_ = 0;
+  u64 retransmissions_ = 0;
+  u64 resets_sent_ = 0;
+  std::map<Port, std::deque<Datagram>> udp_ports_;
+  u64 echo_replies_ = 0;
+  u32 last_echo_seq_ = 0;
+  u64 echo_requests_answered_ = 0;
+};
+
+}  // namespace rmc::net

@@ -1,0 +1,83 @@
+#include "rabbit/board.h"
+
+namespace rmc::rabbit {
+
+Board::Board()
+    : cpu_(mem_, io_),
+      serial_(kSerialBase, kSerialIrqVector),
+      timer_(kTimerBase, kTimerIrqVector) {
+  io_.map(kSerialBase, kSerialBase + 3, &serial_);
+  io_.map(kTimerBase, kTimerBase + 3, &timer_);
+  reset();
+}
+
+void Board::reset() {
+  cpu_.reset();
+  // Segment mapping: data segment 0x6000 -> SRAM 0x80000, stack segment
+  // 0xD000 -> SRAM 0x8E000 (see header). SEGSIZE 0xD6 = data base 0x6000,
+  // stack base 0xD000.
+  mem_.set_segsize(0xD6);
+  mem_.set_dataseg(0x7A);   // 0x6000 + 0x7A000 = 0x80000
+  mem_.set_stackseg(0x81);  // 0xD000 + 0x81000 = 0x8E000
+  mem_.set_xpc(0);
+
+  // crt0 in flash: RET at every RST vector, HALT at the call sentinel,
+  // RET in each interrupt slot (programs overwrite their own slots).
+  mem_.set_flash_writable(true);
+  for (u16 v = 0; v <= 0x38; v = static_cast<u16>(v + 8)) {
+    mem_.write_phys(v, 0xC9);  // RET
+  }
+  mem_.write_phys(kCallSentinel, 0x76);  // HALT
+  for (u8 slot = 0; slot < 8; ++slot) {
+    mem_.write_phys(0x0040u + slot * 8u, 0xC9);  // RET
+  }
+  mem_.set_flash_writable(false);
+
+  cpu_.regs().sp = kStackTop;
+}
+
+void Board::load(const Image& image) {
+  mem_.set_flash_writable(true);
+  for (const auto& chunk : image.chunks) {
+    mem_.load(chunk.phys_addr, chunk.bytes);
+  }
+  mem_.set_flash_writable(false);
+  cpu_.regs().pc = static_cast<u16>(image.entry);
+  loaded_ = image;
+}
+
+CallResult Board::call(u16 addr, u64 max_cycles) {
+  CallResult res;
+  const u64 cyc0 = cpu_.cycles();
+  const u64 ins0 = cpu_.instructions_retired();
+  cpu_.clear_halt();
+  cpu_.regs().sp = kStackTop;
+  // Push the sentinel return address; the routine's RET lands on HALT.
+  cpu_.regs().sp = static_cast<u16>(cpu_.regs().sp - 2);
+  mem_.write16(cpu_.regs().sp, kCallSentinel);
+  cpu_.regs().pc = addr;
+  res.stop = cpu_.run(max_cycles);
+  res.cycles = cpu_.cycles() - cyc0;
+  res.instructions = cpu_.instructions_retired() - ins0;
+  res.hl = cpu_.regs().hl();
+  res.a = cpu_.regs().a;
+  return res;
+}
+
+common::Result<CallResult> Board::call(const std::string& symbol,
+                                       u64 max_cycles) {
+  if (!loaded_) {
+    return common::make_error(common::ErrorCode::kFailedPrecondition,
+                              "no image loaded");
+  }
+  u32 addr = 0;
+  if (!loaded_->find_symbol(symbol, addr)) {
+    return common::make_error(common::ErrorCode::kNotFound,
+                              "symbol not found: " + symbol);
+  }
+  return call(static_cast<u16>(addr), max_cycles);
+}
+
+StopReason Board::run(u64 max_cycles) { return cpu_.run(max_cycles); }
+
+}  // namespace rmc::rabbit

@@ -1,0 +1,88 @@
+// RMC2000 board model: Rabbit 2000 CPU + 512 KiB flash / 128 KiB SRAM +
+// serial port A + timer A, wired the way src/rasm and src/dcc programs
+// expect.
+//
+// Memory conventions (established by reset(), matching how Dynamic C lays
+// out a program on the real kit):
+//   logical 0x0000-0x5FFF  root code + constants  -> flash  phys 0x00000+
+//   logical 0x6000-0xCFFF  data segment (globals) -> SRAM   phys 0x80000+
+//   logical 0xD000-0xDFFF  stack segment          -> SRAM   phys 0x8E000+
+//   logical 0xE000-0xFFFF  XPC window             -> flash/SRAM by XPC
+//
+// crt0: RST vectors 0x00-0x38 hold RET (so the Dynamic C debug hook RST 28h
+// is a counted call+return), interrupt slots live at 0x0040+8*vec, and the
+// call() helper uses a HALT parked at kCallSentinel as the return address.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "rabbit/cpu.h"
+#include "rabbit/image.h"
+#include "rabbit/io.h"
+#include "rabbit/memory.h"
+#include "rabbit/peripherals.h"
+
+namespace rmc::rabbit {
+
+/// Result of running a call() on the board.
+struct CallResult {
+  StopReason stop = StopReason::kRunning;
+  u64 cycles = 0;         // cycles consumed by this call only
+  u64 instructions = 0;   // instructions retired by this call only
+  u16 hl = 0;             // Rabbit/Dynamic C return-value register
+  u8 a = 0;
+};
+
+class Board {
+ public:
+  static constexpr double kClockHz = 30.0e6;  // 30 MHz part (paper §4)
+  static constexpr u16 kStackTop = 0xDFF0;
+  static constexpr u16 kCallSentinel = 0x0004;  // HALT parked here
+  static constexpr u16 kSerialBase = 0x00C0;
+  static constexpr u16 kTimerBase = 0x00A0;
+  static constexpr u8 kSerialIrqVector = 1;
+  static constexpr u8 kTimerIrqVector = 2;
+
+  Board();
+
+  /// Re-establish the crt0 state and segment mapping; clears CPU state.
+  void reset();
+
+  /// Copy an image into physical memory and point PC at its entry.
+  void load(const Image& image);
+
+  Cpu& cpu() { return cpu_; }
+  Memory& mem() { return mem_; }
+  IoBus& io() { return io_; }
+  SerialPort& serial() { return serial_; }
+  Timer& timer() { return timer_; }
+
+  /// Call the routine at `addr` with the standard stack and a sentinel
+  /// return address; runs until the routine returns (HALT at the sentinel),
+  /// a cycle budget is exhausted, or an illegal opcode is hit. Registers
+  /// other than SP/PC are left as the caller set them (use regs() to pass
+  /// arguments, e.g. HL/DE per the Dynamic C convention).
+  CallResult call(u16 addr, u64 max_cycles = 50'000'000);
+
+  /// Convenience: look up `symbol` in the loaded image and call it.
+  common::Result<CallResult> call(const std::string& symbol,
+                                  u64 max_cycles = 50'000'000);
+
+  /// Run freely from the current PC (for main-loop style programs).
+  StopReason run(u64 max_cycles);
+
+  /// Wall-clock seconds a cycle count corresponds to at 30 MHz.
+  static double seconds(u64 cycles) { return static_cast<double>(cycles) / kClockHz; }
+
+ private:
+  Memory mem_;
+  IoBus io_;
+  Cpu cpu_;
+  SerialPort serial_;
+  Timer timer_;
+  std::optional<Image> loaded_;
+};
+
+}  // namespace rmc::rabbit

@@ -1,0 +1,168 @@
+// Rabbit 2000 CPU core: a cycle-counting interpreter for the Z80-derived
+// instruction set the RMC2000's processor executes.
+//
+// Scope. We implement the Z80 core subset that our assembler (src/rasm) and
+// compiler (src/dcc) emit, plus the Rabbit-specific instructions the paper's
+// experiments rely on:
+//   * `MUL`            — 16x16 signed multiply, HL:BC = BC * DE
+//   * `BOOL HL`        — HL = (HL != 0)
+//   * `LD XPC,A` / `LD A,XPC` — bank-switch the 8 KiB xmem window
+//   * `LCALL` / `LJP` / `LRET` — far control flow across banks
+// Standard Z80 encodings are used for the Z80 core. Rabbit-specific forms
+// use ED-prefixed encodings of our own choosing (documented next to each
+// case); we control both the assembler and this core, and make no claim of
+// binary compatibility with real Rabbit ROM images.
+//
+// Cycle model. Per-instruction costs follow the *shape* of the Rabbit 2000
+// datasheet (register ops 2, immediate 4-ish, memory 5-13, call/ret 8-12,
+// far calls ~19). Absolute values are approximations; the experiments in
+// bench/ depend only on ratios between builds running on this same model.
+//
+// Flags. S, Z, H, P/V, N, C with conventional Z80 arithmetic semantics
+// (P/V = overflow for add/sub/cp, parity for logicals). The undocumented
+// X/Y copy bits are not modelled.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/bytes.h"
+#include "rabbit/io.h"
+#include "rabbit/memory.h"
+
+namespace rmc::rabbit {
+
+/// Flag bit positions within F.
+struct Flag {
+  static constexpr u8 C = 0x01;  // carry
+  static constexpr u8 N = 0x02;  // add/subtract
+  static constexpr u8 PV = 0x04; // parity / overflow
+  static constexpr u8 H = 0x10;  // half carry
+  static constexpr u8 Z = 0x40;  // zero
+  static constexpr u8 S = 0x80;  // sign
+};
+
+struct Registers {
+  u8 a = 0, f = 0, b = 0, c = 0, d = 0, e = 0, h = 0, l = 0;
+  u8 a2 = 0, f2 = 0, b2 = 0, c2 = 0, d2 = 0, e2 = 0, h2 = 0, l2 = 0;  // alt set
+  u16 ix = 0, iy = 0, sp = 0, pc = 0;
+
+  u16 af() const { return common::make16(f, a); }
+  u16 bc() const { return common::make16(c, b); }
+  u16 de() const { return common::make16(e, d); }
+  u16 hl() const { return common::make16(l, h); }
+  void set_af(u16 v) { f = common::lo8(v); a = common::hi8(v); }
+  void set_bc(u16 v) { c = common::lo8(v); b = common::hi8(v); }
+  void set_de(u16 v) { e = common::lo8(v); d = common::hi8(v); }
+  void set_hl(u16 v) { l = common::lo8(v); h = common::hi8(v); }
+};
+
+/// Reasons `run` stopped.
+enum class StopReason {
+  kRunning,      // never returned by run(); initial state
+  kHalted,       // executed HALT
+  kCycleLimit,   // exceeded the budget passed to run()
+  kBreakpoint,   // hit an address registered with add_breakpoint()
+  kIllegal,      // undecodable opcode
+};
+
+class Cpu {
+ public:
+  Cpu(Memory& mem, IoBus& io) : mem_(mem), io_(io) {}
+
+  Registers& regs() { return regs_; }
+  const Registers& regs() const { return regs_; }
+  Memory& mem() { return mem_; }
+
+  void reset();
+
+  /// Execute one instruction (or service one interrupt). Returns cycles
+  /// consumed. Peripherals are ticked by the same amount.
+  unsigned step();
+
+  /// Run until HALT / cycle budget / breakpoint / illegal opcode.
+  StopReason run(u64 max_cycles);
+
+  u64 cycles() const { return cycles_; }
+  u64 instructions_retired() const { return instructions_; }
+  bool halted() const { return halted_; }
+  void clear_halt() { halted_ = false; }
+  bool iff() const { return iff_; }
+  void set_iff(bool v) { iff_ = v; }
+
+  /// Debug-hook trap counter: every RST 28h executed (Dynamic C inserts
+  /// RST 28h before each C statement when debugging is enabled; the
+  /// `-fnodebug` knob in src/dcc removes them).
+  u64 debug_traps() const { return debug_traps_; }
+
+  void add_breakpoint(u16 addr);
+  void clear_breakpoints();
+
+  /// Description of the last illegal opcode (for kIllegal stops).
+  const std::string& illegal_message() const { return illegal_message_; }
+
+  /// One-line state dump "PC=.. A=.. BC=.. ..." for debugging and traces.
+  std::string state_line() const;
+
+ private:
+  // Fetch helpers (advance PC).
+  u8 fetch8();
+  u16 fetch16();
+
+  // Stack helpers.
+  void push16(u16 v);
+  u16 pop16();
+
+  // Flag helpers.
+  bool flag(u8 mask) const { return (regs_.f & mask) != 0; }
+  void set_flag(u8 mask, bool v) {
+    regs_.f = v ? (regs_.f | mask) : (regs_.f & static_cast<u8>(~mask));
+  }
+  void set_szp(u8 value);  // S/Z from value, PV=parity, H=N=0 preserved-no: cleared by caller
+
+  // ALU.
+  u8 alu_add8(u8 a, u8 b, bool carry_in);
+  u8 alu_sub8(u8 a, u8 b, bool carry_in, bool store_result_flags = true);
+  void alu_logic(u8 result, bool set_h);
+  u16 alu_add16(u16 a, u16 b);                // ADD HL,ss (C,H,N only)
+  u16 alu_adc16(u16 a, u16 b, bool carry_in); // ADC/SBC HL,ss (full flags)
+  u16 alu_sbc16(u16 a, u16 b, bool carry_in);
+  u8 alu_inc8(u8 v);
+  u8 alu_dec8(u8 v);
+
+  // Rotate/shift group (CB prefix).
+  u8 rot_op(unsigned op, u8 v);
+
+  // Register-code decode (r = 0..7 -> B C D E H L (HL) A).
+  u8 read_r(unsigned code);
+  void write_r(unsigned code, u8 v);
+
+  // Condition-code decode (NZ Z NC C PO PE P M).
+  bool cond(unsigned code) const;
+
+  // Prefix dispatchers. Each returns cycles consumed.
+  unsigned exec_main(u8 op);
+  unsigned exec_cb();
+  unsigned exec_ed();
+  unsigned exec_index(u16& xy);  // DD (IX) / FD (IY)
+  unsigned exec_index_cb(u16 base);
+
+  unsigned service_interrupt();
+  unsigned illegal(u8 prefix, u8 op);
+
+  Memory& mem_;
+  IoBus& io_;
+  Registers regs_;
+  u64 cycles_ = 0;
+  u64 instructions_ = 0;
+  u64 debug_traps_ = 0;
+  bool halted_ = false;
+  bool iff_ = false;           // interrupt enable
+  bool ei_delay_ = false;      // EI enables after the following instruction
+  bool illegal_ = false;
+  std::string illegal_message_;
+  std::vector<u16> breakpoints_;
+};
+
+}  // namespace rmc::rabbit

@@ -1,0 +1,43 @@
+// Loadable program image: what the assembler emits and the board consumes.
+//
+// An image is a set of chunks at physical addresses plus a symbol table.
+// Keeping it here (not in rasm) lets the board, the compiler driver, and
+// tests share it without depending on the assembler.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace rmc::rabbit {
+
+struct ImageChunk {
+  common::u32 phys_addr = 0;
+  std::vector<common::u8> bytes;
+};
+
+struct Image {
+  std::vector<ImageChunk> chunks;
+  std::map<std::string, common::u32> symbols;
+  common::u32 entry = 0;
+
+  /// Total bytes across all chunks — the "code size" metric of experiment E3.
+  std::size_t total_bytes() const {
+    std::size_t n = 0;
+    for (const auto& c : chunks) n += c.bytes.size();
+    return n;
+  }
+
+  /// Symbol lookup; returns true and sets `addr` when found.
+  bool find_symbol(const std::string& name, common::u32& addr) const {
+    auto it = symbols.find(name);
+    if (it == symbols.end()) return false;
+    addr = it->second;
+    return true;
+  }
+};
+
+}  // namespace rmc::rabbit

@@ -1,0 +1,45 @@
+#include "rabbit/io.h"
+
+namespace rmc::rabbit {
+
+void IoBus::map(u16 first, u16 last, IoDevice* device) {
+  ranges_.push_back(Range{first, last, device});
+}
+
+IoDevice* IoBus::find(u16 port) const {
+  // Scan in reverse so later registrations override earlier ones.
+  for (auto it = ranges_.rbegin(); it != ranges_.rend(); ++it) {
+    if (port >= it->first && port <= it->last) return it->device;
+  }
+  return nullptr;
+}
+
+u8 IoBus::read(u16 port) {
+  if (IoDevice* d = find(port)) return d->io_read(port);
+  ++unclaimed_reads_;
+  return 0xFF;
+}
+
+void IoBus::write(u16 port, u8 value) {
+  if (IoDevice* d = find(port)) {
+    d->io_write(port, value);
+    return;
+  }
+  ++unclaimed_writes_;
+}
+
+void IoBus::tick(u64 cycles) {
+  for (auto& r : ranges_) r.device->tick(cycles);
+}
+
+IoDevice* IoBus::pending_irq() const {
+  const Range* best = nullptr;
+  for (const auto& r : ranges_) {
+    if (r.device->irq_pending() && (best == nullptr || r.first < best->first)) {
+      best = &r;
+    }
+  }
+  return best ? best->device : nullptr;
+}
+
+}  // namespace rmc::rabbit

@@ -1,0 +1,70 @@
+// I/O-port bus shared by the CPU and peripherals.
+//
+// The Rabbit 2000 has a separate I/O address space ("the middle 6K is I/O",
+// paper §4); peripherals (serial ports, timers, the segment-register block)
+// live behind `IN`/`OUT`-style accesses. Devices claim port ranges on the
+// bus; unclaimed reads return 0xFF (floating bus), unclaimed writes are
+// dropped — both counted so tests can assert nothing strays.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace rmc::rabbit {
+
+using common::u16;
+using common::u64;
+using common::u8;
+
+/// A memory-mapped peripheral. `tick` advances device time by CPU cycles so
+/// timers/UARTs progress in lockstep with execution.
+class IoDevice {
+ public:
+  virtual ~IoDevice() = default;
+
+  virtual u8 io_read(u16 port) = 0;
+  virtual void io_write(u16 port, u8 value) = 0;
+  virtual void tick(u64 cycles) { (void)cycles; }
+
+  /// True while the device asserts its interrupt request line.
+  virtual bool irq_pending() const { return false; }
+
+  /// Interrupt vector offset within the internal-interrupt table (see
+  /// Cpu::service_interrupts).
+  virtual u8 irq_vector() const { return 0; }
+};
+
+class IoBus {
+ public:
+  /// Map [first, last] inclusive to `device`. Later registrations win on
+  /// overlap (mirrors development-board jumper overrides).
+  void map(u16 first, u16 last, IoDevice* device);
+
+  u8 read(u16 port);
+  void write(u16 port, u8 value);
+  void tick(u64 cycles);
+
+  /// Device with an active IRQ, or nullptr. Lowest-mapped device wins,
+  /// giving a fixed priority order.
+  IoDevice* pending_irq() const;
+
+  u64 unclaimed_reads() const { return unclaimed_reads_; }
+  u64 unclaimed_writes() const { return unclaimed_writes_; }
+
+ private:
+  struct Range {
+    u16 first;
+    u16 last;
+    IoDevice* device;
+  };
+  IoDevice* find(u16 port) const;
+
+  std::vector<Range> ranges_;
+  u64 unclaimed_reads_ = 0;
+  u64 unclaimed_writes_ = 0;
+};
+
+}  // namespace rmc::rabbit

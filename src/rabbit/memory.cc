@@ -1,0 +1,44 @@
+#include "rabbit/memory.h"
+
+#include <algorithm>
+
+namespace rmc::rabbit {
+
+Memory::Memory() : phys_(kPhysSize, 0) {}
+
+u32 Memory::translate(u16 logical) const {
+  u32 phys;
+  if (logical >= kXpcWindowBase) {
+    phys = static_cast<u32>(logical) + (static_cast<u32>(xpc_) << 12);
+  } else if (logical >= stack_base()) {
+    phys = static_cast<u32>(logical) + (static_cast<u32>(stackseg_) << 12);
+  } else if (logical >= data_base()) {
+    phys = static_cast<u32>(logical) + (static_cast<u32>(dataseg_) << 12);
+  } else {
+    phys = logical;
+  }
+  return phys % kPhysSize;
+}
+
+void Memory::write(u16 logical, u8 value) {
+  const u32 phys = translate(logical);
+  if (!flash_writable_ && phys < kFlashSize) {
+    ++flash_write_faults_;
+    return;
+  }
+  phys_[phys] = value;
+}
+
+void Memory::load(u32 phys, std::span<const u8> image) {
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    phys_[(phys + i) % kPhysSize] = image[i];
+  }
+}
+
+std::vector<u8> Memory::dump(u32 phys, std::size_t len) const {
+  std::vector<u8> out(len);
+  for (std::size_t i = 0; i < len; ++i) out[i] = phys_[(phys + i) % kPhysSize];
+  return out;
+}
+
+}  // namespace rmc::rabbit

@@ -1,0 +1,101 @@
+// Rabbit 2000 memory subsystem: 64 KiB logical address space over 1 MiB of
+// physical memory via segment registers (the "bank switching" the paper's §4
+// describes).
+//
+// Logical map (matches the paper's description: "The lower 50K is fixed, root
+// memory, ... and the top 8K is bank-switched access to the remaining
+// memory"):
+//
+//   0x0000 .. data_base-1    root segment   phys = logical
+//   data_base .. stack_base-1 data segment  phys = logical + DATASEG*0x1000
+//   stack_base .. 0xDFFF     stack segment  phys = logical + STACKSEG*0x1000
+//   0xE000 .. 0xFFFF         XPC window     phys = logical + XPC*0x1000
+//
+// data_base / stack_base come from the two nibbles of SEGSIZE, as on the real
+// part. All physical addresses wrap modulo 1 MiB.
+//
+// Physically, the RMC2000 kit has 512 KiB flash at 0x00000 and 128 KiB SRAM
+// at 0x80000. We model one flat megabyte but track the flash boundary: CPU
+// stores into flash are ignored (and counted), because that is what a real
+// board does without the flash write-state-machine dance — a genuine porting
+// hazard ("variables initialized in a declaration are stored in flash memory
+// and cannot be changed", §4.1).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace rmc::rabbit {
+
+using common::u8;
+using common::u16;
+using common::u32;
+using common::u64;
+
+class Memory {
+ public:
+  static constexpr u32 kPhysSize = 1U << 20;        // 1 MiB
+  static constexpr u32 kFlashSize = 512U * 1024U;   // 0x00000..0x7FFFF
+  static constexpr u16 kXpcWindowBase = 0xE000;
+
+  Memory();
+
+  // --- Segment registers -------------------------------------------------
+  void set_segsize(u8 v) { segsize_ = v; }
+  void set_dataseg(u8 v) { dataseg_ = v; }
+  void set_stackseg(u8 v) { stackseg_ = v; }
+  void set_xpc(u8 v) { xpc_ = v; }
+  u8 segsize() const { return segsize_; }
+  u8 dataseg() const { return dataseg_; }
+  u8 stackseg() const { return stackseg_; }
+  u8 xpc() const { return xpc_; }
+
+  /// First logical address of the data segment (low nibble of SEGSIZE).
+  u16 data_base() const { return static_cast<u16>((segsize_ & 0x0F) << 12); }
+  /// First logical address of the stack segment (high nibble of SEGSIZE).
+  u16 stack_base() const { return static_cast<u16>((segsize_ & 0xF0) << 8); }
+
+  /// Translate a 16-bit logical address to a 20-bit physical address using
+  /// the current segment registers.
+  u32 translate(u16 logical) const;
+
+  // --- CPU-visible accesses (logical, translated) ------------------------
+  u8 read(u16 logical) const { return phys_[translate(logical)]; }
+  void write(u16 logical, u8 value);
+
+  u16 read16(u16 logical) const {
+    return common::make16(read(logical), read(static_cast<u16>(logical + 1)));
+  }
+  void write16(u16 logical, u16 value) {
+    write(logical, common::lo8(value));
+    write(static_cast<u16>(logical + 1), common::hi8(value));
+  }
+
+  // --- Loader / host accesses (physical, untranslated) -------------------
+  u8 read_phys(u32 phys) const { return phys_[phys % kPhysSize]; }
+  void write_phys(u32 phys, u8 value) { phys_[phys % kPhysSize] = value; }
+  void load(u32 phys, std::span<const u8> image);
+  std::vector<u8> dump(u32 phys, std::size_t len) const;
+
+  /// Number of CPU stores that targeted flash and were dropped.
+  u64 flash_write_faults() const { return flash_write_faults_; }
+
+  /// When false (default) the flash region is write-protected against CPU
+  /// stores. The loader's write_phys/load always succeed.
+  void set_flash_writable(bool writable) { flash_writable_ = writable; }
+
+ private:
+  std::vector<u8> phys_;
+  u8 segsize_ = 0xD6;  // data segment at 0x6000, stack segment at 0xD000
+  u8 dataseg_ = 0;
+  u8 stackseg_ = 0;
+  u8 xpc_ = 0;
+  bool flash_writable_ = false;
+  u64 flash_write_faults_ = 0;
+};
+
+}  // namespace rmc::rabbit

@@ -1,0 +1,56 @@
+#include "rabbit/nic.h"
+
+namespace rmc::rabbit {
+
+u8 NicDevice::io_read(u16 port) {
+  switch (port - base_) {
+    case 0:
+      return rx_frames_.empty() ? 0x00 : 0x01;
+    case 1:
+      return rx_frames_.empty()
+                 ? 0
+                 : static_cast<u8>(rx_frames_.front().size() & 0xFF);
+    case 2:
+      return rx_frames_.empty()
+                 ? 0
+                 : static_cast<u8>(rx_frames_.front().size() >> 8);
+    case 3: {
+      if (rx_frames_.empty() ||
+          rx_cursor_ >= rx_frames_.front().size()) {
+        return 0;
+      }
+      return rx_frames_.front()[rx_cursor_++];
+    }
+    default:
+      return 0xFF;
+  }
+}
+
+void NicDevice::io_write(u16 port, u8 value) {
+  switch (port - base_) {
+    case 0:
+      if (value & 1 && !rx_frames_.empty()) {
+        rx_frames_.pop_front();
+        rx_cursor_ = 0;
+        ++frames_consumed_;
+      }
+      break;
+    case 4:
+      tx_building_.push_back(value);
+      break;
+    case 5:
+      if (value & 1) {
+        tx_frames_.push_back(std::move(tx_building_));
+        tx_building_.clear();
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void NicDevice::push_rx_frame(std::vector<u8> frame) {
+  rx_frames_.push_back(std::move(frame));
+}
+
+}  // namespace rmc::rabbit

@@ -1,0 +1,49 @@
+// NicDevice — the development kit's 10Base-T interface, reduced to the
+// frame-level view an on-board program polls (the paper's §5.1 choice:
+// polled/interrupt network I/O with no OS in between).
+//
+// Port map (byte-wide, relative to base):
+//   +0  RXSR   read:  bit0 = frame waiting
+//       RXCR   write: 1 = consume current frame (advance to the next)
+//   +1  RXLL   read:  current frame length, low byte
+//   +2  RXLH   read:  current frame length, high byte
+//   +3  RXDR   read:  next payload byte (sequential; wraps to 0 past end)
+//   +4  TXDR   write: append byte to the outgoing frame
+//   +5  TXCR   write: 1 = commit outgoing frame (host collects it)
+//
+// The host side (a test or a bridge) exchanges frames via push_rx_frame /
+// pop_tx_frame; how those frames map onto the simulated network is the
+// bridge's business.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "rabbit/io.h"
+
+namespace rmc::rabbit {
+
+class NicDevice : public IoDevice {
+ public:
+  explicit NicDevice(u16 base) : base_(base) {}
+
+  u8 io_read(u16 port) override;
+  void io_write(u16 port, u8 value) override;
+
+  // Host side.
+  void push_rx_frame(std::vector<u8> frame);
+  /// Committed outgoing frames, oldest first; empty when none.
+  std::deque<std::vector<u8>>& tx_frames() { return tx_frames_; }
+  std::size_t rx_pending() const { return rx_frames_.size(); }
+  u64 frames_consumed() const { return frames_consumed_; }
+
+ private:
+  u16 base_;
+  std::deque<std::vector<u8>> rx_frames_;
+  std::size_t rx_cursor_ = 0;
+  std::vector<u8> tx_building_;
+  std::deque<std::vector<u8>> tx_frames_;
+  u64 frames_consumed_ = 0;
+};
+
+}  // namespace rmc::rabbit

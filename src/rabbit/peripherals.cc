@@ -1,0 +1,108 @@
+#include "rabbit/peripherals.h"
+
+namespace rmc::rabbit {
+
+// --------------------------------------------------------------------------
+// SerialPort
+// --------------------------------------------------------------------------
+
+u8 SerialPort::io_read(u16 port) {
+  switch (port - base_) {
+    case 0: {  // SADR: pop RX FIFO
+      if (rx_fifo_.empty()) return 0;
+      const u8 b = rx_fifo_.front();
+      rx_fifo_.pop_front();
+      return b;
+    }
+    case 1: {  // SASR
+      u8 s = 0x02;  // TX always idle in the model
+      if (!rx_fifo_.empty()) s |= 0x01;
+      return s;
+    }
+    case 2:
+      return rx_irq_enabled_ ? 0x01 : 0x00;
+    default:
+      return 0xFF;
+  }
+}
+
+void SerialPort::io_write(u16 port, u8 value) {
+  switch (port - base_) {
+    case 0:
+      tx_pending_.push_back(static_cast<char>(value));
+      tx_log_.push_back(static_cast<char>(value));
+      break;
+    case 2:
+      rx_irq_enabled_ = (value & 0x01) != 0;
+      break;
+    default:
+      break;
+  }
+}
+
+void SerialPort::host_send(std::string_view text) {
+  for (char c : text) rx_fifo_.push_back(static_cast<u8>(c));
+}
+
+std::string SerialPort::host_collect() {
+  std::string out;
+  out.swap(tx_pending_);
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Timer
+// --------------------------------------------------------------------------
+
+u8 Timer::io_read(u16 port) {
+  switch (port - base_) {
+    case 0:
+      return static_cast<u8>((running_ ? 1 : 0) | (irq_enabled_ ? 2 : 0));
+    case 1:
+      return static_cast<u8>(period_ticks_ & 0xFF);
+    case 2:
+      return static_cast<u8>(period_ticks_ >> 8);
+    case 3: {
+      const u8 s = expired_ ? 0x01 : 0x00;
+      expired_ = false;  // read clears
+      return s;
+    }
+    default:
+      return 0xFF;
+  }
+}
+
+void Timer::io_write(u16 port, u8 value) {
+  switch (port - base_) {
+    case 0:
+      running_ = (value & 1) != 0;
+      irq_enabled_ = (value & 2) != 0;
+      if (!running_) accum_cycles_ = 0;
+      break;
+    case 1:
+      period_ticks_ = static_cast<u16>((period_ticks_ & 0xFF00) | value);
+      break;
+    case 2:
+      period_ticks_ =
+          static_cast<u16>((period_ticks_ & 0x00FF) | (value << 8));
+      break;
+    case 3:
+      expired_ = false;
+      break;
+    default:
+      break;
+  }
+}
+
+void Timer::tick(u64 cycles) {
+  if (!running_ || period_ticks_ == 0) return;
+  accum_cycles_ += cycles;
+  const u64 period_cycles = static_cast<u64>(period_ticks_) * 64;
+  while (accum_cycles_ >= period_cycles) {
+    accum_cycles_ -= period_cycles;
+    expired_ = true;
+    ++expirations_;
+  }
+}
+
+}  // namespace rmc::rabbit

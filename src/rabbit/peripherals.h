@@ -1,0 +1,75 @@
+// Board peripherals: serial port A (the paper's debug channel, §5.1) and a
+// periodic timer (the paper notes "the protocols include timeouts, but
+// Dynamic C does not have a timer" — the port had to build timing from the
+// hardware timer).
+//
+// Port map (one byte each, chosen to echo the Rabbit's SADR/SASR layout):
+//   SerialPort:  base+0 = SADR  data register (read pops RX FIFO, write
+//                               pushes TX FIFO)
+//                base+1 = SASR  status: bit0 = RX data ready,
+//                               bit1 = TX idle (always 1 here)
+//                base+2 = SACR  control: bit0 = RX interrupt enable
+//   Timer:       base+0 = TACR  control: bit0 = run, bit1 = IRQ enable
+//                base+1 = TALR  period low byte (in 64-cycle ticks)
+//                base+2 = TAHR  period high byte
+//                base+3 = TACSR status: bit0 = expired (read clears)
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "rabbit/io.h"
+
+namespace rmc::rabbit {
+
+class SerialPort : public IoDevice {
+ public:
+  SerialPort(u16 base, u8 irq_vec) : base_(base), irq_vec_(irq_vec) {}
+
+  u8 io_read(u16 port) override;
+  void io_write(u16 port, u8 value) override;
+  bool irq_pending() const override {
+    return rx_irq_enabled_ && !rx_fifo_.empty();
+  }
+  u8 irq_vector() const override { return irq_vec_; }
+
+  // Host side: feed characters to the target / collect its output.
+  void host_send(std::string_view text);
+  void host_send_byte(u8 b) { rx_fifo_.push_back(b); }
+  std::string host_collect();  // drains TX
+  const std::string& tx_log() const { return tx_log_; }
+
+ private:
+  u16 base_;
+  u8 irq_vec_;
+  bool rx_irq_enabled_ = false;
+  std::deque<u8> rx_fifo_;
+  std::string tx_pending_;
+  std::string tx_log_;
+};
+
+class Timer : public IoDevice {
+ public:
+  Timer(u16 base, u8 irq_vec) : base_(base), irq_vec_(irq_vec) {}
+
+  u8 io_read(u16 port) override;
+  void io_write(u16 port, u8 value) override;
+  void tick(u64 cycles) override;
+  bool irq_pending() const override { return irq_enabled_ && expired_; }
+  u8 irq_vector() const override { return irq_vec_; }
+
+  u64 expirations() const { return expirations_; }
+
+ private:
+  u16 base_;
+  u8 irq_vec_;
+  bool running_ = false;
+  bool irq_enabled_ = false;
+  bool expired_ = false;
+  u16 period_ticks_ = 0;  // in units of 64 CPU cycles
+  u64 accum_cycles_ = 0;
+  u64 expirations_ = 0;
+};
+
+}  // namespace rmc::rabbit

@@ -1,0 +1,1499 @@
+#include "rasm/assembler.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <optional>
+
+namespace rmc::rasm {
+
+using common::ErrorCode;
+using common::i64;
+using common::make_error;
+using common::Result;
+using common::Status;
+using common::u16;
+using common::u32;
+using common::u8;
+
+namespace {
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+// ---------------------------------------------------------------------------
+// Source line splitting
+// ---------------------------------------------------------------------------
+
+struct Line {
+  int number = 0;
+  std::string label;
+  std::string mnemonic;            // lower-case
+  std::vector<std::string> operands;  // trimmed, original case preserved
+  std::string raw;
+};
+
+// Strip comments (';' outside quotes) and split "label: mnem op, op".
+Line parse_line(int number, std::string_view text) {
+  Line line;
+  line.number = number;
+  line.raw = std::string(text);
+
+  // Remove comment.
+  std::string body;
+  char quote = 0;
+  for (char c : text) {
+    if (quote) {
+      body.push_back(c);
+      if (c == quote) quote = 0;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      quote = c;
+      body.push_back(c);
+      continue;
+    }
+    if (c == ';') break;
+    body.push_back(c);
+  }
+
+  std::string_view rest = trim(body);
+  if (rest.empty()) return line;
+
+  // Label: leading identifier followed by ':', or an identifier followed by
+  // the `equ` keyword.
+  if (is_ident_start(rest.front())) {
+    std::size_t i = 1;
+    while (i < rest.size() && is_ident_char(rest[i])) ++i;
+    if (i < rest.size() && rest[i] == ':') {
+      line.label = std::string(rest.substr(0, i));
+      rest = trim(rest.substr(i + 1));
+    } else {
+      // Peek: "name equ expr"
+      std::string_view after = trim(rest.substr(i));
+      if (lower(after.substr(0, 4)) == "equ " || lower(after) == "equ") {
+        line.label = std::string(rest.substr(0, i));
+        rest = after;
+      }
+    }
+  }
+  if (rest.empty()) return line;
+
+  // Mnemonic.
+  std::size_t i = 0;
+  while (i < rest.size() && !std::isspace(static_cast<unsigned char>(rest[i])))
+    ++i;
+  line.mnemonic = lower(rest.substr(0, i));
+  rest = trim(rest.substr(i));
+
+  // Operands: split on commas at paren depth 0 outside quotes.
+  if (!rest.empty()) {
+    int depth = 0;
+    quote = 0;
+    std::string cur;
+    for (char c : rest) {
+      if (quote) {
+        cur.push_back(c);
+        if (c == quote) quote = 0;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        quote = c;
+        cur.push_back(c);
+        continue;
+      }
+      if (c == '(') ++depth;
+      if (c == ')') --depth;
+      if (c == ',' && depth == 0) {
+        line.operands.emplace_back(trim(cur));
+        cur.clear();
+        continue;
+      }
+      cur.push_back(c);
+    }
+    if (!trim(cur).empty()) line.operands.emplace_back(trim(cur));
+  }
+  return line;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+struct ExprValue {
+  i64 value = 0;
+  bool resolved = true;
+};
+
+class ExprParser {
+ public:
+  ExprParser(std::string_view text, const std::map<std::string, i64>& symbols,
+             i64 here)
+      : text_(text), symbols_(symbols), here_(here) {}
+
+  Result<ExprValue> parse() {
+    auto v = parse_or();
+    if (!v.ok()) return v;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "trailing characters in expression: '" +
+                        std::string(text_.substr(pos_)) + "'");
+    }
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool eat2(const char* two) {
+    skip_ws();
+    if (pos_ + 1 < text_.size() && text_[pos_] == two[0] &&
+        text_[pos_ + 1] == two[1]) {
+      pos_ += 2;
+      return true;
+    }
+    return false;
+  }
+
+  Result<ExprValue> parse_or() {
+    auto lhs = parse_xor();
+    if (!lhs.ok()) return lhs;
+    while (true) {
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == '|') {
+        ++pos_;
+        auto rhs = parse_xor();
+        if (!rhs.ok()) return rhs;
+        lhs->value |= rhs->value;
+        lhs->resolved = lhs->resolved && rhs->resolved;
+      } else {
+        return lhs;
+      }
+    }
+  }
+  Result<ExprValue> parse_xor() {
+    auto lhs = parse_and();
+    if (!lhs.ok()) return lhs;
+    while (true) {
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == '^') {
+        ++pos_;
+        auto rhs = parse_and();
+        if (!rhs.ok()) return rhs;
+        lhs->value ^= rhs->value;
+        lhs->resolved = lhs->resolved && rhs->resolved;
+      } else {
+        return lhs;
+      }
+    }
+  }
+  Result<ExprValue> parse_and() {
+    auto lhs = parse_shift();
+    if (!lhs.ok()) return lhs;
+    while (true) {
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == '&') {
+        ++pos_;
+        auto rhs = parse_shift();
+        if (!rhs.ok()) return rhs;
+        lhs->value &= rhs->value;
+        lhs->resolved = lhs->resolved && rhs->resolved;
+      } else {
+        return lhs;
+      }
+    }
+  }
+  Result<ExprValue> parse_shift() {
+    auto lhs = parse_add();
+    if (!lhs.ok()) return lhs;
+    while (true) {
+      if (eat2("<<")) {
+        auto rhs = parse_add();
+        if (!rhs.ok()) return rhs;
+        lhs->value <<= rhs->value;
+        lhs->resolved = lhs->resolved && rhs->resolved;
+      } else if (eat2(">>")) {
+        auto rhs = parse_add();
+        if (!rhs.ok()) return rhs;
+        lhs->value = static_cast<i64>(static_cast<common::u64>(lhs->value) >>
+                                      rhs->value);
+        lhs->resolved = lhs->resolved && rhs->resolved;
+      } else {
+        return lhs;
+      }
+    }
+  }
+  Result<ExprValue> parse_add() {
+    auto lhs = parse_mul();
+    if (!lhs.ok()) return lhs;
+    while (true) {
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == '+') {
+        ++pos_;
+        auto rhs = parse_mul();
+        if (!rhs.ok()) return rhs;
+        lhs->value += rhs->value;
+        lhs->resolved = lhs->resolved && rhs->resolved;
+      } else if (pos_ < text_.size() && text_[pos_] == '-') {
+        ++pos_;
+        auto rhs = parse_mul();
+        if (!rhs.ok()) return rhs;
+        lhs->value -= rhs->value;
+        lhs->resolved = lhs->resolved && rhs->resolved;
+      } else {
+        return lhs;
+      }
+    }
+  }
+  Result<ExprValue> parse_mul() {
+    auto lhs = parse_unary();
+    if (!lhs.ok()) return lhs;
+    while (true) {
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == '*') {
+        ++pos_;
+        auto rhs = parse_unary();
+        if (!rhs.ok()) return rhs;
+        lhs->value *= rhs->value;
+        lhs->resolved = lhs->resolved && rhs->resolved;
+      } else if (pos_ < text_.size() && text_[pos_] == '/') {
+        ++pos_;
+        auto rhs = parse_unary();
+        if (!rhs.ok()) return rhs;
+        if (rhs->value == 0 && rhs->resolved) {
+          return Status(ErrorCode::kInvalidArgument, "division by zero");
+        }
+        lhs->value = rhs->value ? lhs->value / rhs->value : 0;
+        lhs->resolved = lhs->resolved && rhs->resolved;
+      } else if (pos_ < text_.size() && text_[pos_] == '%' &&
+                 !(pos_ + 1 < text_.size() &&
+                   (text_[pos_ + 1] == '0' || text_[pos_ + 1] == '1'))) {
+        ++pos_;
+        auto rhs = parse_unary();
+        if (!rhs.ok()) return rhs;
+        if (rhs->value == 0 && rhs->resolved) {
+          return Status(ErrorCode::kInvalidArgument, "modulo by zero");
+        }
+        lhs->value = rhs->value ? lhs->value % rhs->value : 0;
+        lhs->resolved = lhs->resolved && rhs->resolved;
+      } else {
+        return lhs;
+      }
+    }
+  }
+  Result<ExprValue> parse_unary() {
+    skip_ws();
+    if (eat('-')) {
+      auto v = parse_unary();
+      if (!v.ok()) return v;
+      v->value = -v->value;
+      return v;
+    }
+    if (eat('~')) {
+      auto v = parse_unary();
+      if (!v.ok()) return v;
+      v->value = ~v->value;
+      return v;
+    }
+    if (eat('+')) return parse_unary();
+    return parse_primary();
+  }
+
+  Result<ExprValue> parse_primary() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      return Status(ErrorCode::kInvalidArgument, "unexpected end of expression");
+    }
+    const char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      auto v = parse_or();
+      if (!v.ok()) return v;
+      if (!eat(')')) {
+        return Status(ErrorCode::kInvalidArgument, "missing ')'");
+      }
+      return v;
+    }
+    if (c == '$') {
+      // `$ff` = hex literal; bare `$` = current address.
+      if (pos_ + 1 < text_.size() &&
+          std::isxdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+        ++pos_;
+        return parse_number(16);
+      }
+      ++pos_;
+      return ExprValue{here_, true};
+    }
+    if (c == '%') {
+      ++pos_;
+      return parse_number(2);
+    }
+    if (c == '\'') {
+      // Character literal 'x' (with \n \t \\ \' \0 escapes).
+      ++pos_;
+      if (pos_ >= text_.size()) {
+        return Status(ErrorCode::kInvalidArgument, "unterminated char literal");
+      }
+      char v = text_[pos_++];
+      if (v == '\\' && pos_ < text_.size()) {
+        const char e = text_[pos_++];
+        switch (e) {
+          case 'n': v = '\n'; break;
+          case 't': v = '\t'; break;
+          case 'r': v = '\r'; break;
+          case '0': v = '\0'; break;
+          default: v = e; break;
+        }
+      }
+      if (pos_ >= text_.size() || text_[pos_] != '\'') {
+        return Status(ErrorCode::kInvalidArgument, "unterminated char literal");
+      }
+      ++pos_;
+      return ExprValue{static_cast<i64>(static_cast<u8>(v)), true};
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      if (c == '0' && pos_ + 1 < text_.size() &&
+          (text_[pos_ + 1] == 'x' || text_[pos_ + 1] == 'X')) {
+        pos_ += 2;
+        return parse_number(16);
+      }
+      return parse_number_maybe_h();
+    }
+    if (is_ident_start(c)) {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() && is_ident_char(text_[pos_])) ++pos_;
+      std::string name = lower(text_.substr(start, pos_ - start));
+      // Builtin functions.
+      if (name == "xpcof" || name == "winof" || name == "hi" || name == "lo") {
+        if (!eat('(')) {
+          return Status(ErrorCode::kInvalidArgument,
+                        name + " requires parenthesized argument");
+        }
+        auto v = parse_or();
+        if (!v.ok()) return v;
+        if (!eat(')')) {
+          return Status(ErrorCode::kInvalidArgument, "missing ')'");
+        }
+        const i64 x = v->value;
+        i64 r = 0;
+        if (name == "xpcof") r = ((x >> 12) - 0x0E) & 0xFF;
+        else if (name == "winof") r = 0xE000 + (x & 0x0FFF);
+        else if (name == "hi") r = (x >> 8) & 0xFF;
+        else r = x & 0xFF;
+        return ExprValue{r, v->resolved};
+      }
+      auto it = symbols_.find(name);
+      if (it == symbols_.end()) {
+        unresolved_name_ = name;
+        return ExprValue{0, false};
+      }
+      return ExprValue{it->second, true};
+    }
+    return Status(ErrorCode::kInvalidArgument,
+                  std::string("unexpected character '") + c + "' in expression");
+  }
+
+  Result<ExprValue> parse_number(int base) {
+    i64 v = 0;
+    bool any = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      int digit;
+      if (c >= '0' && c <= '9') digit = c - '0';
+      else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+      else break;
+      if (digit >= base) break;
+      v = v * base + digit;
+      ++pos_;
+      any = true;
+    }
+    if (!any) {
+      return Status(ErrorCode::kInvalidArgument, "malformed number");
+    }
+    return ExprValue{v, true};
+  }
+
+  // Decimal, or hex with trailing 'h' (e.g. 0E000h / 12h).
+  Result<ExprValue> parse_number_maybe_h() {
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isxdigit(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    if (pos_ < text_.size() && (text_[pos_] == 'h' || text_[pos_] == 'H')) {
+      i64 v = 0;
+      for (std::size_t i = start; i < pos_; ++i) {
+        const char c = text_[i];
+        const int digit = (c <= '9') ? c - '0'
+                          : (c >= 'a') ? c - 'a' + 10
+                                       : c - 'A' + 10;
+        v = v * 16 + digit;
+      }
+      ++pos_;  // consume 'h'
+      return ExprValue{v, true};
+    }
+    // Plain decimal: re-scan digits only.
+    pos_ = start;
+    i64 v = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      v = v * 10 + (text_[pos_] - '0');
+      ++pos_;
+    }
+    return ExprValue{v, true};
+  }
+
+  std::string_view text_;
+  const std::map<std::string, i64>& symbols_;
+  i64 here_;
+  std::size_t pos_ = 0;
+  std::string unresolved_name_;
+};
+
+// ---------------------------------------------------------------------------
+// Operands
+// ---------------------------------------------------------------------------
+
+enum class OpKind {
+  kNone,
+  kReg8,    // reg = B0 C1 D2 E3 H4 L5 A7
+  kReg16,   // reg = BC0 DE1 HL2 SP3 IX4 IY5 AF6
+  kAfAlt,   // af'
+  kXpc,     // the XPC register
+  kMemHl,   // (hl)
+  kMemBc,   // (bc)
+  kMemDe,   // (de)
+  kMemSp,   // (sp)
+  kMemNn,   // (expr)
+  kMemIdx,  // (ix+d) / (iy+d); reg = 4 (ix) or 5 (iy)
+  kImm,     // expr
+  kString,  // "..." (db only)
+};
+
+struct Op {
+  OpKind kind = OpKind::kNone;
+  int reg = -1;
+  i64 value = 0;
+  bool resolved = true;
+  i64 disp = 0;          // for kMemIdx
+  std::string text;      // original (for strings / errors)
+};
+
+int reg8_code(std::string_view name) {
+  const std::string n = lower(name);
+  if (n == "b") return 0;
+  if (n == "c") return 1;
+  if (n == "d") return 2;
+  if (n == "e") return 3;
+  if (n == "h") return 4;
+  if (n == "l") return 5;
+  if (n == "a") return 7;
+  return -1;
+}
+
+int reg16_code(std::string_view name) {
+  const std::string n = lower(name);
+  if (n == "bc") return 0;
+  if (n == "de") return 1;
+  if (n == "hl") return 2;
+  if (n == "sp") return 3;
+  if (n == "ix") return 4;
+  if (n == "iy") return 5;
+  if (n == "af") return 6;
+  return -1;
+}
+
+int cond_code(std::string_view name) {
+  const std::string n = lower(name);
+  if (n == "nz") return 0;
+  if (n == "z") return 1;
+  if (n == "nc") return 2;
+  if (n == "c") return 3;
+  if (n == "po" || n == "lz") return 4;
+  if (n == "pe" || n == "lo") return 5;
+  if (n == "p") return 6;
+  if (n == "m") return 7;
+  return -1;
+}
+
+}  // namespace
+
+Result<u32> board_logical_to_phys(u32 logical) {
+  if (logical < 0x6000) return logical;
+  if (logical < 0xD000) return logical + 0x7A000;
+  if (logical < 0xE000) return logical + 0x81000;
+  return Status(ErrorCode::kInvalidArgument,
+                "logical address in XPC window; use xorg for extended memory");
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Assembler proper
+// ---------------------------------------------------------------------------
+
+class Assembler {
+ public:
+  explicit Assembler(const AssembleOptions& options) : options_(options) {}
+
+  Result<AssembleOutput> assemble(std::string_view source) {
+    std::vector<Line> lines;
+    int n = 1;
+    std::size_t start = 0;
+    while (start <= source.size()) {
+      std::size_t end = source.find('\n', start);
+      if (end == std::string_view::npos) end = source.size();
+      lines.push_back(parse_line(n++, source.substr(start, end - start)));
+      start = end + 1;
+    }
+
+    for (pass_ = 1; pass_ <= 2; ++pass_) {
+      addr_ = options_.default_org;
+      xmem_mode_ = false;
+      chunk_ = nullptr;
+      if (pass_ == 2) output_.image.chunks.clear();
+      for (const Line& line : lines) {
+        Status s = do_line(line);
+        if (!s.is_ok()) {
+          return Status(s.code(), "line " + std::to_string(line.number) +
+                                      ": " + s.message());
+        }
+      }
+    }
+
+    for (const auto& [name, value] : symbols_) {
+      output_.image.symbols[name] = static_cast<u32>(value);
+    }
+    auto main_it = symbols_.find("main");
+    if (main_it != symbols_.end()) {
+      output_.image.entry = static_cast<u32>(main_it->second);
+    } else if (!output_.image.chunks.empty()) {
+      output_.image.entry = options_.default_org;
+    }
+    return std::move(output_);
+  }
+
+ private:
+  Status do_line(const Line& line) {
+    line_ = &line;
+    emitted_.clear();
+    const i64 line_addr = addr_;
+
+    if (!line.label.empty() && line.mnemonic != "equ") {
+      Status s = define_symbol(lower(line.label), addr_);
+      if (!s.is_ok()) return s;
+    }
+
+    Status s = Status::ok();
+    if (!line.mnemonic.empty()) s = dispatch(line);
+    if (!s.is_ok()) return s;
+
+    if (pass_ == 2) {
+      if (!emitted_.empty()) {
+        ensure_chunk();
+        chunk_->bytes.insert(chunk_->bytes.end(), emitted_.begin(),
+                             emitted_.end());
+      }
+      if (options_.want_listing) {
+        char head[32];
+        std::snprintf(head, sizeof head, "%05llX  ",
+                      static_cast<unsigned long long>(line_addr));
+        std::string bytes;
+        for (std::size_t i = 0; i < emitted_.size() && i < 6; ++i) {
+          char b[4];
+          std::snprintf(b, sizeof b, "%02X ", emitted_[i]);
+          bytes += b;
+        }
+        if (emitted_.size() > 6) bytes += "...";
+        bytes.resize(20, ' ');
+        output_.listing += head + bytes + line.raw + "\n";
+      }
+    }
+    addr_ += static_cast<i64>(emitted_.size());
+    return Status::ok();
+  }
+
+  Status define_symbol(const std::string& name, i64 value) {
+    if (pass_ == 1) {
+      if (symbols_.count(name)) {
+        return Status(ErrorCode::kAlreadyExists, "duplicate symbol: " + name);
+      }
+      symbols_[name] = value;
+    } else if (symbols_[name] != value) {
+      // Phase error: an instruction changed size between passes.
+      return Status(ErrorCode::kInternal,
+                    "phase error on symbol '" + name + "'");
+    }
+    return Status::ok();
+  }
+
+  void ensure_chunk() {
+    if (chunk_ != nullptr) return;
+    u32 phys;
+    if (xmem_mode_) {
+      phys = static_cast<u32>(addr_);
+    } else {
+      auto r = board_logical_to_phys(static_cast<u32>(addr_));
+      phys = r.ok() ? *r : static_cast<u32>(addr_);
+    }
+    output_.image.chunks.push_back(rabbit::ImageChunk{phys, {}});
+    chunk_ = &output_.image.chunks.back();
+  }
+
+  // ----- operand parsing ---------------------------------------------------
+
+  Result<ExprValue> eval(std::string_view text) {
+    ExprParser p(text, symbols_, addr_);
+    auto v = p.parse();
+    if (!v.ok()) return v;
+    if (pass_ == 2 && !v->resolved) {
+      return Status(ErrorCode::kNotFound,
+                    "unresolved symbol in '" + std::string(text) + "'");
+    }
+    return v;
+  }
+
+  Result<Op> parse_operand(const std::string& text) {
+    Op op;
+    op.text = text;
+    if (text.empty()) {
+      return Status(ErrorCode::kInvalidArgument, "empty operand");
+    }
+    if (text.front() == '"') {
+      if (text.size() < 2 || text.back() != '"') {
+        return Status(ErrorCode::kInvalidArgument, "unterminated string");
+      }
+      op.kind = OpKind::kString;
+      return op;
+    }
+    const std::string low = lower(text);
+    if (low == "af'") {
+      op.kind = OpKind::kAfAlt;
+      return op;
+    }
+    if (low == "xpc") {
+      op.kind = OpKind::kXpc;
+      return op;
+    }
+    if (int r = reg8_code(low); r >= 0) {
+      op.kind = OpKind::kReg8;
+      op.reg = r;
+      return op;
+    }
+    if (int r = reg16_code(low); r >= 0) {
+      op.kind = OpKind::kReg16;
+      op.reg = r;
+      return op;
+    }
+    if (text.front() == '(' && text.back() == ')') {
+      const std::string inner =
+          std::string(trim(std::string_view(text).substr(1, text.size() - 2)));
+      const std::string ilow = lower(inner);
+      if (ilow == "hl") { op.kind = OpKind::kMemHl; return op; }
+      if (ilow == "bc") { op.kind = OpKind::kMemBc; return op; }
+      if (ilow == "de") { op.kind = OpKind::kMemDe; return op; }
+      if (ilow == "sp") { op.kind = OpKind::kMemSp; return op; }
+      if (ilow.rfind("ix", 0) == 0 || ilow.rfind("iy", 0) == 0) {
+        op.kind = OpKind::kMemIdx;
+        op.reg = (ilow[1] == 'x') ? 4 : 5;
+        std::string_view rest = trim(std::string_view(inner).substr(2));
+        if (rest.empty()) {
+          op.disp = 0;
+        } else {
+          auto v = eval(rest);  // rest begins with +/-, handled as unary
+          if (!v.ok()) return v.status();
+          op.disp = v->value;
+          op.resolved = v->resolved;
+        }
+        return op;
+      }
+      auto v = eval(inner);
+      if (!v.ok()) return v.status();
+      op.kind = OpKind::kMemNn;
+      op.value = v->value;
+      op.resolved = v->resolved;
+      return op;
+    }
+    auto v = eval(text);
+    if (!v.ok()) return v.status();
+    op.kind = OpKind::kImm;
+    op.value = v->value;
+    op.resolved = v->resolved;
+    return op;
+  }
+
+  // ----- emission ----------------------------------------------------------
+
+  void emit(u8 b) { emitted_.push_back(b); }
+  void emit2(u8 a, u8 b) { emit(a); emit(b); }
+  void emit16(i64 v) {
+    emit(static_cast<u8>(v & 0xFF));
+    emit(static_cast<u8>((v >> 8) & 0xFF));
+  }
+
+  /// jp/call/jr targets: xorg labels (physical, >0xFFFF) become window
+  /// addresses automatically.
+  i64 to_logical(i64 v) const {
+    if (v > 0xFFFF) return 0xE000 + (v & 0x0FFF);
+    return v;
+  }
+
+  Status need_operands(const Line& line, std::size_t n) {
+    if (line.operands.size() != n) {
+      return Status(ErrorCode::kInvalidArgument,
+                    line.mnemonic + " expects " + std::to_string(n) +
+                        " operand(s), got " +
+                        std::to_string(line.operands.size()));
+    }
+    return Status::ok();
+  }
+
+  // ----- instruction dispatch ---------------------------------------------
+
+  Status dispatch(const Line& line) {
+    const std::string& m = line.mnemonic;
+
+    // Directives.
+    if (m == "org" || m == "xorg") {
+      Status s = need_operands(line, 1);
+      if (!s.is_ok()) return s;
+      auto v = eval(line.operands[0]);
+      if (!v.ok()) return v.status();
+      addr_ = v->value;
+      xmem_mode_ = (m == "xorg");
+      if (!xmem_mode_) {
+        auto p = board_logical_to_phys(static_cast<u32>(addr_));
+        if (!p.ok()) return p.status();
+      }
+      chunk_ = nullptr;  // start a new chunk on next emission
+      return Status::ok();
+    }
+    if (m == "equ") {
+      if (line.label.empty()) {
+        return Status(ErrorCode::kInvalidArgument, "equ requires a label");
+      }
+      Status s = need_operands(line, 1);
+      if (!s.is_ok()) return s;
+      auto v = eval(line.operands[0]);
+      if (!v.ok()) return v.status();
+      return define_symbol(lower(line.label), v->value);
+    }
+    if (m == "db" || m == "defb") {
+      for (const auto& text : line.operands) {
+        if (!text.empty() && text.front() == '"') {
+          if (text.size() < 2 || text.back() != '"') {
+            return Status(ErrorCode::kInvalidArgument, "unterminated string");
+          }
+          for (std::size_t i = 1; i + 1 < text.size(); ++i) {
+            char c = text[i];
+            if (c == '\\' && i + 2 < text.size()) {
+              ++i;
+              switch (text[i]) {
+                case 'n': c = '\n'; break;
+                case 't': c = '\t'; break;
+                case 'r': c = '\r'; break;
+                case '0': c = '\0'; break;
+                default: c = text[i]; break;
+              }
+            }
+            emit(static_cast<u8>(c));
+          }
+        } else {
+          auto v = eval(text);
+          if (!v.ok()) return v.status();
+          emit(static_cast<u8>(v->value & 0xFF));
+        }
+      }
+      return Status::ok();
+    }
+    if (m == "dw" || m == "defw") {
+      for (const auto& text : line.operands) {
+        auto v = eval(text);
+        if (!v.ok()) return v.status();
+        emit16(v->value);
+      }
+      return Status::ok();
+    }
+    if (m == "ds" || m == "defs") {
+      Status s = need_operands(line, 1);
+      if (!s.is_ok()) return s;
+      auto v = eval(line.operands[0]);
+      if (!v.ok()) return v.status();
+      if (v->value < 0 || v->value > 0x10000) {
+        return Status(ErrorCode::kOutOfRange, "ds size out of range");
+      }
+      for (i64 i = 0; i < v->value; ++i) emit(0);
+      return Status::ok();
+    }
+    if (m == "align") {
+      Status s = need_operands(line, 1);
+      if (!s.is_ok()) return s;
+      auto v = eval(line.operands[0]);
+      if (!v.ok()) return v.status();
+      if (v->value <= 0) {
+        return Status(ErrorCode::kInvalidArgument, "bad alignment");
+      }
+      while ((addr_ + static_cast<i64>(emitted_.size())) % v->value != 0) {
+        emit(0);
+      }
+      return Status::ok();
+    }
+
+    // Zero-operand instructions.
+    static const std::map<std::string, std::vector<u8>> kSimple = {
+        {"nop", {0x00}},    {"halt", {0x76}},   {"di", {0xF3}},
+        {"ei", {0xFB}},     {"exx", {0xD9}},    {"rlca", {0x07}},
+        {"rrca", {0x0F}},   {"rla", {0x17}},    {"rra", {0x1F}},
+        {"daa", {0x27}},    {"cpl", {0x2F}},    {"scf", {0x37}},
+        {"ccf", {0x3F}},    {"neg", {0xED, 0x44}}, {"reti", {0xED, 0x4D}},
+        {"ldi", {0xED, 0xA0}}, {"ldd", {0xED, 0xA8}},
+        {"ldir", {0xED, 0xB0}}, {"lddr", {0xED, 0xB8}},
+        {"mul", {0xF7}},    {"lret", {0xED, 0xC9}},
+    };
+    if (auto it = kSimple.find(m); it != kSimple.end()) {
+      if (!line.operands.empty()) {
+        return Status(ErrorCode::kInvalidArgument,
+                      m + " takes no operands");
+      }
+      for (u8 b : it->second) emit(b);
+      return Status::ok();
+    }
+
+    if (m == "bool") {
+      // `bool hl`
+      Status s = need_operands(line, 1);
+      if (!s.is_ok()) return s;
+      if (lower(line.operands[0]) != "hl") {
+        return Status(ErrorCode::kInvalidArgument, "bool only supports HL");
+      }
+      emit2(0xED, 0x90);
+      return Status::ok();
+    }
+
+    if (m == "ld") return do_ld(line);
+    if (m == "push" || m == "pop") return do_push_pop(line, m == "push");
+    if (m == "ex") return do_ex(line);
+    if (m == "add" || m == "adc" || m == "sub" || m == "sbc" || m == "and" ||
+        m == "or" || m == "xor" || m == "cp") {
+      return do_alu(line);
+    }
+    if (m == "inc" || m == "dec") return do_incdec(line, m == "inc");
+    if (m == "rlc" || m == "rrc" || m == "rl" || m == "rr" || m == "sla" ||
+        m == "sra" || m == "srl") {
+      return do_rot(line);
+    }
+    if (m == "bit" || m == "res" || m == "set") return do_bit(line);
+    if (m == "jp") return do_jp(line);
+    if (m == "jr") return do_jr(line);
+    if (m == "djnz") return do_djnz(line);
+    if (m == "call") return do_call(line);
+    if (m == "ret") return do_ret(line);
+    if (m == "rst") return do_rst(line);
+    if (m == "in") return do_in(line);
+    if (m == "out") return do_out(line);
+    if (m == "lcall" || m == "ljp") return do_far(line, m == "lcall");
+
+    return Status(ErrorCode::kInvalidArgument, "unknown mnemonic: " + m);
+  }
+
+  Status do_ld(const Line& line) {
+    Status s = need_operands(line, 2);
+    if (!s.is_ok()) return s;
+    auto dst_r = parse_operand(line.operands[0]);
+    if (!dst_r.ok()) return dst_r.status();
+    auto src_r = parse_operand(line.operands[1]);
+    if (!src_r.ok()) return src_r.status();
+    const Op& dst = *dst_r;
+    const Op& src = *src_r;
+
+    // ld xpc,a / ld a,xpc
+    if (dst.kind == OpKind::kXpc && src.kind == OpKind::kReg8 && src.reg == 7) {
+      emit2(0xED, 0x67);
+      return Status::ok();
+    }
+    if (dst.kind == OpKind::kReg8 && dst.reg == 7 && src.kind == OpKind::kXpc) {
+      emit2(0xED, 0x77);
+      return Status::ok();
+    }
+
+    // 8-bit register destination.
+    if (dst.kind == OpKind::kReg8) {
+      switch (src.kind) {
+        case OpKind::kReg8:
+          emit(static_cast<u8>(0x40 | (dst.reg << 3) | src.reg));
+          return Status::ok();
+        case OpKind::kMemHl:
+          emit(static_cast<u8>(0x40 | (dst.reg << 3) | 6));
+          return Status::ok();
+        case OpKind::kMemIdx:
+          emit(src.reg == 4 ? 0xDD : 0xFD);
+          emit(static_cast<u8>(0x40 | (dst.reg << 3) | 6));
+          emit(static_cast<u8>(src.disp & 0xFF));
+          return Status::ok();
+        case OpKind::kMemBc:
+          if (dst.reg != 7) break;
+          emit(0x0A);
+          return Status::ok();
+        case OpKind::kMemDe:
+          if (dst.reg != 7) break;
+          emit(0x1A);
+          return Status::ok();
+        case OpKind::kMemNn:
+          if (dst.reg != 7) break;
+          emit(0x3A);
+          emit16(src.value);
+          return Status::ok();
+        case OpKind::kImm:
+          emit(static_cast<u8>(0x06 | (dst.reg << 3)));
+          emit(static_cast<u8>(src.value & 0xFF));
+          return Status::ok();
+        default:
+          break;
+      }
+    }
+
+    // (hl)/(ix+d)/(bc)/(de)/(nn) destination.
+    if (dst.kind == OpKind::kMemHl) {
+      if (src.kind == OpKind::kReg8) {
+        emit(static_cast<u8>(0x70 | src.reg));
+        return Status::ok();
+      }
+      if (src.kind == OpKind::kImm) {
+        emit(0x36);
+        emit(static_cast<u8>(src.value & 0xFF));
+        return Status::ok();
+      }
+    }
+    if (dst.kind == OpKind::kMemIdx) {
+      if (src.kind == OpKind::kReg8) {
+        emit(dst.reg == 4 ? 0xDD : 0xFD);
+        emit(static_cast<u8>(0x70 | src.reg));
+        emit(static_cast<u8>(dst.disp & 0xFF));
+        return Status::ok();
+      }
+      if (src.kind == OpKind::kImm) {
+        emit(dst.reg == 4 ? 0xDD : 0xFD);
+        emit(0x36);
+        emit(static_cast<u8>(dst.disp & 0xFF));
+        emit(static_cast<u8>(src.value & 0xFF));
+        return Status::ok();
+      }
+    }
+    if (dst.kind == OpKind::kMemBc && src.kind == OpKind::kReg8 &&
+        src.reg == 7) {
+      emit(0x02);
+      return Status::ok();
+    }
+    if (dst.kind == OpKind::kMemDe && src.kind == OpKind::kReg8 &&
+        src.reg == 7) {
+      emit(0x12);
+      return Status::ok();
+    }
+    if (dst.kind == OpKind::kMemNn) {
+      if (src.kind == OpKind::kReg8 && src.reg == 7) {
+        emit(0x32);
+        emit16(dst.value);
+        return Status::ok();
+      }
+      if (src.kind == OpKind::kReg16) {
+        switch (src.reg) {
+          case 2: emit(0x22); break;                  // hl
+          case 0: emit2(0xED, 0x43); break;           // bc
+          case 1: emit2(0xED, 0x53); break;           // de
+          case 3: emit2(0xED, 0x73); break;           // sp
+          case 4: emit2(0xDD, 0x22); break;           // ix
+          case 5: emit2(0xFD, 0x22); break;           // iy
+          default:
+            return Status(ErrorCode::kInvalidArgument, "ld (nn),af invalid");
+        }
+        emit16(dst.value);
+        return Status::ok();
+      }
+    }
+
+    // 16-bit register destination.
+    if (dst.kind == OpKind::kReg16) {
+      if (src.kind == OpKind::kImm) {
+        switch (dst.reg) {
+          case 0: emit(0x01); break;
+          case 1: emit(0x11); break;
+          case 2: emit(0x21); break;
+          case 3: emit(0x31); break;
+          case 4: emit2(0xDD, 0x21); break;
+          case 5: emit2(0xFD, 0x21); break;
+          default:
+            return Status(ErrorCode::kInvalidArgument, "ld af,nn invalid");
+        }
+        emit16(src.value);
+        return Status::ok();
+      }
+      if (src.kind == OpKind::kMemNn) {
+        switch (dst.reg) {
+          case 2: emit(0x2A); break;
+          case 0: emit2(0xED, 0x4B); break;
+          case 1: emit2(0xED, 0x5B); break;
+          case 3: emit2(0xED, 0x7B); break;
+          case 4: emit2(0xDD, 0x2A); break;
+          case 5: emit2(0xFD, 0x2A); break;
+          default:
+            return Status(ErrorCode::kInvalidArgument, "ld af,(nn) invalid");
+        }
+        emit16(src.value);
+        return Status::ok();
+      }
+      if (dst.reg == 3 && src.kind == OpKind::kReg16) {  // ld sp,hl/ix/iy
+        switch (src.reg) {
+          case 2: emit(0xF9); return Status::ok();
+          case 4: emit2(0xDD, 0xF9); return Status::ok();
+          case 5: emit2(0xFD, 0xF9); return Status::ok();
+          default: break;
+        }
+      }
+    }
+
+    return Status(ErrorCode::kInvalidArgument,
+                  "unsupported ld form: ld " + line.operands[0] + ", " +
+                      line.operands[1]);
+  }
+
+  Status do_push_pop(const Line& line, bool is_push) {
+    Status s = need_operands(line, 1);
+    if (!s.is_ok()) return s;
+    const int r = reg16_code(line.operands[0]);
+    const u8 base = is_push ? 0xC5 : 0xC1;
+    switch (r) {
+      case 0: emit(base); return Status::ok();
+      case 1: emit(static_cast<u8>(base + 0x10)); return Status::ok();
+      case 2: emit(static_cast<u8>(base + 0x20)); return Status::ok();
+      case 6: emit(static_cast<u8>(base + 0x30)); return Status::ok();
+      case 4: emit2(0xDD, static_cast<u8>(base + 0x20)); return Status::ok();
+      case 5: emit2(0xFD, static_cast<u8>(base + 0x20)); return Status::ok();
+      default:
+        return Status(ErrorCode::kInvalidArgument,
+                      "bad push/pop operand: " + line.operands[0]);
+    }
+  }
+
+  Status do_ex(const Line& line) {
+    Status s = need_operands(line, 2);
+    if (!s.is_ok()) return s;
+    const std::string a = lower(line.operands[0]);
+    const std::string b = lower(line.operands[1]);
+    if (a == "de" && b == "hl") { emit(0xEB); return Status::ok(); }
+    if (a == "af" && b == "af'") { emit(0x08); return Status::ok(); }
+    if (a == "(sp)" && b == "hl") { emit(0xE3); return Status::ok(); }
+    if (a == "(sp)" && b == "ix") { emit2(0xDD, 0xE3); return Status::ok(); }
+    if (a == "(sp)" && b == "iy") { emit2(0xFD, 0xE3); return Status::ok(); }
+    return Status(ErrorCode::kInvalidArgument, "unsupported ex form");
+  }
+
+  Status do_alu(const Line& line) {
+    static const std::map<std::string, unsigned> kAluIdx = {
+        {"add", 0}, {"adc", 1}, {"sub", 2}, {"sbc", 3},
+        {"and", 4}, {"xor", 5}, {"or", 6},  {"cp", 7}};
+    const unsigned idx = kAluIdx.at(line.mnemonic);
+
+    // Two-operand 16-bit forms: add hl,ss / adc hl,ss / sbc hl,ss /
+    // add ix,ss.
+    if (line.operands.size() == 2) {
+      const int d16 = reg16_code(line.operands[0]);
+      const int s16 = reg16_code(line.operands[1]);
+      if (d16 >= 0 && s16 >= 0) {
+        if (line.mnemonic == "add" && d16 == 2 && s16 <= 3) {
+          emit(static_cast<u8>(0x09 | (s16 << 4)));
+          return Status::ok();
+        }
+        if (line.mnemonic == "adc" && d16 == 2 && s16 <= 3) {
+          emit2(0xED, static_cast<u8>(0x4A | (s16 << 4)));
+          return Status::ok();
+        }
+        if (line.mnemonic == "sbc" && d16 == 2 && s16 <= 3) {
+          emit2(0xED, static_cast<u8>(0x42 | (s16 << 4)));
+          return Status::ok();
+        }
+        if (line.mnemonic == "add" && (d16 == 4 || d16 == 5)) {
+          // add ix,ss: "hl" slot means ix itself
+          int slot = s16;
+          if (s16 == d16) slot = 2;
+          if (slot > 3) {
+            return Status(ErrorCode::kInvalidArgument, "bad add ix operand");
+          }
+          emit(d16 == 4 ? 0xDD : 0xFD);
+          emit(static_cast<u8>(0x09 | (slot << 4)));
+          return Status::ok();
+        }
+        return Status(ErrorCode::kInvalidArgument, "unsupported 16-bit alu");
+      }
+    }
+
+    // 8-bit accumulator form: optional leading "a,".
+    std::string operand;
+    if (line.operands.size() == 2) {
+      if (lower(line.operands[0]) != "a") {
+        return Status(ErrorCode::kInvalidArgument,
+                      "alu destination must be a");
+      }
+      operand = line.operands[1];
+    } else if (line.operands.size() == 1) {
+      operand = line.operands[0];
+    } else {
+      return Status(ErrorCode::kInvalidArgument, "bad alu operand count");
+    }
+    auto op_r = parse_operand(operand);
+    if (!op_r.ok()) return op_r.status();
+    const Op& op = *op_r;
+    switch (op.kind) {
+      case OpKind::kReg8:
+        emit(static_cast<u8>(0x80 | (idx << 3) | op.reg));
+        return Status::ok();
+      case OpKind::kMemHl:
+        emit(static_cast<u8>(0x80 | (idx << 3) | 6));
+        return Status::ok();
+      case OpKind::kMemIdx:
+        emit(op.reg == 4 ? 0xDD : 0xFD);
+        emit(static_cast<u8>(0x80 | (idx << 3) | 6));
+        emit(static_cast<u8>(op.disp & 0xFF));
+        return Status::ok();
+      case OpKind::kImm:
+        emit(static_cast<u8>(0xC6 | (idx << 3)));
+        emit(static_cast<u8>(op.value & 0xFF));
+        return Status::ok();
+      default:
+        return Status(ErrorCode::kInvalidArgument,
+                      "bad alu operand: " + operand);
+    }
+  }
+
+  Status do_incdec(const Line& line, bool is_inc) {
+    Status s = need_operands(line, 1);
+    if (!s.is_ok()) return s;
+    auto op_r = parse_operand(line.operands[0]);
+    if (!op_r.ok()) return op_r.status();
+    const Op& op = *op_r;
+    if (op.kind == OpKind::kReg16) {
+      switch (op.reg) {
+        case 0: emit(is_inc ? 0x03 : 0x0B); return Status::ok();
+        case 1: emit(is_inc ? 0x13 : 0x1B); return Status::ok();
+        case 2: emit(is_inc ? 0x23 : 0x2B); return Status::ok();
+        case 3: emit(is_inc ? 0x33 : 0x3B); return Status::ok();
+        case 4: emit2(0xDD, is_inc ? 0x23 : 0x2B); return Status::ok();
+        case 5: emit2(0xFD, is_inc ? 0x23 : 0x2B); return Status::ok();
+        default:
+          return Status(ErrorCode::kInvalidArgument, "inc/dec af invalid");
+      }
+    }
+    const u8 base = is_inc ? 0x04 : 0x05;
+    if (op.kind == OpKind::kReg8) {
+      emit(static_cast<u8>(base | (op.reg << 3)));
+      return Status::ok();
+    }
+    if (op.kind == OpKind::kMemHl) {
+      emit(static_cast<u8>(base | (6 << 3)));
+      return Status::ok();
+    }
+    if (op.kind == OpKind::kMemIdx) {
+      emit(op.reg == 4 ? 0xDD : 0xFD);
+      emit(static_cast<u8>(base | (6 << 3)));
+      emit(static_cast<u8>(op.disp & 0xFF));
+      return Status::ok();
+    }
+    return Status(ErrorCode::kInvalidArgument, "bad inc/dec operand");
+  }
+
+  Status do_rot(const Line& line) {
+    static const std::map<std::string, unsigned> kRotIdx = {
+        {"rlc", 0}, {"rrc", 1}, {"rl", 2}, {"rr", 3},
+        {"sla", 4}, {"sra", 5}, {"srl", 7}};
+    const unsigned idx = kRotIdx.at(line.mnemonic);
+    Status s = need_operands(line, 1);
+    if (!s.is_ok()) return s;
+    auto op_r = parse_operand(line.operands[0]);
+    if (!op_r.ok()) return op_r.status();
+    const Op& op = *op_r;
+    if (op.kind == OpKind::kReg8) {
+      emit2(0xCB, static_cast<u8>((idx << 3) | op.reg));
+      return Status::ok();
+    }
+    if (op.kind == OpKind::kMemHl) {
+      emit2(0xCB, static_cast<u8>((idx << 3) | 6));
+      return Status::ok();
+    }
+    if (op.kind == OpKind::kMemIdx) {
+      emit(op.reg == 4 ? 0xDD : 0xFD);
+      emit(0xCB);
+      emit(static_cast<u8>(op.disp & 0xFF));
+      emit(static_cast<u8>((idx << 3) | 6));
+      return Status::ok();
+    }
+    return Status(ErrorCode::kInvalidArgument, "bad rotate operand");
+  }
+
+  Status do_bit(const Line& line) {
+    Status s = need_operands(line, 2);
+    if (!s.is_ok()) return s;
+    auto bit_r = eval(line.operands[0]);
+    if (!bit_r.ok()) return bit_r.status();
+    if (bit_r->value < 0 || bit_r->value > 7) {
+      return Status(ErrorCode::kOutOfRange, "bit index out of range");
+    }
+    const unsigned bit = static_cast<unsigned>(bit_r->value);
+    unsigned group;
+    if (line.mnemonic == "bit") group = 1;
+    else if (line.mnemonic == "res") group = 2;
+    else group = 3;
+    auto op_r = parse_operand(line.operands[1]);
+    if (!op_r.ok()) return op_r.status();
+    const Op& op = *op_r;
+    if (op.kind == OpKind::kReg8) {
+      emit2(0xCB, static_cast<u8>((group << 6) | (bit << 3) | op.reg));
+      return Status::ok();
+    }
+    if (op.kind == OpKind::kMemHl) {
+      emit2(0xCB, static_cast<u8>((group << 6) | (bit << 3) | 6));
+      return Status::ok();
+    }
+    if (op.kind == OpKind::kMemIdx) {
+      emit(op.reg == 4 ? 0xDD : 0xFD);
+      emit(0xCB);
+      emit(static_cast<u8>(op.disp & 0xFF));
+      emit(static_cast<u8>((group << 6) | (bit << 3) | 6));
+      return Status::ok();
+    }
+    return Status(ErrorCode::kInvalidArgument, "bad bit operand");
+  }
+
+  Status do_jp(const Line& line) {
+    if (line.operands.size() == 1) {
+      const std::string low = lower(line.operands[0]);
+      if (low == "(hl)") { emit(0xE9); return Status::ok(); }
+      if (low == "(ix)") { emit2(0xDD, 0xE9); return Status::ok(); }
+      if (low == "(iy)") { emit2(0xFD, 0xE9); return Status::ok(); }
+      auto v = eval(line.operands[0]);
+      if (!v.ok()) return v.status();
+      emit(0xC3);
+      emit16(to_logical(v->value));
+      return Status::ok();
+    }
+    if (line.operands.size() == 2) {
+      const int cc = cond_code(line.operands[0]);
+      if (cc < 0) {
+        return Status(ErrorCode::kInvalidArgument,
+                      "bad condition: " + line.operands[0]);
+      }
+      auto v = eval(line.operands[1]);
+      if (!v.ok()) return v.status();
+      emit(static_cast<u8>(0xC2 | (cc << 3)));
+      emit16(to_logical(v->value));
+      return Status::ok();
+    }
+    return Status(ErrorCode::kInvalidArgument, "bad jp form");
+  }
+
+  Status do_jr(const Line& line) {
+    std::string target;
+    int cc = -1;
+    if (line.operands.size() == 1) {
+      target = line.operands[0];
+    } else if (line.operands.size() == 2) {
+      cc = cond_code(line.operands[0]);
+      if (cc < 0 || cc > 3) {
+        return Status(ErrorCode::kInvalidArgument,
+                      "jr supports nz/z/nc/c only");
+      }
+      target = line.operands[1];
+    } else {
+      return Status(ErrorCode::kInvalidArgument, "bad jr form");
+    }
+    auto v = eval(target);
+    if (!v.ok()) return v.status();
+    const i64 dest = to_logical(v->value);
+    const i64 disp = dest - (addr_ + static_cast<i64>(emitted_.size()) + 2);
+    if (pass_ == 2 && (disp < -128 || disp > 127)) {
+      return Status(ErrorCode::kOutOfRange,
+                    "jr target out of range (" + std::to_string(disp) + ")");
+    }
+    emit(cc < 0 ? 0x18 : static_cast<u8>(0x20 | (cc << 3)));
+    emit(static_cast<u8>(disp & 0xFF));
+    return Status::ok();
+  }
+
+  Status do_djnz(const Line& line) {
+    Status s = need_operands(line, 1);
+    if (!s.is_ok()) return s;
+    auto v = eval(line.operands[0]);
+    if (!v.ok()) return v.status();
+    const i64 dest = to_logical(v->value);
+    const i64 disp = dest - (addr_ + static_cast<i64>(emitted_.size()) + 2);
+    if (pass_ == 2 && (disp < -128 || disp > 127)) {
+      return Status(ErrorCode::kOutOfRange, "djnz target out of range");
+    }
+    emit(0x10);
+    emit(static_cast<u8>(disp & 0xFF));
+    return Status::ok();
+  }
+
+  Status do_call(const Line& line) {
+    if (line.operands.size() == 1) {
+      auto v = eval(line.operands[0]);
+      if (!v.ok()) return v.status();
+      emit(0xCD);
+      emit16(to_logical(v->value));
+      return Status::ok();
+    }
+    if (line.operands.size() == 2) {
+      const int cc = cond_code(line.operands[0]);
+      if (cc < 0) {
+        return Status(ErrorCode::kInvalidArgument,
+                      "bad condition: " + line.operands[0]);
+      }
+      auto v = eval(line.operands[1]);
+      if (!v.ok()) return v.status();
+      emit(static_cast<u8>(0xC4 | (cc << 3)));
+      emit16(to_logical(v->value));
+      return Status::ok();
+    }
+    return Status(ErrorCode::kInvalidArgument, "bad call form");
+  }
+
+  Status do_ret(const Line& line) {
+    if (line.operands.empty()) {
+      emit(0xC9);
+      return Status::ok();
+    }
+    if (line.operands.size() == 1) {
+      const int cc = cond_code(line.operands[0]);
+      if (cc < 0) {
+        return Status(ErrorCode::kInvalidArgument,
+                      "bad condition: " + line.operands[0]);
+      }
+      emit(static_cast<u8>(0xC0 | (cc << 3)));
+      return Status::ok();
+    }
+    return Status(ErrorCode::kInvalidArgument, "bad ret form");
+  }
+
+  Status do_rst(const Line& line) {
+    Status s = need_operands(line, 1);
+    if (!s.is_ok()) return s;
+    auto v = eval(line.operands[0]);
+    if (!v.ok()) return v.status();
+    if (v->value % 8 != 0 || v->value < 0 || v->value > 0x38) {
+      return Status(ErrorCode::kOutOfRange, "bad rst vector");
+    }
+    if (v->value == 0x30) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "rst 30h is MUL on the Rabbit");
+    }
+    emit(static_cast<u8>(0xC7 | v->value));
+    return Status::ok();
+  }
+
+  Status do_in(const Line& line) {
+    Status s = need_operands(line, 2);
+    if (!s.is_ok()) return s;
+    if (lower(line.operands[0]) != "a") {
+      return Status(ErrorCode::kInvalidArgument, "in destination must be a");
+    }
+    auto op_r = parse_operand(line.operands[1]);
+    if (!op_r.ok()) return op_r.status();
+    if (op_r->kind != OpKind::kMemNn) {
+      return Status(ErrorCode::kInvalidArgument, "in source must be (port)");
+    }
+    emit(0xDB);
+    emit(static_cast<u8>(op_r->value & 0xFF));
+    return Status::ok();
+  }
+
+  Status do_out(const Line& line) {
+    Status s = need_operands(line, 2);
+    if (!s.is_ok()) return s;
+    auto op_r = parse_operand(line.operands[0]);
+    if (!op_r.ok()) return op_r.status();
+    if (op_r->kind != OpKind::kMemNn) {
+      return Status(ErrorCode::kInvalidArgument, "out target must be (port)");
+    }
+    if (lower(line.operands[1]) != "a") {
+      return Status(ErrorCode::kInvalidArgument, "out source must be a");
+    }
+    emit(0xD3);
+    emit(static_cast<u8>(op_r->value & 0xFF));
+    return Status::ok();
+  }
+
+  // lcall/ljp: one operand (physical label -> window addr + bank computed)
+  // or two operands (explicit logical addr, xpc byte).
+  Status do_far(const Line& line, bool is_call) {
+    i64 logical, xpc;
+    if (line.operands.size() == 1) {
+      auto v = eval(line.operands[0]);
+      if (!v.ok()) return v.status();
+      logical = 0xE000 + (v->value & 0x0FFF);
+      xpc = ((v->value >> 12) - 0x0E) & 0xFF;
+    } else if (line.operands.size() == 2) {
+      auto v1 = eval(line.operands[0]);
+      if (!v1.ok()) return v1.status();
+      auto v2 = eval(line.operands[1]);
+      if (!v2.ok()) return v2.status();
+      logical = v1->value;
+      xpc = v2->value;
+    } else {
+      return Status(ErrorCode::kInvalidArgument, "bad lcall/ljp form");
+    }
+    emit2(0xED, is_call ? 0xCD : 0xC3);
+    emit16(logical);
+    emit(static_cast<u8>(xpc & 0xFF));
+    return Status::ok();
+  }
+
+  const AssembleOptions& options_;
+  AssembleOutput output_;
+  std::map<std::string, i64> symbols_;
+  int pass_ = 1;
+  i64 addr_ = 0;
+  bool xmem_mode_ = false;
+  rabbit::ImageChunk* chunk_ = nullptr;
+  std::vector<u8> emitted_;
+  const Line* line_ = nullptr;
+};
+
+}  // namespace
+
+Result<AssembleOutput> assemble(std::string_view source,
+                                const AssembleOptions& options) {
+  Assembler a(options);
+  return a.assemble(source);
+}
+
+}  // namespace rmc::rasm

@@ -1,0 +1,67 @@
+// rasm — a two-pass assembler for the Rabbit 2000 subset implemented by
+// src/rabbit.
+//
+// The paper's experiments hinge on comparing a hand-written assembly AES
+// against compiled C (E1/E3); this assembler is how the hand-written version
+// (asm/aes_hand.asm) and the compiler's output (src/dcc) both become
+// runnable images.
+//
+// Syntax (classic Z80 style, case-insensitive mnemonics):
+//
+//   ; comment                       — to end of line
+//   label:   ld a, 5                — labels get the current address
+//   name     equ 40h                — symbolic constant
+//            org 0100h              — logical placement (root/data/stack,
+//                                     translated to physical with the board's
+//                                     reset-time segment map)
+//            xorg 10000h            — physical placement in extended memory;
+//                                     labels defined here hold 20-bit
+//                                     physical addresses
+//            db 1, 2, "text", 0     — bytes / strings
+//            dw 1234h, label        — little-endian words
+//            ds 16                  — reserve zero-filled space
+//            align 16               — pad to alignment
+//
+// Expressions: + - * / % & | ^ << >> ~, parentheses, decimal / 0x / trailing
+// 'h' / $hex / %binary literals, 'c' chars, `$` = current address, and the
+// bank helpers XPCOF(x) (XPC value that maps physical x into the window) and
+// WINOF(x) (logical window address of physical x), HI(x), LO(x).
+//
+// Control-flow targets (jp/jr/call/djnz) pointing at xorg labels are
+// translated to their window address automatically; `lcall`/`ljp` take the
+// physical label directly and encode the bank byte themselves.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "rabbit/image.h"
+
+namespace rmc::rasm {
+
+struct AssembleOptions {
+  /// Logical address used before the first org directive.
+  common::u32 default_org = 0x0100;
+  /// Emit a listing (address / bytes / source) alongside the image.
+  bool want_listing = false;
+};
+
+struct AssembleOutput {
+  rabbit::Image image;
+  std::string listing;
+};
+
+/// Assemble `source`. On error the Status message contains
+/// "line N: <problem>" for the first failing line.
+common::Result<AssembleOutput> assemble(std::string_view source,
+                                        const AssembleOptions& options = {});
+
+/// The board's logical->physical map (shared convention with
+/// rabbit::Board::reset): root identity, data segment +0x7A000, stack
+/// segment +0x81000. Logical addresses in the XPC window are rejected —
+/// use xorg for extended memory.
+common::Result<common::u32> board_logical_to_phys(common::u32 logical);
+
+}  // namespace rmc::rasm

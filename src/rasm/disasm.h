@@ -1,0 +1,30 @@
+// Disassembler for the same Rabbit 2000 subset src/rabbit executes.
+//
+// Used by tests (assemble -> disassemble -> reassemble round trips), by
+// debugging helpers, and by the compiler driver's --listing mode.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace rmc::rasm {
+
+struct DisasmResult {
+  std::string text;     // e.g. "ld a, 05h"
+  std::size_t length = 1;  // bytes consumed
+  bool valid = false;
+};
+
+/// Decode a single instruction at `code[offset]`. `pc` is the logical
+/// address of the instruction (needed for relative-branch targets).
+DisasmResult disassemble_one(std::span<const common::u8> code,
+                             std::size_t offset, common::u16 pc);
+
+/// Decode a whole buffer into "ADDR  bytes  mnemonic" lines.
+std::string disassemble_all(std::span<const common::u8> code,
+                            common::u16 base_pc);
+
+}  // namespace rmc::rasm

@@ -1,0 +1,135 @@
+#include "services/aes_port.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "rasm/assembler.h"
+
+namespace rmc::services {
+
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+Result<std::string> read_text_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status(ErrorCode::kNotFound, "cannot open " + path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Result<AesOnBoard> AesOnBoard::create(AesImpl impl, const std::string& source,
+                                      const dcc::CodegenOptions& options) {
+  AesOnBoard ab;
+  ab.board_ = std::make_unique<rabbit::Board>();
+
+  if (impl == AesImpl::kHandAssembly) {
+    auto out = rasm::assemble(source);
+    if (!out.ok()) return out.status();
+    ab.image_ = std::move(out->image);
+    ab.fn_init_ = "aes_init";
+    ab.fn_set_key_ = "aes_set_key";
+    ab.fn_encrypt_ = "aes_encrypt";
+    ab.buf_key_ = "key_buf";
+    ab.buf_in_ = "in_buf";
+    ab.buf_out_ = "out_buf";
+    // Size metric: code only (tables are computed into RAM at init; the
+    // `ds` reservations emit zero bytes into root chunks but we exclude
+    // data-segment chunks entirely).
+    for (const auto& chunk : ab.image_.chunks) {
+      if (chunk.phys_addr < 0x6000) ab.image_bytes_ += chunk.bytes.size();
+    }
+  } else {
+    auto out = dcc::compile(source, options);
+    if (!out.ok()) return out.status();
+    ab.image_ = std::move(out->image);
+    ab.fn_init_ = "f_aes_init";
+    ab.fn_set_key_ = "f_aes_set_key";
+    ab.fn_encrypt_ = "f_aes_encrypt";
+    ab.buf_key_ = "g_aes_key";
+    ab.buf_in_ = "g_aes_in";
+    ab.buf_out_ = "g_aes_out";
+    ab.image_bytes_ = out->code_bytes;
+  }
+
+  ab.board_->load(ab.image_);
+  auto init = ab.board_->call(ab.fn_init_, 500'000'000);
+  if (!init.ok()) return init.status();
+  if (init->stop != rabbit::StopReason::kHalted) {
+    return Status(ErrorCode::kInternal,
+                  "aes_init did not complete: " +
+                      ab.board_->cpu().illegal_message());
+  }
+  ab.init_cycles_ = init->cycles;
+  return ab;
+}
+
+Result<AesOnBoard> AesOnBoard::create_from_repo(
+    AesImpl impl, const std::string& repo_root,
+    const dcc::CodegenOptions& options) {
+  const std::string path =
+      repo_root + (impl == AesImpl::kHandAssembly ? "/asm/aes_hand.asm"
+                                                  : "/dc/aes.dc");
+  auto source = read_text_file(path);
+  if (!source.ok()) return source.status();
+  return create(impl, *source, options);
+}
+
+Status AesOnBoard::write_buffer(const std::string& symbol,
+                                std::span<const u8> data) {
+  common::u32 addr = 0;
+  if (!image_.find_symbol(symbol, addr)) {
+    return Status(ErrorCode::kNotFound, "missing symbol: " + symbol);
+  }
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    board_->mem().write(static_cast<common::u16>(addr + i), data[i]);
+  }
+  return Status::ok();
+}
+
+Status AesOnBoard::read_buffer(const std::string& symbol,
+                               std::span<u8> data) {
+  common::u32 addr = 0;
+  if (!image_.find_symbol(symbol, addr)) {
+    return Status(ErrorCode::kNotFound, "missing symbol: " + symbol);
+  }
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = board_->mem().read(static_cast<common::u16>(addr + i));
+  }
+  return Status::ok();
+}
+
+Result<u64> AesOnBoard::set_key(std::span<const u8> key) {
+  if (key.size() != 16) {
+    return Status(ErrorCode::kInvalidArgument, "key must be 16 bytes");
+  }
+  Status s = write_buffer(buf_key_, key);
+  if (!s.is_ok()) return s;
+  auto res = board_->call(fn_set_key_, 500'000'000);
+  if (!res.ok()) return res.status();
+  if (res->stop != rabbit::StopReason::kHalted) {
+    return Status(ErrorCode::kInternal, "set_key did not complete");
+  }
+  return res->cycles;
+}
+
+Result<u64> AesOnBoard::encrypt(std::span<const u8> in, std::span<u8> out) {
+  if (in.size() != 16 || out.size() != 16) {
+    return Status(ErrorCode::kInvalidArgument, "block must be 16 bytes");
+  }
+  Status s = write_buffer(buf_in_, in);
+  if (!s.is_ok()) return s;
+  auto res = board_->call(fn_encrypt_, 500'000'000);
+  if (!res.ok()) return res.status();
+  if (res->stop != rabbit::StopReason::kHalted) {
+    return Status(ErrorCode::kInternal, "encrypt did not complete");
+  }
+  s = read_buffer(buf_out_, out);
+  if (!s.is_ok()) return s;
+  return res->cycles;
+}
+
+}  // namespace rmc::services

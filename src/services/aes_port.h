@@ -1,0 +1,82 @@
+// The AES porting testbench of the paper's Section 6: "a testbench that
+// pumped keys through the two implementations of the AES cipher".
+//
+// `AesOnBoard` wraps one AES implementation running on the simulated
+// RMC2000 — either the hand assembly (asm/aes_hand.asm) or the MiniDynC
+// port (dc/aes.dc) compiled under a chosen set of optimization knobs — and
+// exposes set_key / encrypt with cycle accounting. Tests verify both against
+// the host C++ AES; the benches sweep them for E1/E2/E3.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/status.h"
+#include "dcc/codegen.h"
+#include "rabbit/board.h"
+
+namespace rmc::services {
+
+using common::u64;
+using common::u8;
+
+/// Which implementation to load onto the board.
+enum class AesImpl {
+  kHandAssembly,  // asm/aes_hand.asm via rasm
+  kCompiledC,     // dc/aes.dc via dcc (with options)
+};
+
+class AesOnBoard {
+ public:
+  /// Loads and initializes (runs aes_init + symbol resolution). `source` is
+  /// the full text of the .asm or .dc file. For kHandAssembly the options
+  /// are ignored.
+  static common::Result<AesOnBoard> create(
+      AesImpl impl, const std::string& source,
+      const dcc::CodegenOptions& options = {});
+
+  /// Convenience: reads the repository's canonical source file
+  /// (asm/aes_hand.asm or dc/aes.dc) from `repo_root`.
+  static common::Result<AesOnBoard> create_from_repo(
+      AesImpl impl, const std::string& repo_root,
+      const dcc::CodegenOptions& options = {});
+
+  /// Expand a 16-byte key on the target. Returns cycles consumed.
+  common::Result<u64> set_key(std::span<const u8> key);
+
+  /// Encrypt one 16-byte block on the target. Returns cycles consumed and
+  /// writes the ciphertext to `out`.
+  common::Result<u64> encrypt(std::span<const u8> in, std::span<u8> out);
+
+  /// Total code+table bytes of the loaded image (E3's size metric).
+  std::size_t image_bytes() const { return image_bytes_; }
+  /// Cycles the one-time aes_init took.
+  u64 init_cycles() const { return init_cycles_; }
+  /// Debug trap count so far (nonzero only for debug-built C).
+  u64 debug_traps() { return board_->cpu().debug_traps(); }
+
+  rabbit::Board& board() { return *board_; }
+  const rabbit::Board& board() const { return *board_; }
+
+ private:
+  AesOnBoard() = default;
+
+  common::Status write_buffer(const std::string& symbol,
+                              std::span<const u8> data);
+  common::Status read_buffer(const std::string& symbol, std::span<u8> data);
+
+  std::unique_ptr<rabbit::Board> board_;
+  rabbit::Image image_;
+  // Per-implementation symbol names.
+  std::string fn_init_, fn_set_key_, fn_encrypt_;
+  std::string buf_key_, buf_in_, buf_out_;
+  std::size_t image_bytes_ = 0;
+  u64 init_cycles_ = 0;
+};
+
+/// Read a whole file; convenience for loading the canonical sources.
+common::Result<std::string> read_text_file(const std::string& path);
+
+}  // namespace rmc::services

@@ -1,0 +1,442 @@
+#include "services/redirector.h"
+
+#include <array>
+
+namespace rmc::services {
+
+using common::ErrorCode;
+using common::Status;
+using dynk::WaitFor;
+using dynk::Yield;
+
+// ---------------------------------------------------------------------------
+// RmcRedirector — the Figure 3 structure
+// ---------------------------------------------------------------------------
+
+RmcRedirector::RmcRedirector(net::TcpStack& stack, net::SimNet& medium,
+                             RedirectorConfig config)
+    : stack_(stack),
+      config_(std::move(config)),
+      dc_(stack, &medium),
+      scheduler_(config_.handler_slots + 1),  // +1 = the tcp_tick driver
+      log_(config_.log_capacity_bytes),
+      sockets_(config_.handler_slots) {
+  // The port's error policy (§4.1): install a handler and ignore most
+  // errors, logging them to the ring buffer instead of resetting.
+  errors_.define_error_handler([this](const dynk::RuntimeErrorInfo& info) {
+    log_.append(std::string("err ") + dynk::runtime_error_name(info.kind));
+  });
+}
+
+Status RmcRedirector::start() {
+  dc_.sock_init();
+  for (std::size_t slot = 0; slot < config_.handler_slots; ++slot) {
+    Status s = scheduler_.add(handler(slot), "handler" + std::to_string(slot));
+    if (!s.is_ok()) return s;
+  }
+  return scheduler_.add(tick_driver(), "tcp_tick");
+}
+
+void RmcRedirector::poll() { scheduler_.tick(); }
+
+dynk::Costate RmcRedirector::tick_driver() {
+  // Figure 3: "one [process] to drive the TCP stack".
+  while (true) {
+    dc_.tcp_tick(nullptr);
+    co_await Yield{};
+  }
+}
+
+dynk::Costate RmcRedirector::handler(std::size_t slot) {
+  net::tcp_Socket& sock = sockets_[slot];
+  // Statically-sized forwarding buffer (§5.2: no malloc on the target).
+  std::array<u8, 512> buf{};
+
+  while (true) {
+    if (!dc_.tcp_listen(&sock, config_.listen_port).is_ok()) co_return;
+    co_await WaitFor{[this, &sock] { return dc_.sock_established(&sock); }};
+    ++stats_.connections_active;
+    log_.append("open " + std::to_string(slot));
+
+    issl::DcStream stream(dc_, &sock);
+    std::optional<issl::Session> session;
+    bool usable = true;
+
+    if (config_.secure) {
+      issl::ServerIdentity id;
+      id.psk = config_.psk;
+      id.rsa = config_.rsa;
+      session.emplace(
+          issl::issl_bind_server(stream, config_.tls, rng_, std::move(id)));
+      while (!session->established() && !session->failed() &&
+             dc_.tcp_tick(&sock)) {
+        (void)session->pump();
+        co_await Yield{};
+      }
+      if (!session->established()) {
+        ++stats_.handshake_failures;
+        log_.append("hs-fail " + std::to_string(slot));
+        usable = false;
+      } else if (config_.crypto_cycles_handshake > 0) {
+        // CPU-cost model: the 30 MHz board just spent this long on the key
+        // schedule, PRF, and Finished MACs.
+        co_await scheduler_.delay(static_cast<common::u32>(
+            config_.crypto_cycles_handshake / 30'000));
+      }
+    }
+
+    int backend = -1;
+    if (usable) {
+      auto b = stack_.connect(config_.backend_ip, config_.backend_port);
+      if (b.ok()) {
+        backend = *b;
+        co_await WaitFor{[this, backend] {
+          return stack_.is_established(backend) || stack_.was_reset(backend);
+        }};
+        if (stack_.was_reset(backend)) {
+          log_.append("backend-dead " + std::to_string(slot));
+          usable = false;
+        }
+      } else {
+        usable = false;
+      }
+    }
+
+    // Forwarding loop: client<->backend through the (optional) session.
+    bool done = !usable;
+    common::u64 crypto_cycles_owed = 0;  // accumulated cipher+MAC work
+    while (!done) {
+      if (session) {
+        (void)session->pump();
+        if (session->failed()) {
+          done = true;
+        } else {
+          auto data = session->read();
+          if (data.ok()) {
+            if (data->empty() && session->closed()) {
+              done = true;
+            } else if (!data->empty()) {
+              (void)stack_.send(backend, *data);
+              stats_.bytes_client_to_backend += data->size();
+              crypto_cycles_owed +=
+                  config_.crypto_cycles_per_byte * data->size();
+            }
+          }
+          auto n = stack_.recv(backend, buf);
+          if (n.ok()) {
+            if (*n == 0) {
+              (void)session->close();
+              done = true;
+            } else {
+              (void)session->write(std::span<const u8>(buf.data(), *n));
+              stats_.bytes_backend_to_client += *n;
+              crypto_cycles_owed += config_.crypto_cycles_per_byte * *n;
+            }
+          }
+          // Pay off accumulated cipher work in whole virtual milliseconds.
+          if (crypto_cycles_owed >= 30'000) {
+            const common::u32 ms =
+                static_cast<common::u32>(crypto_cycles_owed / 30'000);
+            crypto_cycles_owed %= 30'000;
+            co_await scheduler_.delay(ms);
+          }
+        }
+      } else {
+        // Plaintext pass-through (the E5 baseline build).
+        auto n = dc_.sock_fastread(&sock, buf);
+        if (n.ok()) {
+          if (*n == 0) {
+            done = true;
+          } else {
+            (void)stack_.send(backend, std::span<const u8>(buf.data(), *n));
+            stats_.bytes_client_to_backend += *n;
+          }
+        }
+        auto m = stack_.recv(backend, buf);
+        if (m.ok()) {
+          if (*m == 0) {
+            done = true;
+          } else {
+            (void)dc_.sock_fastwrite(&sock,
+                                     std::span<const u8>(buf.data(), *m));
+            stats_.bytes_backend_to_client += *m;
+          }
+        }
+        if (!dc_.tcp_tick(&sock)) done = true;
+      }
+      co_await Yield{};
+    }
+
+    if (backend >= 0) (void)stack_.close(backend);
+    dc_.sock_close(&sock);
+    --stats_.connections_active;
+    ++stats_.connections_served;
+    log_.append("done " + std::to_string(slot));
+    co_await Yield{};
+  }
+}
+
+// ---------------------------------------------------------------------------
+// UnixRedirector — the original fork-per-connection structure
+// ---------------------------------------------------------------------------
+
+UnixRedirector::UnixRedirector(net::TcpStack& stack, RedirectorConfig config)
+    : stack_(stack),
+      config_(std::move(config)),
+      bsd_(stack),
+      // "Fork" freely: a workstation-sized process table.
+      scheduler_(4096) {}
+
+Status UnixRedirector::start() {
+  auto fd = bsd_.socket_fd();
+  if (!fd.ok()) return fd.status();
+  listen_fd_ = *fd;
+  Status s = bsd_.bind_fd(listen_fd_, config_.listen_port);
+  if (!s.is_ok()) return s;
+  s = bsd_.listen_fd(listen_fd_, 16);
+  if (!s.is_ok()) return s;
+  return scheduler_.add(acceptor(), "acceptor");
+}
+
+void UnixRedirector::poll() { scheduler_.tick(); }
+
+dynk::Costate UnixRedirector::acceptor() {
+  // The Figure 2(a)/§5.3 loop: accept, fork a child, loop immediately.
+  while (true) {
+    auto fd = bsd_.accept_fd(listen_fd_);
+    if (fd.ok()) {
+      log_.push_back("accepted fd " + std::to_string(*fd));
+      if (!scheduler_.add(connection_process(*fd), "conn").is_ok()) {
+        (void)bsd_.close_fd(*fd);  // out of process slots
+      }
+    }
+    co_await Yield{};
+  }
+}
+
+dynk::Costate UnixRedirector::connection_process(int fd) {
+  ++stats_.connections_active;
+  std::array<u8, 4096> buf{};
+  issl::BsdStream stream(bsd_, fd);
+  std::optional<issl::Session> session;
+  bool usable = true;
+
+  if (config_.secure) {
+    issl::ServerIdentity id;
+    id.psk = config_.psk;
+    id.rsa = config_.rsa;
+    session.emplace(
+        issl::issl_bind_server(stream, config_.tls, rng_, std::move(id)));
+    while (!session->established() && !session->failed() && stream.open()) {
+      (void)session->pump();
+      co_await Yield{};
+    }
+    if (!session->established()) {
+      ++stats_.handshake_failures;
+      log_.push_back("handshake failure on fd " + std::to_string(fd));
+      usable = false;
+    }
+  }
+
+  int backend = -1;
+  if (usable) {
+    auto b = stack_.connect(config_.backend_ip, config_.backend_port);
+    if (b.ok()) {
+      backend = *b;
+      co_await WaitFor{[this, backend] {
+        return stack_.is_established(backend) || stack_.was_reset(backend);
+      }};
+      usable = !stack_.was_reset(backend);
+    } else {
+      usable = false;
+    }
+  }
+
+  bool done = !usable;
+  while (!done) {
+    if (session) {
+      (void)session->pump();
+      if (session->failed()) {
+        done = true;
+      } else {
+        auto data = session->read();
+        if (data.ok()) {
+          if (data->empty() && session->closed()) {
+            done = true;
+          } else if (!data->empty()) {
+            (void)stack_.send(backend, *data);
+            stats_.bytes_client_to_backend += data->size();
+          }
+        }
+        auto n = stack_.recv(backend, buf);
+        if (n.ok()) {
+          if (*n == 0) {
+            (void)session->close();
+            done = true;
+          } else {
+            (void)session->write(std::span<const u8>(buf.data(), *n));
+            stats_.bytes_backend_to_client += *n;
+          }
+        }
+      }
+    } else {
+      auto n = bsd_.recv_fd(fd, buf);
+      if (n.ok()) {
+        if (*n == 0) {
+          done = true;
+        } else {
+          (void)stack_.send(backend, std::span<const u8>(buf.data(), *n));
+          stats_.bytes_client_to_backend += *n;
+        }
+      }
+      auto m = stack_.recv(backend, buf);
+      if (m.ok()) {
+        if (*m == 0) {
+          done = true;
+        } else {
+          (void)bsd_.send_fd(fd, std::span<const u8>(buf.data(), *m));
+          stats_.bytes_backend_to_client += *m;
+        }
+      }
+      if (!bsd_.open_fd(fd)) done = true;
+    }
+    co_await Yield{};
+  }
+
+  if (backend >= 0) (void)stack_.close(backend);
+  (void)bsd_.close_fd(fd);
+  --stats_.connections_active;
+  ++stats_.connections_served;
+  log_.push_back("closed fd " + std::to_string(fd));
+  // exit(0): the child process terminates here.
+}
+
+// ---------------------------------------------------------------------------
+// EchoBackend
+// ---------------------------------------------------------------------------
+
+EchoBackend::EchoBackend(net::TcpStack& stack, net::Port port,
+                         std::function<u8(u8)> transform)
+    : stack_(stack), port_(port), transform_(std::move(transform)) {}
+
+Status EchoBackend::start() {
+  auto l = stack_.listen(port_, 16);
+  if (!l.ok()) return l.status();
+  listener_ = *l;
+  return Status::ok();
+}
+
+void EchoBackend::poll() {
+  while (true) {
+    auto c = stack_.accept(listener_);
+    if (!c.ok()) break;
+    conns_.push_back(*c);
+  }
+  u8 buf[1024];
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    const int conn = *it;
+    bool closed = false;
+    while (true) {
+      auto n = stack_.recv(conn, buf);
+      if (!n.ok()) break;
+      if (*n == 0) {
+        (void)stack_.close(conn);
+        closed = true;
+        break;
+      }
+      if (transform_) {
+        for (std::size_t i = 0; i < *n; ++i) buf[i] = transform_(buf[i]);
+      }
+      (void)stack_.send(conn, std::span<const u8>(buf, *n));
+      bytes_served_ += *n;
+    }
+    if (closed || !stack_.is_open(conn)) {
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+Client::Client(net::TcpStack& stack, net::IpAddr server_ip,
+               net::Port server_port, bool secure, const issl::Config& tls,
+               std::vector<u8> psk, u64 rng_seed)
+    : stack_(stack),
+      server_ip_(server_ip),
+      server_port_(server_port),
+      secure_(secure),
+      tls_(tls),
+      psk_(std::move(psk)),
+      rng_(rng_seed) {}
+
+Status Client::start() {
+  auto s = stack_.connect(server_ip_, server_port_);
+  if (!s.ok()) return s.status();
+  sock_ = *s;
+  stream_ = std::make_unique<issl::TcpStream>(stack_, sock_);
+  return Status::ok();
+}
+
+bool Client::poll() {
+  if (sock_ < 0) return false;
+  if (!stack_.is_established(sock_)) {
+    return stack_.is_open(sock_);  // still handshaking at the TCP level
+  }
+  if (secure_) {
+    if (!session_) {
+      session_.emplace(issl::issl_bind_client(*stream_, tls_, rng_, psk_));
+    }
+    (void)session_->pump();
+    if (session_->failed()) return false;
+    if (session_->established()) {
+      if (!pending_send_.empty()) {
+        if (session_->write(pending_send_).ok()) pending_send_.clear();
+      }
+      auto data = session_->read();
+      if (data.ok() && !data->empty()) {
+        received_.insert(received_.end(), data->begin(), data->end());
+      }
+    }
+    if (session_->closed()) return false;
+  } else {
+    if (!pending_send_.empty()) {
+      if (stack_.send(sock_, pending_send_).ok()) pending_send_.clear();
+    }
+    u8 buf[1024];
+    while (true) {
+      auto n = stack_.recv(sock_, buf);
+      if (!n.ok() || *n == 0) break;
+      received_.insert(received_.end(), buf, buf + *n);
+    }
+    if (!stack_.is_open(sock_) && stack_.bytes_available(sock_) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status Client::send(std::span<const u8> payload) {
+  pending_send_.insert(pending_send_.end(), payload.begin(), payload.end());
+  return Status::ok();
+}
+
+bool Client::handshake_done() const {
+  if (!secure_) return sock_ >= 0 && stack_.is_established(sock_);
+  return session_.has_value() && session_->established();
+}
+
+bool Client::failed() const {
+  if (session_.has_value() && session_->failed()) return true;
+  return sock_ >= 0 && stack_.was_reset(sock_);
+}
+
+void Client::close() {
+  if (session_ && session_->established()) (void)session_->close();
+  if (sock_ >= 0) (void)stack_.close(sock_);
+}
+
+}  // namespace rmc::services

@@ -1,0 +1,190 @@
+// The network cryptographic service of the case study: a secure redirector
+// (SSL terminator). Clients connect over issl; the redirector decrypts and
+// forwards the stream to a plaintext backend, and relays responses back
+// encrypted — the job of the "coprocessor cards that perform SSL functions"
+// the paper cites (§2).
+//
+// Two builds, as in the paper:
+//
+//   UnixRedirector  — the original: BSD-socket facade, a "process" per
+//                     connection (fork modelled as spawning a costatement in
+//                     an effectively unbounded scheduler), RSA key exchange,
+//                     growable log.
+//
+//   RmcRedirector   — the port, structured exactly like Figure 3: a fixed
+//                     scheduler with N connection-handler costatements plus
+//                     one tcp_tick driver; Dynamic C socket API; PSK key
+//                     exchange (RSA dropped with the bignum package); all
+//                     buffers statically sized; RingLog instead of a log
+//                     file; runtime errors ignored via the error handler.
+//
+// The hard connection ceiling of the port (max N simultaneous clients, fixed
+// at "compile time") is the subject of bench_connections (E4).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/ringlog.h"
+#include "dynk/costate.h"
+#include "dynk/error.h"
+#include "issl/issl.h"
+#include "net/bsd.h"
+#include "net/dcnet.h"
+#include "net/simnet.h"
+#include "net/tcp.h"
+
+namespace rmc::services {
+
+using common::u64;
+using common::u8;
+
+struct RedirectorConfig {
+  net::Port listen_port = 4433;
+  net::IpAddr backend_ip = 0;
+  net::Port backend_port = 8000;
+  /// false = plaintext pass-through (the E5 baseline).
+  bool secure = true;
+  issl::Config tls = issl::Config::embedded_port();
+  std::vector<u8> psk;                         // for PSK configs
+  std::optional<crypto::RsaKeyPair> rsa;       // for RSA configs
+  std::size_t handler_slots = 3;               // Figure 3: three handlers
+  std::size_t log_capacity_bytes = 512;        // embedded SRAM budget
+
+  /// CPU-cost model for the secure path (0 = crypto is free, the idealized
+  /// default). When set, handlers stall their costatement for the virtual
+  /// time the 30 MHz board would spend ciphering: `crypto_cycles_per_byte`
+  /// per bulk byte (AES + MAC) and `crypto_cycles_handshake` once per
+  /// session (key schedule + PRF + Finished MACs). bench_ssl_throughput
+  /// feeds these from the E1 measurements, which is what surfaces the
+  /// Goldberg-style secure-vs-plain gap on this substrate.
+  common::u64 crypto_cycles_per_byte = 0;
+  common::u64 crypto_cycles_handshake = 0;
+};
+
+struct RedirectorStats {
+  u64 connections_served = 0;   // completed (closed) sessions
+  u64 connections_active = 0;
+  u64 handshake_failures = 0;
+  u64 bytes_client_to_backend = 0;
+  u64 bytes_backend_to_client = 0;
+};
+
+/// The embedded port (Figure 3 structure).
+class RmcRedirector {
+ public:
+  /// `stack` is the board's TCP stack; `medium` is ticked by the tcp_tick
+  /// driver costatement, making that costatement structurally load-bearing.
+  RmcRedirector(net::TcpStack& stack, net::SimNet& medium,
+                RedirectorConfig config);
+
+  /// Install the costatements (handlers + driver). Fails if the scheduler
+  /// cannot hold them — the compile-time limit of §5.3.
+  common::Status start();
+
+  /// One trip around the main loop (one scheduler tick).
+  void poll();
+
+  const RedirectorStats& stats() const { return stats_; }
+  common::RingLog& log() { return log_; }
+  dynk::ErrorDispatcher& errors() { return errors_; }
+  std::size_t handler_slots() const { return config_.handler_slots; }
+
+ private:
+  dynk::Costate handler(std::size_t slot);
+  dynk::Costate tick_driver();
+
+  net::TcpStack& stack_;
+  RedirectorConfig config_;
+  net::DcTcpApi dc_;
+  dynk::Scheduler scheduler_;
+  common::RingLog log_;
+  dynk::ErrorDispatcher errors_;
+  common::Xorshift64 rng_{0x52AB0B17};
+  RedirectorStats stats_;
+  // Static allocation, as the port was forced into (§5.2): one socket and
+  // one session slot per handler, sized at construction, never freed.
+  std::vector<net::tcp_Socket> sockets_;
+};
+
+/// The original Unix-style service.
+class UnixRedirector {
+ public:
+  UnixRedirector(net::TcpStack& stack, RedirectorConfig config);
+
+  common::Status start();
+  void poll();
+
+  const RedirectorStats& stats() const { return stats_; }
+  const std::vector<std::string>& log() const { return log_; }
+
+ private:
+  dynk::Costate acceptor();
+  dynk::Costate connection_process(int fd);  // the "forked child"
+
+  net::TcpStack& stack_;
+  RedirectorConfig config_;
+  net::BsdSocketApi bsd_;
+  dynk::Scheduler scheduler_;
+  common::Xorshift64 rng_{0x0EC0FFEE};
+  RedirectorStats stats_;
+  std::vector<std::string> log_;  // unbounded, as on a real filesystem
+  int listen_fd_ = -1;
+};
+
+/// Plaintext TCP backend the redirector forwards to. Applies `transform`
+/// to each byte (default: identity echo).
+class EchoBackend {
+ public:
+  EchoBackend(net::TcpStack& stack, net::Port port,
+              std::function<u8(u8)> transform = {});
+  common::Status start();
+  void poll();
+  u64 bytes_served() const { return bytes_served_; }
+
+ private:
+  net::TcpStack& stack_;
+  net::Port port_;
+  std::function<u8(u8)> transform_;
+  int listener_ = -1;
+  std::vector<int> conns_;
+  u64 bytes_served_ = 0;
+};
+
+/// Test/bench client: opens a TCP connection to the redirector, optionally
+/// runs the issl client handshake, sends `payload`, collects the response.
+class Client {
+ public:
+  Client(net::TcpStack& stack, net::IpAddr server_ip, net::Port server_port,
+         bool secure, const issl::Config& tls, std::vector<u8> psk,
+         u64 rng_seed = 0xC11E47);
+
+  common::Status start();
+  /// Drive one step. Returns true while still working.
+  bool poll();
+
+  common::Status send(std::span<const u8> payload);
+  std::vector<u8>& received() { return received_; }
+  bool handshake_done() const;
+  bool failed() const;
+  void close();
+
+ private:
+  net::TcpStack& stack_;
+  net::IpAddr server_ip_;
+  net::Port server_port_;
+  bool secure_;
+  issl::Config tls_;
+  std::vector<u8> psk_;
+  common::Xorshift64 rng_;
+  int sock_ = -1;
+  std::unique_ptr<issl::TcpStream> stream_;
+  std::optional<issl::Session> session_;
+  std::vector<u8> received_;
+  std::vector<u8> pending_send_;
+  bool send_done_ = false;
+};
+
+}  // namespace rmc::services

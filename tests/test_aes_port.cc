@@ -1,0 +1,170 @@
+// Cross-validation of the paper's two AES implementations (E1's subjects):
+//
+//   asm/aes_hand.asm  (hand-optimized Rabbit assembly)
+//   dc/aes.dc         (MiniDynC "direct C port", several knob settings)
+//
+// against the host C++ reference (itself pinned by FIPS-197 vectors in
+// test_crypto.cc). Three independently-written implementations must agree
+// byte-for-byte, which pins the CPU simulator, assembler, and compiler in
+// one shot. Also asserts the performance *ordering* the paper reports.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/prng.h"
+#include "crypto/aes.h"
+#include "services/aes_port.h"
+
+namespace rmc::services {
+namespace {
+
+using common::from_hex;
+using common::to_hex;
+using common::u64;
+using common::u8;
+
+AesOnBoard make(AesImpl impl, const dcc::CodegenOptions& opts = {}) {
+  auto ab = AesOnBoard::create_from_repo(impl, RMC_REPO_ROOT, opts);
+  EXPECT_TRUE(ab.ok()) << ab.status().to_string();
+  return std::move(*ab);
+}
+
+void expect_fips_vector(AesOnBoard& aes) {
+  const auto key = from_hex("000102030405060708090a0b0c0d0e0f");
+  const auto pt = from_hex("00112233445566778899aabbccddeeff");
+  ASSERT_TRUE(aes.set_key(key).ok());
+  std::array<u8, 16> ct{};
+  auto cycles = aes.encrypt(pt, ct);
+  ASSERT_TRUE(cycles.ok()) << cycles.status().to_string();
+  EXPECT_EQ(to_hex(ct), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(AesPort, HandAssemblyMatchesFips197) {
+  auto aes = make(AesImpl::kHandAssembly);
+  expect_fips_vector(aes);
+}
+
+TEST(AesPort, CompiledCDebugBuildMatchesFips197) {
+  auto aes = make(AesImpl::kCompiledC, dcc::CodegenOptions::debug_defaults());
+  expect_fips_vector(aes);
+}
+
+TEST(AesPort, CompiledCOptimizedBuildMatchesFips197) {
+  auto aes =
+      make(AesImpl::kCompiledC, dcc::CodegenOptions::all_optimizations());
+  expect_fips_vector(aes);
+}
+
+TEST(AesPort, AllThreeImplementationsAgreeOnRandomKeys) {
+  auto hand = make(AesImpl::kHandAssembly);
+  auto compiled = make(AesImpl::kCompiledC,
+                       dcc::CodegenOptions::all_optimizations());
+  common::Xorshift64 rng(2003);  // DATE 2003
+  for (int trial = 0; trial < 8; ++trial) {
+    std::array<u8, 16> key{}, pt{}, host_ct{}, hand_ct{}, c_ct{};
+    rng.fill(key);
+    rng.fill(pt);
+    auto host = crypto::Aes::create(key);
+    ASSERT_TRUE(host.ok());
+    host->encrypt_block(pt, host_ct);
+    ASSERT_TRUE(hand.set_key(key).ok());
+    ASSERT_TRUE(hand.encrypt(pt, hand_ct).ok());
+    ASSERT_TRUE(compiled.set_key(key).ok());
+    ASSERT_TRUE(compiled.encrypt(pt, c_ct).ok());
+    EXPECT_EQ(to_hex(hand_ct), to_hex(host_ct)) << "trial " << trial;
+    EXPECT_EQ(to_hex(c_ct), to_hex(host_ct)) << "trial " << trial;
+  }
+}
+
+TEST(AesPort, RekeyingChangesCiphertext) {
+  auto hand = make(AesImpl::kHandAssembly);
+  const auto pt = from_hex("00112233445566778899aabbccddeeff");
+  std::array<u8, 16> ct1{}, ct2{};
+  ASSERT_TRUE(hand.set_key(from_hex("000102030405060708090a0b0c0d0e0f")).ok());
+  ASSERT_TRUE(hand.encrypt(pt, ct1).ok());
+  ASSERT_TRUE(hand.set_key(from_hex("ffeeddccbbaa99887766554433221100")).ok());
+  ASSERT_TRUE(hand.encrypt(pt, ct2).ok());
+  EXPECT_NE(to_hex(ct1), to_hex(ct2));
+}
+
+// ---------------------------------------------------------------------------
+// The paper's performance ordering (exact factors are measured in bench/)
+// ---------------------------------------------------------------------------
+
+u64 encrypt_cycles(AesOnBoard& aes) {
+  const auto key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const auto pt = from_hex("3243f6a8885a308d313198a2e0370734");
+  EXPECT_TRUE(aes.set_key(key).ok());
+  std::array<u8, 16> ct{};
+  auto cycles = aes.encrypt(pt, ct);
+  EXPECT_TRUE(cycles.ok());
+  return cycles.ok() ? *cycles : 0;
+}
+
+TEST(AesPort, AssemblyAtLeastAnOrderOfMagnitudeFasterThanDebugC) {
+  auto hand = make(AesImpl::kHandAssembly);
+  auto compiled = make(AesImpl::kCompiledC,
+                       dcc::CodegenOptions::debug_defaults());
+  const u64 hand_cycles = encrypt_cycles(hand);
+  const u64 c_cycles = encrypt_cycles(compiled);
+  EXPECT_GE(c_cycles, 10 * hand_cycles)
+      << "hand=" << hand_cycles << " c=" << c_cycles;
+}
+
+TEST(AesPort, OptimizedCStillMuchSlowerThanAssembly) {
+  // §6: "this only improved run time by perhaps 20%" — optimization does not
+  // close the gap.
+  auto hand = make(AesImpl::kHandAssembly);
+  auto optimized = make(AesImpl::kCompiledC,
+                        dcc::CodegenOptions::all_optimizations());
+  const u64 hand_cycles = encrypt_cycles(hand);
+  const u64 c_cycles = encrypt_cycles(optimized);
+  EXPECT_GE(c_cycles, 5 * hand_cycles)
+      << "hand=" << hand_cycles << " c=" << c_cycles;
+}
+
+TEST(AesPort, OptimizationKnobsImproveButModestly) {
+  auto debug_build = make(AesImpl::kCompiledC,
+                          dcc::CodegenOptions::debug_defaults());
+  auto opt_build = make(AesImpl::kCompiledC,
+                        dcc::CodegenOptions::all_optimizations());
+  const u64 debug_cycles = encrypt_cycles(debug_build);
+  const u64 opt_cycles = encrypt_cycles(opt_build);
+  EXPECT_LT(opt_cycles, debug_cycles);
+  // The knobs must not magically fix the compiled code (paper: ~20%; we
+  // allow up to 60% improvement before calling the model broken).
+  EXPECT_GT(opt_cycles, debug_cycles * 2 / 5)
+      << "debug=" << debug_cycles << " opt=" << opt_cycles;
+}
+
+TEST(AesPort, DebugBuildTrapsFireDuringEncrypt) {
+  auto compiled = make(AesImpl::kCompiledC,
+                       dcc::CodegenOptions::debug_defaults());
+  const u64 before = compiled.debug_traps();
+  encrypt_cycles(compiled);
+  EXPECT_GT(compiled.debug_traps(), before);
+
+  auto nodebug = make(AesImpl::kCompiledC,
+                      dcc::CodegenOptions::all_optimizations());
+  encrypt_cycles(nodebug);
+  EXPECT_EQ(nodebug.debug_traps(), 0u);
+}
+
+TEST(AesPort, ImageSizesReported) {
+  auto hand = make(AesImpl::kHandAssembly);
+  auto compiled = make(AesImpl::kCompiledC,
+                       dcc::CodegenOptions::debug_defaults());
+  EXPECT_GT(hand.image_bytes(), 200u);
+  EXPECT_GT(compiled.image_bytes(), 200u);
+}
+
+TEST(AesPort, ErrorsOnBadBufferSizes) {
+  auto hand = make(AesImpl::kHandAssembly);
+  std::array<u8, 8> short_key{};
+  EXPECT_FALSE(hand.set_key(short_key).ok());
+  std::array<u8, 16> in{};
+  std::array<u8, 8> out{};
+  EXPECT_FALSE(hand.encrypt(in, out).ok());
+}
+
+}  // namespace
+}  // namespace rmc::services

@@ -1,0 +1,125 @@
+// Cofunction and slice-scheduler tests (paper §4.2's remaining constructs).
+#include <gtest/gtest.h>
+
+#include "dynk/cofunc.h"
+
+namespace rmc::dynk {
+namespace {
+
+Cofunc<int> sum_with_yields(int n) {
+  int total = 0;
+  for (int i = 1; i <= n; ++i) {
+    total += i;
+    co_await Yield{};
+  }
+  co_return total;
+}
+
+Cofunc<int> waits_for_flag(bool& flag, int value) {
+  co_await WaitFor{[&] { return flag; }};
+  co_return value;
+}
+
+TEST(Cofunc, ProducesResultAfterPolling) {
+  auto cf = sum_with_yields(10);
+  EXPECT_FALSE(cf.done());
+  int polls = 0;
+  while (!cf.done()) {
+    ASSERT_TRUE(cf.poll());
+    ++polls;
+  }
+  ASSERT_TRUE(cf.has_result());
+  EXPECT_EQ(cf.result(), 55);
+  EXPECT_EQ(polls, 11);  // 10 yields + final resume to co_return
+}
+
+TEST(Cofunc, WaitForBlocksPolling) {
+  bool flag = false;
+  auto cf = waits_for_flag(flag, 42);
+  ASSERT_TRUE(cf.poll());   // runs up to the waitfor
+  EXPECT_FALSE(cf.poll());  // blocked
+  EXPECT_FALSE(cf.done());
+  flag = true;
+  EXPECT_TRUE(cf.poll());
+  ASSERT_TRUE(cf.has_result());
+  EXPECT_EQ(cf.result(), 42);
+}
+
+TEST(Cofunc, RunToCompletionBudget) {
+  auto cf = sum_with_yields(5);
+  EXPECT_EQ(cf.run_to_completion(3), std::nullopt);  // budget too small
+  auto r = cf.run_to_completion(100);                // finishes the rest
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 15);
+}
+
+TEST(Cofunc, WfdFromInsideACostatement) {
+  // The Dynamic C pattern: a costatement invoking a cofunction and waiting
+  // for its result (wfd).
+  Scheduler sched(2);
+  int result = 0;
+  auto driver = [&]() -> Costate {
+    auto cf = sum_with_yields(4);
+    while (!cf.done()) {
+      cf.poll();
+      co_await Yield{};
+    }
+    result = cf.result();
+  };
+  ASSERT_TRUE(sched.add(driver()).is_ok());
+  EXPECT_TRUE(sched.run(100));
+  EXPECT_EQ(result, 10);
+}
+
+// ---------------------------------------------------------------------------
+// SliceScheduler
+// ---------------------------------------------------------------------------
+
+Costate appender(std::vector<int>& log, int id, int steps) {
+  for (int i = 0; i < steps; ++i) {
+    log.push_back(id);
+    co_await Yield{};
+  }
+}
+
+TEST(Slice, BudgetControlsInterleavingGranularity) {
+  // Budget 3: task 1 runs 3 steps, then task 2 runs 3 steps, ...
+  std::vector<int> log;
+  SliceScheduler sched(3);
+  ASSERT_TRUE(sched.add(appender(log, 1, 6)).is_ok());
+  ASSERT_TRUE(sched.add(appender(log, 2, 6)).is_ok());
+  EXPECT_TRUE(sched.run(10));
+  EXPECT_EQ(log, (std::vector<int>{1, 1, 1, 2, 2, 2, 1, 1, 1, 2, 2, 2}));
+}
+
+TEST(Slice, BudgetOneIsRoundRobin) {
+  std::vector<int> log;
+  SliceScheduler sched(1);
+  ASSERT_TRUE(sched.add(appender(log, 1, 3)).is_ok());
+  ASSERT_TRUE(sched.add(appender(log, 2, 3)).is_ok());
+  EXPECT_TRUE(sched.run(10));
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 1, 2, 1, 2}));
+}
+
+TEST(Slice, BlockedTaskYieldsItsSliceEarly) {
+  std::vector<int> log;
+  bool flag = false;
+  SliceScheduler sched(100);  // huge budget
+  auto blocked = [&]() -> Costate {
+    log.push_back(-1);
+    co_await WaitFor{[&] { return flag; }};
+    log.push_back(-2);
+  };
+  ASSERT_TRUE(sched.add(blocked()).is_ok());
+  ASSERT_TRUE(sched.add(appender(log, 7, 2)).is_ok());
+  sched.tick();
+  // The blocked task must not starve the other despite its big budget.
+  EXPECT_EQ(log, (std::vector<int>{-1, 7, 7}));
+  flag = true;
+  sched.tick();
+  EXPECT_EQ(log.back(), -2);
+  EXPECT_TRUE(sched.all_done());
+}
+
+}  // namespace
+}  // namespace rmc::dynk

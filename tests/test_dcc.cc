@@ -1,0 +1,519 @@
+// MiniDynC compiler tests.
+//
+// The central strategy is differential execution: every program is run both
+// through the host interpreter and as compiled Rabbit machine code on the
+// board simulator, under every optimization-knob combination, and the
+// results (return value + observable globals) must agree. That pins the
+// compiler, the assembler, and the CPU core against each other.
+#include <gtest/gtest.h>
+
+#include "dcc/codegen.h"
+#include "dcc/interp.h"
+#include "dcc/parser.h"
+#include "rabbit/board.h"
+
+namespace rmc::dcc {
+namespace {
+
+using common::u16;
+using common::u32;
+using rabbit::Board;
+using rabbit::StopReason;
+
+// Run `fn()` (no args) compiled with `opts`; returns HL.
+u16 run_compiled(const std::string& src, const std::string& fn,
+                 const CodegenOptions& opts) {
+  auto out = compile(src, opts);
+  EXPECT_TRUE(out.ok()) << out.status().to_string();
+  if (!out.ok()) return 0xDEAD;
+  Board board;
+  board.load(out->image);
+  auto res = board.call("f_" + fn, 200'000'000);
+  EXPECT_TRUE(res.ok()) << res.status().to_string();
+  if (!res.ok()) return 0xDEAD;
+  EXPECT_EQ(res->stop, StopReason::kHalted) << board.cpu().illegal_message();
+  return res->hl;
+}
+
+u16 run_interp(const std::string& src, const std::string& fn) {
+  auto prog = parse(src);
+  EXPECT_TRUE(prog.ok()) << prog.status().to_string();
+  if (!prog.ok()) return 0xBEEF;
+  auto in = Interpreter::create(*prog);
+  EXPECT_TRUE(in.ok()) << in.status().to_string();
+  if (!in.ok()) return 0xBEEF;
+  auto v = in->call(fn, {});
+  EXPECT_TRUE(v.ok()) << v.status().to_string();
+  return v.ok() ? *v : 0xBEEF;
+}
+
+std::vector<CodegenOptions> all_option_combos() {
+  std::vector<CodegenOptions> combos;
+  for (int bits = 0; bits < 32; ++bits) {
+    CodegenOptions o;
+    o.debug_hooks = bits & 1;
+    o.fold_constants = bits & 2;
+    o.peephole = bits & 4;
+    o.unroll_loops = bits & 8;
+    o.xmem_tables = bits & 16;
+    combos.push_back(o);
+  }
+  return combos;
+}
+
+// Differential check under the default options and the fully-optimized set.
+void check_agrees(const std::string& src, const std::string& fn) {
+  const u16 expected = run_interp(src, fn);
+  EXPECT_EQ(run_compiled(src, fn, CodegenOptions::debug_defaults()), expected)
+      << "debug build diverged for " << fn;
+  EXPECT_EQ(run_compiled(src, fn, CodegenOptions::all_optimizations()),
+            expected)
+      << "optimized build diverged for " << fn;
+}
+
+// ---------------------------------------------------------------------------
+// Parser-level checks
+// ---------------------------------------------------------------------------
+
+TEST(Parser, RejectsSyntaxErrors) {
+  EXPECT_FALSE(parse("int f( {}").ok());
+  EXPECT_FALSE(parse("int f() { return ; ").ok());
+  EXPECT_FALSE(parse("int f() { 1 + ; }").ok());
+  EXPECT_FALSE(parse("int 5x;").ok());
+  EXPECT_FALSE(parse("int f() { x = = 3; }").ok());
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  auto r = parse("int f() {\n  return 1;\n}\nint g() { @ }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 4"), std::string::npos);
+}
+
+TEST(Parser, AcceptsRepresentativeProgram) {
+  auto r = parse(R"(
+    xmem uchar table[16];
+    int counter = 3;
+    uchar buf[8] = {1, 2, 3};
+    int add(int a, int b) { return a + b; }
+    void fill(void) {
+      int i;
+      for (i = 0; i < 8; i = i + 1) buf[i] = i * 2;
+    }
+  )");
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(r->globals.size(), 3u);
+  EXPECT_EQ(r->functions.size(), 2u);
+  EXPECT_TRUE(r->globals[0].is_xmem);
+  EXPECT_EQ(r->globals[2].init.size(), 3u);
+}
+
+TEST(Parser, AssignmentTargetValidation) {
+  EXPECT_FALSE(parse("int f() { 3 = 4; }").ok());
+  EXPECT_FALSE(parse("int f() { (1+2) = 4; }").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Compiler error paths
+// ---------------------------------------------------------------------------
+
+TEST(Compiler, UndefinedVariableRejected) {
+  auto r = compile("int f() { return nope; }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("undefined variable"),
+            std::string::npos);
+}
+
+TEST(Compiler, UndefinedFunctionRejected) {
+  EXPECT_FALSE(compile("int f() { return g(); }").ok());
+}
+
+TEST(Compiler, ArgumentCountMismatchRejected) {
+  EXPECT_FALSE(
+      compile("int g(int a) { return a; } int f() { return g(1, 2); }").ok());
+}
+
+TEST(Compiler, ArrayMisuseRejected) {
+  EXPECT_FALSE(compile("uchar b[4]; int f() { return b; }").ok());
+  EXPECT_FALSE(compile("int x; int f() { return x[0]; }").ok());
+  EXPECT_FALSE(compile("uchar b[4]; int f() { b = 3; return 0; }").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Differential tests: compiled == interpreted
+// ---------------------------------------------------------------------------
+
+TEST(Differential, ArithmeticKitchenSink) {
+  check_agrees(R"(
+    int f() {
+      int a; int b; int c;
+      a = 1234; b = 567;
+      c = a + b * 3 - (a / b) + (a % b);
+      c = c ^ (a & 0x0F0F) | (b << 2);
+      return c + (a >> 3);
+    }
+  )", "f");
+}
+
+TEST(Differential, UnsignedWraparound) {
+  check_agrees(R"(
+    int f() {
+      int a;
+      a = 65535;
+      a = a + 1;          /* wraps to 0 */
+      a = a - 1;          /* wraps to 65535 */
+      return a / 3 + 40000 + 40000;   /* overflow in the sum */
+    }
+  )", "f");
+}
+
+TEST(Differential, ComparisonsAreUnsigned) {
+  check_agrees(R"(
+    int f() {
+      int big; int small; int r;
+      big = 0x8000; small = 5; r = 0;
+      if (big > small) r = r + 1;       /* unsigned: 0x8000 > 5 */
+      if (small < big) r = r + 10;
+      if (big >= 0x8000) r = r + 100;
+      if (small <= 5) r = r + 1000;
+      if (big == 0x8000) r = r + 10000;
+      return r;
+    }
+  )", "f");
+}
+
+TEST(Differential, LogicalOperatorsShortCircuit) {
+  check_agrees(R"(
+    int hits;
+    int bump() { hits = hits + 1; return 1; }
+    int f() {
+      int r;
+      hits = 0;
+      r = 0 && bump();        /* bump not called */
+      r = r + (1 || bump());  /* bump not called */
+      r = r + (1 && bump());  /* called */
+      return r * 100 + hits;
+    }
+  )", "f");
+}
+
+TEST(Differential, UnaryOperators) {
+  check_agrees(R"(
+    int f() {
+      int a;
+      a = 7;
+      return (-a) + (~a) * 2 + (!a) + !0;
+    }
+  )", "f");
+}
+
+TEST(Differential, WhileAndForLoops) {
+  check_agrees(R"(
+    int f() {
+      int i; int sum;
+      sum = 0;
+      for (i = 0; i < 20; i = i + 1) sum = sum + i;
+      i = 0;
+      while (i < 5) { sum = sum * 2; i = i + 1; }
+      return sum;
+    }
+  )", "f");
+}
+
+TEST(Differential, NestedLoopsAndBreaksViaConditions) {
+  check_agrees(R"(
+    int f() {
+      int i; int j; int acc;
+      acc = 0;
+      for (i = 0; i < 8; i = i + 1) {
+        for (j = 0; j < 8; j = j + 1) {
+          if ((i ^ j) & 1) acc = acc + i * j;
+        }
+      }
+      return acc;
+    }
+  )", "f");
+}
+
+TEST(Differential, UcharArraysTruncate) {
+  check_agrees(R"(
+    uchar buf[16];
+    int f() {
+      int i; int sum;
+      for (i = 0; i < 16; i = i + 1) buf[i] = i * 37;  /* truncates */
+      sum = 0;
+      for (i = 0; i < 16; i = i + 1) sum = sum + buf[i];
+      return sum;
+    }
+  )", "f");
+}
+
+TEST(Differential, IntArrays) {
+  check_agrees(R"(
+    int values[10];
+    int f() {
+      int i;
+      for (i = 0; i < 10; i = i + 1) values[i] = i * 1000 + 7;
+      return values[9] - values[1] + values[0];
+    }
+  )", "f");
+}
+
+TEST(Differential, XmemArrays) {
+  check_agrees(R"(
+    xmem uchar table[64];
+    int f() {
+      int i; int sum;
+      for (i = 0; i < 64; i = i + 1) table[i] = 255 - i;
+      sum = 0;
+      for (i = 0; i < 64; i = i + 1) sum = sum + table[i];
+      return sum;
+    }
+  )", "f");
+}
+
+TEST(Differential, GlobalInitializers) {
+  check_agrees(R"(
+    int base = 100;
+    uchar pattern[6] = {1, 2, 3, 4};   /* trailing elements zero */
+    int f() {
+      return base + pattern[0] + pattern[3] * 10 + pattern[5];
+    }
+  )", "f");
+}
+
+TEST(Differential, FunctionCallsAndStaticLocals) {
+  check_agrees(R"(
+    int counter() {
+      int n;        /* static storage: persists across calls */
+      n = n + 1;
+      return n;
+    }
+    int f() {
+      counter(); counter(); counter();
+      return counter();
+    }
+  )", "f");
+}
+
+TEST(Differential, ArgumentPassing) {
+  check_agrees(R"(
+    int mix(int a, int b, int c) { return a * 100 + b * 10 + c; }
+    int f() {
+      return mix(1, 2, 3) + mix(3 + 4, mix(0, 0, 1), 2);
+    }
+  )", "f");
+}
+
+TEST(Differential, DivModBehaviour) {
+  check_agrees(R"(
+    int f() {
+      int q; int r; int i; int acc;
+      acc = 0;
+      for (i = 1; i < 30; i = i + 1) {
+        q = 50000 / i;
+        r = 50000 % i;
+        acc = acc + q - r + (q * i + r == 50000);
+      }
+      return acc;
+    }
+  )", "f");
+}
+
+TEST(Differential, ShiftBehaviour) {
+  check_agrees(R"(
+    int f() {
+      int i; int acc; int v;
+      acc = 0;
+      v = 0x1234;
+      for (i = 0; i < 18; i = i + 1) {
+        acc = acc + (v << i) + (v >> i);
+      }
+      return acc;
+    }
+  )", "f");
+}
+
+// Exhaustive knob sweep on a nontrivial program: all 32 combinations must
+// agree with the interpreter.
+TEST(Differential, AllOptionCombinationsAgree) {
+  const std::string src = R"(
+    xmem uchar tab[32];
+    uchar state[8];
+    int rounds;
+    int mixup(int x) { return ((x * 7) ^ (x >> 2)) & 0xFF; }
+    int f() {
+      int i; int j; int acc;
+      for (i = 0; i < 32; i = i + 1) tab[i] = mixup(i + 3);
+      for (i = 0; i < 8; i = i + 1) state[i] = i;
+      rounds = 0;
+      for (j = 0; j < 4; j = j + 1) {
+        for (i = 0; i < 8; i = i + 1) {
+          state[i] = state[i] ^ tab[(state[i] + j) & 31];
+        }
+        rounds = rounds + 1;
+      }
+      acc = 0;
+      for (i = 0; i < 8; i = i + 1) acc = acc * 3 + state[i];
+      return acc + rounds;
+    }
+  )";
+  const u16 expected = run_interp(src, "f");
+  for (const auto& opts : all_option_combos()) {
+    const u16 got = run_compiled(src, "f", opts);
+    EXPECT_EQ(got, expected)
+        << "diverged with debug=" << opts.debug_hooks
+        << " fold=" << opts.fold_constants << " peep=" << opts.peephole
+        << " unroll=" << opts.unroll_loops << " xmem=" << opts.xmem_tables;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Optimization knobs change cost, not semantics
+// ---------------------------------------------------------------------------
+
+common::u64 cycles_for(const std::string& src, const CodegenOptions& opts,
+                       const std::string& fn = "f") {
+  auto out = compile(src, opts);
+  EXPECT_TRUE(out.ok()) << out.status().to_string();
+  Board board;
+  board.load(out->image);
+  auto res = board.call("f_" + fn, 500'000'000);
+  EXPECT_TRUE(res.ok());
+  return res->cycles;
+}
+
+TEST(Knobs, DebugHooksCostCycles) {
+  const std::string src = R"(
+    int f() {
+      int i; int s;
+      s = 0;
+      for (i = 0; i < 50; i = i + 1) s = s + i;
+      return s;
+    }
+  )";
+  CodegenOptions with = CodegenOptions::debug_defaults();
+  CodegenOptions without = with;
+  without.debug_hooks = false;
+  EXPECT_GT(cycles_for(src, with), cycles_for(src, without));
+}
+
+TEST(Knobs, UnrollRemovesLoopOverhead) {
+  const std::string src = R"(
+    uchar b[16];
+    int f() {
+      int i;
+      for (i = 0; i < 16; i = i + 1) b[i] = i;
+      return b[15];
+    }
+  )";
+  CodegenOptions rolled;
+  rolled.debug_hooks = false;
+  CodegenOptions unrolled = rolled;
+  unrolled.unroll_loops = true;
+  EXPECT_GT(cycles_for(src, rolled), cycles_for(src, unrolled));
+}
+
+TEST(Knobs, RootPlacementBeatsXmem) {
+  const std::string src = R"(
+    xmem uchar t[64];
+    int f() {
+      int i; int s;
+      s = 0;
+      for (i = 0; i < 64; i = i + 1) s = s + t[i];
+      return s;
+    }
+  )";
+  CodegenOptions xmem;
+  xmem.debug_hooks = false;
+  CodegenOptions root = xmem;
+  root.xmem_tables = false;
+  EXPECT_GT(cycles_for(src, xmem), cycles_for(src, root));
+}
+
+TEST(Knobs, PeepholeShrinksOrMatchesCode) {
+  const std::string src = R"(
+    int f() {
+      int a; int b;
+      a = 3; b = 4;
+      return a * b + a - b;
+    }
+  )";
+  CodegenOptions plain;
+  plain.debug_hooks = false;
+  CodegenOptions peep = plain;
+  peep.peephole = true;
+  auto p1 = compile(src, plain);
+  auto p2 = compile(src, peep);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_LE(p2->code_bytes, p1->code_bytes);
+  EXPECT_LT(cycles_for(src, peep), cycles_for(src, plain));
+}
+
+TEST(Knobs, DebugHookCountReported) {
+  auto out = compile("int f() { int i; i = 1; i = 2; return i; }",
+                     CodegenOptions::debug_defaults());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->debug_hook_count, 3u);
+  auto out2 = compile("int f() { int i; i = 1; i = 2; return i; }",
+                      CodegenOptions::all_optimizations());
+  ASSERT_TRUE(out2.ok());
+  EXPECT_EQ(out2->debug_hook_count, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Board-observable state: globals land at their symbols
+// ---------------------------------------------------------------------------
+
+TEST(Compiled, GlobalsReadableThroughImageSymbols) {
+  const std::string src = R"(
+    uchar out[4];
+    int f() {
+      out[0] = 0xDE; out[1] = 0xAD; out[2] = 0xBE; out[3] = 0xEF;
+      return 0;
+    }
+  )";
+  auto compiled = compile(src, CodegenOptions::debug_defaults());
+  ASSERT_TRUE(compiled.ok());
+  Board board;
+  board.load(compiled->image);
+  ASSERT_TRUE(board.call("f_f").ok());
+  u32 addr = 0;
+  ASSERT_TRUE(compiled->image.find_symbol("g_out", addr));
+  EXPECT_EQ(board.mem().read(static_cast<u16>(addr)), 0xDE);
+  EXPECT_EQ(board.mem().read(static_cast<u16>(addr + 3)), 0xEF);
+}
+
+TEST(Compiled, InterpreterGlobalAccessors) {
+  auto prog = parse("int x; uchar b[3]; int f() { x = 7; b[2] = 300; return 0; }");
+  ASSERT_TRUE(prog.ok());
+  auto in = Interpreter::create(*prog);
+  ASSERT_TRUE(in.ok());
+  ASSERT_TRUE(in->call("f", {}).ok());
+  EXPECT_EQ(*in->global("x"), 7);
+  EXPECT_EQ(*in->global("b", 2), 300 & 0xFF);
+  ASSERT_TRUE(in->set_global("x", 0, 99).is_ok());
+  EXPECT_EQ(*in->global("x"), 99);
+  EXPECT_FALSE(in->global("nope").ok());
+  EXPECT_FALSE(in->global("b", 9).ok());
+}
+
+TEST(Interp, CallWithArguments) {
+  auto prog = parse("int add(int a, int b) { return a + b; }");
+  ASSERT_TRUE(prog.ok());
+  auto in = Interpreter::create(*prog);
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ(*in->call("add", {40000, 30000}), static_cast<u16>(70000));
+}
+
+TEST(Interp, InfiniteLoopHitsBudget) {
+  auto prog = parse("int f() { while (1) { } return 0; }");
+  ASSERT_TRUE(prog.ok());
+  auto in = Interpreter::create(*prog);
+  ASSERT_TRUE(in.ok());
+  auto r = in->call("f", {}, 10'000);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), common::ErrorCode::kTimeout);
+}
+
+}  // namespace
+}  // namespace rmc::dcc

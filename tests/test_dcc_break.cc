@@ -1,0 +1,191 @@
+// break / continue tests: differential (compiled == interpreted) in every
+// structural position, plus the error paths and the unroll interaction.
+#include <gtest/gtest.h>
+
+#include "dcc/codegen.h"
+#include "dcc/interp.h"
+#include "dcc/parser.h"
+#include "rabbit/board.h"
+
+namespace rmc::dcc {
+namespace {
+
+using common::u16;
+using rabbit::Board;
+
+u16 run_compiled(const std::string& src, const CodegenOptions& opts) {
+  auto out = compile(src, opts);
+  EXPECT_TRUE(out.ok()) << out.status().to_string();
+  if (!out.ok()) return 0xDEAD;
+  Board board;
+  board.load(out->image);
+  auto res = board.call("f_f", 200'000'000);
+  EXPECT_TRUE(res.ok());
+  return res.ok() ? res->hl : 0xDEAD;
+}
+
+void check_agrees(const std::string& src) {
+  auto prog = parse(src);
+  ASSERT_TRUE(prog.ok()) << prog.status().to_string();
+  auto in = Interpreter::create(*prog);
+  ASSERT_TRUE(in.ok());
+  auto want = in->call("f", {});
+  ASSERT_TRUE(want.ok()) << want.status().to_string();
+  EXPECT_EQ(run_compiled(src, CodegenOptions::debug_defaults()), *want);
+  EXPECT_EQ(run_compiled(src, CodegenOptions::all_optimizations()), *want);
+}
+
+TEST(BreakContinue, BreakExitsWhile) {
+  check_agrees(R"(
+    int f() {
+      int i; int s;
+      s = 0; i = 0;
+      while (1) {
+        i = i + 1;
+        if (i > 7) break;
+        s = s + i;
+      }
+      return s * 100 + i;
+    }
+  )");
+}
+
+TEST(BreakContinue, ContinueSkipsInWhile) {
+  check_agrees(R"(
+    int f() {
+      int i; int s;
+      s = 0; i = 0;
+      while (i < 10) {
+        i = i + 1;
+        if (i & 1) continue;
+        s = s + i;         /* evens only */
+      }
+      return s;
+    }
+  )");
+}
+
+TEST(BreakContinue, ContinueRunsForStep) {
+  // In a for loop, continue must still execute the step expression —
+  // otherwise this would never terminate.
+  check_agrees(R"(
+    int f() {
+      int i; int s;
+      s = 0;
+      for (i = 0; i < 20; i = i + 1) {
+        if (i % 3 == 0) continue;
+        s = s + i;
+      }
+      return s;
+    }
+  )");
+}
+
+TEST(BreakContinue, BreakInForWithSearch) {
+  check_agrees(R"(
+    uchar hay[16];
+    int f() {
+      int i; int found;
+      for (i = 0; i < 16; i = i + 1) hay[i] = i * 5;
+      found = 999;
+      for (i = 0; i < 16; i = i + 1) {
+        if (hay[i] == 35) { found = i; break; }
+      }
+      return found;
+    }
+  )");
+}
+
+TEST(BreakContinue, BindsToInnermostLoop) {
+  check_agrees(R"(
+    int f() {
+      int i; int j; int s;
+      s = 0;
+      for (i = 0; i < 5; i = i + 1) {
+        for (j = 0; j < 5; j = j + 1) {
+          if (j == 2) break;          /* inner only */
+          if ((i ^ j) == 3) continue; /* inner only */
+          s = s + i * 10 + j;
+        }
+        s = s + 1000;                 /* still runs per outer iteration */
+      }
+      return s;
+    }
+  )");
+}
+
+TEST(BreakContinue, NestedWhileInsideFor) {
+  check_agrees(R"(
+    int f() {
+      int i; int n; int steps;
+      steps = 0;
+      for (i = 1; i < 8; i = i + 1) {
+        n = i * 13 + 1;
+        while (1) {
+          steps = steps + 1;
+          if (n == 1) break;
+          if (n & 1) n = n * 3 + 1;
+          else n = n / 2;
+          if (steps > 500) break;
+        }
+      }
+      return steps;
+    }
+  )");
+}
+
+TEST(BreakContinue, OutsideLoopRejected) {
+  auto r1 = compile("int f() { break; return 0; }");
+  ASSERT_FALSE(r1.ok());
+  EXPECT_NE(r1.status().message().find("outside"), std::string::npos);
+  EXPECT_FALSE(compile("int f() { continue; return 0; }").ok());
+}
+
+TEST(BreakContinue, LoopWithBreakIsNotUnrolled) {
+  // Unrolling a counted loop whose body breaks would change semantics; the
+  // compiler must refuse (and still produce correct code).
+  const std::string src = R"(
+    int f() {
+      int i; int s;
+      s = 0;
+      for (i = 0; i < 10; i = i + 1) {
+        if (i == 4) break;
+        s = s + i;
+      }
+      return s * 10 + i;
+    }
+  )";
+  check_agrees(src);
+  // Also verify the unrolled build didn't balloon: with the break the loop
+  // must stay rolled, so unroll_loops has no effect on code size here.
+  CodegenOptions rolled;
+  rolled.debug_hooks = false;
+  CodegenOptions unrolled = rolled;
+  unrolled.unroll_loops = true;
+  auto a = compile(src, rolled);
+  auto b = compile(src, unrolled);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->code_bytes, b->code_bytes);
+}
+
+TEST(BreakContinue, DoesNotLeakAcrossCallBoundary) {
+  // A helper whose loop breaks must not disturb the caller's loop.
+  check_agrees(R"(
+    int helper() {
+      int k;
+      for (k = 0; k < 10; k = k + 1) {
+        if (k == 3) break;
+      }
+      return k;
+    }
+    int f() {
+      int i; int s;
+      s = 0;
+      for (i = 0; i < 4; i = i + 1) s = s + helper() + i;
+      return s;
+    }
+  )");
+}
+
+}  // namespace
+}  // namespace rmc::dcc

@@ -1,0 +1,255 @@
+// Tests for the Dynamic C runtime model: costatements (yield / waitfor /
+// delay / slot limits), xalloc's no-free arena, shared/protected storage,
+// function chains, and the error dispatcher.
+#include <gtest/gtest.h>
+
+#include "dynk/costate.h"
+#include "dynk/error.h"
+#include "dynk/funcchain.h"
+#include "dynk/storage.h"
+#include "dynk/xalloc.h"
+
+namespace rmc::dynk {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Costatements
+// ---------------------------------------------------------------------------
+
+Costate counter_task(int& out, int times) {
+  for (int i = 0; i < times; ++i) {
+    ++out;
+    co_await Yield{};
+  }
+}
+
+TEST(Costate, YieldInterleavesRoundRobin) {
+  Scheduler sched(4);
+  std::vector<int> order;
+  auto task = [&order](int id) -> Costate {
+    for (int i = 0; i < 3; ++i) {
+      order.push_back(id);
+      co_await Yield{};
+    }
+  };
+  ASSERT_TRUE(sched.add(task(1)).is_ok());
+  ASSERT_TRUE(sched.add(task(2)).is_ok());
+  EXPECT_TRUE(sched.run(100));
+  // Round-robin: 1 2 1 2 1 2
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2, 1, 2}));
+}
+
+TEST(Costate, WaitForBlocksUntilPredicate) {
+  Scheduler sched(2);
+  bool flag = false;
+  int stage = 0;
+  auto waiter = [&]() -> Costate {
+    stage = 1;
+    co_await WaitFor{[&] { return flag; }};
+    stage = 2;
+  };
+  ASSERT_TRUE(sched.add(waiter()).is_ok());
+  sched.tick();
+  sched.tick();
+  sched.tick();
+  EXPECT_EQ(stage, 1);  // still waiting
+  flag = true;
+  sched.tick();
+  EXPECT_EQ(stage, 2);
+  EXPECT_TRUE(sched.all_done());
+}
+
+TEST(Costate, DelayUsesVirtualClock) {
+  Scheduler sched(1);
+  common::u64 woke_at = 0;
+  auto sleeper = [&]() -> Costate {
+    co_await sched.delay(50);
+    woke_at = sched.now_ms();
+  };
+  ASSERT_TRUE(sched.add(sleeper()).is_ok());
+  sched.run(200);
+  EXPECT_GE(woke_at, 50u);
+  EXPECT_LT(woke_at, 60u);
+}
+
+TEST(Costate, SlotLimitIsHard) {
+  // Figure 3: the number of connections is bounded by the number of
+  // costatements compiled in; the fourth add on a 3-slot scheduler fails.
+  Scheduler sched(3);
+  int dummy = 0;
+  EXPECT_TRUE(sched.add(counter_task(dummy, 1)).is_ok());
+  EXPECT_TRUE(sched.add(counter_task(dummy, 1)).is_ok());
+  EXPECT_TRUE(sched.add(counter_task(dummy, 1)).is_ok());
+  auto status = sched.add(counter_task(dummy, 1));
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), common::ErrorCode::kResourceExhausted);
+}
+
+TEST(Costate, DoneTasksStopRunning) {
+  Scheduler sched(2);
+  int a = 0, b = 0;
+  ASSERT_TRUE(sched.add(counter_task(a, 2)).is_ok());
+  ASSERT_TRUE(sched.add(counter_task(b, 10)).is_ok());
+  sched.run(100);
+  EXPECT_EQ(a, 2);
+  EXPECT_EQ(b, 10);
+}
+
+TEST(Costate, TickReportsRunnableCount) {
+  Scheduler sched(2);
+  bool never = false;
+  auto blocked = [&]() -> Costate {
+    co_await WaitFor{[&] { return never; }};
+  };
+  int n = 0;
+  ASSERT_TRUE(sched.add(blocked()).is_ok());
+  ASSERT_TRUE(sched.add(counter_task(n, 1)).is_ok());
+  EXPECT_EQ(sched.tick(), 2u);  // both start; blocked suspends at waitfor
+  EXPECT_EQ(sched.tick(), 1u);  // counter resumes once more and finishes
+  EXPECT_EQ(sched.tick(), 0u);  // counter done, waiter still blocked
+}
+
+TEST(Costate, NamesAreTracked) {
+  Scheduler sched(2);
+  int n = 0;
+  ASSERT_TRUE(sched.add(counter_task(n, 1), "handler0").is_ok());
+  EXPECT_EQ(sched.task_name(0), "handler0");
+}
+
+// ---------------------------------------------------------------------------
+// xalloc
+// ---------------------------------------------------------------------------
+
+TEST(Xalloc, BumpAllocatesAligned) {
+  XallocArena arena(64, 0x90000);
+  auto a = arena.xalloc(3);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, 0x90000u);
+  auto b = arena.xalloc(4, 4);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b % 4, 0u);
+  EXPECT_GE(*b, 0x90003u);
+}
+
+TEST(Xalloc, ExhaustionIsPermanent) {
+  XallocArena arena(32);
+  ASSERT_TRUE(arena.xalloc(30).ok());
+  auto fail = arena.xalloc(16);
+  EXPECT_FALSE(fail.ok());
+  EXPECT_EQ(fail.status().code(), common::ErrorCode::kResourceExhausted);
+  // There is no free(); the arena can never recover.
+  EXPECT_FALSE(arena.xalloc(16).ok());
+  EXPECT_EQ(arena.failed_allocations(), 2u);
+}
+
+TEST(Xalloc, RejectsDegenerateRequests) {
+  XallocArena arena(64);
+  EXPECT_FALSE(arena.xalloc(0).ok());
+  EXPECT_FALSE(arena.xalloc(8, 3).ok());  // non-power-of-two alignment
+}
+
+TEST(Xalloc, StatsTrackUsage) {
+  XallocArena arena(100);
+  ASSERT_TRUE(arena.xalloc(10).ok());
+  ASSERT_TRUE(arena.xalloc(20).ok());
+  EXPECT_EQ(arena.used(), 30u);
+  EXPECT_EQ(arena.remaining(), 70u);
+  EXPECT_EQ(arena.allocation_count(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// shared / protected
+// ---------------------------------------------------------------------------
+
+TEST(SharedVarTest, UpdatesAreCriticalSections) {
+  InterruptGate gate;
+  SharedVar<common::u32> v(gate, 0);
+  v.store(0xDEADBEEF);
+  EXPECT_EQ(v.load(), 0xDEADBEEFu);
+  v.update([](common::u32 x) { return x + 1; });
+  EXPECT_EQ(v.load(), 0xDEADBEF0u);
+  // store + load + update + load = 4 disable windows
+  EXPECT_EQ(gate.windows(), 4u);
+  EXPECT_TRUE(gate.enabled());
+}
+
+TEST(ProtectedVarTest, BackupBeforeModify) {
+  ProtectedVar<int> v(10);
+  v.store(20);
+  EXPECT_EQ(v.load(), 20);
+  EXPECT_EQ(v.backup(), 10);
+  v.store(30);
+  EXPECT_EQ(v.backup(), 20);
+}
+
+TEST(ProtectedVarTest, RestoreAfterPowerLoss) {
+  ProtectedVar<int> v(1);
+  v.store(2);        // backup=1, value=2
+  v.corrupt(-999);   // power failure trashes main RAM
+  v.restore_after_reset();
+  EXPECT_EQ(v.load(), 1);  // last committed backup
+  EXPECT_EQ(v.restores(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Function chains
+// ---------------------------------------------------------------------------
+
+TEST(FuncChain, SegmentsRunInOrder) {
+  FuncChainRegistry reg;
+  std::vector<std::string> ran;
+  ASSERT_TRUE(reg.make_chain("recover").is_ok());
+  ASSERT_TRUE(reg.add("recover", [&] { ran.push_back("free"); }).is_ok());
+  ASSERT_TRUE(reg.add("recover", [&] { ran.push_back("declare"); }).is_ok());
+  ASSERT_TRUE(reg.add("recover", [&] { ran.push_back("init"); }).is_ok());
+  auto n = reg.invoke("recover");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 3u);
+  EXPECT_EQ(ran, (std::vector<std::string>{"free", "declare", "init"}));
+}
+
+TEST(FuncChain, ErrorsOnUnknownOrDuplicate) {
+  FuncChainRegistry reg;
+  EXPECT_FALSE(reg.add("nochain", [] {}).is_ok());
+  EXPECT_FALSE(reg.invoke("nochain").ok());
+  ASSERT_TRUE(reg.make_chain("c").is_ok());
+  EXPECT_FALSE(reg.make_chain("c").is_ok());
+  EXPECT_TRUE(reg.has_chain("c"));
+  EXPECT_EQ(reg.segment_count("c"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Error dispatcher
+// ---------------------------------------------------------------------------
+
+TEST(ErrorDispatch, DefaultIsFatal) {
+  ErrorDispatcher d;
+  d.raise({RuntimeErrorKind::kDivideByZero, 0x1234, "div0 in cipher"});
+  EXPECT_TRUE(d.fatal_pending());
+  ASSERT_EQ(d.history().size(), 1u);
+  EXPECT_EQ(d.history()[0].address, 0x1234);
+}
+
+TEST(ErrorDispatch, UserHandlerSuppressesReset) {
+  // The port's policy: install a handler and "simply ignore most errors".
+  ErrorDispatcher d;
+  int seen = 0;
+  d.define_error_handler([&](const RuntimeErrorInfo& info) {
+    ++seen;
+    (void)info;  // ignore
+  });
+  d.raise({RuntimeErrorKind::kRangeFault, 0x2000, ""});
+  d.raise({RuntimeErrorKind::kDivideByZero, 0x2004, ""});
+  EXPECT_FALSE(d.fatal_pending());
+  EXPECT_EQ(seen, 2);
+  EXPECT_EQ(d.raised_count(), 2u);
+}
+
+TEST(ErrorDispatch, NamesAreStable) {
+  EXPECT_STREQ(runtime_error_name(RuntimeErrorKind::kDivideByZero),
+               "divide_by_zero");
+  EXPECT_STREQ(runtime_error_name(RuntimeErrorKind::kWatchdog), "watchdog");
+}
+
+}  // namespace
+}  // namespace rmc::dynk

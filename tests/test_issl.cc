@@ -1,0 +1,433 @@
+// issl tests: record-layer properties (confidentiality framing, MAC
+// rejection, sequence binding), full handshakes over the simulated network
+// in both key-exchange modes, negotiation failures that reproduce the
+// paper's dropped features, data transfer under packet loss, and clean
+// close semantics.
+#include <gtest/gtest.h>
+
+#include "issl/issl.h"
+#include "net/simnet.h"
+#include "net/tcp.h"
+
+namespace rmc::issl {
+namespace {
+
+using common::ErrorCode;
+using common::u8;
+using net::IpAddr;
+using net::Port;
+using net::SimNet;
+using net::TcpStack;
+
+constexpr IpAddr kServerIp = 1;
+constexpr IpAddr kClientIp = 2;
+constexpr Port kTlsPort = 4433;
+
+std::vector<u8> bytes_of(std::string_view s) {
+  return {reinterpret_cast<const u8*>(s.data()),
+          reinterpret_cast<const u8*>(s.data()) + s.size()};
+}
+
+// ---------------------------------------------------------------------------
+// Record layer in isolation (loopback buffer stream)
+// ---------------------------------------------------------------------------
+
+class PipeStream final : public ByteStream {
+ public:
+  common::Result<std::size_t> write(std::span<const u8> data) override {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+    return data.size();
+  }
+  common::Result<std::size_t> read(std::span<u8> out) override {
+    if (buf_.empty()) {
+      return common::Status(ErrorCode::kUnavailable, "empty");
+    }
+    const std::size_t n = std::min(out.size(), buf_.size());
+    std::copy(buf_.begin(), buf_.begin() + static_cast<long>(n), out.begin());
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(n));
+    return n;
+  }
+  bool open() const override { return true; }
+  void close() override {}
+
+  std::vector<u8> buf_;
+};
+
+DirectionKeys test_keys(u8 fill) {
+  DirectionKeys k;
+  k.aes_key.assign(16, fill);
+  k.mac_key.fill(static_cast<u8>(fill ^ 0xFF));
+  return k;
+}
+
+// Pop expecting a complete, valid record.
+Record pop_record(RecordCodec& codec) {
+  auto r = codec.pop();
+  EXPECT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_TRUE(r.ok() && r->has_value());
+  return (r.ok() && r->has_value()) ? **r : Record{RecordType::kAlert, {}};
+}
+
+TEST(Record, PlaintextModeRoundTrip) {
+  common::Xorshift64 rng(1);
+  RecordCodec a(rng), b(rng);
+  auto wire = a.seal(RecordType::kHandshake, bytes_of("hello"));
+  ASSERT_TRUE(wire.ok());
+  ASSERT_TRUE(b.feed(*wire).is_ok());
+  Record rec = pop_record(b);
+  EXPECT_EQ(rec.type, RecordType::kHandshake);
+  EXPECT_EQ(rec.payload, bytes_of("hello"));
+}
+
+TEST(Record, SealedRoundTripAndCiphertextHidesPlaintext) {
+  common::Xorshift64 rng(2);
+  RecordCodec sender(rng), receiver(rng);
+  ASSERT_TRUE(sender.activate_keys(test_keys(1), test_keys(2)).is_ok());
+  ASSERT_TRUE(receiver.activate_keys(test_keys(2), test_keys(1)).is_ok());
+  const auto msg = bytes_of("attack at dawn, repeatedly, attack at dawn");
+  auto wire = sender.seal(RecordType::kApplicationData, msg);
+  ASSERT_TRUE(wire.ok());
+  // Plaintext must not appear in the sealed bytes.
+  const std::string wire_str(wire->begin(), wire->end());
+  EXPECT_EQ(wire_str.find("attack"), std::string::npos);
+  ASSERT_TRUE(receiver.feed(*wire).is_ok());
+  EXPECT_EQ(pop_record(receiver).payload, msg);
+}
+
+TEST(Record, TamperedCiphertextRejectedAndPoisons) {
+  common::Xorshift64 rng(3);
+  RecordCodec sender(rng), receiver(rng);
+  ASSERT_TRUE(sender.activate_keys(test_keys(1), test_keys(2)).is_ok());
+  ASSERT_TRUE(receiver.activate_keys(test_keys(2), test_keys(1)).is_ok());
+  auto wire = sender.seal(RecordType::kApplicationData, bytes_of("secret"));
+  ASSERT_TRUE(wire.ok());
+  (*wire)[wire->size() - 3] ^= 0x40;
+  ASSERT_TRUE(receiver.feed(*wire).is_ok());
+  auto popped = receiver.pop();
+  EXPECT_FALSE(popped.ok());
+  EXPECT_EQ(popped.status().code(), ErrorCode::kDataLoss);
+  // Poisoned: even a good record is now refused (fail closed).
+  auto wire2 = sender.seal(RecordType::kApplicationData, bytes_of("more"));
+  ASSERT_TRUE(wire2.ok());
+  EXPECT_FALSE(receiver.feed(*wire2).is_ok());
+  EXPECT_FALSE(receiver.pop().ok());
+}
+
+TEST(Record, ReplayedRecordRejected) {
+  // The sequence number is in the MAC: feeding the same sealed record twice
+  // must fail the second time.
+  common::Xorshift64 rng(4);
+  RecordCodec sender(rng), receiver(rng);
+  ASSERT_TRUE(sender.activate_keys(test_keys(1), test_keys(2)).is_ok());
+  ASSERT_TRUE(receiver.activate_keys(test_keys(2), test_keys(1)).is_ok());
+  auto wire = sender.seal(RecordType::kApplicationData, bytes_of("pay $100"));
+  ASSERT_TRUE(wire.ok());
+  ASSERT_TRUE(receiver.feed(*wire).is_ok());
+  EXPECT_EQ(pop_record(receiver).payload, bytes_of("pay $100"));
+  ASSERT_TRUE(receiver.feed(*wire).is_ok());  // replay the same bytes
+  EXPECT_FALSE(receiver.pop().ok());          // sequence-bound MAC rejects
+}
+
+TEST(Record, FragmentedDeliveryReassembles) {
+  common::Xorshift64 rng(5);
+  RecordCodec sender(rng), receiver(rng);
+  auto wire = sender.seal(RecordType::kHandshake, bytes_of("fragmented"));
+  ASSERT_TRUE(wire.ok());
+  for (std::size_t i = 0; i + 1 < wire->size(); ++i) {
+    ASSERT_TRUE(receiver.feed(std::span<const u8>(&(*wire)[i], 1)).is_ok());
+    auto partial = receiver.pop();
+    ASSERT_TRUE(partial.ok());
+    EXPECT_FALSE(partial->has_value()) << "record complete too early at " << i;
+  }
+  ASSERT_TRUE(
+      receiver.feed(std::span<const u8>(&wire->back(), 1)).is_ok());
+  EXPECT_EQ(pop_record(receiver).payload, bytes_of("fragmented"));
+}
+
+TEST(Record, MalformedHeaderPoisons) {
+  common::Xorshift64 rng(6);
+  RecordCodec receiver(rng);
+  const u8 junk[] = {0x77, 0x77, 0x00, 0x01, 0x00};
+  ASSERT_TRUE(receiver.feed(junk).is_ok());
+  EXPECT_FALSE(receiver.pop().ok());
+}
+
+TEST(Record, WrongKeysFailMac) {
+  common::Xorshift64 rng(7);
+  RecordCodec sender(rng), receiver(rng);
+  ASSERT_TRUE(sender.activate_keys(test_keys(1), test_keys(2)).is_ok());
+  ASSERT_TRUE(receiver.activate_keys(test_keys(9), test_keys(8)).is_ok());
+  auto wire = sender.seal(RecordType::kApplicationData, bytes_of("x"));
+  ASSERT_TRUE(wire.ok());
+  ASSERT_TRUE(receiver.feed(*wire).is_ok());
+  EXPECT_FALSE(receiver.pop().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Full sessions over the simulated network
+// ---------------------------------------------------------------------------
+
+struct TlsHarness {
+  SimNet net{99};
+  TcpStack server_stack{net, kServerIp};
+  TcpStack client_stack{net, kClientIp};
+  common::Xorshift64 server_rng{11};
+  common::Xorshift64 client_rng{22};
+  int server_sock = -1;
+  int client_sock = -1;
+  std::unique_ptr<TcpStream> server_stream;
+  std::unique_ptr<TcpStream> client_stream;
+
+  void connect_transport() {
+    auto l = server_stack.listen(kTlsPort);
+    ASSERT_TRUE(l.ok());
+    auto c = client_stack.connect(kServerIp, kTlsPort);
+    ASSERT_TRUE(c.ok());
+    client_sock = *c;
+    net.tick(20);
+    auto sc = server_stack.accept(*l);
+    ASSERT_TRUE(sc.ok());
+    server_sock = *sc;
+    server_stream = std::make_unique<TcpStream>(server_stack, server_sock);
+    client_stream = std::make_unique<TcpStream>(client_stack, client_sock);
+  }
+
+  // Pump both sessions + network until both established (or give up).
+  bool drive(Session& client, Session& server, int rounds = 400) {
+    for (int i = 0; i < rounds; ++i) {
+      (void)client.pump();
+      (void)server.pump();
+      net.tick(1);
+      if (client.established() && server.established()) return true;
+      if (client.failed() && server.failed()) return false;
+    }
+    return client.established() && server.established();
+  }
+};
+
+TEST(SessionTest, PskHandshakeEstablishes) {
+  TlsHarness h;
+  h.connect_transport();
+  const auto psk = bytes_of("embedded-shared-secret");
+  auto client = issl_bind_client(*h.client_stream, Config::embedded_port(),
+                                 h.client_rng, psk);
+  ServerIdentity id;
+  id.psk = psk;
+  auto server = issl_bind_server(*h.server_stream, Config::embedded_port(),
+                                 h.server_rng, id);
+  EXPECT_TRUE(h.drive(client, server));
+  EXPECT_EQ(client.state(), SessionState::kEstablished);
+  EXPECT_EQ(server.state(), SessionState::kEstablished);
+}
+
+TEST(SessionTest, RsaHandshakeEstablishes) {
+  TlsHarness h;
+  h.connect_transport();
+  Config cfg = Config::unix_default();
+  auto client = issl_bind_client(*h.client_stream, cfg, h.client_rng);
+  ServerIdentity id;
+  id.rsa = crypto::rsa_generate(cfg.rsa_modulus_bits, h.server_rng);
+  auto server = issl_bind_server(*h.server_stream, cfg, h.server_rng, id);
+  EXPECT_TRUE(h.drive(client, server));
+}
+
+TEST(SessionTest, SecureEchoTransfersData) {
+  TlsHarness h;
+  h.connect_transport();
+  const auto psk = bytes_of("k");
+  auto client = issl_bind_client(*h.client_stream, Config::embedded_port(),
+                                 h.client_rng, psk);
+  ServerIdentity id;
+  id.psk = psk;
+  auto server = issl_bind_server(*h.server_stream, Config::embedded_port(),
+                                 h.server_rng, id);
+  ASSERT_TRUE(h.drive(client, server));
+
+  const auto msg = bytes_of("GET /balance HTTP/1.0");
+  ASSERT_TRUE(issl_write(client, msg).ok());
+  std::vector<u8> got;
+  for (int i = 0; i < 200 && got.empty(); ++i) {
+    h.net.tick(1);
+    (void)server.pump();
+    auto r = issl_read(server);
+    if (r.ok()) got = *r;
+  }
+  EXPECT_EQ(got, msg);
+
+  // And back.
+  const auto reply = bytes_of("200 OK balance=42");
+  ASSERT_TRUE(issl_write(server, reply).ok());
+  got.clear();
+  for (int i = 0; i < 200 && got.empty(); ++i) {
+    h.net.tick(1);
+    (void)client.pump();
+    auto r = issl_read(client);
+    if (r.ok()) got = *r;
+  }
+  EXPECT_EQ(got, reply);
+}
+
+TEST(SessionTest, PlaintextNeverOnTheWireAfterHandshake) {
+  // Sniff every segment: the application payload must not appear.
+  class Sniffer : public net::NetworkEndpoint {
+   public:
+    std::string all_bytes;
+    void deliver(const net::Segment& s) override {
+      all_bytes.append(s.payload.begin(), s.payload.end());
+    }
+    void on_tick(common::u64) override {}
+  };
+  TlsHarness h;
+  h.connect_transport();
+  const auto psk = bytes_of("sniffer-psk");
+  auto client = issl_bind_client(*h.client_stream, Config::embedded_port(),
+                                 h.client_rng, psk);
+  ServerIdentity id;
+  id.psk = psk;
+  auto server = issl_bind_server(*h.server_stream, Config::embedded_port(),
+                                 h.server_rng, id);
+  ASSERT_TRUE(h.drive(client, server));
+  // Mirror all server-bound traffic to a sniffer address is not possible on
+  // this point-to-point medium, so instead check the TCP payload the server
+  // *received* via the record bytes: tap the stream by sealing and checking
+  // the sealed wire (already covered) — here we check end-to-end that the
+  // secret string does not appear in any segment payload counter. Simplest
+  // honest check: encrypt, deliver, and scan the receive-side raw TCP data.
+  const std::string secret = "SSN=123-45-6789";
+  ASSERT_TRUE(issl_write(client, bytes_of(secret)).ok());
+  // Capture raw TCP bytes at the server *before* the session consumes them.
+  std::string raw;
+  for (int i = 0; i < 100; ++i) {
+    h.net.tick(1);
+    u8 buf[512];
+    auto n = h.server_stack.recv(h.server_sock, buf);
+    if (n.ok() && *n > 0) raw.append(reinterpret_cast<char*>(buf), *n);
+  }
+  EXPECT_EQ(raw.find(secret), std::string::npos);
+  EXPECT_GT(raw.size(), secret.size());  // something did arrive, encrypted
+}
+
+TEST(SessionTest, EmbeddedServerRefusesRsaClient) {
+  // The port dropped RSA; a full-featured client asking for it must be
+  // turned away (kx negotiation failure), not silently downgraded.
+  TlsHarness h;
+  h.connect_transport();
+  auto client = issl_bind_client(*h.client_stream, Config::unix_default(),
+                                 h.client_rng);
+  ServerIdentity id;
+  id.psk = bytes_of("psk-only-server");
+  auto server = issl_bind_server(*h.server_stream, Config::embedded_port(),
+                                 h.server_rng, id);
+  EXPECT_FALSE(h.drive(client, server, 200));
+  EXPECT_TRUE(server.failed());
+  for (int i = 0; i < 100 && !client.failed(); ++i) {
+    h.net.tick(1);
+    (void)client.pump();
+  }
+  EXPECT_TRUE(client.failed());  // received handshake_failure alert
+}
+
+TEST(SessionTest, EmbeddedServerRefuses256BitRequest) {
+  TlsHarness h;
+  h.connect_transport();
+  Config want256 = Config::embedded_port();
+  want256.aes_key_bits = 256;  // the port only implemented 128
+  auto client = issl_bind_client(*h.client_stream, want256, h.client_rng,
+                                 bytes_of("p"));
+  ServerIdentity id;
+  id.psk = bytes_of("p");
+  auto server = issl_bind_server(*h.server_stream, Config::embedded_port(),
+                                 h.server_rng, id);
+  EXPECT_FALSE(h.drive(client, server, 200));
+  EXPECT_TRUE(server.failed());
+}
+
+TEST(SessionTest, WrongPskFailsHandshake) {
+  TlsHarness h;
+  h.connect_transport();
+  auto client = issl_bind_client(*h.client_stream, Config::embedded_port(),
+                                 h.client_rng, bytes_of("alpha"));
+  ServerIdentity id;
+  id.psk = bytes_of("beta");
+  auto server = issl_bind_server(*h.server_stream, Config::embedded_port(),
+                                 h.server_rng, id);
+  EXPECT_FALSE(h.drive(client, server, 200));
+  EXPECT_TRUE(server.failed());
+}
+
+TEST(SessionTest, HandshakeSurvivesPacketLoss) {
+  TlsHarness h;
+  h.connect_transport();
+  h.net.set_loss_probability(0.2);
+  const auto psk = bytes_of("lossy");
+  auto client = issl_bind_client(*h.client_stream, Config::embedded_port(),
+                                 h.client_rng, psk);
+  ServerIdentity id;
+  id.psk = psk;
+  auto server = issl_bind_server(*h.server_stream, Config::embedded_port(),
+                                 h.server_rng, id);
+  EXPECT_TRUE(h.drive(client, server, 20'000));  // TCP hides the loss
+}
+
+TEST(SessionTest, CleanCloseDeliversEmptyRead) {
+  TlsHarness h;
+  h.connect_transport();
+  const auto psk = bytes_of("bye");
+  auto client = issl_bind_client(*h.client_stream, Config::embedded_port(),
+                                 h.client_rng, psk);
+  ServerIdentity id;
+  id.psk = psk;
+  auto server = issl_bind_server(*h.server_stream, Config::embedded_port(),
+                                 h.server_rng, id);
+  ASSERT_TRUE(h.drive(client, server));
+  ASSERT_TRUE(issl_close(client).is_ok());
+  for (int i = 0; i < 100 && !server.closed(); ++i) {
+    h.net.tick(1);
+    (void)server.pump();
+  }
+  EXPECT_TRUE(server.closed());
+  auto r = issl_read(server);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());  // clean EOF
+}
+
+TEST(SessionTest, WriteBeforeEstablishedFails) {
+  TlsHarness h;
+  h.connect_transport();
+  auto client = issl_bind_client(*h.client_stream, Config::embedded_port(),
+                                 h.client_rng, bytes_of("x"));
+  EXPECT_FALSE(issl_write(client, bytes_of("too soon")).ok());
+}
+
+TEST(SessionTest, LargeTransferAcrossManyRecords) {
+  TlsHarness h;
+  h.connect_transport();
+  const auto psk = bytes_of("bulk");
+  auto client = issl_bind_client(*h.client_stream, Config::embedded_port(),
+                                 h.client_rng, psk);
+  ServerIdentity id;
+  id.psk = psk;
+  auto server = issl_bind_server(*h.server_stream, Config::embedded_port(),
+                                 h.server_rng, id);
+  ASSERT_TRUE(h.drive(client, server));
+  std::vector<u8> big(50'000);
+  common::Xorshift64 fill(5);
+  fill.fill(big);
+  ASSERT_TRUE(issl_write(client, big).ok());
+  std::vector<u8> got;
+  for (int i = 0; i < 5'000 && got.size() < big.size(); ++i) {
+    h.net.tick(1);
+    (void)server.pump();
+    auto r = issl_read(server);
+    if (r.ok()) got.insert(got.end(), r->begin(), r->end());
+  }
+  EXPECT_EQ(got, big);
+}
+
+TEST(SessionTest, StateNames) {
+  EXPECT_STREQ(session_state_name(SessionState::kEstablished), "ESTABLISHED");
+  EXPECT_STREQ(session_state_name(SessionState::kFailed), "FAILED");
+}
+
+}  // namespace
+}  // namespace rmc::issl

@@ -1,0 +1,408 @@
+// Network substrate tests: the simulated medium, the TCP implementation
+// (handshake, transfer, loss recovery, teardown, resets, backlog), and both
+// API facades (BSD-style and Dynamic-C-style).
+#include <gtest/gtest.h>
+
+#include "net/bsd.h"
+#include "net/dcnet.h"
+#include "net/simnet.h"
+#include "net/tcp.h"
+
+namespace rmc::net {
+namespace {
+
+using common::ErrorCode;
+using common::u8;
+
+constexpr IpAddr kServerIp = 0x0A000001;
+constexpr IpAddr kClientIp = 0x0A000002;
+constexpr Port kPort = 4433;
+
+struct TwoHosts {
+  SimNet net{42};
+  TcpStack server{net, kServerIp};
+  TcpStack client{net, kClientIp};
+
+  // Establish a connection and return {server_conn, client_conn}.
+  std::pair<int, int> connect() {
+    auto l = server.listen(kPort);
+    EXPECT_TRUE(l.ok());
+    auto c = client.connect(kServerIp, kPort);
+    EXPECT_TRUE(c.ok());
+    net.tick(20);
+    auto sc = server.accept(*l);
+    EXPECT_TRUE(sc.ok()) << sc.status().to_string();
+    EXPECT_TRUE(client.is_established(*c));
+    return {sc.ok() ? *sc : -1, *c};
+  }
+
+  std::vector<u8> drain(TcpStack& stack, int sock) {
+    std::vector<u8> got;
+    u8 buf[256];
+    while (true) {
+      auto n = stack.recv(sock, buf);
+      if (!n.ok() || *n == 0) break;
+      got.insert(got.end(), buf, buf + *n);
+    }
+    return got;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// SimNet medium
+// ---------------------------------------------------------------------------
+
+class Sink : public NetworkEndpoint {
+ public:
+  std::vector<Segment> got;
+  void deliver(const Segment& s) override { got.push_back(s); }
+  void on_tick(u64) override {}
+};
+
+TEST(SimNet, DeliversAfterLatency) {
+  SimNet net(1);
+  net.set_latency_ms(5);
+  Sink sink;
+  net.attach(2, &sink);
+  Segment seg;
+  seg.src_ip = 1;
+  seg.dst_ip = 2;
+  seg.payload = {1, 2, 3};
+  net.send(seg);
+  net.tick(3);
+  EXPECT_TRUE(sink.got.empty());
+  net.tick(3);
+  ASSERT_EQ(sink.got.size(), 1u);
+  EXPECT_EQ(sink.got[0].payload.size(), 3u);
+  EXPECT_EQ(net.payload_bytes_delivered(), 3u);
+}
+
+TEST(SimNet, DropsToUnknownHosts) {
+  SimNet net(1);
+  Segment seg;
+  seg.dst_ip = 99;
+  net.send(seg);
+  net.tick(5);
+  EXPECT_EQ(net.segments_dropped(), 1u);
+}
+
+TEST(SimNet, LossIsApplied) {
+  SimNet net(7);
+  net.set_loss_probability(1.0);
+  Sink sink;
+  net.attach(2, &sink);
+  for (int i = 0; i < 10; ++i) {
+    Segment seg;
+    seg.dst_ip = 2;
+    net.send(seg);
+  }
+  net.tick(10);
+  EXPECT_TRUE(sink.got.empty());
+  EXPECT_EQ(net.segments_dropped(), 10u);
+}
+
+// ---------------------------------------------------------------------------
+// TCP core
+// ---------------------------------------------------------------------------
+
+TEST(Tcp, ThreeWayHandshake) {
+  TwoHosts h;
+  auto [sconn, cconn] = h.connect();
+  EXPECT_EQ(h.server.state(sconn), TcpState::kEstablished);
+  EXPECT_EQ(h.client.state(cconn), TcpState::kEstablished);
+}
+
+TEST(Tcp, DataBothDirections) {
+  TwoHosts h;
+  auto [sconn, cconn] = h.connect();
+  const std::vector<u8> ping = {'p', 'i', 'n', 'g'};
+  const std::vector<u8> pong = {'p', 'o', 'n', 'g', '!'};
+  ASSERT_TRUE(h.client.send(cconn, ping).ok());
+  h.net.tick(10);
+  EXPECT_EQ(h.drain(h.server, sconn), ping);
+  ASSERT_TRUE(h.server.send(sconn, pong).ok());
+  h.net.tick(10);
+  EXPECT_EQ(h.drain(h.client, cconn), pong);
+}
+
+TEST(Tcp, LargeTransferSegmentsAndReassembles) {
+  TwoHosts h;
+  auto [sconn, cconn] = h.connect();
+  std::vector<u8> big(10'000);
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = static_cast<u8>(i * 7);
+  ASSERT_TRUE(h.client.send(cconn, big).ok());
+  std::vector<u8> got;
+  for (int i = 0; i < 500 && got.size() < big.size(); ++i) {
+    h.net.tick(1);
+    auto part = h.drain(h.server, sconn);
+    got.insert(got.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(got, big);
+}
+
+TEST(Tcp, RecoversFromHeavyLoss) {
+  TwoHosts h;
+  auto [sconn, cconn] = h.connect();
+  h.net.set_loss_probability(0.25);  // every 4th segment vanishes
+  std::vector<u8> data(4'000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<u8>(i ^ (i >> 8));
+  }
+  ASSERT_TRUE(h.client.send(cconn, data).ok());
+  std::vector<u8> got;
+  for (int i = 0; i < 20'000 && got.size() < data.size(); ++i) {
+    h.net.tick(1);
+    auto part = h.drain(h.server, sconn);
+    got.insert(got.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(got, data);  // exact bytes despite drops: retransmission works
+  EXPECT_GT(h.client.retransmissions(), 0u);
+}
+
+TEST(Tcp, HandshakeSurvivesSynLoss) {
+  SimNet net(13);
+  net.set_loss_probability(0.5);
+  TcpStack server(net, kServerIp);
+  TcpStack client(net, kClientIp);
+  auto l = server.listen(kPort);
+  ASSERT_TRUE(l.ok());
+  auto c = client.connect(kServerIp, kPort);
+  ASSERT_TRUE(c.ok());
+  net.tick(5'000);  // plenty of RTO periods
+  EXPECT_TRUE(client.is_established(*c));
+  EXPECT_TRUE(server.accept(*l).ok());
+}
+
+TEST(Tcp, GracefulCloseDeliversEof) {
+  TwoHosts h;
+  auto [sconn, cconn] = h.connect();
+  const std::vector<u8> last = {'b', 'y', 'e'};
+  ASSERT_TRUE(h.client.send(cconn, last).ok());
+  ASSERT_TRUE(h.client.close(cconn).is_ok());
+  h.net.tick(30);
+  EXPECT_EQ(h.drain(h.server, sconn), last);
+  u8 buf[8];
+  auto eof = h.server.recv(sconn, buf);
+  ASSERT_TRUE(eof.ok());
+  EXPECT_EQ(*eof, 0u);  // orderly shutdown
+  // Server closes its side; both reach terminal states.
+  ASSERT_TRUE(h.server.close(sconn).is_ok());
+  h.net.tick(30);
+  EXPECT_FALSE(h.client.is_open(cconn));
+  EXPECT_FALSE(h.server.is_open(sconn));
+}
+
+TEST(Tcp, ConnectToDeadPortGetsReset) {
+  TwoHosts h;
+  auto c = h.client.connect(kServerIp, 9999);  // nobody listening
+  ASSERT_TRUE(c.ok());
+  h.net.tick(20);
+  EXPECT_TRUE(h.client.was_reset(*c));
+  EXPECT_EQ(h.client.state(*c), TcpState::kClosed);
+}
+
+TEST(Tcp, BacklogLimitsPendingConnections) {
+  TwoHosts h;
+  auto l = h.server.listen(kPort, /*backlog=*/2);
+  ASSERT_TRUE(l.ok());
+  std::vector<int> conns;
+  for (int i = 0; i < 4; ++i) {
+    auto c = h.client.connect(kServerIp, kPort);
+    ASSERT_TRUE(c.ok());
+    conns.push_back(*c);
+  }
+  h.net.tick(20);
+  int established = 0;
+  for (int c : conns) established += h.client.is_established(c) ? 1 : 0;
+  EXPECT_EQ(established, 2);  // two SYNs beyond backlog got no SYN-ACK yet
+  // Draining the queue lets the retransmitted SYNs through eventually.
+  ASSERT_TRUE(h.server.accept(*l).ok());
+  ASSERT_TRUE(h.server.accept(*l).ok());
+  h.net.tick(2'000);
+  established = 0;
+  for (int c : conns) established += h.client.is_established(c) ? 1 : 0;
+  EXPECT_EQ(established, 4);
+}
+
+TEST(Tcp, SendOnClosedSocketFails) {
+  TwoHosts h;
+  auto [sconn, cconn] = h.connect();
+  ASSERT_TRUE(h.client.close(cconn).is_ok());
+  const std::vector<u8> data = {1};
+  EXPECT_FALSE(h.client.send(cconn, data).ok());
+  (void)sconn;
+}
+
+TEST(Tcp, AcceptOnNonListenerFails) {
+  TwoHosts h;
+  auto [sconn, cconn] = h.connect();
+  EXPECT_FALSE(h.server.accept(sconn).ok());
+  (void)cconn;
+}
+
+TEST(Tcp, StateNamesAreHuman) {
+  EXPECT_STREQ(tcp_state_name(TcpState::kEstablished), "ESTABLISHED");
+  EXPECT_STREQ(tcp_state_name(TcpState::kFinWait1), "FIN_WAIT_1");
+}
+
+// ---------------------------------------------------------------------------
+// BSD facade
+// ---------------------------------------------------------------------------
+
+TEST(Bsd, EchoServerShape) {
+  // The Figure 2(a) call sequence, non-blocking flavor.
+  TwoHosts h;
+  BsdSocketApi server_api(h.server);
+  BsdSocketApi client_api(h.client);
+
+  auto lfd = server_api.socket_fd();
+  ASSERT_TRUE(lfd.ok());
+  ASSERT_TRUE(server_api.bind_fd(*lfd, kPort).is_ok());
+  ASSERT_TRUE(server_api.listen_fd(*lfd, 4).is_ok());
+
+  auto cfd = client_api.socket_fd();
+  ASSERT_TRUE(cfd.ok());
+  ASSERT_TRUE(client_api.connect_fd(*cfd, kServerIp, kPort).is_ok());
+  h.net.tick(20);
+  ASSERT_TRUE(client_api.connected_fd(*cfd));
+
+  auto conn = server_api.accept_fd(*lfd);
+  ASSERT_TRUE(conn.ok());
+
+  const std::vector<u8> msg = {'h', 'e', 'l', 'l', 'o'};
+  ASSERT_TRUE(client_api.send_fd(*cfd, msg).ok());
+  h.net.tick(10);
+  u8 buf[64];
+  auto n = server_api.recv_fd(*conn, buf);
+  ASSERT_TRUE(n.ok());
+  ASSERT_TRUE(server_api.send_fd(*conn, std::span<const u8>(buf, *n)).ok());
+  h.net.tick(10);
+  auto echo = client_api.recv_fd(*cfd, buf);
+  ASSERT_TRUE(echo.ok());
+  EXPECT_EQ(std::vector<u8>(buf, buf + *echo), msg);
+
+  EXPECT_TRUE(server_api.close_fd(*conn).is_ok());
+  EXPECT_TRUE(client_api.close_fd(*cfd).is_ok());
+}
+
+TEST(Bsd, ApiMisuseErrors) {
+  TwoHosts h;
+  BsdSocketApi api(h.server);
+  EXPECT_FALSE(api.bind_fd(99, kPort).is_ok());           // bad fd
+  auto fd = api.socket_fd();
+  ASSERT_TRUE(fd.ok());
+  EXPECT_FALSE(api.listen_fd(*fd, 4).is_ok());            // listen before bind
+  ASSERT_TRUE(api.bind_fd(*fd, kPort).is_ok());
+  EXPECT_FALSE(api.bind_fd(*fd, kPort + 1).is_ok());      // double bind
+  ASSERT_TRUE(api.listen_fd(*fd, 4).is_ok());
+  auto r = api.accept_fd(*fd);
+  EXPECT_FALSE(r.ok());                                   // would block
+  EXPECT_EQ(r.status().code(), ErrorCode::kUnavailable);
+  u8 buf[4];
+  EXPECT_FALSE(api.recv_fd(*fd, buf).ok());               // recv on listener
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic C facade
+// ---------------------------------------------------------------------------
+
+TEST(DcNet, Figure2bEchoShape) {
+  // sock_init / tcp_listen / sock_established / sock_gets / sock_puts.
+  TwoHosts h;
+  DcTcpApi dc(h.server, &h.net);
+  BsdSocketApi client_api(h.client);
+
+  dc.sock_init();
+  tcp_Socket sock;
+  ASSERT_TRUE(dc.tcp_listen(&sock, kPort).is_ok());
+  dc.sock_mode(&sock, /*ascii=*/true);
+
+  auto cfd = client_api.socket_fd();
+  ASSERT_TRUE(cfd.ok());
+  ASSERT_TRUE(client_api.connect_fd(*cfd, kServerIp, kPort).is_ok());
+
+  // The server loop: waitfor(sock_established) via ticking.
+  for (int i = 0; i < 50 && !dc.sock_established(&sock); ++i) dc.tcp_tick(nullptr);
+  ASSERT_TRUE(dc.sock_established(&sock));
+
+  const std::string line = "GET /secret\n";
+  ASSERT_TRUE(client_api
+                  .send_fd(*cfd, std::span<const u8>(
+                                     reinterpret_cast<const u8*>(line.data()),
+                                     line.size()))
+                  .ok());
+  for (int i = 0; i < 50; ++i) dc.tcp_tick(nullptr);
+  auto got = dc.sock_gets(&sock, 128);
+  ASSERT_TRUE(got.ok()) << got.status().to_string();
+  EXPECT_EQ(*got, "GET /secret");
+
+  ASSERT_TRUE(dc.sock_puts(&sock, "403 DENIED").is_ok());
+  for (int i = 0; i < 50; ++i) dc.tcp_tick(nullptr);
+  u8 buf[64];
+  auto n = client_api.recv_fd(*cfd, buf);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(std::string(buf, buf + *n), "403 DENIED\n");
+
+  dc.sock_close(&sock);
+}
+
+TEST(DcNet, ListenBeforeInitFails) {
+  TwoHosts h;
+  DcTcpApi dc(h.server);
+  tcp_Socket sock;
+  EXPECT_FALSE(dc.tcp_listen(&sock, kPort).is_ok());
+}
+
+TEST(DcNet, SocketReArmsAfterClose) {
+  // The §5.3 pattern: each connection needs a fresh tcp_listen on the same
+  // tcp_Socket; the facade must reuse the port's listener.
+  TwoHosts h;
+  DcTcpApi dc(h.server, &h.net);
+  BsdSocketApi client_api(h.client);
+  dc.sock_init();
+  tcp_Socket sock;
+
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(dc.tcp_listen(&sock, kPort).is_ok()) << round;
+    auto cfd = client_api.socket_fd();
+    ASSERT_TRUE(cfd.ok());
+    ASSERT_TRUE(client_api.connect_fd(*cfd, kServerIp, kPort).is_ok());
+    for (int i = 0; i < 100 && !dc.sock_established(&sock); ++i) {
+      dc.tcp_tick(nullptr);
+    }
+    ASSERT_TRUE(dc.sock_established(&sock)) << round;
+    const std::vector<u8> msg = {static_cast<u8>('0' + round)};
+    ASSERT_TRUE(dc.sock_fastwrite(&sock, msg).ok());
+    for (int i = 0; i < 50; ++i) dc.tcp_tick(nullptr);
+    u8 buf[4];
+    auto n = client_api.recv_fd(*cfd, buf);
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(buf[0], '0' + round);
+    dc.sock_close(&sock);
+    ASSERT_TRUE(client_api.close_fd(*cfd).is_ok());
+    for (int i = 0; i < 100; ++i) dc.tcp_tick(nullptr);
+  }
+}
+
+TEST(DcNet, GetsRequiresAsciiMode) {
+  TwoHosts h;
+  DcTcpApi dc(h.server);
+  dc.sock_init();
+  tcp_Socket sock;
+  ASSERT_TRUE(dc.tcp_listen(&sock, kPort).is_ok());
+  auto r = dc.sock_gets(&sock, 16);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(DcNet, TickNullAdvancesMedium) {
+  TwoHosts h;
+  DcTcpApi dc(h.server, &h.net);
+  dc.sock_init();
+  const u64 t0 = h.net.now_ms();
+  for (int i = 0; i < 10; ++i) dc.tcp_tick(nullptr);
+  EXPECT_EQ(h.net.now_ms(), t0 + 10);
+  EXPECT_EQ(dc.tick_calls(), 10u);
+}
+
+}  // namespace
+}  // namespace rmc::net

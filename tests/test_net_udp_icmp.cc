@@ -1,0 +1,129 @@
+// UDP and ICMP tests — the rest of the kit's advertised stack ("software
+// implementing TCP/IP, UDP and ICMP", paper §4). UDP is fire-and-forget
+// (loss is visible, unlike TCP); ICMP echo answers automatically.
+#include <gtest/gtest.h>
+
+#include "net/simnet.h"
+#include "net/tcp.h"
+
+namespace rmc::net {
+namespace {
+
+using common::u8;
+
+struct Pair {
+  SimNet net{11};
+  TcpStack a{net, 1};
+  TcpStack b{net, 2};
+};
+
+TEST(Udp, DatagramRoundTrip) {
+  Pair p;
+  ASSERT_TRUE(p.b.udp_bind(5353).is_ok());
+  const std::vector<u8> q = {'w', 'h', 'o', '?'};
+  p.a.udp_sendto(2, 5353, q, 1234);
+  p.net.tick(5);
+  auto d = p.b.udp_recvfrom(5353);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->payload, q);
+  EXPECT_EQ(d->src_ip, 1u);
+  EXPECT_EQ(d->src_port, 1234);
+  // Reply to the source address/port (bound before delivery).
+  ASSERT_TRUE(p.a.udp_bind(1234).is_ok());
+  p.b.udp_sendto(d->src_ip, d->src_port, std::vector<u8>{'m', 'e'}, 5353);
+  p.net.tick(5);
+  auto r = p.a.udp_recvfrom(1234);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->payload, (std::vector<u8>{'m', 'e'}));
+  EXPECT_EQ(r->src_port, 5353);
+}
+
+TEST(Udp, PreservesMessageBoundaries) {
+  Pair p;
+  ASSERT_TRUE(p.b.udp_bind(9).is_ok());
+  p.a.udp_sendto(2, 9, std::vector<u8>{1, 2, 3}, 100);
+  p.a.udp_sendto(2, 9, std::vector<u8>{4}, 100);
+  p.net.tick(5);
+  auto d1 = p.b.udp_recvfrom(9);
+  auto d2 = p.b.udp_recvfrom(9);
+  ASSERT_TRUE(d1.ok() && d2.ok());
+  EXPECT_EQ(d1->payload.size(), 3u);
+  EXPECT_EQ(d2->payload.size(), 1u);
+  EXPECT_FALSE(p.b.udp_recvfrom(9).ok());
+}
+
+TEST(Udp, UnboundPortErrorsAndUnreachableDrops) {
+  Pair p;
+  EXPECT_FALSE(p.a.udp_recvfrom(7).ok());           // never bound
+  p.a.udp_sendto(2, 7, std::vector<u8>{1}, 8);      // nobody listening
+  p.net.tick(5);                                    // silently dropped
+  ASSERT_TRUE(p.b.udp_bind(7).is_ok());
+  EXPECT_FALSE(p.b.udp_recvfrom(7).ok());
+  EXPECT_FALSE(p.b.udp_bind(7).is_ok());            // double bind
+}
+
+TEST(Udp, LossIsVisibleUnlikeTcp) {
+  Pair p;
+  p.net.set_loss_probability(0.5);
+  ASSERT_TRUE(p.b.udp_bind(60).is_ok());
+  const int kSent = 200;
+  for (int i = 0; i < kSent; ++i) {
+    p.a.udp_sendto(2, 60, std::vector<u8>{static_cast<u8>(i)}, 61);
+  }
+  p.net.tick(10);
+  int received = 0;
+  while (p.b.udp_recvfrom(60).ok()) ++received;
+  EXPECT_GT(received, kSent / 4);   // some got through
+  EXPECT_LT(received, kSent);       // ...and some really are gone
+}
+
+TEST(Icmp, PingEcho) {
+  Pair p;
+  p.a.ping(2, 1);
+  p.a.ping(2, 2);
+  p.net.tick(10);
+  EXPECT_EQ(p.a.echo_replies(), 2u);
+  EXPECT_EQ(p.a.last_echo_seq(), 2u);
+  EXPECT_EQ(p.b.echo_requests_answered(), 2u);
+}
+
+TEST(Icmp, PingDeadHostGetsNoReply) {
+  Pair p;
+  p.a.ping(99, 1);  // nobody there
+  p.net.tick(10);
+  EXPECT_EQ(p.a.echo_replies(), 0u);
+}
+
+TEST(Icmp, PingSurvivesSomeLoss) {
+  Pair p;
+  p.net.set_loss_probability(0.3);
+  for (common::u32 seq = 1; seq <= 50; ++seq) p.a.ping(2, seq);
+  p.net.tick(20);
+  EXPECT_GT(p.a.echo_replies(), 10u);
+  EXPECT_LT(p.a.echo_replies(), 50u);
+}
+
+TEST(MixedProtocols, TcpUnaffectedByUdpAndIcmpTraffic) {
+  Pair p;
+  auto l = p.b.listen(80);
+  auto c = p.a.connect(2, 80);
+  ASSERT_TRUE(p.b.udp_bind(53).is_ok());
+  // Interleave all three protocols.
+  for (int i = 0; i < 30; ++i) {
+    p.a.udp_sendto(2, 53, std::vector<u8>{9}, 53);
+    p.a.ping(2, static_cast<common::u32>(i));
+    p.net.tick(1);
+  }
+  auto sc = p.b.accept(*l);
+  ASSERT_TRUE(sc.ok());
+  const std::vector<u8> msg = {'t', 'c', 'p'};
+  ASSERT_TRUE(p.a.send(*c, msg).ok());
+  p.net.tick(10);
+  u8 buf[8];
+  auto n = p.b.recv(*sc, buf);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(std::vector<u8>(buf, buf + *n), msg);
+}
+
+}  // namespace
+}  // namespace rmc::net

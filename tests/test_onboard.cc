@@ -1,0 +1,284 @@
+// On-board network service tests: MiniDynC programs serving NIC frames on
+// the simulated RMC2000 — the paper's title scenario ("a network
+// cryptographic service") executing as Rabbit machine code.
+//
+// Covers the NIC device itself, the rdport/wrport builtins, the plain echo
+// server (dc/echo_server.dc), and a *cryptographic* service built by
+// concatenating dc/rc4.dc with a small NIC wrapper (MiniDynC's stand-in for
+// Dynamic C's #use, §4.1).
+#include <gtest/gtest.h>
+
+#include "dcc/codegen.h"
+#include "dcc/interp.h"
+#include "dcc/parser.h"
+#include "rabbit/board.h"
+#include "rabbit/nic.h"
+#include "services/aes_port.h"  // read_text_file
+
+namespace rmc {
+namespace {
+
+using common::u16;
+using common::u8;
+
+// ---------------------------------------------------------------------------
+// NIC device unit tests
+// ---------------------------------------------------------------------------
+
+TEST(Nic, RxFrameReadAndConsume) {
+  rabbit::NicDevice nic(0xD0);
+  EXPECT_EQ(nic.io_read(0xD0), 0x00);  // nothing waiting
+  nic.push_rx_frame({0x11, 0x22, 0x33});
+  EXPECT_EQ(nic.io_read(0xD0), 0x01);
+  EXPECT_EQ(nic.io_read(0xD1), 3);  // length
+  EXPECT_EQ(nic.io_read(0xD2), 0);
+  EXPECT_EQ(nic.io_read(0xD3), 0x11);
+  EXPECT_EQ(nic.io_read(0xD3), 0x22);
+  EXPECT_EQ(nic.io_read(0xD3), 0x33);
+  EXPECT_EQ(nic.io_read(0xD3), 0x00);  // past end
+  nic.io_write(0xD0, 1);               // consume
+  EXPECT_EQ(nic.io_read(0xD0), 0x00);
+  EXPECT_EQ(nic.frames_consumed(), 1u);
+}
+
+TEST(Nic, TxFrameAssemblyAndCommit) {
+  rabbit::NicDevice nic(0xD0);
+  nic.io_write(0xD4, 'o');
+  nic.io_write(0xD4, 'k');
+  EXPECT_TRUE(nic.tx_frames().empty());  // not committed yet
+  nic.io_write(0xD5, 1);
+  ASSERT_EQ(nic.tx_frames().size(), 1u);
+  EXPECT_EQ(nic.tx_frames().front(), (std::vector<u8>{'o', 'k'}));
+}
+
+TEST(Nic, FramesQueueInOrder) {
+  rabbit::NicDevice nic(0xD0);
+  nic.push_rx_frame({1});
+  nic.push_rx_frame({2});
+  EXPECT_EQ(nic.io_read(0xD3), 1);
+  nic.io_write(0xD0, 1);
+  EXPECT_EQ(nic.io_read(0xD3), 2);
+}
+
+// ---------------------------------------------------------------------------
+// rdport / wrport builtins
+// ---------------------------------------------------------------------------
+
+TEST(PortBuiltins, RoundTripThroughSerialDataRegister) {
+  // wrport to the serial TX register must reach the host; rdport from the
+  // RX register must see host-sent bytes.
+  const std::string src = R"(
+    int f() {
+      int v;
+      v = rdport(0xC0);      /* serial data register */
+      wrport(0xC0, v + 1);
+      return v;
+    }
+  )";
+  auto out = dcc::compile(src);
+  ASSERT_TRUE(out.ok()) << out.status().to_string();
+  rabbit::Board board;
+  board.load(out->image);
+  board.serial().host_send_byte(0x41);
+  auto r = board.call("f_f");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->hl, 0x41);
+  EXPECT_EQ(board.serial().host_collect(), "B");
+}
+
+TEST(PortBuiltins, PortMustBeLiteral) {
+  auto r = dcc::compile("int f() { int p; p = 1; return rdport(p); }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("literal"), std::string::npos);
+}
+
+TEST(PortBuiltins, ArgumentCountChecked) {
+  EXPECT_FALSE(dcc::compile("int f() { return rdport(1, 2); }").ok());
+  EXPECT_FALSE(dcc::compile("int f() { return wrport(1); }").ok());
+  EXPECT_FALSE(dcc::compile("int f() { return rdport(300); }").ok());
+}
+
+TEST(PortBuiltins, InterpreterRefusesPortIo) {
+  auto prog = dcc::parse("int f() { return rdport(0xC0); }");
+  ASSERT_TRUE(prog.ok());
+  auto in = dcc::Interpreter::create(*prog);
+  ASSERT_TRUE(in.ok());
+  auto r = in->call("f", {});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("board"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// The on-board echo server
+// ---------------------------------------------------------------------------
+
+struct OnBoard {
+  rabbit::Board board;
+  rabbit::NicDevice nic{0xD0};
+  dcc::CompileOutput out;
+
+  explicit OnBoard(const std::string& source,
+                   const dcc::CodegenOptions& opts = {}) {
+    board.io().map(0xD0, 0xD5, &nic);
+    auto compiled = dcc::compile(source, opts);
+    EXPECT_TRUE(compiled.ok()) << compiled.status().to_string();
+    out = std::move(*compiled);
+    board.load(out.image);
+  }
+
+  u16 call(const std::string& fn) {
+    auto r = board.call("f_" + fn, 500'000'000);
+    EXPECT_TRUE(r.ok()) << r.status().to_string();
+    EXPECT_EQ(r->stop, rabbit::StopReason::kHalted)
+        << board.cpu().illegal_message();
+    return r.ok() ? r->hl : 0xDEAD;
+  }
+};
+
+std::string echo_source() {
+  auto src = services::read_text_file(std::string(RMC_REPO_ROOT) +
+                                      "/dc/echo_server.dc");
+  EXPECT_TRUE(src.ok());
+  return src.ok() ? *src : "";
+}
+
+TEST(OnBoardEcho, ServesOneFrame) {
+  OnBoard ob(echo_source());
+  ob.nic.push_rx_frame({'h', 'i', ' ', 'r', 'm', 'c', '2', '0', '0', '0'});
+  EXPECT_EQ(ob.call("echo_step"), 10);
+  ASSERT_EQ(ob.nic.tx_frames().size(), 1u);
+  EXPECT_EQ(std::string(ob.nic.tx_frames()[0].begin(),
+                        ob.nic.tx_frames()[0].end()),
+            "HI RMC2000");
+}
+
+TEST(OnBoardEcho, IdleWhenNoFrames) {
+  OnBoard ob(echo_source());
+  EXPECT_EQ(ob.call("echo_step"), 0);
+  EXPECT_TRUE(ob.nic.tx_frames().empty());
+}
+
+TEST(OnBoardEcho, ServesManyFramesInOrder) {
+  OnBoard ob(echo_source(), dcc::CodegenOptions::all_optimizations());
+  for (int i = 0; i < 5; ++i) {
+    ob.nic.push_rx_frame({static_cast<u8>('a' + i)});
+  }
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(ob.call("echo_step"), 1);
+  ASSERT_EQ(ob.nic.tx_frames().size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(ob.nic.tx_frames()[static_cast<std::size_t>(i)][0], 'A' + i);
+  }
+}
+
+TEST(OnBoardEcho, OversizeFrameClamped) {
+  OnBoard ob(echo_source());
+  std::vector<u8> big(600, 'x');
+  ob.nic.push_rx_frame(big);
+  EXPECT_EQ(ob.call("echo_step"), 512);
+  ASSERT_EQ(ob.nic.tx_frames().size(), 1u);
+  EXPECT_EQ(ob.nic.tx_frames()[0].size(), 512u);
+}
+
+// ---------------------------------------------------------------------------
+// The on-board *cryptographic* service: RC4 + NIC, composed like Dynamic C
+// #use by concatenating sources
+// ---------------------------------------------------------------------------
+
+std::string crypto_service_source() {
+  auto rc4 = services::read_text_file(std::string(RMC_REPO_ROOT) +
+                                      "/dc/rc4.dc");
+  EXPECT_TRUE(rc4.ok());
+  // The service wrapper: read a frame into rc4_buf, crypt it, transmit.
+  const std::string wrapper = R"(
+    int serve_step() {
+      int n; int i;
+      if ((rdport(0xD0) & 1) == 0) return 0;
+      n = rdport(0xD1) | (rdport(0xD2) << 8);
+      if (n > 256) n = 256;
+      for (i = 0; i < n; i = i + 1) rc4_buf[i] = rdport(0xD3);
+      wrport(0xD0, 1);
+      rc4_crypt(n);
+      for (i = 0; i < n; i = i + 1) wrport(0xD4, rc4_buf[i]);
+      wrport(0xD5, 1);
+      return n;
+    }
+  )";
+  return (rc4.ok() ? *rc4 : "") + wrapper;
+}
+
+TEST(OnBoardCryptoService, EncryptsFramesHostCanDecrypt) {
+  OnBoard ob(crypto_service_source());
+  // Key the service (host writes the key, calls rc4_setup).
+  const std::vector<u8> key = {'s', '3', 'c', 'r', '3', 't'};
+  common::u32 key_addr = 0;
+  ASSERT_TRUE(ob.out.image.find_symbol("g_rc4_key", key_addr));
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    ob.board.mem().write(static_cast<u16>(key_addr + i), key[i]);
+  }
+  common::u32 klen_addr = 0;
+  ASSERT_TRUE(ob.out.image.find_symbol("l_rc4_setup_klen", klen_addr));
+  ob.board.mem().write16(static_cast<u16>(klen_addr),
+                         static_cast<u16>(key.size()));
+  ASSERT_TRUE(ob.board.call("f_rc4_setup", 500'000'000).ok());
+
+  // Send two plaintext frames through the service.
+  const std::string msg1 = "wire this to the bank";
+  const std::string msg2 = "and this one too";
+  ob.nic.push_rx_frame({msg1.begin(), msg1.end()});
+  ob.nic.push_rx_frame({msg2.begin(), msg2.end()});
+  EXPECT_EQ(ob.call("serve_step"), msg1.size());
+  EXPECT_EQ(ob.call("serve_step"), msg2.size());
+  ASSERT_EQ(ob.nic.tx_frames().size(), 2u);
+
+  // The ciphertext must not contain the plaintext...
+  const auto& ct1 = ob.nic.tx_frames()[0];
+  EXPECT_EQ(std::string(ct1.begin(), ct1.end()).find("bank"),
+            std::string::npos);
+
+  // ...and a host-side RC4 with the same key must decrypt both frames
+  // (continuing the keystream across frames, as the service does).
+  struct HostRc4 {
+    u8 S[256];
+    int i = 0, j = 0;
+    explicit HostRc4(std::span<const u8> k) {
+      for (int x = 0; x < 256; ++x) S[x] = static_cast<u8>(x);
+      int jj = 0;
+      for (int x = 0; x < 256; ++x) {
+        jj = (jj + S[x] + k[x % k.size()]) & 255;
+        std::swap(S[x], S[jj]);
+      }
+    }
+    u8 next() {
+      i = (i + 1) & 255;
+      j = (j + S[i]) & 255;
+      std::swap(S[i], S[j]);
+      return S[(S[i] + S[j]) & 255];
+    }
+  } host(key);
+  std::string dec1, dec2;
+  for (u8 b : ob.nic.tx_frames()[0]) dec1.push_back(static_cast<char>(b ^ host.next()));
+  for (u8 b : ob.nic.tx_frames()[1]) dec2.push_back(static_cast<char>(b ^ host.next()));
+  EXPECT_EQ(dec1, msg1);
+  EXPECT_EQ(dec2, msg2);
+}
+
+TEST(OnBoardCryptoService, CycleCostReported) {
+  OnBoard ob(crypto_service_source());
+  common::u32 klen_addr = 0;
+  ASSERT_TRUE(ob.out.image.find_symbol("l_rc4_setup_klen", klen_addr));
+  ob.board.mem().write16(static_cast<u16>(klen_addr), 4);
+  auto setup = ob.board.call("f_rc4_setup", 500'000'000);
+  ASSERT_TRUE(setup.ok());
+  EXPECT_GT(setup->cycles, 10'000u);  // 256-entry KSA is real work
+
+  ob.nic.push_rx_frame(std::vector<u8>(64, 'x'));
+  auto serve = ob.board.call("f_serve_step", 500'000'000);
+  ASSERT_TRUE(serve.ok());
+  EXPECT_EQ(serve->hl, 64);
+  // Per-byte cost on a 30 MHz 8-bit CPU: must be orders of magnitude above
+  // a workstation, the paper's whole premise.
+  EXPECT_GT(serve->cycles / 64, 200u);
+}
+
+}  // namespace
+}  // namespace rmc

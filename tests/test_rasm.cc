@@ -1,0 +1,341 @@
+// Tests for the assembler and disassembler: encoding correctness (checked
+// byte-for-byte and by executing on the board), expressions, directives,
+// error reporting, and assemble->disassemble round trips.
+#include <gtest/gtest.h>
+
+#include "rabbit/board.h"
+#include "rasm/assembler.h"
+#include "rasm/disasm.h"
+
+namespace rmc::rasm {
+namespace {
+
+using common::u16;
+using common::u8;
+using rabbit::Board;
+using rabbit::StopReason;
+
+std::vector<u8> bytes_of(const std::string& src) {
+  auto out = assemble(src);
+  EXPECT_TRUE(out.ok()) << out.status().to_string();
+  if (!out.ok()) return {};
+  EXPECT_EQ(out->image.chunks.size(), 1u);
+  return out->image.chunks[0].bytes;
+}
+
+// Assemble, load, call `main`, return HL.
+u16 run_main(const std::string& src) {
+  auto out = assemble(src);
+  EXPECT_TRUE(out.ok()) << out.status().to_string();
+  if (!out.ok()) return 0xDEAD;
+  Board board;
+  board.load(out->image);
+  auto res = board.call("main");
+  EXPECT_TRUE(res.ok()) << res.status().to_string();
+  if (!res.ok()) return 0xDEAD;
+  EXPECT_EQ(res->stop, StopReason::kHalted);
+  return res->hl;
+}
+
+// ---------------------------------------------------------------------------
+// Encodings
+// ---------------------------------------------------------------------------
+
+TEST(Asm, BasicLoadEncodings) {
+  EXPECT_EQ(bytes_of("ld a, 12h"), (std::vector<u8>{0x3E, 0x12}));
+  EXPECT_EQ(bytes_of("ld b, c"), (std::vector<u8>{0x41}));
+  EXPECT_EQ(bytes_of("ld a, (hl)"), (std::vector<u8>{0x7E}));
+  EXPECT_EQ(bytes_of("ld (hl), 7"), (std::vector<u8>{0x36, 0x07}));
+  EXPECT_EQ(bytes_of("ld hl, 1234h"), (std::vector<u8>{0x21, 0x34, 0x12}));
+  EXPECT_EQ(bytes_of("ld a, (0e000h)"), (std::vector<u8>{0x3A, 0x00, 0xE0}));
+  EXPECT_EQ(bytes_of("ld (4000h), hl"), (std::vector<u8>{0x22, 0x00, 0x40}));
+  EXPECT_EQ(bytes_of("ld sp, hl"), (std::vector<u8>{0xF9}));
+}
+
+TEST(Asm, IndexedEncodings) {
+  EXPECT_EQ(bytes_of("ld ix, 8000h"),
+            (std::vector<u8>{0xDD, 0x21, 0x00, 0x80}));
+  EXPECT_EQ(bytes_of("ld a, (ix+3)"), (std::vector<u8>{0xDD, 0x7E, 0x03}));
+  EXPECT_EQ(bytes_of("ld (iy-2), b"), (std::vector<u8>{0xFD, 0x70, 0xFE}));
+  EXPECT_EQ(bytes_of("inc (ix+0)"), (std::vector<u8>{0xDD, 0x34, 0x00}));
+}
+
+TEST(Asm, AluEncodings) {
+  EXPECT_EQ(bytes_of("add a, b"), (std::vector<u8>{0x80}));
+  EXPECT_EQ(bytes_of("adc a, 5"), (std::vector<u8>{0xCE, 0x05}));
+  EXPECT_EQ(bytes_of("sub (hl)"), (std::vector<u8>{0x96}));
+  EXPECT_EQ(bytes_of("xor a"), (std::vector<u8>{0xAF}));
+  EXPECT_EQ(bytes_of("cp 0ffh"), (std::vector<u8>{0xFE, 0xFF}));
+  EXPECT_EQ(bytes_of("add hl, de"), (std::vector<u8>{0x19}));
+  EXPECT_EQ(bytes_of("sbc hl, bc"), (std::vector<u8>{0xED, 0x42}));
+  EXPECT_EQ(bytes_of("add ix, bc"), (std::vector<u8>{0xDD, 0x09}));
+}
+
+TEST(Asm, RotateAndBitEncodings) {
+  EXPECT_EQ(bytes_of("rlc b"), (std::vector<u8>{0xCB, 0x00}));
+  EXPECT_EQ(bytes_of("srl a"), (std::vector<u8>{0xCB, 0x3F}));
+  EXPECT_EQ(bytes_of("bit 7, (hl)"), (std::vector<u8>{0xCB, 0x7E}));
+  EXPECT_EQ(bytes_of("set 0, c"), (std::vector<u8>{0xCB, 0xC1}));
+  EXPECT_EQ(bytes_of("res 3, (ix+1)"),
+            (std::vector<u8>{0xDD, 0xCB, 0x01, 0x9E}));
+}
+
+TEST(Asm, RabbitSpecificEncodings) {
+  EXPECT_EQ(bytes_of("mul"), (std::vector<u8>{0xF7}));
+  EXPECT_EQ(bytes_of("bool hl"), (std::vector<u8>{0xED, 0x90}));
+  EXPECT_EQ(bytes_of("ld xpc, a"), (std::vector<u8>{0xED, 0x67}));
+  EXPECT_EQ(bytes_of("ld a, xpc"), (std::vector<u8>{0xED, 0x77}));
+  EXPECT_EQ(bytes_of("lret"), (std::vector<u8>{0xED, 0xC9}));
+  EXPECT_EQ(bytes_of("lcall 0e100h, 12h"),
+            (std::vector<u8>{0xED, 0xCD, 0x00, 0xE1, 0x12}));
+}
+
+TEST(Asm, ControlFlowEncodings) {
+  EXPECT_EQ(bytes_of("jp 0200h"), (std::vector<u8>{0xC3, 0x00, 0x02}));
+  EXPECT_EQ(bytes_of("jp nz, 0200h"), (std::vector<u8>{0xC2, 0x00, 0x02}));
+  EXPECT_EQ(bytes_of("call 0300h"), (std::vector<u8>{0xCD, 0x00, 0x03}));
+  EXPECT_EQ(bytes_of("ret z"), (std::vector<u8>{0xC8}));
+  EXPECT_EQ(bytes_of("jp (hl)"), (std::vector<u8>{0xE9}));
+  EXPECT_EQ(bytes_of("rst 28h"), (std::vector<u8>{0xEF}));
+}
+
+TEST(Asm, JrComputesDisplacement) {
+  // org 0x0100: jr 0x0104 -> displacement +2.
+  const auto b = bytes_of("jr 0104h\nnop\nnop");
+  ASSERT_GE(b.size(), 2u);
+  EXPECT_EQ(b[0], 0x18);
+  EXPECT_EQ(b[1], 0x02);
+}
+
+TEST(Asm, JrBackwardLoop) {
+  const auto b = bytes_of("loop: nop\n jr loop");
+  EXPECT_EQ(b, (std::vector<u8>{0x00, 0x18, 0xFD}));
+}
+
+TEST(Asm, JrOutOfRangeRejected) {
+  std::string src = "jr far\n";
+  src += "ds 200\n";
+  src += "far: nop\n";
+  auto out = assemble(src);
+  ASSERT_FALSE(out.ok());
+  EXPECT_NE(out.status().message().find("out of range"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Directives / expressions / symbols
+// ---------------------------------------------------------------------------
+
+TEST(Asm, DbDwDsEmitData) {
+  const auto b = bytes_of("db 1, 2, \"hi\", 0\ndw 1234h\nds 3");
+  EXPECT_EQ(b, (std::vector<u8>{1, 2, 'h', 'i', 0, 0x34, 0x12, 0, 0, 0}));
+}
+
+TEST(Asm, EquAndExpressions) {
+  const auto b = bytes_of(
+      "base equ 40h\n"
+      "ld a, base+2\n"
+      "ld b, (base<<2)|1\n"
+      "ld c, ~0 & 0ffh\n");
+  EXPECT_EQ(b, (std::vector<u8>{0x3E, 0x42, 0x06, 0x01, 0x0E, 0xFF}));
+}
+
+TEST(Asm, CharLiteralsAndBinary) {
+  const auto b = bytes_of("ld a, 'A'\nld b, %1010\n");
+  EXPECT_EQ(b, (std::vector<u8>{0x3E, 0x41, 0x06, 0x0A}));
+}
+
+TEST(Asm, ForwardReferencesResolve) {
+  const u16 hl = run_main(
+      "main: ld hl, (value)\n"
+      "      ret\n"
+      "value: dw 777\n");
+  EXPECT_EQ(hl, 777);
+}
+
+TEST(Asm, CurrentAddressDollar) {
+  const auto b = bytes_of("dw $\n");  // default org 0x0100
+  EXPECT_EQ(b, (std::vector<u8>{0x00, 0x01}));
+}
+
+TEST(Asm, DuplicateLabelRejected) {
+  auto out = assemble("x: nop\nx: nop\n");
+  ASSERT_FALSE(out.ok());
+  EXPECT_NE(out.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(Asm, UnknownMnemonicRejectedWithLineNumber) {
+  auto out = assemble("nop\nfrobnicate a, b\n");
+  ASSERT_FALSE(out.ok());
+  EXPECT_NE(out.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(Asm, OrgPlacesChunksAtBoardPhysical) {
+  auto out = assemble("org 6000h\ndb 1\n");
+  ASSERT_TRUE(out.ok());
+  // Data segment logical 0x6000 -> physical 0x80000 on the board map.
+  EXPECT_EQ(out->image.chunks[0].phys_addr, 0x80000u);
+}
+
+TEST(Asm, XorgPlacesPhysicalAndHelpersWork) {
+  auto out = assemble(
+      "xorg 20100h\n"
+      "table: db 0aah\n"
+      "org 0100h\n"
+      "main: ld a, xpcof(table)\n"
+      "      ld xpc, a\n"
+      "      ld hl, winof(table)\n"
+      "      ld a, (hl)\n"
+      "      ld l, a\n"
+      "      ld h, 0\n"
+      "      ret\n");
+  ASSERT_TRUE(out.ok()) << out.status().to_string();
+  Board board;
+  board.load(out->image);
+  auto res = board.call("main");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->hl, 0xAA);
+}
+
+TEST(Asm, ListingContainsAddressesAndBytes) {
+  AssembleOptions opts;
+  opts.want_listing = true;
+  auto out = assemble("main: ld a, 1\n ret\n", opts);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->listing.find("00100"), std::string::npos);
+  EXPECT_NE(out->listing.find("3E 01"), std::string::npos);
+}
+
+TEST(Asm, BoardLogicalToPhysMap) {
+  EXPECT_EQ(*board_logical_to_phys(0x0100), 0x0100u);
+  EXPECT_EQ(*board_logical_to_phys(0x6000), 0x80000u);
+  EXPECT_EQ(*board_logical_to_phys(0xD000), 0x8E000u);
+  EXPECT_FALSE(board_logical_to_phys(0xE000).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Execution smoke tests (assembled programs on the board)
+// ---------------------------------------------------------------------------
+
+TEST(Asm, SumLoopProgram) {
+  // Sum 1..10 into HL.
+  const u16 hl = run_main(
+      "main:\n"
+      "    ld hl, 0\n"
+      "    ld b, 10\n"
+      "    ld de, 0\n"
+      "loop:\n"
+      "    ld e, b\n"
+      "    add hl, de\n"
+      "    djnz loop\n"
+      "    ret\n");
+  EXPECT_EQ(hl, 55);
+}
+
+TEST(Asm, MulProgram) {
+  const u16 hl = run_main(
+      "main:\n"
+      "    ld bc, 123\n"
+      "    ld de, 45\n"
+      "    mul\n"
+      "    ld h, b\n"
+      "    ld l, c\n"
+      "    ret\n");
+  EXPECT_EQ(hl, 123 * 45);
+}
+
+TEST(Asm, DataSegmentReadWrite) {
+  const u16 hl = run_main(
+      "org 6000h\n"
+      "counter: dw 0\n"
+      "org 0100h\n"
+      "main:\n"
+      "    ld hl, (counter)\n"
+      "    inc hl\n"
+      "    inc hl\n"
+      "    ld (counter), hl\n"
+      "    ld hl, (counter)\n"
+      "    ret\n");
+  EXPECT_EQ(hl, 2);
+}
+
+TEST(Asm, CallingConventionNestedCalls) {
+  const u16 hl = run_main(
+      "main:\n"
+      "    ld hl, 5\n"
+      "    call double\n"
+      "    call double\n"
+      "    ret\n"
+      "double:\n"
+      "    add hl, hl\n"
+      "    ret\n");
+  EXPECT_EQ(hl, 20);
+}
+
+// ---------------------------------------------------------------------------
+// Disassembler round trips
+// ---------------------------------------------------------------------------
+
+TEST(Disasm, SingleInstructionText) {
+  const std::vector<u8> code = {0x3E, 0x42};
+  auto one = disassemble_one(code, 0, 0x0100);
+  EXPECT_TRUE(one.valid);
+  EXPECT_EQ(one.length, 2u);
+  EXPECT_EQ(one.text, "ld a, 042h");
+}
+
+TEST(Disasm, RelativeTargetsUseAbsoluteAddresses) {
+  const std::vector<u8> code = {0x18, 0xFE};  // jr $
+  auto one = disassemble_one(code, 0, 0x0200);
+  EXPECT_EQ(one.text, "jr 00200h");
+}
+
+TEST(Disasm, InvalidByteFallsBackToDb) {
+  const std::vector<u8> code = {0xED, 0x01};
+  auto one = disassemble_one(code, 0, 0);
+  EXPECT_FALSE(one.valid);
+  EXPECT_EQ(one.length, 1u);
+}
+
+// Round-trip property: assemble each mnemonic form, disassemble, reassemble,
+// and require identical bytes. This pins the assembler and disassembler to
+// the same encoding table.
+class RoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTrip, AssembleDisassembleAssemble) {
+  const std::string src = GetParam();
+  auto first = assemble(src);
+  ASSERT_TRUE(first.ok()) << first.status().to_string();
+  const auto& bytes = first->image.chunks[0].bytes;
+  auto dis = disassemble_one(bytes, 0, 0x0100);
+  ASSERT_TRUE(dis.valid) << src;
+  EXPECT_EQ(dis.length, bytes.size()) << src << " -> " << dis.text;
+  auto second = assemble(dis.text);
+  ASSERT_TRUE(second.ok()) << dis.text << ": " << second.status().to_string();
+  EXPECT_EQ(second->image.chunks[0].bytes, bytes) << src << " -> " << dis.text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Encodings, RoundTrip,
+    ::testing::Values(
+        "nop", "halt", "di", "ei", "exx", "daa", "cpl", "scf", "ccf", "neg",
+        "ldir", "lddr", "ldi", "ldd", "mul", "bool hl", "lret", "reti",
+        "ld a, 5", "ld b, c", "ld d, (hl)", "ld (hl), e", "ld (hl), 9",
+        "ld a, (bc)", "ld a, (de)", "ld (bc), a", "ld (de), a",
+        "ld a, (1234h)", "ld (1234h), a", "ld bc, 5678h", "ld de, 1h",
+        "ld hl, 0ffffh", "ld sp, 200h", "ld hl, (30h)", "ld (30h), hl",
+        "ld bc, (40h)", "ld (40h), de", "ld sp, hl", "ld ix, 7000h",
+        "ld a, (ix+5)", "ld (iy-3), c", "ld (ix+2), 7h", "ld xpc, a",
+        "ld a, xpc", "push bc", "pop af", "push ix", "pop iy",
+        "ex de, hl", "ex af, af'", "ex (sp), hl", "ex (sp), ix",
+        "add a, b", "adc a, 1", "sub (hl)", "sbc a, c", "and 0fh", "xor a",
+        "or (ix+1)", "cp 30h", "add hl, sp", "adc hl, de", "sbc hl, bc",
+        "add ix, de", "inc a", "dec (hl)", "inc de", "dec iy", "inc (ix+4)",
+        "rlca", "rrca", "rla", "rra", "rlc c", "rrc (hl)", "rl a", "rr b",
+        "sla d", "sra e", "srl h", "bit 0, a", "bit 7, (hl)", "set 3, b",
+        "res 5, (ix+2)", "jp 4000h", "jp nz, 4000h", "jp (hl)", "jp (ix)",
+        "call 300h", "call pe, 300h", "ret", "ret nc", "rst 18h",
+        "in a, (0c0h)", "out (0c0h), a", "lcall 0e000h, 2h",
+        "ljp 0e100h, 3h"));
+
+}  // namespace
+}  // namespace rmc::rasm
