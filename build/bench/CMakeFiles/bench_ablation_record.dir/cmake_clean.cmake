@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_record.dir/bench_ablation_record.cpp.o"
+  "CMakeFiles/bench_ablation_record.dir/bench_ablation_record.cpp.o.d"
+  "bench_ablation_record"
+  "bench_ablation_record.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_record.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

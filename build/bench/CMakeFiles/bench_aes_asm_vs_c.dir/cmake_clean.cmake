@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aes_asm_vs_c.dir/bench_aes_asm_vs_c.cpp.o"
+  "CMakeFiles/bench_aes_asm_vs_c.dir/bench_aes_asm_vs_c.cpp.o.d"
+  "bench_aes_asm_vs_c"
+  "bench_aes_asm_vs_c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aes_asm_vs_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

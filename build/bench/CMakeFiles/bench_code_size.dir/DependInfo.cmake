@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_code_size.cpp" "bench/CMakeFiles/bench_code_size.dir/bench_code_size.cpp.o" "gcc" "bench/CMakeFiles/bench_code_size.dir/bench_code_size.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/services/CMakeFiles/rmc_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcc/CMakeFiles/rmc_dcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rasm/CMakeFiles/rmc_rasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rabbit/CMakeFiles/rmc_rabbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynk/CMakeFiles/rmc_dynk.dir/DependInfo.cmake"
+  "/root/repo/build/src/issl/CMakeFiles/rmc_issl.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rmc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/rmc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rmc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

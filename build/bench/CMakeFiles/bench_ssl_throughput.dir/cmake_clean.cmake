@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ssl_throughput.dir/bench_ssl_throughput.cpp.o"
+  "CMakeFiles/bench_ssl_throughput.dir/bench_ssl_throughput.cpp.o.d"
+  "bench_ssl_throughput"
+  "bench_ssl_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ssl_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

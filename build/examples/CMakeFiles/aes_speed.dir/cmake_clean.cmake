@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aes_speed.dir/aes_speed.cpp.o"
+  "CMakeFiles/aes_speed.dir/aes_speed.cpp.o.d"
+  "aes_speed"
+  "aes_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aes_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

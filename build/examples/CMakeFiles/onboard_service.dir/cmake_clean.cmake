@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onboard_service.dir/onboard_service.cpp.o"
+  "CMakeFiles/onboard_service.dir/onboard_service.cpp.o.d"
+  "onboard_service"
+  "onboard_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onboard_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_redirector.dir/secure_redirector.cpp.o"
+  "CMakeFiles/secure_redirector.dir/secure_redirector.cpp.o.d"
+  "secure_redirector"
+  "secure_redirector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_redirector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serial_monitor.dir/serial_monitor.cpp.o"
+  "CMakeFiles/serial_monitor.dir/serial_monitor.cpp.o.d"
+  "serial_monitor"
+  "serial_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serial_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

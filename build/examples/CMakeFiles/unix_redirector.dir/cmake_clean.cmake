@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unix_redirector.dir/unix_redirector.cpp.o"
+  "CMakeFiles/unix_redirector.dir/unix_redirector.cpp.o.d"
+  "unix_redirector"
+  "unix_redirector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unix_redirector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;9;rmc_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_aes_speed "/root/repo/build/examples/aes_speed")
+set_tests_properties(example_aes_speed PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;10;rmc_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_secure_redirector "/root/repo/build/examples/secure_redirector")
+set_tests_properties(example_secure_redirector PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;11;rmc_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_unix_redirector "/root/repo/build/examples/unix_redirector")
+set_tests_properties(example_unix_redirector PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;12;rmc_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_serial_monitor "/root/repo/build/examples/serial_monitor")
+set_tests_properties(example_serial_monitor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;13;rmc_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_onboard_service "/root/repo/build/examples/onboard_service")
+set_tests_properties(example_onboard_service PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;14;rmc_add_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("rabbit")
+subdirs("rasm")
+subdirs("dcc")
+subdirs("crypto")
+subdirs("dynk")
+subdirs("net")
+subdirs("issl")
+subdirs("services")

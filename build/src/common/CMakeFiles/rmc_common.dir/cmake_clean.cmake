@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmc_common.dir/bytes.cc.o"
+  "CMakeFiles/rmc_common.dir/bytes.cc.o.d"
+  "CMakeFiles/rmc_common.dir/ringlog.cc.o"
+  "CMakeFiles/rmc_common.dir/ringlog.cc.o.d"
+  "CMakeFiles/rmc_common.dir/status.cc.o"
+  "CMakeFiles/rmc_common.dir/status.cc.o.d"
+  "librmc_common.a"
+  "librmc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmc_crypto.dir/aes.cc.o"
+  "CMakeFiles/rmc_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/rmc_crypto.dir/bignum.cc.o"
+  "CMakeFiles/rmc_crypto.dir/bignum.cc.o.d"
+  "CMakeFiles/rmc_crypto.dir/modes.cc.o"
+  "CMakeFiles/rmc_crypto.dir/modes.cc.o.d"
+  "CMakeFiles/rmc_crypto.dir/rsa.cc.o"
+  "CMakeFiles/rmc_crypto.dir/rsa.cc.o.d"
+  "CMakeFiles/rmc_crypto.dir/sha1.cc.o"
+  "CMakeFiles/rmc_crypto.dir/sha1.cc.o.d"
+  "librmc_crypto.a"
+  "librmc_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmc_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dcc/codegen.cc" "src/dcc/CMakeFiles/rmc_dcc.dir/codegen.cc.o" "gcc" "src/dcc/CMakeFiles/rmc_dcc.dir/codegen.cc.o.d"
+  "/root/repo/src/dcc/interp.cc" "src/dcc/CMakeFiles/rmc_dcc.dir/interp.cc.o" "gcc" "src/dcc/CMakeFiles/rmc_dcc.dir/interp.cc.o.d"
+  "/root/repo/src/dcc/lexer.cc" "src/dcc/CMakeFiles/rmc_dcc.dir/lexer.cc.o" "gcc" "src/dcc/CMakeFiles/rmc_dcc.dir/lexer.cc.o.d"
+  "/root/repo/src/dcc/parser.cc" "src/dcc/CMakeFiles/rmc_dcc.dir/parser.cc.o" "gcc" "src/dcc/CMakeFiles/rmc_dcc.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rmc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rabbit/CMakeFiles/rmc_rabbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/rasm/CMakeFiles/rmc_rasm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmc_dcc.dir/codegen.cc.o"
+  "CMakeFiles/rmc_dcc.dir/codegen.cc.o.d"
+  "CMakeFiles/rmc_dcc.dir/interp.cc.o"
+  "CMakeFiles/rmc_dcc.dir/interp.cc.o.d"
+  "CMakeFiles/rmc_dcc.dir/lexer.cc.o"
+  "CMakeFiles/rmc_dcc.dir/lexer.cc.o.d"
+  "CMakeFiles/rmc_dcc.dir/parser.cc.o"
+  "CMakeFiles/rmc_dcc.dir/parser.cc.o.d"
+  "librmc_dcc.a"
+  "librmc_dcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmc_dcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dynk/costate.cc" "src/dynk/CMakeFiles/rmc_dynk.dir/costate.cc.o" "gcc" "src/dynk/CMakeFiles/rmc_dynk.dir/costate.cc.o.d"
+  "/root/repo/src/dynk/error.cc" "src/dynk/CMakeFiles/rmc_dynk.dir/error.cc.o" "gcc" "src/dynk/CMakeFiles/rmc_dynk.dir/error.cc.o.d"
+  "/root/repo/src/dynk/funcchain.cc" "src/dynk/CMakeFiles/rmc_dynk.dir/funcchain.cc.o" "gcc" "src/dynk/CMakeFiles/rmc_dynk.dir/funcchain.cc.o.d"
+  "/root/repo/src/dynk/xalloc.cc" "src/dynk/CMakeFiles/rmc_dynk.dir/xalloc.cc.o" "gcc" "src/dynk/CMakeFiles/rmc_dynk.dir/xalloc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rmc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmc_dynk.dir/costate.cc.o"
+  "CMakeFiles/rmc_dynk.dir/costate.cc.o.d"
+  "CMakeFiles/rmc_dynk.dir/error.cc.o"
+  "CMakeFiles/rmc_dynk.dir/error.cc.o.d"
+  "CMakeFiles/rmc_dynk.dir/funcchain.cc.o"
+  "CMakeFiles/rmc_dynk.dir/funcchain.cc.o.d"
+  "CMakeFiles/rmc_dynk.dir/xalloc.cc.o"
+  "CMakeFiles/rmc_dynk.dir/xalloc.cc.o.d"
+  "librmc_dynk.a"
+  "librmc_dynk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmc_dynk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmc_issl.dir/record.cc.o"
+  "CMakeFiles/rmc_issl.dir/record.cc.o.d"
+  "CMakeFiles/rmc_issl.dir/session.cc.o"
+  "CMakeFiles/rmc_issl.dir/session.cc.o.d"
+  "librmc_issl.a"
+  "librmc_issl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmc_issl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

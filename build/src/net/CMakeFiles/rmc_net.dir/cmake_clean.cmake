@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmc_net.dir/bsd.cc.o"
+  "CMakeFiles/rmc_net.dir/bsd.cc.o.d"
+  "CMakeFiles/rmc_net.dir/dcnet.cc.o"
+  "CMakeFiles/rmc_net.dir/dcnet.cc.o.d"
+  "CMakeFiles/rmc_net.dir/simnet.cc.o"
+  "CMakeFiles/rmc_net.dir/simnet.cc.o.d"
+  "CMakeFiles/rmc_net.dir/tcp.cc.o"
+  "CMakeFiles/rmc_net.dir/tcp.cc.o.d"
+  "librmc_net.a"
+  "librmc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

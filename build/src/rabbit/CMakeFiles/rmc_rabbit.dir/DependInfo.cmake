@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rabbit/board.cc" "src/rabbit/CMakeFiles/rmc_rabbit.dir/board.cc.o" "gcc" "src/rabbit/CMakeFiles/rmc_rabbit.dir/board.cc.o.d"
+  "/root/repo/src/rabbit/cpu.cc" "src/rabbit/CMakeFiles/rmc_rabbit.dir/cpu.cc.o" "gcc" "src/rabbit/CMakeFiles/rmc_rabbit.dir/cpu.cc.o.d"
+  "/root/repo/src/rabbit/io.cc" "src/rabbit/CMakeFiles/rmc_rabbit.dir/io.cc.o" "gcc" "src/rabbit/CMakeFiles/rmc_rabbit.dir/io.cc.o.d"
+  "/root/repo/src/rabbit/memory.cc" "src/rabbit/CMakeFiles/rmc_rabbit.dir/memory.cc.o" "gcc" "src/rabbit/CMakeFiles/rmc_rabbit.dir/memory.cc.o.d"
+  "/root/repo/src/rabbit/nic.cc" "src/rabbit/CMakeFiles/rmc_rabbit.dir/nic.cc.o" "gcc" "src/rabbit/CMakeFiles/rmc_rabbit.dir/nic.cc.o.d"
+  "/root/repo/src/rabbit/peripherals.cc" "src/rabbit/CMakeFiles/rmc_rabbit.dir/peripherals.cc.o" "gcc" "src/rabbit/CMakeFiles/rmc_rabbit.dir/peripherals.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rmc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

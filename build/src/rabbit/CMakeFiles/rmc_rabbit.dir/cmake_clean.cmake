@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmc_rabbit.dir/board.cc.o"
+  "CMakeFiles/rmc_rabbit.dir/board.cc.o.d"
+  "CMakeFiles/rmc_rabbit.dir/cpu.cc.o"
+  "CMakeFiles/rmc_rabbit.dir/cpu.cc.o.d"
+  "CMakeFiles/rmc_rabbit.dir/io.cc.o"
+  "CMakeFiles/rmc_rabbit.dir/io.cc.o.d"
+  "CMakeFiles/rmc_rabbit.dir/memory.cc.o"
+  "CMakeFiles/rmc_rabbit.dir/memory.cc.o.d"
+  "CMakeFiles/rmc_rabbit.dir/nic.cc.o"
+  "CMakeFiles/rmc_rabbit.dir/nic.cc.o.d"
+  "CMakeFiles/rmc_rabbit.dir/peripherals.cc.o"
+  "CMakeFiles/rmc_rabbit.dir/peripherals.cc.o.d"
+  "librmc_rabbit.a"
+  "librmc_rabbit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmc_rabbit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rasm/assembler.cc" "src/rasm/CMakeFiles/rmc_rasm.dir/assembler.cc.o" "gcc" "src/rasm/CMakeFiles/rmc_rasm.dir/assembler.cc.o.d"
+  "/root/repo/src/rasm/disasm.cc" "src/rasm/CMakeFiles/rmc_rasm.dir/disasm.cc.o" "gcc" "src/rasm/CMakeFiles/rmc_rasm.dir/disasm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rmc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rabbit/CMakeFiles/rmc_rabbit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

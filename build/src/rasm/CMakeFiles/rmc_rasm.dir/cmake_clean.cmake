@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmc_rasm.dir/assembler.cc.o"
+  "CMakeFiles/rmc_rasm.dir/assembler.cc.o.d"
+  "CMakeFiles/rmc_rasm.dir/disasm.cc.o"
+  "CMakeFiles/rmc_rasm.dir/disasm.cc.o.d"
+  "librmc_rasm.a"
+  "librmc_rasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmc_rasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmc_services.dir/aes_port.cc.o"
+  "CMakeFiles/rmc_services.dir/aes_port.cc.o.d"
+  "CMakeFiles/rmc_services.dir/redirector.cc.o"
+  "CMakeFiles/rmc_services.dir/redirector.cc.o.d"
+  "librmc_services.a"
+  "librmc_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmc_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aes_port.dir/test_aes_port.cc.o"
+  "CMakeFiles/test_aes_port.dir/test_aes_port.cc.o.d"
+  "test_aes_port"
+  "test_aes_port.pdb"
+  "test_aes_port[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aes_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cofunc.dir/test_cofunc.cc.o"
+  "CMakeFiles/test_cofunc.dir/test_cofunc.cc.o.d"
+  "test_cofunc"
+  "test_cofunc.pdb"
+  "test_cofunc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cofunc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

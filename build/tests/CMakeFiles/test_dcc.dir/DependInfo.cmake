@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_dcc.cc" "tests/CMakeFiles/test_dcc.dir/test_dcc.cc.o" "gcc" "tests/CMakeFiles/test_dcc.dir/test_dcc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dcc/CMakeFiles/rmc_dcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rasm/CMakeFiles/rmc_rasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rabbit/CMakeFiles/rmc_rabbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rmc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dcc.dir/test_dcc.cc.o"
+  "CMakeFiles/test_dcc.dir/test_dcc.cc.o.d"
+  "test_dcc"
+  "test_dcc.pdb"
+  "test_dcc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dcc_break.dir/test_dcc_break.cc.o"
+  "CMakeFiles/test_dcc_break.dir/test_dcc_break.cc.o.d"
+  "test_dcc_break"
+  "test_dcc_break.pdb"
+  "test_dcc_break[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dcc_break.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dcc_fuzz.dir/test_dcc_fuzz.cc.o"
+  "CMakeFiles/test_dcc_fuzz.dir/test_dcc_fuzz.cc.o.d"
+  "test_dcc_fuzz"
+  "test_dcc_fuzz.pdb"
+  "test_dcc_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dcc_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

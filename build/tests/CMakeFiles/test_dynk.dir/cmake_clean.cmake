@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynk.dir/test_dynk.cc.o"
+  "CMakeFiles/test_dynk.dir/test_dynk.cc.o.d"
+  "test_dynk"
+  "test_dynk.pdb"
+  "test_dynk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

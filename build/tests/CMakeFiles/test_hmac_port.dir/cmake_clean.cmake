@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hmac_port.dir/test_hmac_port.cc.o"
+  "CMakeFiles/test_hmac_port.dir/test_hmac_port.cc.o.d"
+  "test_hmac_port"
+  "test_hmac_port.pdb"
+  "test_hmac_port[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hmac_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_issl.cc" "tests/CMakeFiles/test_issl.dir/test_issl.cc.o" "gcc" "tests/CMakeFiles/test_issl.dir/test_issl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/issl/CMakeFiles/rmc_issl.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/rmc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rmc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rmc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_issl.dir/test_issl.cc.o"
+  "CMakeFiles/test_issl.dir/test_issl.cc.o.d"
+  "test_issl"
+  "test_issl.pdb"
+  "test_issl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_issl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

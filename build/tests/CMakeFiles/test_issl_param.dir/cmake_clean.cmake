@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_issl_param.dir/test_issl_param.cc.o"
+  "CMakeFiles/test_issl_param.dir/test_issl_param.cc.o.d"
+  "test_issl_param"
+  "test_issl_param.pdb"
+  "test_issl_param[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_issl_param.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

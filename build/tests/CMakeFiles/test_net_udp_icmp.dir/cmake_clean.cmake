@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_udp_icmp.dir/test_net_udp_icmp.cc.o"
+  "CMakeFiles/test_net_udp_icmp.dir/test_net_udp_icmp.cc.o.d"
+  "test_net_udp_icmp"
+  "test_net_udp_icmp.pdb"
+  "test_net_udp_icmp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_udp_icmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

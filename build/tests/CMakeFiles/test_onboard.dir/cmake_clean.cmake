@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_onboard.dir/test_onboard.cc.o"
+  "CMakeFiles/test_onboard.dir/test_onboard.cc.o.d"
+  "test_onboard"
+  "test_onboard.pdb"
+  "test_onboard[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_onboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

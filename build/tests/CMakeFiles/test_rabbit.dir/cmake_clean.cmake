@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rabbit.dir/test_rabbit.cc.o"
+  "CMakeFiles/test_rabbit.dir/test_rabbit.cc.o.d"
+  "test_rabbit"
+  "test_rabbit.pdb"
+  "test_rabbit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rabbit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

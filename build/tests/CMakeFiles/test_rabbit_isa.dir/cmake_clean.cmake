@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rabbit_isa.dir/test_rabbit_isa.cc.o"
+  "CMakeFiles/test_rabbit_isa.dir/test_rabbit_isa.cc.o.d"
+  "test_rabbit_isa"
+  "test_rabbit_isa.pdb"
+  "test_rabbit_isa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rabbit_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rasm.dir/test_rasm.cc.o"
+  "CMakeFiles/test_rasm.dir/test_rasm.cc.o.d"
+  "test_rasm"
+  "test_rasm.pdb"
+  "test_rasm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

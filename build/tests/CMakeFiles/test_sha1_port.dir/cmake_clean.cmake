@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sha1_port.dir/test_sha1_port.cc.o"
+  "CMakeFiles/test_sha1_port.dir/test_sha1_port.cc.o.d"
+  "test_sha1_port"
+  "test_sha1_port.pdb"
+  "test_sha1_port[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sha1_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_rabbit[1]_include.cmake")
+include("/root/repo/build/tests/test_rasm[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build/tests/test_dcc[1]_include.cmake")
+include("/root/repo/build/tests/test_aes_port[1]_include.cmake")
+include("/root/repo/build/tests/test_services[1]_include.cmake")
+include("/root/repo/build/tests/test_dynk[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_issl[1]_include.cmake")
+include("/root/repo/build/tests/test_rabbit_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_dcc_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_issl_param[1]_include.cmake")
+include("/root/repo/build/tests/test_net_udp_icmp[1]_include.cmake")
+include("/root/repo/build/tests/test_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_onboard[1]_include.cmake")
+include("/root/repo/build/tests/test_dcc_break[1]_include.cmake")
+include("/root/repo/build/tests/test_cofunc[1]_include.cmake")
+include("/root/repo/build/tests/test_sha1_port[1]_include.cmake")
+include("/root/repo/build/tests/test_hmac_port[1]_include.cmake")
+include("/root/repo/build/tests/test_edges[1]_include.cmake")
+include("/root/repo/build/tests/test_world[1]_include.cmake")

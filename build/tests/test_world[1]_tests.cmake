@@ -1,0 +1,3 @@
+add_test([=[World.TwoGenerationsOfServiceUnderLossAndNoise]=]  /root/repo/build/tests/test_world [==[--gtest_filter=World.TwoGenerationsOfServiceUnderLossAndNoise]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[World.TwoGenerationsOfServiceUnderLossAndNoise]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_world_TESTS World.TwoGenerationsOfServiceUnderLossAndNoise)
