@@ -21,6 +21,12 @@
 ;   aes_encrypt   out_buf = AES-128-Encrypt(in_buf)
 ;   key_buf/in_buf/out_buf  16-byte buffers
 
+; Function map for the telemetry cycle profiler (emits no bytes). Interior
+; loop labels (ai_log, ks_round, enc_round, ...) are deliberately absent so
+; each routine's cycles stay attributed to the routine.
+        func aes_init, aes_set_key, aes_encrypt
+        func sub_shift, mix_columns, add_round_key
+
 ; ---------------------------------------------------------------------------
 ; Data (data segment RAM; tables page-aligned)
 ; ---------------------------------------------------------------------------

@@ -13,6 +13,7 @@
 // (2) which kernel should the *next* porting hour go to?
 #include <cstdio>
 
+#include "bench_util.h"
 #include "dcc/codegen.h"
 #include "rabbit/board.h"
 #include "services/aes_port.h"
@@ -57,7 +58,8 @@ Kernels measure(services::AesImpl impl, bool scale_sha) {
   return k;
 }
 
-void decompose(const char* title, const Kernels& k) {
+void decompose(const char* title, const char* key, const Kernels& k,
+               bench::JsonReport& report) {
   std::printf("-- %s: AES block %llu cyc, SHA-1 block %llu cyc, key sched "
               "%llu cyc --\n",
               title, static_cast<unsigned long long>(k.aes_block),
@@ -80,13 +82,23 @@ void decompose(const char* title, const Kernels& k) {
                 static_cast<unsigned long long>(total),
                 100.0 * cipher / total, 100.0 * mac / total,
                 total / 30'000.0);
+    const std::string row =
+        std::string(key) + ".payload_" + std::to_string(payload);
+    report.result(row + ".cipher_cycles", cipher);
+    report.result(row + ".mac_cycles", mac);
+    report.result(row + ".total_cycles", total);
   }
+  report.result(std::string(key) + ".aes_block_cycles", k.aes_block);
+  report.result(std::string(key) + ".sha_block_cycles", k.sha_block);
+  report.result(std::string(key) + ".key_sched_cycles", k.key_sched);
   std::puts("");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv);
+
   std::puts("==================================================================");
   std::puts("Ablation: per-record cycle decomposition of the issl secure path");
   std::puts("==================================================================\n");
@@ -94,8 +106,11 @@ int main() {
   const Kernels c_port = measure(services::AesImpl::kCompiledC, false);
   const Kernels asm_all = measure(services::AesImpl::kHandAssembly, true);
 
-  decompose("direct C port (every kernel compiled)", c_port);
-  decompose("assembly treatment (kernels at the measured E1 ratio)", asm_all);
+  bench::JsonReport report("ABLATION");
+  decompose("direct C port (every kernel compiled)", "c_port", c_port,
+            report);
+  decompose("assembly treatment (kernels at the measured E1 ratio)", "asm",
+            asm_all, report);
 
   std::puts("reading:");
   std::puts(" * in the C port, cipher and MAC split the bill -- porting only");
@@ -104,5 +119,7 @@ int main() {
   std::puts("   the cost: MAC-then-encrypt stays affordable, and the next");
   std::puts("   optimization hour should go to whichever kernel dominates");
   std::puts("   the row sizes your workload actually sends.");
+
+  report.write(args);
   return 0;
 }

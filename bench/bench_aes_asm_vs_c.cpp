@@ -6,12 +6,18 @@
 // Regenerates the comparison: hand Rabbit assembly vs the MiniDynC C port
 // (debug build, as a first direct port would be), over a sweep of keys and
 // blocks, with per-phase cycle counts and 30 MHz wall-clock equivalents.
+// A CycleProfiler rides along on each board and attributes every cycle to a
+// function per phase (init/keyexp/encrypt) — the "where does the 10-15x
+// live" breakdown — and the bench hard-fails unless the attribution sums to
+// the CPU's own cycle counter exactly, for both builds.
 #include <cstdio>
 
+#include "bench_util.h"
 #include "common/bytes.h"
 #include "common/prng.h"
 #include "crypto/aes.h"
 #include "services/aes_port.h"
+#include "telemetry/profiler.h"
 
 using namespace rmc;
 using common::u64;
@@ -24,17 +30,19 @@ struct Sample {
   u64 encrypt = 0;
 };
 
-Sample pump(services::AesOnBoard& aes, int keys, int blocks_per_key,
-            bool verify) {
+Sample pump(services::AesOnBoard& aes, telemetry::CycleProfiler& prof,
+            int keys, int blocks_per_key, bool verify) {
   Sample total;
   common::Xorshift64 rng(0xDA7E2003);
   std::array<u8, 16> key{}, pt{}, ct{}, expect{};
   for (int k = 0; k < keys; ++k) {
     rng.fill(key);
+    prof.set_phase("keyexp");
     total.keyexp += *aes.set_key(key);
     auto host = crypto::Aes::create(key);
     for (int b = 0; b < blocks_per_key; ++b) {
       rng.fill(pt);
+      prof.set_phase("encrypt");
       total.encrypt += *aes.encrypt(pt, ct);
       if (verify) {
         host->encrypt_block(pt, expect);
@@ -50,29 +58,55 @@ Sample pump(services::AesOnBoard& aes, int keys, int blocks_per_key,
   return total;
 }
 
+// The exact-accounting contract: every cycle the CPU counted since the
+// profiler attached (at image load, before aes_init) is attributed.
+void check_exact_sum(const char* build, services::AesOnBoard& aes,
+                     const telemetry::CycleProfiler& prof) {
+  const u64 cpu_total = aes.board().cpu().cycles();
+  if (prof.total_cycles() != cpu_total) {
+    std::printf("ACCOUNTING ERROR (%s): profiler %llu cycles != CPU %llu\n",
+                build, static_cast<unsigned long long>(prof.total_cycles()),
+                static_cast<unsigned long long>(cpu_total));
+    std::exit(1);
+  }
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv);
+  const int kKeys = static_cast<int>(args.flag_int("keys", 8));
+  const int kBlocks = static_cast<int>(args.flag_int("blocks", 2));
+  const int kTopN = static_cast<int>(args.flag_int("top", 5));
+
   std::puts("============================================================");
   std::puts("E1: AES-128 hand assembly vs direct C port (paper Section 6)");
   std::puts("============================================================");
-  const int kKeys = 8, kBlocks = 2;
   std::printf("workload: %d random keys x %d blocks each, every ciphertext\n"
               "checked against the host FIPS-197 implementation\n\n",
               kKeys, kBlocks);
 
+  telemetry::CycleProfiler prof_hand, prof_c;
   auto hand = services::AesOnBoard::create_from_repo(
-      services::AesImpl::kHandAssembly, RMC_REPO_ROOT);
+      services::AesImpl::kHandAssembly, RMC_REPO_ROOT, {},
+      [&](rabbit::Board& b, const rabbit::Image& img) {
+        prof_hand.attach(b.cpu(), img);
+      });
   auto cport = services::AesOnBoard::create_from_repo(
       services::AesImpl::kCompiledC, RMC_REPO_ROOT,
-      dcc::CodegenOptions::debug_defaults());
+      dcc::CodegenOptions::debug_defaults(),
+      [&](rabbit::Board& b, const rabbit::Image& img) {
+        prof_c.attach(b.cpu(), img);
+      });
   if (!hand.ok() || !cport.ok()) {
     std::puts("failed to load AES implementations");
     return 1;
   }
 
-  const Sample hand_s = pump(*hand, kKeys, kBlocks, true);
-  const Sample c_s = pump(*cport, kKeys, kBlocks, true);
+  const Sample hand_s = pump(*hand, prof_hand, kKeys, kBlocks, true);
+  const Sample c_s = pump(*cport, prof_c, kKeys, kBlocks, true);
+  check_exact_sum("hand assembly", *hand, prof_hand);
+  check_exact_sum("C port", *cport, prof_c);
 
   auto us = [](u64 cyc) { return rabbit::Board::seconds(cyc) * 1e6; };
   auto kibs = [](u64 cyc) {
@@ -99,5 +133,27 @@ int main() {
   std::printf("paper's reported band: 10-15x (\"more than an order of "
               "magnitude\")  ->  %s\n",
               factor >= 10.0 ? "REPRODUCED (>= 10x)" : "NOT reproduced");
+
+  std::puts("\nwhere the cycles go (encrypt phase, per function):");
+  std::printf("\n[hand assembly]\n%s",
+              prof_hand.report(static_cast<std::size_t>(kTopN), "encrypt")
+                  .c_str());
+  std::printf("\n[C port]\n%s",
+              prof_c.report(static_cast<std::size_t>(kTopN), "encrypt")
+                  .c_str());
+  std::puts("\n(attribution verified: each build's per-phase cycles sum to "
+            "the CPU's\ntotal cycle counter exactly)");
+
+  bench::JsonReport report("E1");
+  report.result("hand.keyexp_cycles", hand_s.keyexp);
+  report.result("hand.encrypt_cycles_per_block", hand_s.encrypt);
+  report.result("c_port.keyexp_cycles", c_s.keyexp);
+  report.result("c_port.encrypt_cycles_per_block", c_s.encrypt);
+  report.result("speedup.encrypt", factor);
+  report.result("speedup.keyexp", kx_factor);
+  report.result("reproduced", factor >= 10.0);
+  report.profile("hand_assembly", prof_hand);
+  report.profile("c_port", prof_c);
+  report.write(args);
   return 0;
 }

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/prng.h"
 #include "services/aes_port.h"
 
@@ -23,12 +24,13 @@ namespace {
 
 struct Build {
   std::string name;
+  std::string key;  // json identifier
   std::size_t code_bytes = 0;
   u64 cycles = 0;
 };
 
-Build measure(const std::string& name, services::AesImpl impl,
-              const dcc::CodegenOptions& opts = {}) {
+Build measure(const std::string& name, const std::string& json_key,
+              services::AesImpl impl, const dcc::CodegenOptions& opts = {}) {
   auto aes = services::AesOnBoard::create_from_repo(impl, RMC_REPO_ROOT, opts);
   if (!aes.ok()) {
     std::printf("load failed: %s\n", aes.status().to_string().c_str());
@@ -41,6 +43,7 @@ Build measure(const std::string& name, services::AesImpl impl,
   (void)aes->set_key(key);
   Build b;
   b.name = name;
+  b.key = json_key;
   b.code_bytes = aes->image_bytes();
   b.cycles = *aes->encrypt(pt, ct);
   return b;
@@ -48,26 +51,28 @@ Build measure(const std::string& name, services::AesImpl impl,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv);
   std::puts("==========================================================");
   std::puts("E3: code size vs execution speed (paper Section 6)");
   std::puts("==========================================================\n");
 
   std::vector<Build> builds;
-  builds.push_back(
-      measure("hand assembly", services::AesImpl::kHandAssembly));
-  builds.push_back(measure("C debug (direct port)",
+  builds.push_back(measure("hand assembly", "hand_assembly",
+                           services::AesImpl::kHandAssembly));
+  builds.push_back(measure("C debug (direct port)", "c_debug",
                            services::AesImpl::kCompiledC,
                            dcc::CodegenOptions::debug_defaults()));
   dcc::CodegenOptions nodebug = dcc::CodegenOptions::debug_defaults();
   nodebug.debug_hooks = false;
   builds.push_back(
-      measure("C nodebug", services::AesImpl::kCompiledC, nodebug));
+      measure("C nodebug", "c_nodebug", services::AesImpl::kCompiledC,
+              nodebug));
   dcc::CodegenOptions unroll = nodebug;
   unroll.unroll_loops = true;
-  builds.push_back(
-      measure("C nodebug+unroll", services::AesImpl::kCompiledC, unroll));
-  builds.push_back(measure("C all optimizations",
+  builds.push_back(measure("C nodebug+unroll", "c_nodebug_unroll",
+                           services::AesImpl::kCompiledC, unroll));
+  builds.push_back(measure("C all optimizations", "c_all",
                            services::AesImpl::kCompiledC,
                            dcc::CodegenOptions::all_optimizations()));
 
@@ -112,5 +117,15 @@ int main() {
               (agreements != pairs) ? "size does NOT predict speed -- "
                                       "REPRODUCED"
                                     : "monotone in this sweep");
+
+  bench::JsonReport report("E3");
+  for (const Build& b : builds) {
+    report.result(b.key + ".code_bytes", b.code_bytes);
+    report.result(b.key + ".encrypt_cycles_per_block", b.cycles);
+  }
+  report.result("rank_agreement_pairs", agreements);
+  report.result("rank_total_pairs", pairs);
+  report.result("size_predicts_speed", agreements == pairs);
+  report.write(args);
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench_util.h"
 #include "services/redirector.h"
 
 using namespace rmc;
@@ -23,7 +24,8 @@ std::vector<u8> bytes_of(std::string_view s) {
           reinterpret_cast<const u8*>(s.data()) + s.size()};
 }
 
-int completed_handshakes(std::size_t handler_slots, int offered_clients) {
+int completed_handshakes(std::size_t handler_slots, int offered_clients,
+                         int rounds) {
   net::SimNet medium(0xE4);
   net::TcpStack board(medium, 1);
   net::TcpStack backend_host(medium, 2);
@@ -47,7 +49,7 @@ int completed_handshakes(std::size_t handler_slots, int offered_clients) {
         bytes_of("e4"), 0xE400 + i));
     (void)clients.back()->start();
   }
-  for (int round = 0; round < 1200; ++round) {
+  for (int round = 0; round < rounds; ++round) {
     red.poll();
     backend.poll();
     for (auto& c : clients) (void)c->poll();
@@ -60,13 +62,17 @@ int completed_handshakes(std::size_t handler_slots, int offered_clients) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv);
+  const int kMaxOffered = static_cast<int>(args.flag_int("max-offered", 8));
+  const int kMaxHandlers = static_cast<int>(args.flag_int("max-handlers", 5));
+  const int kRounds = static_cast<int>(args.flag_int("rounds", 1200));
+
   std::puts("================================================================");
   std::puts("E4: simultaneous-connection ceiling vs compiled-in costatements");
   std::puts("    (paper Figure 3: 3 handlers + 1 tcp_tick driver)");
   std::puts("================================================================\n");
 
-  const int kMaxOffered = 8;
   std::printf("completed secure handshakes (rows: handler costatements "
               "compiled in;\ncolumns: simultaneous clients offered)\n\n");
   std::printf("%10s", "handlers");
@@ -74,19 +80,27 @@ int main() {
     std::printf("  M=%d", offered);
   }
   std::puts("");
+  bench::JsonReport report("E4");
   bool ceiling_holds = true;
-  for (std::size_t handlers = 1; handlers <= 5; ++handlers) {
+  for (std::size_t handlers = 1;
+       handlers <= static_cast<std::size_t>(kMaxHandlers); ++handlers) {
     std::printf("%10zu", handlers);
     for (int offered = 1; offered <= kMaxOffered; ++offered) {
-      const int done = completed_handshakes(handlers, offered);
+      const int done = completed_handshakes(handlers, offered, kRounds);
       std::printf("  %3d", done);
       const int expect = std::min<int>(offered, static_cast<int>(handlers));
       if (done != expect) ceiling_holds = false;
+      report.result("handshakes.h" + std::to_string(handlers) + ".m" +
+                        std::to_string(offered),
+                    done);
     }
     std::puts("");
   }
   std::printf("\nexpected ceiling: min(offered, handlers) -> %s\n",
               ceiling_holds ? "REPRODUCED exactly" : "deviations above");
   std::puts("(the paper's deployed configuration is the handlers=3 row)");
+
+  report.result("ceiling_holds", ceiling_holds);
+  report.write(args);
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_util.h"
 #include "issl/issl.h"
 #include "net/simnet.h"
 #include "net/tcp.h"
@@ -70,13 +71,16 @@ HandshakeRun run_handshake(const issl::Config& config) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv);
+
   std::puts("================================================================");
   std::puts("E6: issl session negotiation cost: PSK (the port) vs RSA (Unix)");
   std::puts("================================================================\n");
 
   struct Row {
     const char* name;
+    const char* key;
     issl::Config config;
   };
   issl::Config psk = issl::Config::embedded_port();
@@ -88,11 +92,12 @@ int main() {
   rsa768.rsa_modulus_bits = 768;
 
   const Row rows[] = {
-      {"PSK / AES-128 (embedded port)", psk},
-      {"RSA-256 / AES-256", rsa256},
-      {"RSA-512 / AES-256", rsa512},
-      {"RSA-768 / AES-256", rsa768},
+      {"PSK / AES-128 (embedded port)", "psk", psk},
+      {"RSA-256 / AES-256", "rsa256", rsa256},
+      {"RSA-512 / AES-256", "rsa512", rsa512},
+      {"RSA-768 / AES-256", "rsa768", rsa768},
   };
+  bench::JsonReport report("E6");
   double psk_host = 0, rsa_host = 0;
   std::printf("%-32s %12s %14s %8s\n", "configuration", "virt ms",
               "host crypto ms", "msgs");
@@ -106,6 +111,11 @@ int main() {
     } else if (row.config.rsa_modulus_bits == 768) {
       rsa_host = run.host_ms;
     }
+    const std::string key(row.key);
+    report.result(key + ".virtual_ms", run.virtual_ms);
+    report.result(key + ".host_crypto_ms", run.host_ms);
+    report.result(key + ".messages", run.messages);
+    report.result(key + ".ok", run.ok);
   }
 
   std::printf("\ncompute saved by dropping RSA (768-bit vs PSK, host crypto "
@@ -115,5 +125,9 @@ int main() {
             "a 30 MHz\n8-bit target the modexp above would take *minutes* -- "
             "the negotiation\ncost is why the paper calls security 'not "
             "cheap' (Section 2).");
+
+  report.result("rsa768_vs_psk_host_factor",
+                rsa_host / (psk_host > 0 ? psk_host : 1e-9));
+  report.write(args);
   return 0;
 }

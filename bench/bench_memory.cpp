@@ -17,6 +17,7 @@
 //      connection slot (the real cost of "just statically allocate").
 #include <cstdio>
 
+#include "bench_util.h"
 #include "dynk/xalloc.h"
 
 using namespace rmc;
@@ -39,15 +40,18 @@ constexpr std::size_t kStaticSlotAllSizes = kPerSession;  // must size for 256
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv);
+  // The RMC2000 has 128 KiB SRAM; the default heap is what's left after the
+  // static program data (~32 KiB).
+  const std::size_t kArenaBytes =
+      static_cast<std::size_t>(args.flag_int("arena-kib", 96)) * 1024;
+
   std::puts("================================================================");
   std::puts("E7: xalloc-without-free vs static allocation (paper Section 5.2)");
   std::puts("================================================================\n");
 
   // (a) Arena lifetime under naive dynamic allocation.
-  // The RMC2000 has 128 KiB SRAM; give the heap what's left after the
-  // static program data (~32 KiB).
-  constexpr std::size_t kArenaBytes = 96 * 1024;
   dynk::XallocArena arena(kArenaBytes);
   int sessions = 0;
   while (true) {
@@ -83,5 +87,15 @@ int main() {
   std::printf("sessions served by the static plan: unbounded (slots recycle; "
               "verified\nby tests/test_services.cc "
               "WrongPskClientIsRejectedAndSlotRecycles)\n");
+
+  bench::JsonReport report("E7");
+  report.result("arena_bytes", kArenaBytes);
+  report.result("bytes_per_session", kPerSession);
+  report.result("sessions_until_exhaustion", sessions);
+  report.result("arena_used_at_death", arena.used());
+  report.result("failed_allocations", arena.failed_allocations());
+  report.result("static_slot_bytes_aes128", kStaticSlot128);
+  report.result("static_slot_bytes_all_sizes", kStaticSlotAllSizes);
+  report.write(args);
   return 0;
 }

@@ -16,6 +16,7 @@
 // MAC compression, both measured.
 #include <cstdio>
 
+#include "bench_util.h"
 #include "dcc/codegen.h"
 #include "rabbit/board.h"
 #include "services/aes_port.h"
@@ -147,7 +148,10 @@ Run serve(bool secure, const CipherCost& cost, int connections,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv);
+  const int kConns = static_cast<int>(args.flag_int("conns", 3));
+
   std::puts("=================================================================");
   std::puts("E5: plaintext vs issl-secured redirector throughput");
   std::puts("    (paper Section 2, citing Goldberg et al.: SSL cost ~10x)");
@@ -170,7 +174,12 @@ int main() {
               static_cast<unsigned long long>(hand.handshake_cycles),
               hand.handshake_cycles / 30'000.0);
 
-  const int kConns = 3;
+  bench::JsonReport report("E5");
+  report.result("c_port.cycles_per_byte", c_port.cycles_per_byte);
+  report.result("c_port.handshake_cycles", c_port.handshake_cycles);
+  report.result("asm.cycles_per_byte", hand.cycles_per_byte);
+  report.result("asm.handshake_cycles", hand.handshake_cycles);
+
   std::printf("%10s %12s %14s %8s %14s %8s\n", "payload B", "plain B/s",
               "secure(C) B/s", "slow", "secure(asm) B/s", "slow");
   double small_c_slowdown = 0;
@@ -185,6 +194,13 @@ int main() {
     std::printf("%10zu %12.0f %14.0f %7.1fx %14.0f %7.1fx\n", payload,
                 plain.bytes_per_second(), sec_c.bytes_per_second(), slow_c,
                 sec_asm.bytes_per_second(), slow_asm);
+    const std::string row = "payload_" + std::to_string(payload);
+    report.result(row + ".plain_bytes_per_s", plain.bytes_per_second());
+    report.result(row + ".secure_c_bytes_per_s", sec_c.bytes_per_second());
+    report.result(row + ".secure_asm_bytes_per_s",
+                  sec_asm.bytes_per_second());
+    report.result(row + ".slowdown_c", slow_c);
+    report.result(row + ".slowdown_asm", slow_asm);
   }
 
   std::printf("\nwith the direct C port's crypto the secure service is %.0fx "
@@ -196,5 +212,8 @@ int main() {
               "security costing\n~10x at bulk sizes -- securing this class "
               "of device is simply expensive.\n",
               small_c_slowdown);
+
+  report.result("small_payload_c_slowdown", small_c_slowdown);
+  report.write(args);
   return 0;
 }

@@ -1,0 +1,231 @@
+// Shared bench harness: flag parsing and the --json export every table
+// bench offers (DESIGN.md "Telemetry & profiling").
+//
+// Flags are `--name value` or `--name=value`. Each bench declares the knobs
+// it supports with flag_int(); the effective values (default or overridden)
+// land in the report's "params" object so a BENCH_*.json is self-describing.
+// `--json <path>` is available everywhere and selects machine output.
+//
+// The written document has a stable schema future PRs diff against:
+//
+//   {
+//     "schema_version": 1,
+//     "bench": "E1",
+//     "params":   { ... declared flags, effective values ... },
+//     "results":  { ... bench-specific numbers, insertion order ... },
+//     "profiles": { ... optional CycleProfiler attributions ... },
+//     "metrics":  { ... the whole telemetry registry ... }
+//   }
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+#include "telemetry/profiler.h"
+
+namespace rmc::bench {
+
+using common::i64;
+using common::u64;
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected positional argument: %s\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+      arg.erase(0, 2);
+      Flag f;
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        f.value = arg.substr(eq + 1);
+        arg.erase(eq);
+      } else if (i + 1 < argc) {
+        f.value = argv[++i];
+      } else {
+        std::fprintf(stderr, "flag --%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      f.name = std::move(arg);
+      flags_.push_back(std::move(f));
+    }
+  }
+
+  /// Declares an integer knob; returns the parsed override or `def`.
+  /// Every current knob is a workload size, so values below `min` (default 1)
+  /// are rejected rather than handed to the bench to divide by.
+  long flag_int(const std::string& name, long def, long min = 1) {
+    long value = def;
+    if (const std::string* s = take(name)) {
+      char* end = nullptr;
+      value = std::strtol(s->c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        std::fprintf(stderr, "flag --%s: not an integer: %s\n", name.c_str(),
+                     s->c_str());
+        std::exit(2);
+      }
+      if (value < min) {
+        std::fprintf(stderr, "flag --%s: must be >= %ld, got %ld\n",
+                     name.c_str(), min, value);
+        std::exit(2);
+      }
+    }
+    params_.emplace_back(name, value);
+    return value;
+  }
+
+  /// Path given with --json, empty when absent (= human output only).
+  std::string json_path() {
+    if (const std::string* s = take("json")) return *s;
+    return {};
+  }
+
+  /// Declared knobs with their effective values (for the params object).
+  const std::vector<std::pair<std::string, long>>& params() const {
+    return params_;
+  }
+
+  /// True when every flag on the command line was declared by the bench.
+  bool all_consumed() const {
+    bool ok = true;
+    for (const Flag& f : flags_) {
+      if (!f.taken) {
+        std::fprintf(stderr, "unknown flag: --%s\n", f.name.c_str());
+        ok = false;
+      }
+    }
+    return ok;
+  }
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string value;
+    bool taken = false;
+  };
+
+  const std::string* take(const std::string& name) {
+    for (Flag& f : flags_) {
+      if (f.name == name) {
+        f.taken = true;
+        return &f.value;
+      }
+    }
+    return nullptr;
+  }
+
+  std::vector<Flag> flags_;
+  std::vector<std::pair<std::string, long>> params_;
+};
+
+/// Accumulates a bench's numbers and writes the schema above. Results keep
+/// insertion order (the order the table prints in); dotted keys ("hand.keyexp")
+/// are the convention for per-row values.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+  // u64/i64 cover size_t and long on this platform; don't add overloads for
+  // those (they'd collide — same underlying types).
+  void result(std::string key, u64 v) {
+    entries_.push_back({std::move(key), Entry::kU64, v, 0, 0.0, {}});
+  }
+  void result(std::string key, i64 v) {
+    entries_.push_back({std::move(key), Entry::kI64, 0, v, 0.0, {}});
+  }
+  void result(std::string key, int v) { result(std::move(key), static_cast<i64>(v)); }
+  void result(std::string key, unsigned v) { result(std::move(key), static_cast<u64>(v)); }
+  void result(std::string key, double v) {
+    entries_.push_back({std::move(key), Entry::kDouble, 0, 0, v, {}});
+  }
+  void result(std::string key, bool v) {
+    entries_.push_back({std::move(key), Entry::kBool, v ? 1u : 0u, 0, 0.0, {}});
+  }
+  void result(std::string key, std::string v) {
+    entries_.push_back({std::move(key), Entry::kString, 0, 0, 0.0, std::move(v)});
+  }
+  void result(std::string key, const char* v) {
+    result(std::move(key), std::string(v));
+  }
+
+  /// Attach a cycle attribution under "profiles". The profiler must stay
+  /// alive until write(); typical use names one per measured build.
+  void profile(std::string name, const telemetry::CycleProfiler& p) {
+    profiles_.emplace_back(std::move(name), &p);
+  }
+
+  /// Write BENCH_<id>.json-style output when --json was passed; otherwise a
+  /// no-op. Exits nonzero on I/O failure or unknown flags so typos fail the
+  /// run instead of silently measuring the default configuration.
+  void write(Args& args) const {
+    const std::string path = args.json_path();
+    if (!args.all_consumed()) std::exit(2);
+    if (path.empty()) return;
+
+    telemetry::JsonWriter w;
+    w.begin_object();
+    w.kv("schema_version", 1);
+    w.kv("bench", bench_);
+    w.key("params");
+    w.begin_object();
+    for (const auto& [name, value] : args.params()) {
+      w.kv(name, static_cast<i64>(value));
+    }
+    w.end_object();
+    w.key("results");
+    w.begin_object();
+    for (const Entry& e : entries_) {
+      switch (e.kind) {
+        case Entry::kU64: w.kv(e.key, e.u); break;
+        case Entry::kI64: w.kv(e.key, e.i); break;
+        case Entry::kDouble: w.kv(e.key, e.d); break;
+        case Entry::kBool: w.kv(e.key, e.u != 0); break;
+        case Entry::kString: w.kv(e.key, e.s); break;
+      }
+    }
+    w.end_object();
+    if (!profiles_.empty()) {
+      w.key("profiles");
+      w.begin_object();
+      for (const auto& [name, prof] : profiles_) {
+        w.key(name);
+        prof->write_json(w);
+      }
+      w.end_object();
+    }
+    w.key("metrics");
+    telemetry::Registry::global().write_json(w);
+    w.end_object();
+
+    if (!telemetry::write_file(path, w.str())) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      std::exit(1);
+    }
+    std::printf("\njson report written to %s\n", path.c_str());
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    enum Kind { kU64, kI64, kDouble, kBool, kString } kind;
+    u64 u;
+    i64 i;
+    double d;
+    std::string s;
+  };
+
+  std::string bench_;
+  std::vector<Entry> entries_;
+  std::vector<std::pair<std::string, const telemetry::CycleProfiler*>>
+      profiles_;
+};
+
+}  // namespace rmc::bench

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Build Release and run every experiment with --json, collecting the stable
+# BENCH_*.json artifacts at the repo root (schema: schema_version / bench /
+# params / results / profiles / metrics — see bench/bench_util.h).
+#
+# Usage:
+#   scripts/run_benches.sh [out_dir]      # default: repo root
+#
+# bench_crypto_primitives is google-benchmark based and exports through that
+# framework's own --benchmark_format=json instead of the shared schema.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+out_dir="${1:-$repo_root}"
+build_dir="$repo_root/build-bench"
+mkdir -p "$out_dir"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$build_dir" -j >/dev/null
+
+run() {
+  local id="$1" bin="$2"
+  shift 2
+  echo "== $id: $bin $* =="
+  "$build_dir/bench/$bin" "$@" --json "$out_dir/BENCH_$id.json"
+}
+
+run E1 bench_aes_asm_vs_c
+run E2 bench_optimizations
+run E3 bench_code_size
+run E4 bench_connections
+run E5 bench_ssl_throughput
+run E6 bench_handshake
+run E7 bench_memory
+run ABLATION bench_ablation_record
+
+echo "== CRYPTO: bench_crypto_primitives (google-benchmark JSON) =="
+"$build_dir/bench/bench_crypto_primitives" \
+  --benchmark_format=json >"$out_dir/BENCH_CRYPTO.json"
+
+echo
+echo "artifacts:"
+ls -l "$out_dir"/BENCH_*.json

@@ -287,6 +287,14 @@ class Codegen {
       Status s = gen_function(fn);
       if (!s.is_ok()) return s;
     }
+    // Function symbol map for the cycle profiler: every C function plus the
+    // runtime helpers (so division/shift time is attributed to the runtime,
+    // not smeared into whichever function called it last).
+    std::string func_decl = "        func rt_udiv, rt_shl, rt_shr";
+    for (const auto& fn : prog_.functions) {
+      func_decl += ", f_" + fn.name;
+    }
+    emit(func_decl);
     emit_data_segment();
     Status sx = emit_xmem_segment();
     if (!sx.is_ok()) return sx;

@@ -1,12 +1,28 @@
 #include "dynk/costate.h"
 
+#include "telemetry/metrics.h"
+
 namespace rmc::dynk {
 
 using common::ErrorCode;
 using common::Status;
 
+namespace {
+telemetry::Gauge& slots_gauge() {
+  static telemetry::Gauge& g =
+      telemetry::Registry::global().gauge("dynk.costate_slots_in_use");
+  return g;
+}
+telemetry::Counter& slots_exhausted_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("dynk.costate_slots_exhausted");
+  return c;
+}
+}  // namespace
+
 Status Scheduler::add(Costate task, std::string name) {
   if (tasks_.size() >= max_slots_) {
+    slots_exhausted_counter().add();
     return Status(ErrorCode::kResourceExhausted,
                   "all " + std::to_string(max_slots_) +
                       " costatement slots in use (recompile with more)");
@@ -17,6 +33,7 @@ Status Scheduler::add(Costate task, std::string name) {
   tasks_.push_back(std::move(task));
   names_.push_back(name.empty() ? "costate" + std::to_string(tasks_.size())
                                 : std::move(name));
+  slots_gauge().set(static_cast<telemetry::i64>(tasks_.size()));
   return Status::ok();
 }
 

@@ -1,10 +1,27 @@
 #include "dynk/xalloc.h"
 
+#include "telemetry/metrics.h"
+
 namespace rmc::dynk {
 
 using common::ErrorCode;
 using common::Result;
 using common::Status;
+
+namespace {
+// The gauge's max() is the xalloc high-water mark across all arenas — the
+// paper's "memory you can never get back" number for E7.
+telemetry::Gauge& used_gauge() {
+  static telemetry::Gauge& g =
+      telemetry::Registry::global().gauge("dynk.xalloc_used_bytes");
+  return g;
+}
+telemetry::Counter& fail_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("dynk.xalloc_failures");
+  return c;
+}
+}  // namespace
 
 Result<XmemHandle> XallocArena::xalloc(std::size_t n, std::size_t align) {
   if (n == 0 || align == 0 || (align & (align - 1)) != 0) {
@@ -13,11 +30,13 @@ Result<XmemHandle> XallocArena::xalloc(std::size_t n, std::size_t align) {
   const std::size_t aligned = (used_ + align - 1) & ~(align - 1);
   if (aligned + n > capacity_) {
     ++failures_;
+    fail_counter().add();
     return Status(ErrorCode::kResourceExhausted,
                   "xalloc arena exhausted (no free exists; restart required)");
   }
   used_ = aligned + n;
   ++allocations_;
+  used_gauge().set(static_cast<telemetry::i64>(used_));
   return base_ + static_cast<common::u32>(aligned);
 }
 

@@ -1,12 +1,31 @@
 #include "issl/record.h"
 
 #include "crypto/modes.h"
+#include "telemetry/metrics.h"
 
 namespace rmc::issl {
 
 using common::ErrorCode;
 using common::Result;
 using common::Status;
+
+namespace {
+telemetry::Counter& sealed_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("issl.records_sealed");
+  return c;
+}
+telemetry::Counter& opened_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("issl.records_opened");
+  return c;
+}
+telemetry::Counter& mac_fail_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("issl.mac_failures");
+  return c;
+}
+}  // namespace
 
 Status RecordCodec::activate_keys(const DirectionKeys& send,
                                   const DirectionKeys& recv) {
@@ -54,6 +73,7 @@ Result<std::vector<u8>> RecordCodec::seal(RecordType type,
     body.insert(body.end(), ct.begin(), ct.end());
   }
   ++seq_send_;
+  sealed_counter().add();
 
   std::vector<u8> wire;
   wire.reserve(kRecordHeaderBytes + body.size());
@@ -69,6 +89,7 @@ Result<std::vector<u8>> RecordCodec::open_payload(RecordType type,
                                                   std::span<const u8> wire) {
   if (!sealed_) {
     ++seq_recv_;
+    opened_counter().add();
     return std::vector<u8>(wire.begin(), wire.end());
   }
   if (wire.size() < 2 * crypto::kAesBlockBytes ||
@@ -89,9 +110,11 @@ Result<std::vector<u8>> RecordCodec::open_payload(RecordType type,
                           crypto::kSha1DigestBytes);
   const auto expect = record_mac(recv_keys_, seq_recv_, type, data);
   if (!common::ct_equal(mac, expect)) {
+    mac_fail_counter().add();
     return Status(ErrorCode::kDataLoss, "record MAC mismatch");
   }
   ++seq_recv_;
+  opened_counter().add();
   return std::vector<u8>(data.begin(), data.end());
 }
 

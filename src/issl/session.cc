@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "telemetry/metrics.h"
+
 namespace rmc::issl {
 
 using common::ErrorCode;
@@ -9,6 +11,22 @@ using common::Result;
 using common::Status;
 
 namespace {
+telemetry::Counter& hs_message_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("issl.handshake_messages");
+  return c;
+}
+telemetry::Counter& hs_complete_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("issl.handshakes_completed");
+  return c;
+}
+telemetry::Counter& hs_fail_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("issl.handshakes_failed");
+  return c;
+}
+
 constexpr u8 kMsgClientHello = 1;
 constexpr u8 kMsgServerHello = 2;
 constexpr u8 kMsgClientKeyExchange = 3;
@@ -65,6 +83,11 @@ Session Session::server(const Config& config, ByteStream& stream,
 }
 
 Status Session::fail(Status status) {
+  // Failures before the session is up count against the handshake.
+  if (state_ != SessionState::kEstablished &&
+      state_ != SessionState::kClosed && state_ != SessionState::kFailed) {
+    hs_fail_counter().add();
+  }
   state_ = SessionState::kFailed;
   error_ = status;
   (void)send_alert(kAlertHandshakeFailure);
@@ -175,6 +198,7 @@ Status Session::handle_record(const Record& record) {
                              hs_reassembly_.begin() + 3 +
                                  static_cast<long>(len));
         ++hs_messages_;
+        hs_message_counter().add();
         Status s = handle_handshake_message(msg_type, body);
         if (!s.is_ok()) return s;
       }
@@ -363,6 +387,7 @@ Status Session::on_finished(std::span<const u8> body) {
     sent_finished_ = true;
   }
   state_ = SessionState::kEstablished;
+  hs_complete_counter().add();
   return Status::ok();
 }
 

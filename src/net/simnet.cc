@@ -2,7 +2,34 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.h"
+
 namespace rmc::net {
+
+namespace {
+// Process-wide wire counters: every SimNet instance feeds the same
+// instruments (benches construct several media per run and want totals).
+telemetry::Counter& sent_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("simnet.segments_sent");
+  return c;
+}
+telemetry::Counter& dropped_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("simnet.segments_dropped");
+  return c;
+}
+telemetry::Counter& delivered_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("simnet.segments_delivered");
+  return c;
+}
+telemetry::Gauge& in_flight_gauge() {
+  static telemetry::Gauge& g =
+      telemetry::Registry::global().gauge("simnet.segments_in_flight");
+  return g;
+}
+}  // namespace
 
 void SimNet::attach(IpAddr addr, NetworkEndpoint* endpoint) {
   endpoints_[addr] = endpoint;
@@ -10,11 +37,14 @@ void SimNet::attach(IpAddr addr, NetworkEndpoint* endpoint) {
 
 void SimNet::send(Segment segment) {
   ++sent_;
+  sent_counter().add();
   if (rng_.chance(loss_)) {
     ++dropped_;
+    dropped_counter().add();
     return;
   }
   in_flight_.push_back(InFlight{now_ms_ + latency_ms_, std::move(segment)});
+  in_flight_gauge().set(static_cast<telemetry::i64>(in_flight_.size()));
 }
 
 void SimNet::tick(u32 ms) {
@@ -29,10 +59,12 @@ void SimNet::tick(u32 ms) {
         auto it = endpoints_.find(seg.dst_ip);
         if (it != endpoints_.end()) {
           ++delivered_;
+          delivered_counter().add();
           payload_bytes_ += seg.payload.size();
           it->second->deliver(seg);
         } else {
           ++dropped_;  // no host at that address
+          dropped_counter().add();
         }
       } else {
         ++i;

@@ -2,11 +2,38 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.h"
+
 namespace rmc::net {
 
 using common::ErrorCode;
 using common::Result;
 using common::Status;
+
+namespace {
+// Process-wide TCP health counters (all stacks aggregate; benches reset the
+// registry between scenarios when they need per-run numbers).
+telemetry::Counter& retx_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("tcp.retransmissions");
+  return c;
+}
+telemetry::Counter& resets_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("tcp.resets_sent");
+  return c;
+}
+telemetry::Counter& accepted_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("tcp.connections_accepted");
+  return c;
+}
+telemetry::Counter& refused_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("tcp.connections_refused");
+  return c;
+}
+}  // namespace
 
 const char* tcp_state_name(TcpState s) {
   switch (s) {
@@ -98,6 +125,7 @@ Result<int> TcpStack::accept(int listener) {
     if (c != nullptr && (c->state == TcpState::kEstablished ||
                          c->state == TcpState::kCloseWait)) {
       l->accept_queue.erase(l->accept_queue.begin() + static_cast<long>(i));
+      accepted_counter().add();
       return id;
     }
   }
@@ -228,6 +256,7 @@ void TcpStack::pump(Tcb& tcb) {
 
 void TcpStack::retransmit(Tcb& tcb) {
   ++retransmissions_;
+  retx_counter().add();
   ++tcb.retx_count;
   if (tcb.retx_count > kMaxRetx) {
     kill(tcb, /*reset=*/true);
@@ -259,6 +288,7 @@ void TcpStack::kill(Tcb& tcb, bool reset) {
   if (reset && tcb.state != TcpState::kClosed) {
     transmit(tcb, tcb.snd_nxt, TcpFlags::kRst, {});
     ++resets_sent_;
+    resets_counter().add();
     tcb.reset = true;
   }
   tcb.state = TcpState::kClosed;
@@ -268,6 +298,7 @@ void TcpStack::kill(Tcb& tcb, bool reset) {
 void TcpStack::handle_listener(Tcb& listener, const Segment& seg) {
   if (!seg.has(TcpFlags::kSyn)) return;  // stray segment to a listener
   if (static_cast<int>(listener.accept_queue.size()) >= listener.backlog) {
+    refused_counter().add();
     return;  // backlog full: silently drop (client will retransmit SYN)
   }
   const int id = next_id_++;
@@ -473,6 +504,7 @@ void TcpStack::deliver(const Segment& seg) {
     ghost.rcv_nxt = seg.seq + 1;
     transmit(ghost, seg.ack, TcpFlags::kRst, {});
     ++resets_sent_;
+    resets_counter().add();
   }
 }
 

@@ -240,14 +240,21 @@ unsigned Cpu::service_interrupt() {
 }
 
 unsigned Cpu::step() {
+  // Observation state is captured before execution: the instruction at pc0
+  // was fetched under the segment registers in force *now* (LD XPC,A inside
+  // the instruction must not retroactively move its own attribution).
+  const u16 pc0 = regs_.pc;
+  const u32 phys0 = observer_ != nullptr ? mem_.translate(pc0) : 0;
   if (unsigned c = service_interrupt()) {
     cycles_ += c;
     io_.tick(c);
+    if (observer_ != nullptr) observer_->on_step(pc0, phys0, c);
     return c;
   }
   if (halted_) {
     cycles_ += 2;
     io_.tick(2);
+    if (observer_ != nullptr) observer_->on_step(pc0, phys0, 2);
     return 2;
   }
   const bool enable_after = ei_delay_;
@@ -277,6 +284,7 @@ unsigned Cpu::step() {
   ++instructions_;
   cycles_ += c;
   io_.tick(c);
+  if (observer_ != nullptr) observer_->on_step(pc0, phys0, c);
   return c;
 }
 

@@ -58,6 +58,20 @@ struct Registers {
   void set_hl(u16 v) { l = common::lo8(v); h = common::hi8(v); }
 };
 
+/// Per-instruction observation hook (telemetry::CycleProfiler implements
+/// this). `pc` is the logical PC *before* the instruction (or before the
+/// interrupt/halt tick), `phys_pc` its physical translation under the
+/// segment registers in force at fetch time, `cycles` the cost of this
+/// step. The observer sees every cycle the CPU accounts — instruction,
+/// interrupt dispatch, and halted idle ticks alike — so a consumer's totals
+/// can be reconciled against cycles() exactly. When no observer is attached
+/// the core behaves bit-identically to a build without the hook.
+class CpuObserver {
+ public:
+  virtual ~CpuObserver() = default;
+  virtual void on_step(u16 pc, u32 phys_pc, unsigned cycles) = 0;
+};
+
 /// Reasons `run` stopped.
 enum class StopReason {
   kRunning,      // never returned by run(); initial state
@@ -95,6 +109,11 @@ class Cpu {
   /// RST 28h before each C statement when debugging is enabled; the
   /// `-fnodebug` knob in src/dcc removes them).
   u64 debug_traps() const { return debug_traps_; }
+
+  /// Attach / detach the per-instruction observer. Pass nullptr to detach.
+  /// Observation is passive: it never alters cycle counts, flags, or memory.
+  void set_observer(CpuObserver* observer) { observer_ = observer; }
+  CpuObserver* observer() const { return observer_; }
 
   void add_breakpoint(u16 addr);
   void clear_breakpoints();
@@ -161,6 +180,7 @@ class Cpu {
   bool iff_ = false;           // interrupt enable
   bool ei_delay_ = false;      // EI enables after the following instruction
   bool illegal_ = false;
+  CpuObserver* observer_ = nullptr;
   std::string illegal_message_;
   std::vector<u16> breakpoints_;
 };

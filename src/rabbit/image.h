@@ -22,6 +22,13 @@ struct ImageChunk {
 struct Image {
   std::vector<ImageChunk> chunks;
   std::map<std::string, common::u32> symbols;
+  /// Subset of `symbols` that name function entry points, in no particular
+  /// order. rasm fills it from `func` directives, dcc from its function
+  /// list; telemetry::CycleProfiler uses it to carve the chunks into
+  /// attribution regions (interior labels — loop targets, local jumps — must
+  /// not split a function's cycles). Empty for images that never declare
+  /// functions; consumers fall back to all symbols.
+  std::vector<std::string> functions;
   common::u32 entry = 0;
 
   /// Total bytes across all chunks — the "code size" metric of experiment E3.

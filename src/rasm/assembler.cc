@@ -596,6 +596,33 @@ class Assembler {
     for (const auto& [name, value] : symbols_) {
       output_.image.symbols[name] = static_cast<u32>(value);
     }
+    for (const std::string& fn : functions_) {
+      if (!symbols_.count(fn)) {
+        return Status(ErrorCode::kNotFound,
+                      "func declares unknown label: " + fn);
+      }
+      output_.image.functions.push_back(fn);
+    }
+    if (options_.want_listing) {
+      // Symbol-map appendix: address / F(unction) flag / name, sorted by
+      // address — the map CycleProfiler attribution is built from.
+      output_.listing += "\n; symbols\n";
+      std::vector<std::pair<i64, std::string>> by_addr;
+      for (const auto& [name, value] : symbols_) {
+        by_addr.emplace_back(value, name);
+      }
+      std::sort(by_addr.begin(), by_addr.end());
+      for (const auto& [value, name] : by_addr) {
+        const bool is_fn =
+            std::find(functions_.begin(), functions_.end(), name) !=
+            functions_.end();
+        char head[32];
+        std::snprintf(head, sizeof head, "; %05llX %c ",
+                      static_cast<unsigned long long>(value),
+                      is_fn ? 'F' : ' ');
+        output_.listing += head + name + "\n";
+      }
+    }
     auto main_it = symbols_.find("main");
     if (main_it != symbols_.end()) {
       output_.image.entry = static_cast<u32>(main_it->second);
@@ -867,6 +894,21 @@ class Assembler {
       }
       while ((addr_ + static_cast<i64>(emitted_.size())) % v->value != 0) {
         emit(0);
+      }
+      return Status::ok();
+    }
+    if (m == "func") {
+      // `func name[, name...]` — declare labels as function entry points.
+      // Emits nothing; the names land in Image::functions (resolved against
+      // the symbol table after pass 2) for cycle attribution.
+      if (line.operands.empty()) {
+        return Status(ErrorCode::kInvalidArgument,
+                      "func requires at least one label name");
+      }
+      if (pass_ == 1) {
+        for (const auto& text : line.operands) {
+          functions_.push_back(lower(trim(text)));
+        }
       }
       return Status::ok();
     }
@@ -1480,6 +1522,7 @@ class Assembler {
   const AssembleOptions& options_;
   AssembleOutput output_;
   std::map<std::string, i64> symbols_;
+  std::vector<std::string> functions_;  // func-declared, pass-1 order
   int pass_ = 1;
   i64 addr_ = 0;
   bool xmem_mode_ = false;

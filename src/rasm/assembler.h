@@ -21,6 +21,10 @@
 //            dw 1234h, label        — little-endian words
 //            ds 16                  — reserve zero-filled space
 //            align 16               — pad to alignment
+//            func aes_init, ks      — declare labels as function entry
+//                                     points (recorded in Image::functions
+//                                     for the telemetry cycle profiler;
+//                                     emits nothing)
 //
 // Expressions: + - * / % & | ^ << >> ~, parentheses, decimal / 0x / trailing
 // 'h' / $hex / %binary literals, 'c' chars, `$` = current address, and the

@@ -22,7 +22,8 @@ Result<std::string> read_text_file(const std::string& path) {
 }
 
 Result<AesOnBoard> AesOnBoard::create(AesImpl impl, const std::string& source,
-                                      const dcc::CodegenOptions& options) {
+                                      const dcc::CodegenOptions& options,
+                                      const BoardHook& pre_init) {
   AesOnBoard ab;
   ab.board_ = std::make_unique<rabbit::Board>();
 
@@ -56,6 +57,7 @@ Result<AesOnBoard> AesOnBoard::create(AesImpl impl, const std::string& source,
   }
 
   ab.board_->load(ab.image_);
+  if (pre_init) pre_init(*ab.board_, ab.image_);
   auto init = ab.board_->call(ab.fn_init_, 500'000'000);
   if (!init.ok()) return init.status();
   if (init->stop != rabbit::StopReason::kHalted) {
@@ -69,13 +71,13 @@ Result<AesOnBoard> AesOnBoard::create(AesImpl impl, const std::string& source,
 
 Result<AesOnBoard> AesOnBoard::create_from_repo(
     AesImpl impl, const std::string& repo_root,
-    const dcc::CodegenOptions& options) {
+    const dcc::CodegenOptions& options, const BoardHook& pre_init) {
   const std::string path =
       repo_root + (impl == AesImpl::kHandAssembly ? "/asm/aes_hand.asm"
                                                   : "/dc/aes.dc");
   auto source = read_text_file(path);
   if (!source.ok()) return source.status();
-  return create(impl, *source, options);
+  return create(impl, *source, options, pre_init);
 }
 
 Status AesOnBoard::write_buffer(const std::string& symbol,

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -30,18 +31,25 @@ enum class AesImpl {
 
 class AesOnBoard {
  public:
+  /// Invoked after the image is loaded but before aes_init runs — the window
+  /// where a telemetry::CycleProfiler can bind the image's symbol map and
+  /// attach to the CPU so that *every* cycle (init included) is attributed.
+  using BoardHook = std::function<void(rabbit::Board&, const rabbit::Image&)>;
+
   /// Loads and initializes (runs aes_init + symbol resolution). `source` is
   /// the full text of the .asm or .dc file. For kHandAssembly the options
   /// are ignored.
   static common::Result<AesOnBoard> create(
       AesImpl impl, const std::string& source,
-      const dcc::CodegenOptions& options = {});
+      const dcc::CodegenOptions& options = {},
+      const BoardHook& pre_init = {});
 
   /// Convenience: reads the repository's canonical source file
   /// (asm/aes_hand.asm or dc/aes.dc) from `repo_root`.
   static common::Result<AesOnBoard> create_from_repo(
       AesImpl impl, const std::string& repo_root,
-      const dcc::CodegenOptions& options = {});
+      const dcc::CodegenOptions& options = {},
+      const BoardHook& pre_init = {});
 
   /// Expand a 16-byte key on the target. Returns cycles consumed.
   common::Result<u64> set_key(std::span<const u8> key);

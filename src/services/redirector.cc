@@ -2,12 +2,39 @@
 
 #include <array>
 
+#include "telemetry/metrics.h"
+
 namespace rmc::services {
 
 using common::ErrorCode;
 using common::Status;
 using dynk::WaitFor;
 using dynk::Yield;
+
+namespace {
+// Shared across both redirector structures (Figure 2 and Figure 3) so the
+// E4/E5 benches report one set of service-level numbers per run.
+telemetry::Counter& served_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("redirector.connections_served");
+  return c;
+}
+telemetry::Counter& hs_fail_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("redirector.handshake_failures");
+  return c;
+}
+telemetry::Counter& forwarded_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("redirector.bytes_forwarded");
+  return c;
+}
+telemetry::Gauge& active_gauge() {
+  static telemetry::Gauge& g =
+      telemetry::Registry::global().gauge("redirector.connections_active");
+  return g;
+}
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // RmcRedirector — the Figure 3 structure
@@ -56,6 +83,7 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
     if (!dc_.tcp_listen(&sock, config_.listen_port).is_ok()) co_return;
     co_await WaitFor{[this, &sock] { return dc_.sock_established(&sock); }};
     ++stats_.connections_active;
+    active_gauge().set(static_cast<telemetry::i64>(stats_.connections_active));
     log_.append("open " + std::to_string(slot));
 
     issl::DcStream stream(dc_, &sock);
@@ -75,6 +103,7 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
       }
       if (!session->established()) {
         ++stats_.handshake_failures;
+        hs_fail_counter().add();
         log_.append("hs-fail " + std::to_string(slot));
         usable = false;
       } else if (config_.crypto_cycles_handshake > 0) {
@@ -118,6 +147,7 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
             } else if (!data->empty()) {
               (void)stack_.send(backend, *data);
               stats_.bytes_client_to_backend += data->size();
+              forwarded_counter().add(data->size());
               crypto_cycles_owed +=
                   config_.crypto_cycles_per_byte * data->size();
             }
@@ -130,6 +160,7 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
             } else {
               (void)session->write(std::span<const u8>(buf.data(), *n));
               stats_.bytes_backend_to_client += *n;
+              forwarded_counter().add(*n);
               crypto_cycles_owed += config_.crypto_cycles_per_byte * *n;
             }
           }
@@ -150,6 +181,7 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
           } else {
             (void)stack_.send(backend, std::span<const u8>(buf.data(), *n));
             stats_.bytes_client_to_backend += *n;
+            forwarded_counter().add(*n);
           }
         }
         auto m = stack_.recv(backend, buf);
@@ -160,6 +192,7 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
             (void)dc_.sock_fastwrite(&sock,
                                      std::span<const u8>(buf.data(), *m));
             stats_.bytes_backend_to_client += *m;
+            forwarded_counter().add(*m);
           }
         }
         if (!dc_.tcp_tick(&sock)) done = true;
@@ -170,7 +203,9 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
     if (backend >= 0) (void)stack_.close(backend);
     dc_.sock_close(&sock);
     --stats_.connections_active;
+    active_gauge().set(static_cast<telemetry::i64>(stats_.connections_active));
     ++stats_.connections_served;
+    served_counter().add();
     log_.append("done " + std::to_string(slot));
     co_await Yield{};
   }
@@ -216,6 +251,7 @@ dynk::Costate UnixRedirector::acceptor() {
 
 dynk::Costate UnixRedirector::connection_process(int fd) {
   ++stats_.connections_active;
+  active_gauge().set(static_cast<telemetry::i64>(stats_.connections_active));
   std::array<u8, 4096> buf{};
   issl::BsdStream stream(bsd_, fd);
   std::optional<issl::Session> session;
@@ -233,6 +269,7 @@ dynk::Costate UnixRedirector::connection_process(int fd) {
     }
     if (!session->established()) {
       ++stats_.handshake_failures;
+      hs_fail_counter().add();
       log_.push_back("handshake failure on fd " + std::to_string(fd));
       usable = false;
     }
@@ -266,6 +303,7 @@ dynk::Costate UnixRedirector::connection_process(int fd) {
           } else if (!data->empty()) {
             (void)stack_.send(backend, *data);
             stats_.bytes_client_to_backend += data->size();
+            forwarded_counter().add(data->size());
           }
         }
         auto n = stack_.recv(backend, buf);
@@ -276,6 +314,7 @@ dynk::Costate UnixRedirector::connection_process(int fd) {
           } else {
             (void)session->write(std::span<const u8>(buf.data(), *n));
             stats_.bytes_backend_to_client += *n;
+            forwarded_counter().add(*n);
           }
         }
       }
@@ -287,6 +326,7 @@ dynk::Costate UnixRedirector::connection_process(int fd) {
         } else {
           (void)stack_.send(backend, std::span<const u8>(buf.data(), *n));
           stats_.bytes_client_to_backend += *n;
+          forwarded_counter().add(*n);
         }
       }
       auto m = stack_.recv(backend, buf);
@@ -296,6 +336,7 @@ dynk::Costate UnixRedirector::connection_process(int fd) {
         } else {
           (void)bsd_.send_fd(fd, std::span<const u8>(buf.data(), *m));
           stats_.bytes_backend_to_client += *m;
+          forwarded_counter().add(*m);
         }
       }
       if (!bsd_.open_fd(fd)) done = true;
@@ -306,7 +347,9 @@ dynk::Costate UnixRedirector::connection_process(int fd) {
   if (backend >= 0) (void)stack_.close(backend);
   (void)bsd_.close_fd(fd);
   --stats_.connections_active;
+  active_gauge().set(static_cast<telemetry::i64>(stats_.connections_active));
   ++stats_.connections_served;
+  served_counter().add();
   log_.push_back("closed fd " + std::to_string(fd));
   // exit(0): the child process terminates here.
 }

@@ -1,0 +1,120 @@
+#include "telemetry/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace rmc::telemetry {
+
+void JsonWriter::open(char opener, char closer) {
+  comma_for_value();
+  out_ += opener;
+  stack_.push_back(Frame{closer, true, opener == '{'});
+}
+
+void JsonWriter::close(char closer) {
+  assert(!stack_.empty() && stack_.back().closer == closer &&
+         "mismatched end_object/end_array");
+  assert(!key_pending_ && "dangling key before close");
+  if (!stack_.empty() && stack_.back().closer == closer) {
+    stack_.pop_back();
+    out_ += closer;
+  }
+}
+
+void JsonWriter::key(std::string_view name) {
+  assert(!stack_.empty() && stack_.back().in_object && "key outside object");
+  assert(!key_pending_ && "two keys in a row");
+  if (!stack_.empty()) {
+    if (!stack_.back().first) out_ += ',';
+    stack_.back().first = false;
+  }
+  out_ += '"';
+  append_escaped(name);
+  out_ += "\":";
+  key_pending_ = true;
+}
+
+void JsonWriter::comma_for_value() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    assert(!stack_.back().in_object && "object value requires a key");
+    if (!stack_.back().first) out_ += ',';
+    stack_.back().first = false;
+  }
+}
+
+void JsonWriter::value(std::string_view s) {
+  comma_for_value();
+  out_ += '"';
+  append_escaped(s);
+  out_ += '"';
+}
+
+void JsonWriter::value(bool b) {
+  comma_for_value();
+  out_ += b ? "true" : "false";
+}
+
+void JsonWriter::value(double d) {
+  comma_for_value();
+  if (!std::isfinite(d)) {
+    out_ += "null";  // JSON has no inf/nan
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", d);
+  out_ += buf;
+}
+
+void JsonWriter::value(common::u64 v) {
+  comma_for_value();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out_ += buf;
+}
+
+void JsonWriter::value(common::i64 v) {
+  comma_for_value();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  out_ += buf;
+}
+
+void JsonWriter::null() {
+  comma_for_value();
+  out_ += "null";
+}
+
+void JsonWriter::append_escaped(std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+}
+
+bool write_file(const std::string& path, std::string_view text) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.put('\n');
+  return static_cast<bool>(out);
+}
+
+}  // namespace rmc::telemetry

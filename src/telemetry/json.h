@@ -1,0 +1,85 @@
+// Minimal streaming JSON writer for bench exports and metric dumps.
+//
+// The repo's benches must emit a *stable machine-readable schema*
+// (BENCH_E1.json, ...) that future PRs diff against; hand-rolled printf JSON
+// rots the moment someone adds a field. This writer produces deterministic,
+// valid JSON (proper escaping, no trailing commas, fixed number formatting)
+// with no dependencies — the embedded-flavoured answer to pulling in a JSON
+// library the container doesn't have.
+//
+// Usage:
+//   JsonWriter w;
+//   w.begin_object();
+//   w.kv("bench", "E1");
+//   w.key("results"); w.begin_object(); ... w.end_object();
+//   w.end_object();
+//   std::string text = w.str();
+//
+// Misuse (value without a key inside an object, unbalanced end_*) is caught
+// by assert in debug builds; the writer never throws.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace rmc::telemetry {
+
+class JsonWriter {
+ public:
+  void begin_object() { open('{', '}'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('[', ']'); }
+  void end_array() { close(']'); }
+
+  /// Write an object key; the next value/begin_* supplies its value.
+  void key(std::string_view name);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(bool b);
+  void value(double d);
+  void value(common::u64 v);
+  void value(common::i64 v);
+  void value(int v) { value(static_cast<common::i64>(v)); }
+  void value(unsigned v) { value(static_cast<common::u64>(v)); }
+  void null();
+
+  template <typename T>
+  void kv(std::string_view name, T v) {
+    key(name);
+    value(v);
+  }
+
+  /// Finished document. Asserts all begin_* were closed.
+  const std::string& str() const {
+    assert(stack_.empty() && "unbalanced begin/end");
+    return out_;
+  }
+
+  bool balanced() const { return stack_.empty(); }
+
+ private:
+  struct Frame {
+    char closer;
+    bool first = true;
+    bool in_object;
+  };
+
+  void open(char opener, char closer);
+  void close(char closer);
+  void comma_for_value();
+  void append_escaped(std::string_view s);
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool key_pending_ = false;
+};
+
+/// Write `text` to `path` (truncating). Returns false on I/O failure.
+bool write_file(const std::string& path, std::string_view text);
+
+}  // namespace rmc::telemetry

@@ -1,0 +1,112 @@
+#include "telemetry/metrics.h"
+
+#include "telemetry/json.h"
+
+namespace rmc::telemetry {
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::make_unique<Counter>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::make_unique<Gauge>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::span<const u64> bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::string(name), bounds))
+             .first;
+  }
+  return *it->second;
+}
+
+const Counter* Registry::find_counter(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* Registry::find_gauge(std::string_view name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* Registry::find_histogram(std::string_view name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+void Registry::reset() {
+  for (auto& [_, c] : counters_) c->reset();
+  for (auto& [_, g] : gauges_) g->reset();
+  for (auto& [_, h] : histograms_) h->reset();
+}
+
+void Registry::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, c] : counters_) w.kv(name, c->value());
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, g] : gauges_) {
+    w.key(name);
+    w.begin_object();
+    w.kv("value", g->value());
+    w.kv("max", g->max());
+    w.end_object();
+  }
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name);
+    w.begin_object();
+    w.kv("count", h->count());
+    w.kv("sum", h->sum());
+    w.kv("min", h->min());
+    w.kv("max", h->max());
+    w.key("bounds");
+    w.begin_array();
+    for (u64 b : h->bounds()) w.value(b);
+    w.end_array();
+    w.key("counts");
+    w.begin_array();
+    for (u64 c : h->counts()) w.value(c);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string Registry::to_json() const {
+  JsonWriter w;
+  write_json(w);
+  return w.str();
+}
+
+}  // namespace rmc::telemetry

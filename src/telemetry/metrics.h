@@ -1,0 +1,219 @@
+// Telemetry metrics core: a process-wide registry of named instruments.
+//
+// The paper's whole evaluation is a cycle-accounting argument, and the
+// ROADMAP's north star ("as fast as the hardware allows") needs every
+// optimization PR to prove itself with numbers. Before this module each
+// bench hand-rolled counters and the stack had none; now any layer can do
+//
+//   static telemetry::Counter& drops =
+//       telemetry::Registry::global().counter("simnet.segments_dropped");
+//   ...
+//   drops.add();
+//
+// and every bench's --json export carries the whole registry.
+//
+// Design rules (DESIGN.md "Telemetry & profiling"):
+//   * zero allocation on the hot path — instruments are created once at
+//     first use (function-local static reference); add()/set()/record() are
+//     inline integer ops on preallocated storage;
+//   * instruments are never destroyed and references stay stable for the
+//     process lifetime (node-based storage in the registry);
+//   * single-threaded by design, like the simulated board and every harness
+//     in this repo — no atomics, no locks;
+//   * compiled out via -DRMC_TELEMETRY_ENABLED=0 (CMake option
+//     RMC_TELEMETRY=OFF): recording becomes a no-op and exports are empty,
+//     but all call sites still compile.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+
+#ifndef RMC_TELEMETRY_ENABLED
+#define RMC_TELEMETRY_ENABLED 1
+#endif
+
+namespace rmc::telemetry {
+
+using common::i64;
+using common::u64;
+
+class JsonWriter;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void add(u64 n = 1) {
+#if RMC_TELEMETRY_ENABLED
+    value_ += n;
+#else
+    (void)n;
+#endif
+  }
+  u64 value() const { return value_; }
+  void reset() { value_ = 0; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  u64 value_ = 0;
+};
+
+/// Last-written value plus the high-water mark (set() keeps the max seen —
+/// the xalloc arena and the costatement scheduler both report occupancy this
+/// way).
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name))  {}
+
+  void set(i64 v) {
+#if RMC_TELEMETRY_ENABLED
+    value_ = v;
+    if (v > max_) max_ = v;
+#else
+    (void)v;
+#endif
+  }
+  i64 value() const { return value_; }
+  i64 max() const { return max_; }
+  void reset() { value_ = 0; max_ = 0; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  i64 value_ = 0;
+  i64 max_ = 0;
+};
+
+/// Fixed-bucket histogram: bucket i counts values <= bounds[i]; one implicit
+/// overflow bucket counts the rest. Bounds are set at creation and never
+/// reallocated, so record() is allocation-free.
+class Histogram {
+ public:
+  Histogram(std::string name, std::span<const u64> bounds)
+      : name_(std::move(name)),
+        bounds_(bounds.begin(), bounds.end()),
+        counts_(bounds.size() + 1, 0) {}
+
+  void record(u64 v) {
+#if RMC_TELEMETRY_ENABLED
+    ++count_;
+    sum_ += v;
+    if (count_ == 1 || v < min_) min_ = v;
+    if (v > max_) max_ = v;
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    ++counts_[i];
+#else
+    (void)v;
+#endif
+  }
+
+  u64 count() const { return count_; }
+  u64 sum() const { return sum_; }
+  u64 min() const { return count_ ? min_ : 0; }
+  u64 max() const { return max_; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+  std::span<const u64> bounds() const { return bounds_; }
+  /// counts()[i] pairs with bounds()[i]; the final entry is the overflow
+  /// bucket.
+  std::span<const u64> counts() const { return counts_; }
+
+  void reset() {
+    count_ = sum_ = min_ = max_ = 0;
+    for (u64& c : counts_) c = 0;
+  }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<u64> bounds_;
+  std::vector<u64> counts_;
+  u64 count_ = 0;
+  u64 sum_ = 0;
+  u64 min_ = 0;
+  u64 max_ = 0;
+};
+
+/// Process-wide instrument registry. Lookup by name creates on first use and
+/// returns a stable reference thereafter; the intended idiom at a hot call
+/// site is a function-local `static Type& x = Registry::global().counter(..)`
+/// so the map lookup happens exactly once.
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` is consulted only on first creation; later lookups of the same
+  /// name return the existing instrument unchanged.
+  Histogram& histogram(std::string_view name, std::span<const u64> bounds);
+
+  /// nullptr when the instrument does not exist (tests, exports).
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
+
+  /// Zero every instrument (benches isolate runs this way). Instruments are
+  /// not destroyed; references stay valid.
+  void reset();
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Emit {"counters":{...},"gauges":{...},"histograms":{...}} — sorted by
+  /// name (std::map order), so output is deterministic and diffable.
+  void write_json(JsonWriter& w) const;
+  std::string to_json() const;
+
+ private:
+  // std::map + unique_ptr: node-based, references never invalidate.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Scoped wall-clock timer: records elapsed *microseconds* into a histogram
+/// on destruction. For host-side phases (compiles, whole-bench stages);
+/// simulated-target time is cycle-counted by CycleProfiler instead.
+class Span {
+ public:
+  explicit Span(Histogram& h)
+      : hist_(&h), start_(std::chrono::steady_clock::now()) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() {
+    if (hist_ != nullptr) hist_->record(elapsed_us());
+  }
+
+  /// Microseconds since construction (also what ~Span records).
+  u64 elapsed_us() const {
+    const auto d = std::chrono::steady_clock::now() - start_;
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+  }
+
+  /// Record now and detach (the destructor then does nothing).
+  void stop() {
+    if (hist_ != nullptr) hist_->record(elapsed_us());
+    hist_ = nullptr;
+  }
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace rmc::telemetry

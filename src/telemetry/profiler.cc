@@ -1,0 +1,246 @@
+#include "telemetry/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "telemetry/json.h"
+
+namespace rmc::telemetry {
+
+namespace {
+
+// The board's reset-time logical->physical convention (rabbit::Board::reset,
+// rasm::board_logical_to_phys). Symbols at or above 0x10000 are already
+// physical (xorg labels). Returns false for untranslatable values (logical
+// addresses inside the XPC window have no fixed physical home).
+bool symbol_to_phys(u32 value, u32& phys) {
+  if (value >= 0x10000) {
+    phys = value;
+    return true;
+  }
+  if (value < 0x6000) {
+    phys = value;
+    return true;
+  }
+  if (value < 0xD000) {
+    phys = value + 0x7A000;
+    return true;
+  }
+  if (value < 0xE000) {
+    phys = value + 0x81000;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void CycleProfiler::bind(const rabbit::Image& image) {
+  regions_.clear();
+
+  // Chunk extents, sorted, so regions can clamp to their own chunk.
+  struct Extent {
+    u32 lo, hi;
+  };
+  std::vector<Extent> chunks;
+  chunks.reserve(image.chunks.size());
+  for (const auto& c : image.chunks) {
+    if (!c.bytes.empty()) {
+      chunks.push_back({c.phys_addr,
+                        c.phys_addr + static_cast<u32>(c.bytes.size())});
+    }
+  }
+  std::sort(chunks.begin(), chunks.end(),
+            [](const Extent& a, const Extent& b) { return a.lo < b.lo; });
+
+  const std::vector<std::string>* names = &image.functions;
+  std::vector<std::string> all_symbols;
+  if (names->empty()) {
+    for (const auto& [name, _] : image.symbols) all_symbols.push_back(name);
+    names = &all_symbols;
+  }
+
+  for (const std::string& name : *names) {
+    u32 value = 0;
+    if (!image.find_symbol(name, value)) continue;
+    u32 phys = 0;
+    if (!symbol_to_phys(value, phys)) continue;
+    auto it = std::find_if(chunks.begin(), chunks.end(), [&](const Extent& e) {
+      return e.lo <= phys && phys < e.hi;
+    });
+    if (it == chunks.end()) continue;
+    regions_.push_back(Region{name, phys, it->hi});
+  }
+  std::sort(regions_.begin(), regions_.end(),
+            [](const Region& a, const Region& b) { return a.lo < b.lo; });
+  // Truncate each region at the next region's start (regions in different
+  // chunks are already disjoint; same-chunk neighbours partition the chunk).
+  for (std::size_t i = 0; i + 1 < regions_.size(); ++i) {
+    regions_[i].hi = std::min(regions_[i].hi, regions_[i + 1].lo);
+  }
+
+  for (Phase& p : phases_) {
+    p.cycles.assign(regions_.size() + 1, 0);
+    p.steps.assign(regions_.size() + 1, 0);
+  }
+}
+
+void CycleProfiler::set_phase(const std::string& name) {
+  if (!phases_.empty() && phases_[active_phase_].name == name) return;
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (phases_[i].name == name) {
+      active_phase_ = i;
+      return;
+    }
+  }
+  Phase p;
+  p.name = name;
+  p.cycles.assign(regions_.size() + 1, 0);
+  p.steps.assign(regions_.size() + 1, 0);
+  phases_.push_back(std::move(p));
+  active_phase_ = phases_.size() - 1;
+}
+
+std::size_t CycleProfiler::region_index(u32 phys_pc) const {
+  // First region with lo > phys_pc; the candidate is its predecessor.
+  auto it = std::upper_bound(
+      regions_.begin(), regions_.end(), phys_pc,
+      [](u32 pc, const Region& r) { return pc < r.lo; });
+  if (it != regions_.begin()) {
+    const Region& r = *(it - 1);
+    if (phys_pc < r.hi) {
+      return static_cast<std::size_t>((it - 1) - regions_.begin());
+    }
+  }
+  return regions_.size();  // "(other)"
+}
+
+void CycleProfiler::on_step(u16 /*pc*/, u32 phys_pc, unsigned cycles) {
+  Phase& p = phases_[active_phase_];
+  const std::size_t i = region_index(phys_pc);
+  p.cycles[i] += cycles;
+  p.steps[i] += 1;
+}
+
+u64 CycleProfiler::total_cycles() const {
+  u64 total = 0;
+  for (const Phase& p : phases_) {
+    for (u64 c : p.cycles) total += c;
+  }
+  return total;
+}
+
+u64 CycleProfiler::phase_cycles(const std::string& name) const {
+  for (const Phase& p : phases_) {
+    if (p.name == name) {
+      u64 total = 0;
+      for (u64 c : p.cycles) total += c;
+      return total;
+    }
+  }
+  return 0;
+}
+
+std::vector<ProfileEntry> CycleProfiler::flat(const std::string& phase) const {
+  std::vector<ProfileEntry> out;
+  const std::size_t n = regions_.size() + 1;
+  std::vector<u64> cycles(n, 0), steps(n, 0);
+  for (const Phase& p : phases_) {
+    if (!phase.empty() && p.name != phase) continue;
+    for (std::size_t i = 0; i < n && i < p.cycles.size(); ++i) {
+      cycles[i] += p.cycles[i];
+      steps[i] += p.steps[i];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cycles[i] == 0) continue;
+    ProfileEntry e;
+    if (i < regions_.size()) {
+      e.name = regions_[i].name;
+      e.phys_lo = regions_[i].lo;
+      e.phys_hi = regions_[i].hi;
+    } else {
+      e.name = kOther;
+    }
+    e.cycles = cycles[i];
+    e.steps = steps[i];
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(), [](const ProfileEntry& a,
+                                       const ProfileEntry& b) {
+    if (a.cycles != b.cycles) return a.cycles > b.cycles;
+    return a.name < b.name;  // deterministic tie-break
+  });
+  return out;
+}
+
+std::vector<ProfileEntry> CycleProfiler::top(std::size_t n,
+                                             const std::string& phase) const {
+  std::vector<ProfileEntry> out = flat(phase);
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+std::vector<std::string> CycleProfiler::phase_names() const {
+  std::vector<std::string> names;
+  names.reserve(phases_.size());
+  for (const Phase& p : phases_) names.push_back(p.name);
+  return names;
+}
+
+void CycleProfiler::reset_counts() {
+  for (Phase& p : phases_) {
+    std::fill(p.cycles.begin(), p.cycles.end(), 0);
+    std::fill(p.steps.begin(), p.steps.end(), 0);
+  }
+}
+
+std::string CycleProfiler::report(std::size_t top_n,
+                                  const std::string& phase) const {
+  const u64 total = phase.empty() ? total_cycles() : phase_cycles(phase);
+  std::string out;
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%-20s %14s %8s %10s\n", "function",
+                "cycles", "share", "steps");
+  out += buf;
+  for (const ProfileEntry& e : top(top_n, phase)) {
+    std::snprintf(buf, sizeof buf, "%-20s %14llu %7.1f%% %10llu\n",
+                  e.name.c_str(), static_cast<unsigned long long>(e.cycles),
+                  total ? 100.0 * static_cast<double>(e.cycles) /
+                              static_cast<double>(total)
+                        : 0.0,
+                  static_cast<unsigned long long>(e.steps));
+    out += buf;
+  }
+  return out;
+}
+
+void CycleProfiler::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.kv("total_cycles", total_cycles());
+  w.key("phases");
+  w.begin_object();
+  for (const Phase& p : phases_) {
+    u64 phase_total = 0;
+    for (u64 c : p.cycles) phase_total += c;
+    w.key(p.name);
+    w.begin_object();
+    w.kv("total_cycles", phase_total);
+    w.key("regions");
+    w.begin_object();
+    for (std::size_t i = 0; i < p.cycles.size(); ++i) {
+      if (p.cycles[i] == 0) continue;
+      w.key(i < regions_.size() ? regions_[i].name : kOther);
+      w.begin_object();
+      w.kv("cycles", p.cycles[i]);
+      w.kv("steps", p.steps[i]);
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace rmc::telemetry

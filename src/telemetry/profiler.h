@@ -1,0 +1,127 @@
+// Cycle-attribution profiler for the simulated RMC2000.
+//
+// The board's CPU core exposes only a total cycle count; the paper's E1-E3
+// arguments ("the assembly ran 10-15x faster", "optimization knobs buy
+// ~20%") are really claims about *where* cycles go — key schedule vs
+// rounds vs the xmem bank dance. CycleProfiler answers that: it consumes
+// the rabbit::Cpu per-instruction observer hook together with the function
+// symbol map the assembler/compiler record in the image (Image::functions)
+// and attributes every observed cycle to a function/PC-range region.
+//
+// Accounting is exact by construction: the observer sees every cycle the
+// CPU counts (instructions, interrupt dispatch, halted idle ticks), every
+// cycle lands in exactly one region (or the synthetic "(other)" region for
+// PC ranges outside any known function — crt0 vectors, the call-sentinel
+// HALT), so total_cycles() reconciles against the CPU's own counter with no
+// remainder. bench_aes_asm_vs_c asserts this.
+//
+// Phases slice the same attribution by workload stage ("init", "keyexp",
+// "encrypt", ...): call set_phase() between stages and each region's cycles
+// are kept per phase. This is what turns E1's single number into the
+// paper-style breakdown.
+//
+// Overhead contract: attaching the profiler never perturbs the simulation —
+// the observer is passive, and with it detached the CPU's cycle stream is
+// bit-identical to a build without the hook (asserted by tests).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "rabbit/cpu.h"
+#include "rabbit/image.h"
+
+namespace rmc::telemetry {
+
+using common::u16;
+using common::u32;
+using common::u64;
+
+class JsonWriter;
+
+/// One attribution region: a function's PC range with its cycle share.
+struct ProfileEntry {
+  std::string name;
+  u32 phys_lo = 0;   // inclusive
+  u32 phys_hi = 0;   // exclusive; phys_lo == phys_hi for "(other)"
+  u64 cycles = 0;
+  u64 steps = 0;     // observer callbacks (≈ instructions retired)
+};
+
+class CycleProfiler : public rabbit::CpuObserver {
+ public:
+  /// Name of the synthetic catch-all region.
+  static constexpr const char* kOther = "(other)";
+
+  CycleProfiler() { set_phase("init"); }
+
+  /// Build attribution regions from the image's function symbol map (all
+  /// symbols when the image declares no functions). Symbol values below
+  /// 0x10000 are logical and translated with the board's reset-time segment
+  /// convention; larger values are physical xmem addresses already. Each
+  /// region extends to the next function start within the same chunk, else
+  /// to its chunk's end. Clears any previously bound regions and collected
+  /// cycles.
+  void bind(const rabbit::Image& image);
+
+  /// Direct attachment helper: bind(image) then cpu.set_observer(this).
+  void attach(rabbit::Cpu& cpu, const rabbit::Image& image) {
+    bind(image);
+    cpu.set_observer(this);
+  }
+
+  /// Switch the active phase; creates it on first use. Cheap (no-op when the
+  /// name is already active, index scan otherwise) but not meant for the
+  /// per-instruction path.
+  void set_phase(const std::string& name);
+  const std::string& phase() const { return phases_[active_phase_].name; }
+
+  // rabbit::CpuObserver
+  void on_step(u16 pc, u32 phys_pc, unsigned cycles) override;
+
+  /// Every cycle observed since bind() across all phases; equals the CPU's
+  /// cycle-counter delta over the attachment window, exactly.
+  u64 total_cycles() const;
+  u64 phase_cycles(const std::string& name) const;
+
+  /// Regions with nonzero cycles, most expensive first. Empty `phase` merges
+  /// all phases. The "(other)" catch-all appears like any region.
+  std::vector<ProfileEntry> flat(const std::string& phase = {}) const;
+  /// First `n` of flat(phase).
+  std::vector<ProfileEntry> top(std::size_t n,
+                                const std::string& phase = {}) const;
+
+  std::vector<std::string> phase_names() const;
+
+  /// Zero collected cycles; keeps regions and phases.
+  void reset_counts();
+
+  /// Printable flat report (name, cycles, share) — the bench tables' "where
+  /// the gap lives" section.
+  std::string report(std::size_t top_n = 10,
+                     const std::string& phase = {}) const;
+
+  /// {"total_cycles":N,"phases":{"keyexp":{"total":N,"regions":{...}},...}}
+  void write_json(JsonWriter& w) const;
+
+ private:
+  struct Region {
+    std::string name;
+    u32 lo = 0;
+    u32 hi = 0;
+  };
+  struct Phase {
+    std::string name;
+    std::vector<u64> cycles;  // indexed like regions_; back() = "(other)"
+    std::vector<u64> steps;
+  };
+
+  std::size_t region_index(u32 phys_pc) const;
+
+  std::vector<Region> regions_;     // sorted by lo, non-overlapping
+  std::vector<Phase> phases_;
+  std::size_t active_phase_ = 0;
+};
+
+}  // namespace rmc::telemetry

@@ -1,0 +1,368 @@
+// Tests for src/telemetry: metrics registry semantics, histogram bucketing,
+// span timing, JSON writing, and the cycle-attribution profiler.
+//
+// The profiler tests run a small known rasm program and assert attribution
+// *exactly*: steps per region, cycle sums that reconcile against the CPU's
+// own counter with no remainder, linearity (two calls cost exactly twice
+// one call), and the zero-perturbation contract (attaching an observer does
+// not change the cycle stream).
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "rabbit/board.h"
+#include "rasm/assembler.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+#include "telemetry/profiler.h"
+
+namespace rmc {
+namespace {
+
+using common::u64;
+using telemetry::CycleProfiler;
+using telemetry::JsonWriter;
+using telemetry::ProfileEntry;
+using telemetry::Registry;
+
+// ---------------------------------------------------------------------------
+// Metrics core
+// ---------------------------------------------------------------------------
+
+// Recording is compiled out under RMC_TELEMETRY=OFF (values stay zero by
+// contract), so the value-asserting tests only apply to the ON build; the
+// structural tests (JSON writer, profiler) run either way.
+#if RMC_TELEMETRY_ENABLED
+
+TEST(Registry, LookupCreatesOnceAndReturnsStableReferences) {
+  Registry r;
+  telemetry::Counter& a = r.counter("hits");
+  a.add();
+  a.add(4);
+  EXPECT_EQ(a.value(), 5u);
+  // Same name -> same instrument, not a fresh zeroed one.
+  EXPECT_EQ(&r.counter("hits"), &a);
+  EXPECT_EQ(r.counter("hits").value(), 5u);
+  EXPECT_EQ(r.size(), 1u);
+
+  EXPECT_EQ(r.find_counter("hits"), &a);
+  EXPECT_EQ(r.find_counter("missing"), nullptr);
+  EXPECT_EQ(r.find_gauge("hits"), nullptr);  // separate namespaces per kind
+}
+
+TEST(Registry, ResetZeroesValuesButKeepsInstruments) {
+  Registry r;
+  telemetry::Counter& c = r.counter("c");
+  telemetry::Gauge& g = r.gauge("g");
+  c.add(7);
+  g.set(3);
+  g.set(1);
+  EXPECT_EQ(g.value(), 1);
+  EXPECT_EQ(g.max(), 3);
+
+  r.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.max(), 0);
+  // References survive reset and keep recording.
+  c.add();
+  EXPECT_EQ(r.find_counter("c")->value(), 1u);
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(Registry, GlobalIsASingleton) {
+  Registry::global().counter("test_telemetry.probe").add();
+  EXPECT_EQ(Registry::global().find_counter("test_telemetry.probe")->value(),
+            1u);
+  Registry::global().reset();
+}
+
+TEST(Histogram, BucketsByUpperBoundWithOverflow) {
+  Registry r;
+  const u64 bounds[] = {10, 100};
+  telemetry::Histogram& h = r.histogram("lat", bounds);
+  h.record(5);    // <= 10          -> bucket 0
+  h.record(10);   // boundary is inclusive -> bucket 0
+  h.record(11);   // <= 100         -> bucket 1
+  h.record(101);  // past all bounds -> overflow bucket
+
+  ASSERT_EQ(h.counts().size(), 3u);
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[1], 1u);
+  EXPECT_EQ(h.counts()[2], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 127u);
+  EXPECT_EQ(h.min(), 5u);
+  EXPECT_EQ(h.max(), 101u);
+  EXPECT_DOUBLE_EQ(h.mean(), 127.0 / 4.0);
+
+  // Creation bounds win; a second lookup with different bounds is ignored.
+  const u64 other_bounds[] = {1};
+  EXPECT_EQ(&r.histogram("lat", other_bounds), &h);
+  EXPECT_EQ(h.bounds().size(), 2u);
+}
+
+TEST(Span, RecordsElapsedMicrosOnDestructionExactlyOnce) {
+  Registry r;
+  const u64 bounds[] = {1'000'000};
+  telemetry::Histogram& h = r.histogram("span_us", bounds);
+  {
+    telemetry::Span span(h);
+    EXPECT_EQ(h.count(), 0u);  // nothing recorded until scope exit
+  }
+  EXPECT_EQ(h.count(), 1u);
+
+  telemetry::Span span(h);
+  span.stop();
+  EXPECT_EQ(h.count(), 2u);
+  // Destructor after stop() must not double-record. (Checked below.)
+  {
+    telemetry::Span inner(h);
+    inner.stop();
+  }
+  EXPECT_EQ(h.count(), 3u);
+}
+
+#endif  // RMC_TELEMETRY_ENABLED
+
+// ---------------------------------------------------------------------------
+// JSON writer
+// ---------------------------------------------------------------------------
+
+TEST(JsonWriter, EscapesAndNestsDeterministically) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("a\"b", "line\nbreak\ttab\\");
+  w.key("arr");
+  w.begin_array();
+  w.value(1);
+  w.value(true);
+  w.null();
+  w.value(2.5);
+  w.end_array();
+  w.end_object();
+  EXPECT_TRUE(w.balanced());
+  EXPECT_EQ(w.str(),
+            "{\"a\\\"b\":\"line\\nbreak\\ttab\\\\\","
+            "\"arr\":[1,true,null,2.5]}");
+}
+
+TEST(JsonWriter, BalancedTracksOpenScopes) {
+  JsonWriter w;
+  w.begin_object();
+  EXPECT_FALSE(w.balanced());
+  w.end_object();
+  EXPECT_TRUE(w.balanced());
+}
+
+#if RMC_TELEMETRY_ENABLED
+TEST(JsonWriter, RegistryExportRoundTrip) {
+  Registry r;
+  r.counter("zeta").add(3);
+  r.counter("alpha").add(1);
+  r.gauge("g").set(-2);
+  const u64 bounds[] = {10, 100};
+  telemetry::Histogram& h = r.histogram("h", bounds);
+  h.record(5);
+  h.record(10);
+  h.record(11);
+  h.record(101);
+
+  // Exact text: sorted names, stable field order — the schema benches diff.
+  EXPECT_EQ(r.to_json(),
+            "{\"counters\":{\"alpha\":1,\"zeta\":3},"
+            "\"gauges\":{\"g\":{\"value\":-2,\"max\":0}},"
+            "\"histograms\":{\"h\":{\"count\":4,\"sum\":127,\"min\":5,"
+            "\"max\":101,\"bounds\":[10,100],\"counts\":[2,1,1]}}}");
+}
+#endif  // RMC_TELEMETRY_ENABLED
+
+TEST(JsonWriter, WriteFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "test_telemetry_rt.json";
+  const std::string text = "{\"k\":\"v\"}";
+  ASSERT_TRUE(telemetry::write_file(path, text));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), text + "\n");
+}
+
+// ---------------------------------------------------------------------------
+// Cycle-attribution profiler
+// ---------------------------------------------------------------------------
+
+// f1 calls f2 twice; f2 is two instructions. The `func` directives feed
+// Image::functions, so attribution regions are exactly {f1, f2} plus the
+// synthetic "(other)" (the call sentinel's HALT).
+constexpr const char* kProgram = R"(
+        func f1, f2
+        org 0100h
+f1:
+        call f2
+        call f2
+        ret
+f2:
+        ld a, 5
+        ret
+)";
+
+rabbit::Image assemble_program() {
+  auto out = rasm::assemble(kProgram);
+  EXPECT_TRUE(out.ok()) << out.status().to_string();
+  return out->image;
+}
+
+const ProfileEntry* find_region(const std::vector<ProfileEntry>& entries,
+                                const std::string& name) {
+  for (const ProfileEntry& e : entries) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+TEST(CycleProfilerTest, FuncDirectiveFillsImageFunctions) {
+  const rabbit::Image image = assemble_program();
+  ASSERT_EQ(image.functions.size(), 2u);
+  EXPECT_EQ(image.functions[0], "f1");
+  EXPECT_EQ(image.functions[1], "f2");
+}
+
+TEST(CycleProfilerTest, FuncDirectiveRejectsUnknownLabel) {
+  auto out = rasm::assemble("        func nosuch\n        org 0100h\nf1: ret\n");
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(CycleProfilerTest, AttributesKnownProgramExactly) {
+  const rabbit::Image image = assemble_program();
+  rabbit::Board board;
+  board.load(image);
+  CycleProfiler prof;
+  prof.attach(board.cpu(), image);
+  const u64 cyc0 = board.cpu().cycles();
+
+  auto res = board.call("f1");
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->stop, rabbit::StopReason::kHalted);
+
+  // Exact reconciliation: every cycle the CPU counted is attributed.
+  EXPECT_EQ(prof.total_cycles(), board.cpu().cycles() - cyc0);
+
+  const auto flat = prof.flat();
+  u64 sum = 0;
+  for (const ProfileEntry& e : flat) sum += e.cycles;
+  EXPECT_EQ(sum, prof.total_cycles());
+
+  // Steps are instruction-exact: f1 = call+call+ret, f2 = 2*(ld+ret),
+  // (other) = the sentinel HALT.
+  const ProfileEntry* f1 = find_region(flat, "f1");
+  const ProfileEntry* f2 = find_region(flat, "f2");
+  const ProfileEntry* other = find_region(flat, CycleProfiler::kOther);
+  ASSERT_NE(f1, nullptr);
+  ASSERT_NE(f2, nullptr);
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(f1->steps, 3u);
+  EXPECT_EQ(f2->steps, 4u);
+  EXPECT_EQ(other->steps, 1u);
+
+  // Region boundaries come from the function map: f1 = [0x100, f2).
+  EXPECT_EQ(f1->phys_lo, 0x100u);
+  EXPECT_EQ(f1->phys_hi, f2->phys_lo);
+  EXPECT_GT(f2->phys_hi, f2->phys_lo);
+}
+
+TEST(CycleProfilerTest, AttributionIsLinearInCalls) {
+  const rabbit::Image image = assemble_program();
+  rabbit::Board board;
+  board.load(image);
+  CycleProfiler prof;
+  prof.attach(board.cpu(), image);
+
+  // One direct call to f2 (ld+ret, then the sentinel HALT).
+  ASSERT_TRUE(board.call("f2").ok());
+  const ProfileEntry* f2_single = find_region(prof.flat(), "f2");
+  ASSERT_NE(f2_single, nullptr);
+  const u64 single_cycles = f2_single->cycles;
+  EXPECT_EQ(f2_single->steps, 2u);
+
+  // f1 invokes f2 twice: exactly double, no smearing into other regions.
+  prof.reset_counts();
+  ASSERT_TRUE(board.call("f1").ok());
+  const ProfileEntry* f2_double = find_region(prof.flat(), "f2");
+  ASSERT_NE(f2_double, nullptr);
+  EXPECT_EQ(f2_double->cycles, 2 * single_cycles);
+  EXPECT_EQ(f2_double->steps, 4u);
+}
+
+TEST(CycleProfilerTest, PhasesPartitionTheTotal) {
+  const rabbit::Image image = assemble_program();
+  rabbit::Board board;
+  board.load(image);
+  CycleProfiler prof;
+  prof.attach(board.cpu(), image);
+
+  prof.set_phase("first");
+  ASSERT_TRUE(board.call("f2").ok());
+  prof.set_phase("second");
+  ASSERT_TRUE(board.call("f1").ok());
+
+  EXPECT_EQ(prof.phase_cycles("first") + prof.phase_cycles("second"),
+            prof.total_cycles());
+  EXPECT_EQ(prof.phase_cycles("init"), 0u);  // nothing ran before first
+
+  // The first phase never entered f1.
+  EXPECT_EQ(find_region(prof.flat("first"), "f1"), nullptr);
+  EXPECT_NE(find_region(prof.flat("second"), "f1"), nullptr);
+}
+
+TEST(CycleProfilerTest, ObserverDoesNotPerturbTheSimulation) {
+  const rabbit::Image image = assemble_program();
+
+  rabbit::Board plain;
+  plain.load(image);
+  auto res_plain = plain.call("f1");
+  ASSERT_TRUE(res_plain.ok());
+
+  rabbit::Board observed;
+  observed.load(image);
+  CycleProfiler prof;
+  prof.attach(observed.cpu(), image);
+  auto res_observed = observed.call("f1");
+  ASSERT_TRUE(res_observed.ok());
+
+  // Bit-identical run: same cycles, same instruction count, same result.
+  EXPECT_EQ(res_observed->cycles, res_plain->cycles);
+  EXPECT_EQ(res_observed->instructions, res_plain->instructions);
+  EXPECT_EQ(res_observed->a, res_plain->a);
+
+  // Detaching stops collection without touching the CPU.
+  const u64 before = prof.total_cycles();
+  observed.cpu().set_observer(nullptr);
+  auto res_detached = observed.call("f1");
+  ASSERT_TRUE(res_detached.ok());
+  EXPECT_EQ(res_detached->cycles, res_plain->cycles);
+  EXPECT_EQ(prof.total_cycles(), before);
+}
+
+TEST(CycleProfilerTest, WriteJsonEmitsPhasesAndRegions) {
+  const rabbit::Image image = assemble_program();
+  rabbit::Board board;
+  board.load(image);
+  CycleProfiler prof;
+  prof.attach(board.cpu(), image);
+  prof.set_phase("run");
+  ASSERT_TRUE(board.call("f1").ok());
+
+  JsonWriter w;
+  prof.write_json(w);
+  ASSERT_TRUE(w.balanced());
+  const std::string json = w.str();
+  EXPECT_NE(json.find("\"total_cycles\":"), std::string::npos);
+  EXPECT_NE(json.find("\"run\":"), std::string::npos);
+  EXPECT_NE(json.find("\"f2\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rmc
