@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Pre-merge gate: tier-1 tests, then an ASan/UBSan build of the fault soak
+# (E9) so every corruption/teardown path the FaultPlan can reach is
+# sanitizer-clean, then a double run proving the soak's --json artifact is
+# byte-reproducible for a fixed seed.
+#
+# Usage:
+#   scripts/check.sh
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+echo "== tier-1: build + ctest =="
+cmake -B "$repo_root/build" -S "$repo_root" >/dev/null
+cmake --build "$repo_root/build" -j >/dev/null
+(cd "$repo_root/build" && ctest --output-on-failure -j)
+
+echo
+echo "== sanitizers: ASan+UBSan fault soak (E9) =="
+san_dir="$repo_root/build-san"
+cmake -B "$san_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=Debug -DRMC_SANITIZE=address,undefined >/dev/null
+cmake --build "$san_dir" -j --target bench_fault_soak >/dev/null
+"$san_dir/bench/bench_fault_soak" --seed 233
+
+echo
+echo "== determinism: E9 json byte-reproducible for a fixed seed =="
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+"$san_dir/bench/bench_fault_soak" --seed 233 --json "$tmp/a.json" >/dev/null
+"$san_dir/bench/bench_fault_soak" --seed 233 --json "$tmp/b.json" >/dev/null
+cmp "$tmp/a.json" "$tmp/b.json"
+echo "identical artifacts for seed 233"
+
+echo
+echo "check.sh: all gates passed"

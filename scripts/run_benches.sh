@@ -32,6 +32,7 @@ run E4 bench_connections
 run E5 bench_ssl_throughput
 run E6 bench_handshake
 run E7 bench_memory
+run E9 bench_fault_soak --seed 233
 run ABLATION bench_ablation_record
 
 echo "== CRYPTO: bench_crypto_primitives (google-benchmark JSON) =="

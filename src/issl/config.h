@@ -24,6 +24,18 @@ struct Config {
   KeyExchange key_exchange = KeyExchange::kRsa;
   std::size_t aes_key_bits = 128;  // 128 / 192 / 256
   std::size_t rsa_modulus_bits = 256;  // small for simulation speed
+
+  // Robustness budgets, counted in pump() calls — the session has no clock
+  // of its own, and service loops pump roughly once per virtual
+  // millisecond. A pump "stalls" when it consumed no transport bytes while
+  // the session was mid-handshake, or while a partial record sat in
+  // reassembly (an established, idle session never stalls). Exceeding the
+  // budget fails the session with kTimeout instead of wedging the caller's
+  // costatement forever. The defaults comfortably clear TCP's worst-case
+  // backed-off retransmission horizon (~19 s to give-up); 0 disables.
+  std::size_t handshake_stall_limit = 30'000;
+  std::size_t record_stall_limit = 30'000;
+
   bool valid() const {
     return aes_key_bits == 128 || aes_key_bits == 192 || aes_key_bits == 256;
   }

@@ -77,6 +77,12 @@ class RecordCodec {
 
   u64 records_sealed() const { return seq_send_; }
   u64 records_opened() const { return seq_recv_; }
+  /// A MAC/padding/header failure latched; every later pop() fails too.
+  bool poisoned() const { return poisoned_; }
+  /// Bytes sitting in reassembly (a non-zero value that never completes a
+  /// record means the tail was lost — the session's stall watchdog keys
+  /// off this).
+  std::size_t buffered_bytes() const { return rx_buffer_.size(); }
 
  private:
   common::Result<std::vector<u8>> open_payload(RecordType type,

@@ -26,6 +26,11 @@ telemetry::Counter& hs_fail_counter() {
       telemetry::Registry::global().counter("issl.handshakes_failed");
   return c;
 }
+telemetry::Counter& stall_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("issl.stall_timeouts");
+  return c;
+}
 
 constexpr u8 kMsgClientHello = 1;
 constexpr u8 kMsgServerHello = 2;
@@ -118,6 +123,7 @@ Status Session::send_handshake(u8 msg_type, std::span<const u8> body) {
 
 Status Session::flush_and_fill() {
   u8 buf[512];
+  fill_bytes_ = 0;
   // Bounded intake per pump: a transport spraying garbage must hit record
   // validation (and fail the session) instead of growing the reassembly
   // buffer without limit.
@@ -140,6 +146,7 @@ Status Session::flush_and_fill() {
       }
       return Status::ok();
     }
+    fill_bytes_ += *n;
     Status s = codec_.feed(std::span<const u8>(buf, *n));
     if (!s.is_ok()) return s;
   }
@@ -171,6 +178,29 @@ Status Session::pump() {
     if (!s.is_ok()) return fail(s);
     if (state_ == SessionState::kFailed || state_ == SessionState::kClosed) {
       break;
+    }
+  }
+
+  // Stall watchdog. A silent peer mid-handshake — or a partial record whose
+  // tail never arrives — must eventually fail the session rather than wedge
+  // the caller's pump loop forever. Established and idle is legitimate, so
+  // only no-progress pumps in those two situations count.
+  const bool mid_handshake = state_ != SessionState::kEstablished &&
+                             state_ != SessionState::kClosed &&
+                             state_ != SessionState::kFailed;
+  const bool partial_record =
+      state_ == SessionState::kEstablished && codec_.buffered_bytes() > 0;
+  if (fill_bytes_ > 0 || !(mid_handshake || partial_record)) {
+    stall_pumps_ = 0;
+  } else {
+    ++stall_pumps_;
+    const std::size_t limit = mid_handshake ? config_.handshake_stall_limit
+                                            : config_.record_stall_limit;
+    if (limit > 0 && stall_pumps_ >= limit) {
+      stall_counter().add();
+      return fail(Status(ErrorCode::kTimeout,
+                         mid_handshake ? "handshake stalled past pump budget"
+                                       : "record read stalled past pump budget"));
     }
   }
   return Status::ok();

@@ -88,6 +88,9 @@ class Session {
   // Introspection for tests and benches.
   std::size_t handshake_messages_seen() const { return hs_messages_; }
   const Config& config() const { return config_; }
+  /// Consecutive pumps that made no progress while waiting on the peer
+  /// (see Config::handshake_stall_limit).
+  std::size_t stalled_pumps() const { return stall_pumps_; }
 
  private:
   Session(Role role, const Config& config, ByteStream& stream,
@@ -128,6 +131,8 @@ class Session {
   std::vector<u8> hs_reassembly_;  // partial handshake messages
   std::vector<u8> app_rx_;
   std::size_t hs_messages_ = 0;
+  std::size_t stall_pumps_ = 0;  // consecutive no-progress pumps
+  std::size_t fill_bytes_ = 0;   // transport bytes consumed by last pump
 };
 
 }  // namespace rmc::issl

@@ -135,4 +135,21 @@ void DcTcpApi::sock_close(tcp_Socket* s) {
   s->peer_eof = false;
 }
 
+void DcTcpApi::sock_abort(tcp_Socket* s) {
+  if (s->conn >= 0) {
+    (void)stack_.abort(s->conn);
+    s->conn = -1;
+  }
+  s->gather.clear();
+  s->peer_eof = false;
+}
+
+common::Result<int> DcTcpApi::accept_pending(Port port) {
+  auto it = listeners_.find(port);
+  if (it == listeners_.end()) {
+    return Status(ErrorCode::kNotFound, "no listener on port");
+  }
+  return stack_.accept(it->second);
+}
+
 }  // namespace rmc::net

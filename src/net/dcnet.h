@@ -72,6 +72,18 @@ class DcTcpApi {
   /// tcp_listen afterwards.
   void sock_close(tcp_Socket* s);
 
+  /// sock_abort(&s): hard abort (RST) instead of the graceful FIN exchange.
+  /// Dynamic C's escape hatch for a wedged peer; the redirector's watchdog
+  /// and handshake-timeout paths use this so a dead connection frees its
+  /// slot immediately.
+  void sock_abort(tcp_Socket* s);
+
+  /// Pop a pending established connection off the per-port listener without
+  /// binding it to any tcp_Socket (kUnavailable if none). The redirector's
+  /// shedder refuses excess clients through this when every handler slot is
+  /// busy.
+  common::Result<int> accept_pending(Port port);
+
   common::u64 tick_calls() const { return tick_calls_; }
   bool initialized() const { return initialized_; }
 

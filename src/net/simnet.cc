@@ -19,6 +19,33 @@ telemetry::Counter& dropped_counter() {
       telemetry::Registry::global().counter("simnet.segments_dropped");
   return c;
 }
+// Per-cause drop attribution so bench output can tell random loss from a
+// missing host from a scheduled partition.
+telemetry::Counter& dropped_loss_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("simnet.drops.loss");
+  return c;
+}
+telemetry::Counter& dropped_no_host_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("simnet.drops.no_host");
+  return c;
+}
+telemetry::Counter& dropped_partition_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("simnet.drops.partition");
+  return c;
+}
+telemetry::Counter& corrupted_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("simnet.segments_corrupted");
+  return c;
+}
+telemetry::Counter& duplicated_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("simnet.segments_duplicated");
+  return c;
+}
 telemetry::Counter& delivered_counter() {
   static telemetry::Counter& c =
       telemetry::Registry::global().counter("simnet.segments_delivered");
@@ -35,15 +62,73 @@ void SimNet::attach(IpAddr addr, NetworkEndpoint* endpoint) {
   endpoints_[addr] = endpoint;
 }
 
+bool SimNet::in_partition(u64 at_ms) const {
+  for (const PartitionWindow& w : plan_.partitions) {
+    if (at_ms >= w.start_ms && at_ms < w.end_ms) return true;
+  }
+  return false;
+}
+
+void SimNet::enqueue(Segment segment) {
+  u64 due = now_ms_ + latency_ms_;
+  if (plan_.jitter_ms > 0) due += rng_.next_below(plan_.jitter_ms + 1);
+  in_flight_.push_back(InFlight{due, std::move(segment)});
+}
+
 void SimNet::send(Segment segment) {
   ++sent_;
   sent_counter().add();
-  if (rng_.chance(loss_)) {
-    ++dropped_;
+
+  // Scheduled partition: the wire simply isn't there. Checked before any
+  // PRNG draw so partition windows don't perturb the loss/corruption
+  // sequence of the surrounding traffic.
+  if (in_partition(now_ms_)) {
+    ++dropped_partition_;
+    dropped_partition_counter().add();
     dropped_counter().add();
     return;
   }
-  in_flight_.push_back(InFlight{now_ms_ + latency_ms_, std::move(segment)});
+
+  // Gilbert–Elliott chain step, then the state's loss draw. A zero-fault
+  // plan consumes exactly one chance() per send (or none at p==0), matching
+  // the legacy uniform-loss PRNG stream bit for bit.
+  if (ge_bad_state_) {
+    if (rng_.chance(plan_.p_bad_to_good)) ge_bad_state_ = false;
+  } else {
+    if (rng_.chance(plan_.p_good_to_bad)) ge_bad_state_ = true;
+  }
+  const double loss = ge_bad_state_ ? plan_.loss_bad : plan_.loss_good;
+  if (rng_.chance(loss)) {
+    ++dropped_loss_;
+    dropped_loss_counter().add();
+    dropped_counter().add();
+    return;
+  }
+
+  // Payload corruption: flip one random bit per afflicted byte. Headers
+  // survive — the damage must reach the layer that can detect it (issl's
+  // record MAC), not vanish into an un-routable segment.
+  if (plan_.corrupt_byte_probability > 0 && !segment.payload.empty()) {
+    bool corrupted = false;
+    for (u8& b : segment.payload) {
+      if (rng_.chance(plan_.corrupt_byte_probability)) {
+        b ^= static_cast<u8>(1u << rng_.next_below(8));
+        corrupted = true;
+      }
+    }
+    if (corrupted) {
+      ++corrupted_;
+      corrupted_counter().add();
+    }
+  }
+
+  const bool duplicate = rng_.chance(plan_.duplicate_probability);
+  if (duplicate) {
+    ++duplicated_;
+    duplicated_counter().add();
+    enqueue(segment);  // copy; each copy gets its own jitter
+  }
+  enqueue(std::move(segment));
   in_flight_gauge().set(static_cast<telemetry::i64>(in_flight_.size()));
 }
 
@@ -63,7 +148,8 @@ void SimNet::tick(u32 ms) {
           payload_bytes_ += seg.payload.size();
           it->second->deliver(seg);
         } else {
-          ++dropped_;  // no host at that address
+          ++dropped_no_host_;  // no host at that address
+          dropped_no_host_counter().add();
           dropped_counter().add();
         }
       } else {

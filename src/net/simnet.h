@@ -5,6 +5,15 @@
 // endpoints with configurable latency and random loss, driven by an explicit
 // virtual clock. Deterministic by construction (seeded PRNG), so every
 // protocol test and throughput bench is reproducible.
+//
+// Beyond uniform loss, the medium accepts a composable FaultPlan modelling
+// the ways a real, imperfect segment misbehaves: Gilbert–Elliott burst loss,
+// per-byte payload corruption (the kind a weak link-layer checksum lets
+// through), segment duplication, reordering via jittered latency, and
+// scheduled partition windows. All draws come from the medium's single
+// seeded PRNG, so an entire fault soak is reproducible from one seed — and
+// a zero-fault plan consumes the PRNG exactly like the legacy uniform-loss
+// path, keeping every pre-existing bench bit-identical.
 #pragma once
 
 #include <deque>
@@ -55,6 +64,74 @@ struct Segment {
   bool has(u8 flag) const { return (flags & flag) != 0; }
 };
 
+/// A closed interval of virtual time during which the medium delivers
+/// nothing (cable pull, switch reboot). Segments sent inside the window are
+/// dropped and attributed to the partition, not to random loss.
+struct PartitionWindow {
+  u64 start_ms = 0;
+  u64 end_ms = 0;  // exclusive
+};
+
+/// Composable fault model, all knobs independent and all draws seeded.
+///
+/// Loss is the two-state Gilbert–Elliott chain: the medium is either in the
+/// good state (losing with `loss_good`) or the bad state (`loss_bad`);
+/// before each transmission it moves good->bad with `p_good_to_bad` and
+/// bad->good with `p_bad_to_good`. With both transition probabilities at
+/// zero the chain degenerates to the classic uniform Bernoulli loss of
+/// `loss_good` — which is exactly what set_loss_probability() configures.
+struct FaultPlan {
+  double loss_good = 0.0;
+  double loss_bad = 0.0;
+  double p_good_to_bad = 0.0;
+  double p_bad_to_good = 0.0;
+
+  /// Each payload byte of a delivered segment flips one random bit with
+  /// this probability (headers stay intact — the sim's TCP has no checksum,
+  /// so corruption rides through to whoever MACs the bytes).
+  double corrupt_byte_probability = 0.0;
+
+  /// Probability a transmitted segment is enqueued twice (each copy gets
+  /// its own jittered latency).
+  double duplicate_probability = 0.0;
+
+  /// Extra uniform latency in [0, jitter_ms] per segment; distinct due
+  /// times are what reorder deliveries.
+  u32 jitter_ms = 0;
+
+  std::vector<PartitionWindow> partitions;
+
+  bool any_fault() const {
+    return loss_good > 0 || loss_bad > 0 || p_good_to_bad > 0 ||
+           corrupt_byte_probability > 0 || duplicate_probability > 0 ||
+           jitter_ms > 0 || !partitions.empty();
+  }
+
+  /// The legacy medium: uniform Bernoulli loss, nothing else.
+  static FaultPlan uniform_loss(double p) {
+    FaultPlan plan;
+    plan.loss_good = p;
+    return plan;
+  }
+
+  /// Average loss rate `avg` delivered in bursts: the bad state loses
+  /// heavily (`loss_bad`), dwelling long enough that the long-run average
+  /// matches `avg`. Mean bad-state dwell is `1 / p_bad_to_good` segments.
+  static FaultPlan burst_loss(double avg, double loss_bad = 0.75,
+                              double p_bad_to_good = 0.25) {
+    FaultPlan plan;
+    if (avg <= 0 || loss_bad <= 0) return plan;
+    plan.loss_bad = loss_bad;
+    plan.p_bad_to_good = p_bad_to_good;
+    // Stationary P(bad) = p_gb / (p_gb + p_bg); solve for p_gb so that
+    // P(bad) * loss_bad == avg.
+    const double p_bad = avg / loss_bad;
+    plan.p_good_to_bad = p_bad >= 1.0 ? 1.0
+                                      : p_bad_to_good * p_bad / (1.0 - p_bad);
+    return plan;
+  }
+};
+
 /// Something attached to the wire (a TcpStack).
 class NetworkEndpoint {
  public:
@@ -74,10 +151,13 @@ class SimNet {
   void attach(IpAddr addr, NetworkEndpoint* endpoint);
 
   /// Medium characteristics.
-  void set_loss_probability(double p) { loss_ = p; }
+  void set_loss_probability(double p) { plan_ = FaultPlan::uniform_loss(p); }
   void set_latency_ms(u32 ms) { latency_ms_ = ms; }
+  void set_fault_plan(FaultPlan plan) { plan_ = std::move(plan); }
+  const FaultPlan& fault_plan() const { return plan_; }
 
-  /// Transmit. Subject to loss; delivery happens `latency_ms` later.
+  /// Transmit. Subject to the fault plan; delivery happens `latency_ms`
+  /// (plus any jitter) later.
   void send(Segment segment);
 
   /// Advance virtual time by `ms`, delivering due segments and ticking all
@@ -86,11 +166,20 @@ class SimNet {
 
   u64 now_ms() const { return now_ms_; }
 
-  // Wire statistics (bench_ssl_throughput reports these).
+  // Wire statistics (bench_ssl_throughput and the fault soak report these).
   u64 segments_sent() const { return sent_; }
   u64 segments_delivered() const { return delivered_; }
-  u64 segments_dropped() const { return dropped_; }
   u64 payload_bytes_delivered() const { return payload_bytes_; }
+  /// All drops regardless of cause (legacy accessor).
+  u64 segments_dropped() const {
+    return dropped_loss_ + dropped_no_host_ + dropped_partition_;
+  }
+  // Per-cause drop attribution.
+  u64 drops_loss() const { return dropped_loss_; }
+  u64 drops_no_host() const { return dropped_no_host_; }
+  u64 drops_partition() const { return dropped_partition_; }
+  u64 segments_corrupted() const { return corrupted_; }
+  u64 segments_duplicated() const { return duplicated_; }
 
  private:
   struct InFlight {
@@ -98,15 +187,23 @@ class SimNet {
     Segment segment;
   };
 
+  bool in_partition(u64 at_ms) const;
+  void enqueue(Segment segment);
+
   std::map<IpAddr, NetworkEndpoint*> endpoints_;
   std::deque<InFlight> in_flight_;
   common::Xorshift64 rng_;
-  double loss_ = 0.0;
+  FaultPlan plan_;
+  bool ge_bad_state_ = false;  // Gilbert–Elliott chain state
   u32 latency_ms_ = 1;
   u64 now_ms_ = 0;
   u64 sent_ = 0;
   u64 delivered_ = 0;
-  u64 dropped_ = 0;
+  u64 dropped_loss_ = 0;
+  u64 dropped_no_host_ = 0;
+  u64 dropped_partition_ = 0;
+  u64 corrupted_ = 0;
+  u64 duplicated_ = 0;
   u64 payload_bytes_ = 0;
 };
 

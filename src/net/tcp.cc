@@ -33,6 +33,16 @@ telemetry::Counter& refused_counter() {
       telemetry::Registry::global().counter("tcp.connections_refused");
   return c;
 }
+telemetry::Counter& giveup_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("tcp.retx_giveups");
+  return c;
+}
+telemetry::Counter& syn_drop_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("tcp.syn_drops_backlog_full");
+  return c;
+}
 }  // namespace
 
 const char* tcp_state_name(TcpState s) {
@@ -195,6 +205,14 @@ Status TcpStack::close(int sock) {
   return Status::ok();
 }
 
+Status TcpStack::abort(int sock) {
+  Tcb* t = find(sock);
+  if (t == nullptr) return Status(ErrorCode::kNotFound, "bad socket");
+  if (t->state == TcpState::kListen) return close(sock);
+  kill(*t, /*reset=*/true);
+  return Status::ok();
+}
+
 TcpState TcpStack::state(int sock) const {
   const Tcb* t = find(sock);
   return t == nullptr ? TcpState::kClosed : t->state;
@@ -203,6 +221,11 @@ TcpState TcpStack::state(int sock) const {
 bool TcpStack::was_reset(int sock) const {
   const Tcb* t = find(sock);
   return t != nullptr && t->reset;
+}
+
+u64 TcpStack::rto_ms(int sock) const {
+  const Tcb* t = find(sock);
+  return t == nullptr ? 0 : t->rto_ms;
 }
 
 // ---------------------------------------------------------------------------
@@ -224,7 +247,7 @@ void TcpStack::transmit(const Tcb& tcb, u32 seq, u8 flags,
 }
 
 void TcpStack::arm_retx(Tcb& tcb) {
-  if (tcb.retx_deadline == 0) tcb.retx_deadline = now_ms_ + kRtoMs;
+  if (tcb.retx_deadline == 0) tcb.retx_deadline = now_ms_ + tcb.rto_ms;
 }
 
 void TcpStack::pump(Tcb& tcb) {
@@ -259,6 +282,13 @@ void TcpStack::retransmit(Tcb& tcb) {
   retx_counter().add();
   ++tcb.retx_count;
   if (tcb.retx_count > kMaxRetx) {
+    // Give up: the peer (or the wire) is gone. RST, latch was_reset, free.
+    ++retx_giveups_;
+    giveup_counter().add();
+    if (diag_log_ != nullptr) {
+      diag_log_->append("tcp retx-giveup port=" +
+                        std::to_string(tcb.local_port));
+    }
     kill(tcb, /*reset=*/true);
     return;
   }
@@ -281,7 +311,12 @@ void TcpStack::retransmit(Tcb& tcb) {
       break;
     }
   }
-  tcb.retx_deadline = now_ms_ + kRtoMs;
+  // Exponential backoff with jitter: each consecutive loss doubles the wait
+  // (capped), and a small random skew keeps flows that lost the same burst
+  // from retransmitting in lockstep.
+  tcb.rto_ms = std::min(tcb.rto_ms * 2, kRtoMaxMs);
+  tcb.retx_deadline =
+      now_ms_ + tcb.rto_ms + rng_.next_below(static_cast<u32>(tcb.rto_ms / 8) + 1);
 }
 
 void TcpStack::kill(Tcb& tcb, bool reset) {
@@ -298,8 +333,17 @@ void TcpStack::kill(Tcb& tcb, bool reset) {
 void TcpStack::handle_listener(Tcb& listener, const Segment& seg) {
   if (!seg.has(TcpFlags::kSyn)) return;  // stray segment to a listener
   if (static_cast<int>(listener.accept_queue.size()) >= listener.backlog) {
+    // Backlog full: drop the SYN (client will retransmit). This used to be
+    // invisible; now it is counted and logged so a saturated service shows
+    // up in telemetry instead of as mysteriously slow clients.
+    ++syn_backlog_drops_;
+    syn_drop_counter().add();
     refused_counter().add();
-    return;  // backlog full: silently drop (client will retransmit SYN)
+    if (diag_log_ != nullptr) {
+      diag_log_->append("tcp syn-drop port=" +
+                        std::to_string(listener.local_port) + " backlog-full");
+    }
+    return;
   }
   const int id = next_id_++;
   Tcb conn;
@@ -334,8 +378,20 @@ void TcpStack::handle_connection(int id, Tcb& tcb, const Segment& seg) {
       tcb.state = TcpState::kEstablished;
       tcb.retx_deadline = 0;
       tcb.retx_count = 0;
+      tcb.rto_ms = kRtoMs;
       transmit(tcb, tcb.snd_nxt, TcpFlags::kAck, {});
       pump(tcb);
+    }
+    return;
+  }
+
+  // A retransmitted SYN-ACK on a live connection means our final handshake
+  // ACK was lost; re-ACK so the peer can leave SynRcvd instead of backing
+  // off to give-up. (In SynRcvd a duplicate SYN is covered by our own
+  // SYN-ACK retransmission timer — nothing to do.)
+  if (seg.has(TcpFlags::kSyn)) {
+    if (tcb.state != TcpState::kSynRcvd) {
+      transmit(tcb, tcb.snd_nxt, TcpFlags::kAck, {});
     }
     return;
   }
@@ -357,8 +413,9 @@ void TcpStack::handle_connection(int id, Tcb& tcb, const Segment& seg) {
                          tcb.inflight.begin() + static_cast<long>(pop));
       tcb.snd_una = seg.ack;
       tcb.retx_count = 0;
+      tcb.rto_ms = kRtoMs;  // forward progress resets the backoff
       tcb.retx_deadline =
-          (tcb.snd_una == tcb.snd_nxt) ? 0 : now_ms_ + kRtoMs;
+          (tcb.snd_una == tcb.snd_nxt) ? 0 : now_ms_ + tcb.rto_ms;
       // FIN fully acknowledged?
       if (tcb.fin_sent && tcb.snd_una == tcb.snd_nxt) {
         if (tcb.state == TcpState::kFinWait1) {

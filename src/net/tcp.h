@@ -3,11 +3,15 @@
 // the one the Unix side of the case study speaks.
 //
 // Implemented: 3-way handshake, cumulative ACKs, in-order delivery with
-// dup-ACK on out-of-order segments, go-back-N retransmission with a fixed
-// RTO, graceful FIN teardown in both directions, RST on unexpected
-// segments, listener backlogs. Not implemented (out of scope, documented in
-// DESIGN.md): sliding receive windows, congestion control, SACK, urgent
-// data.
+// dup-ACK on out-of-order segments, go-back-N retransmission with an
+// exponentially backed-off RTO (base kRtoMs, doubling per consecutive loss
+// up to kRtoMaxMs, with a small seeded jitter to de-synchronize competing
+// flows), graceful FIN teardown in both directions, RST on unexpected
+// segments, listener backlogs. A connection that exhausts kMaxRetx
+// retransmissions gives up: it sends RST, latches was_reset(), and frees
+// its resources instead of retrying forever. Not implemented (out of scope,
+// documented in DESIGN.md): sliding receive windows, congestion control,
+// SACK, urgent data.
 //
 // All calls are non-blocking: "blocking" behaviour is built by the service
 // layer out of costatement waitfor loops, exactly as the port had to (§5.3).
@@ -16,6 +20,7 @@
 #include <deque>
 #include <map>
 
+#include "common/ringlog.h"
 #include "common/status.h"
 #include "net/simnet.h"
 
@@ -40,8 +45,9 @@ class TcpStack : public NetworkEndpoint {
  public:
   static constexpr std::size_t kMss = 536;          // classic default MSS
   static constexpr std::size_t kWindow = 4 * kMss;  // fixed send window
-  static constexpr u64 kRtoMs = 200;
-  static constexpr int kMaxRetx = 8;
+  static constexpr u64 kRtoMs = 200;                // base RTO
+  static constexpr u64 kRtoMaxMs = 3'200;           // backoff ceiling
+  static constexpr int kMaxRetx = 8;                // then RST + was_reset
 
   TcpStack(SimNet& net, IpAddr addr, u64 seed = 7);
 
@@ -67,6 +73,11 @@ class TcpStack : public NetworkEndpoint {
   /// Graceful close: FIN after queued data drains.
   common::Status close(int sock);
 
+  /// Hard abort: RST to the peer, resources freed now. The reset shows up
+  /// on both sides via was_reset() — the redirector sheds excess
+  /// connections and kills watchdogged slots through this.
+  common::Status abort(int sock);
+
   TcpState state(int sock) const;
   bool is_established(int sock) const {
     const TcpState s = state(sock);
@@ -83,6 +94,18 @@ class TcpStack : public NetworkEndpoint {
   IpAddr address() const { return addr_; }
   u64 retransmissions() const { return retransmissions_; }
   u64 resets_sent() const { return resets_sent_; }
+  /// Connections that died from retransmission exhaustion.
+  u64 retx_giveups() const { return retx_giveups_; }
+  /// SYNs silently dropped because a listener's backlog was full.
+  u64 syn_backlog_drops() const { return syn_backlog_drops_; }
+  /// Current retransmission timeout of a live connection (tests observe the
+  /// exponential backoff through this; 0 for unknown sockets).
+  u64 rto_ms(int sock) const;
+
+  /// Optional diagnostic sink: protocol-level events that would otherwise
+  /// be invisible (backlog-full SYN drops, retransmission give-ups) get a
+  /// log line here.
+  void set_diag_log(common::RingLog* log) { diag_log_ = log; }
 
   // --- UDP (datagram, unreliable — no retransmission) --------------------
   struct Datagram {
@@ -128,6 +151,7 @@ class TcpStack : public NetworkEndpoint {
     bool peer_fin = false;
     bool reset = false;
     u64 retx_deadline = 0;
+    u64 rto_ms = kRtoMs;  // current (backed-off) RTO
     int retx_count = 0;
     // Listener-only:
     int backlog = 0;
@@ -155,6 +179,9 @@ class TcpStack : public NetworkEndpoint {
   u64 now_ms_ = 0;
   u64 retransmissions_ = 0;
   u64 resets_sent_ = 0;
+  u64 retx_giveups_ = 0;
+  u64 syn_backlog_drops_ = 0;
+  common::RingLog* diag_log_ = nullptr;
   std::map<Port, std::deque<Datagram>> udp_ports_;
   u64 echo_replies_ = 0;
   u32 last_echo_seq_ = 0;

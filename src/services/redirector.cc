@@ -34,6 +34,26 @@ telemetry::Gauge& active_gauge() {
       telemetry::Registry::global().gauge("redirector.connections_active");
   return g;
 }
+telemetry::Counter& hs_timeout_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("redirector.handshake_timeouts");
+  return c;
+}
+telemetry::Counter& backend_retry_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("redirector.backend_retries");
+  return c;
+}
+telemetry::Counter& shed_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("redirector.connections_shed");
+  return c;
+}
+telemetry::Counter& watchdog_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("redirector.watchdog_aborts");
+  return c;
+}
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -45,7 +65,8 @@ RmcRedirector::RmcRedirector(net::TcpStack& stack, net::SimNet& medium,
     : stack_(stack),
       config_(std::move(config)),
       dc_(stack, &medium),
-      scheduler_(config_.handler_slots + 1),  // +1 = the tcp_tick driver
+      // +1 = the tcp_tick driver; +1 more when the shedder is compiled in.
+      scheduler_(config_.handler_slots + 1 + (config_.shed_when_busy ? 1 : 0)),
       log_(config_.log_capacity_bytes),
       sockets_(config_.handler_slots) {
   // The port's error policy (§4.1): install a handler and ignore most
@@ -61,6 +82,10 @@ Status RmcRedirector::start() {
     Status s = scheduler_.add(handler(slot), "handler" + std::to_string(slot));
     if (!s.is_ok()) return s;
   }
+  if (config_.shed_when_busy) {
+    Status s = scheduler_.add(shedder(), "shedder");
+    if (!s.is_ok()) return s;
+  }
   return scheduler_.add(tick_driver(), "tcp_tick");
 }
 
@@ -70,6 +95,25 @@ dynk::Costate RmcRedirector::tick_driver() {
   // Figure 3: "one [process] to drive the TCP stack".
   while (true) {
     dc_.tcp_tick(nullptr);
+    co_await Yield{};
+  }
+}
+
+dynk::Costate RmcRedirector::shedder() {
+  // Graceful degradation past the compile-time ceiling: while every handler
+  // slot holds a live connection, established clients queued on the
+  // listener would otherwise sit unanswered until they time out. Refuse
+  // them immediately (RST + log) so the failure is prompt and observable.
+  while (true) {
+    if (stats_.connections_active >= config_.handler_slots) {
+      auto excess = dc_.accept_pending(config_.listen_port);
+      if (excess.ok()) {
+        (void)stack_.abort(*excess);
+        ++stats_.connections_shed;
+        shed_counter().add();
+        log_.append("shed");
+      }
+    }
     co_await Yield{};
   }
 }
@@ -89,6 +133,7 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
     issl::DcStream stream(dc_, &sock);
     std::optional<issl::Session> session;
     bool usable = true;
+    bool abort_client = false;  // RST instead of FIN at cleanup
 
     if (config_.secure) {
       issl::ServerIdentity id;
@@ -96,12 +141,27 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
       id.rsa = config_.rsa;
       session.emplace(
           issl::issl_bind_server(stream, config_.tls, rng_, std::move(id)));
+      // A silent or stalled peer must not pin this slot forever: the
+      // handshake gets a hard virtual-time budget on top of the session's
+      // own pump-count stall limit.
+      const u64 hs_deadline =
+          config_.handshake_timeout_ms > 0
+              ? scheduler_.now_ms() + config_.handshake_timeout_ms
+              : 0;
       while (!session->established() && !session->failed() &&
              dc_.tcp_tick(&sock)) {
+        if (hs_deadline != 0 && scheduler_.now_ms() >= hs_deadline) break;
         (void)session->pump();
         co_await Yield{};
       }
       if (!session->established()) {
+        if (!session->failed() && hs_deadline != 0 &&
+            scheduler_.now_ms() >= hs_deadline) {
+          ++stats_.handshake_timeouts;
+          hs_timeout_counter().add();
+          log_.append("hs-timeout " + std::to_string(slot));
+          abort_client = true;
+        }
         ++stats_.handshake_failures;
         hs_fail_counter().add();
         log_.append("hs-fail " + std::to_string(slot));
@@ -114,25 +174,42 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
       }
     }
 
+    // Backend connect with capped exponential backoff: a restarting backend
+    // is a transient, not a reason to bounce the (already-paid-for) secure
+    // session. TCP's own give-up (RST + was_reset) bounds each attempt.
     int backend = -1;
     if (usable) {
-      auto b = stack_.connect(config_.backend_ip, config_.backend_port);
-      if (b.ok()) {
-        backend = *b;
-        co_await WaitFor{[this, backend] {
-          return stack_.is_established(backend) || stack_.was_reset(backend);
-        }};
-        if (stack_.was_reset(backend)) {
-          log_.append("backend-dead " + std::to_string(slot));
-          usable = false;
+      u64 backoff = config_.backend_backoff_base_ms;
+      for (int attempt = 0; attempt <= config_.backend_retry_limit;
+           ++attempt) {
+        if (attempt > 0) {
+          ++stats_.backend_retries;
+          backend_retry_counter().add();
+          log_.append("backend-retry " + std::to_string(slot));
+          co_await scheduler_.delay(static_cast<common::u32>(backoff));
+          backoff = std::min(backoff * 2, config_.backend_backoff_max_ms);
         }
-      } else {
+        auto b = stack_.connect(config_.backend_ip, config_.backend_port);
+        if (!b.ok()) continue;
+        const int cand = *b;
+        co_await WaitFor{[this, cand] {
+          return stack_.is_established(cand) || stack_.was_reset(cand);
+        }};
+        if (stack_.is_established(cand)) {
+          backend = cand;
+          break;
+        }
+      }
+      if (backend < 0) {
+        log_.append("backend-dead " + std::to_string(slot));
         usable = false;
       }
     }
 
     // Forwarding loop: client<->backend through the (optional) session.
     bool done = !usable;
+    bool watchdogged = false;
+    u64 last_progress_ms = scheduler_.now_ms();
     common::u64 crypto_cycles_owed = 0;  // accumulated cipher+MAC work
     while (!done) {
       if (session) {
@@ -150,6 +227,7 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
               forwarded_counter().add(data->size());
               crypto_cycles_owed +=
                   config_.crypto_cycles_per_byte * data->size();
+              last_progress_ms = scheduler_.now_ms();
             }
           }
           auto n = stack_.recv(backend, buf);
@@ -162,6 +240,7 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
               stats_.bytes_backend_to_client += *n;
               forwarded_counter().add(*n);
               crypto_cycles_owed += config_.crypto_cycles_per_byte * *n;
+              last_progress_ms = scheduler_.now_ms();
             }
           }
           // Pay off accumulated cipher work in whole virtual milliseconds.
@@ -182,6 +261,7 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
             (void)stack_.send(backend, std::span<const u8>(buf.data(), *n));
             stats_.bytes_client_to_backend += *n;
             forwarded_counter().add(*n);
+            last_progress_ms = scheduler_.now_ms();
           }
         }
         auto m = stack_.recv(backend, buf);
@@ -193,15 +273,43 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
                                      std::span<const u8>(buf.data(), *m));
             stats_.bytes_backend_to_client += *m;
             forwarded_counter().add(*m);
+            last_progress_ms = scheduler_.now_ms();
           }
         }
         if (!dc_.tcp_tick(&sock)) done = true;
       }
+      // Per-slot watchdog: no bytes either direction for the whole idle
+      // budget means a wedged peer (or lost tail) — kill the slot rather
+      // than let it rot. Raised through the §4.1 error-handler path.
+      if (!done && config_.idle_timeout_ms > 0 &&
+          scheduler_.now_ms() - last_progress_ms >= config_.idle_timeout_ms) {
+        watchdogged = true;
+        done = true;
+      }
       co_await Yield{};
     }
 
-    if (backend >= 0) (void)stack_.close(backend);
-    dc_.sock_close(&sock);
+    if (watchdogged) {
+      ++stats_.watchdog_aborts;
+      watchdog_counter().add();
+      log_.append("watchdog " + std::to_string(slot));
+      errors_.raise(dynk::RuntimeErrorInfo{
+          dynk::RuntimeErrorKind::kWatchdog,
+          static_cast<common::u16>(slot), "idle forwarding slot"});
+      abort_client = true;
+    }
+    if (backend >= 0) {
+      if (watchdogged) {
+        (void)stack_.abort(backend);
+      } else {
+        (void)stack_.close(backend);
+      }
+    }
+    if (abort_client) {
+      dc_.sock_abort(&sock);
+    } else {
+      dc_.sock_close(&sock);
+    }
     --stats_.connections_active;
     active_gauge().set(static_cast<telemetry::i64>(stats_.connections_active));
     ++stats_.connections_served;
@@ -263,11 +371,22 @@ dynk::Costate UnixRedirector::connection_process(int fd) {
     id.rsa = config_.rsa;
     session.emplace(
         issl::issl_bind_server(stream, config_.tls, rng_, std::move(id)));
+    const u64 hs_deadline =
+        config_.handshake_timeout_ms > 0
+            ? scheduler_.now_ms() + config_.handshake_timeout_ms
+            : 0;
     while (!session->established() && !session->failed() && stream.open()) {
+      if (hs_deadline != 0 && scheduler_.now_ms() >= hs_deadline) break;
       (void)session->pump();
       co_await Yield{};
     }
     if (!session->established()) {
+      if (!session->failed() && hs_deadline != 0 &&
+          scheduler_.now_ms() >= hs_deadline) {
+        ++stats_.handshake_timeouts;
+        hs_timeout_counter().add();
+        log_.push_back("handshake timeout on fd " + std::to_string(fd));
+      }
       ++stats_.handshake_failures;
       hs_fail_counter().add();
       log_.push_back("handshake failure on fd " + std::to_string(fd));

@@ -62,6 +62,26 @@ struct RedirectorConfig {
   /// Goldberg-style secure-vs-plain gap on this substrate.
   common::u64 crypto_cycles_per_byte = 0;
   common::u64 crypto_cycles_handshake = 0;
+
+  // --- Robustness (virtual-time budgets; 0 disables the guard) ------------
+  /// A handler whose issl handshake has not completed after this long
+  /// aborts the client (RST) and recycles its slot instead of pumping a
+  /// silent peer forever.
+  common::u64 handshake_timeout_ms = 5'000;
+  /// Per-slot watchdog: a forwarding loop that moves no bytes in either
+  /// direction for this long raises kWatchdog through the error dispatcher
+  /// and aborts both sides.
+  common::u64 idle_timeout_ms = 30'000;
+  /// Backend reconnect attempts beyond the first, with capped exponential
+  /// backoff between them.
+  int backend_retry_limit = 3;
+  common::u64 backend_backoff_base_ms = 50;
+  common::u64 backend_backoff_max_ms = 1'600;
+  /// When every handler slot is busy, refuse (RST + log) excess established
+  /// clients instead of letting them queue unanswered. Off by default: the
+  /// paper's port simply let them wait, and E4 measures exactly that — the
+  /// soak bench turns this on as the observable degradation mode.
+  bool shed_when_busy = false;
 };
 
 struct RedirectorStats {
@@ -70,6 +90,11 @@ struct RedirectorStats {
   u64 handshake_failures = 0;
   u64 bytes_client_to_backend = 0;
   u64 bytes_backend_to_client = 0;
+  // Degradation paths (all also surfaced as telemetry counters).
+  u64 handshake_timeouts = 0;   // subset of handshake_failures
+  u64 backend_retries = 0;      // reconnect attempts beyond the first
+  u64 connections_shed = 0;     // refused with RST while all slots busy
+  u64 watchdog_aborts = 0;      // idle forwarding loops killed
 };
 
 /// The embedded port (Figure 3 structure).
@@ -95,6 +120,7 @@ class RmcRedirector {
  private:
   dynk::Costate handler(std::size_t slot);
   dynk::Costate tick_driver();
+  dynk::Costate shedder();
 
   net::TcpStack& stack_;
   RedirectorConfig config_;

@@ -8,6 +8,7 @@
 #include "issl/issl.h"
 #include "net/simnet.h"
 #include "net/tcp.h"
+#include "telemetry/metrics.h"
 
 namespace rmc::issl {
 namespace {
@@ -161,6 +162,84 @@ TEST(Record, WrongKeysFailMac) {
   ASSERT_TRUE(wire.ok());
   ASSERT_TRUE(receiver.feed(*wire).is_ok());
   EXPECT_FALSE(receiver.pop().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Session-level fail-closed behaviour under wire corruption
+// ---------------------------------------------------------------------------
+
+// One direction of a duplex link: writes go to `out`, reads come from `in`.
+// Cross-wiring two of these over a pair of PipeStreams gives the test a
+// hand on the raw wire bytes between two live sessions.
+class HalfStream final : public ByteStream {
+ public:
+  HalfStream(PipeStream& out, PipeStream& in) : out_(out), in_(in) {}
+  common::Result<std::size_t> write(std::span<const u8> data) override {
+    return out_.write(data);
+  }
+  common::Result<std::size_t> read(std::span<u8> o) override {
+    return in_.read(o);
+  }
+  bool open() const override { return true; }
+  void close() override {}
+
+ private:
+  PipeStream& out_;
+  PipeStream& in_;
+};
+
+common::u64 mac_failure_count() {
+  const auto* c =
+      telemetry::Registry::global().find_counter("issl.mac_failures");
+  return c != nullptr ? c->value() : 0;
+}
+
+TEST(SessionTest, FlippedCiphertextBitFailsClosedWithExactlyOneMacFailure) {
+  PipeStream c2s, s2c;
+  HalfStream client_end(c2s, s2c), server_end(s2c, c2s);
+  common::Xorshift64 client_rng(31), server_rng(32);
+  const auto psk = bytes_of("tamper-key");
+  auto client =
+      issl_bind_client(client_end, Config::embedded_port(), client_rng, psk);
+  ServerIdentity id;
+  id.psk = psk;
+  auto server =
+      issl_bind_server(server_end, Config::embedded_port(), server_rng, id);
+  for (int i = 0;
+       i < 200 && !(client.established() && server.established()); ++i) {
+    (void)client.pump();
+    (void)server.pump();
+  }
+  ASSERT_TRUE(client.established() && server.established());
+
+  const common::u64 before = mac_failure_count();
+  ASSERT_TRUE(issl_write(client, bytes_of("launch code 0000")).ok());
+  // Flip one bit of the IV (right after the 4-byte record header): CBC
+  // turns that into a single flipped plaintext bit in the first block, so
+  // padding stays valid and the corruption reaches the MAC check itself.
+  ASSERT_GT(c2s.buf_.size(), 4u);
+  c2s.buf_[4] ^= 0x01;
+
+  std::vector<u8> leaked;
+  for (int i = 0; i < 50; ++i) {
+    (void)server.pump();
+    auto r = issl_read(server);
+    if (r.ok() && !r->empty()) leaked = *r;
+  }
+  // The tampered record must never surface as plaintext, the session must
+  // poison itself, and the failure must be attributed exactly once.
+  EXPECT_TRUE(leaked.empty());
+  EXPECT_TRUE(server.failed());
+  EXPECT_EQ(mac_failure_count(), before + 1);
+
+  // Fail closed stays closed: even a freshly sealed, valid record from the
+  // honest peer is refused after the poisoning.
+  ASSERT_TRUE(issl_write(client, bytes_of("legitimate retry")).ok());
+  for (int i = 0; i < 50; ++i) {
+    (void)server.pump();
+    EXPECT_FALSE(issl_read(server).ok());
+  }
+  EXPECT_TRUE(server.failed());
 }
 
 // ---------------------------------------------------------------------------

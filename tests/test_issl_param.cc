@@ -30,13 +30,21 @@ struct Link {
     auto l = server_stack.listen(443);
     auto c = client_stack.connect(1, 443);
     client_sock = *c;
-    // Even with loss, SYNs retransmit; allow time.
-    for (int i = 0; i < 5'000; ++i) {
+    // Even with loss, SYNs retransmit — but under heavy loss the
+    // backed-off handshake can give up entirely (RST + was_reset), so
+    // retry the connect like a real client.
+    for (int i = 0; i < 30'000; ++i) {
       net.tick(1);
-      auto sc = server_stack.accept(*l);
-      if (sc.ok()) {
-        server_sock = *sc;
-        break;
+      if (auto sc = server_stack.accept(*l); sc.ok()) {
+        if (client_stack.is_established(client_sock)) {
+          server_sock = *sc;
+          break;
+        }
+        (void)server_stack.abort(*sc);  // stale: from a given-up attempt
+      }
+      if (client_stack.was_reset(client_sock)) {
+        c = client_stack.connect(1, 443);
+        client_sock = *c;
       }
     }
     server_stream = std::make_unique<TcpStream>(server_stack, server_sock);
