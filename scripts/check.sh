@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Pre-merge gate: tier-1 tests, then an ASan/UBSan build of the fault soak
-# (E9) so every corruption/teardown path the FaultPlan can reach is
-# sanitizer-clean, then a double run proving the soak's --json artifact is
-# byte-reproducible for a fixed seed.
+# Pre-merge gate: tier-1 tests, then ASan/UBSan builds of the two soak
+# benches — E9 (wire faults) and E10 (board deaths: watchdog, power cuts,
+# xalloc exhaustion) — so every corruption/teardown/recovery path the fault
+# plans can reach is sanitizer-clean, then double runs proving both soaks'
+# --json artifacts are byte-reproducible for a fixed seed.
 #
 # Usage:
 #   scripts/check.sh
@@ -16,20 +17,24 @@ cmake --build "$repo_root/build" -j >/dev/null
 (cd "$repo_root/build" && ctest --output-on-failure -j)
 
 echo
-echo "== sanitizers: ASan+UBSan fault soak (E9) =="
+echo "== sanitizers: ASan+UBSan fault soak (E9) + crash soak (E10) =="
 san_dir="$repo_root/build-san"
 cmake -B "$san_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=Debug -DRMC_SANITIZE=address,undefined >/dev/null
-cmake --build "$san_dir" -j --target bench_fault_soak >/dev/null
+cmake --build "$san_dir" -j --target bench_fault_soak --target bench_crash_soak >/dev/null
 "$san_dir/bench/bench_fault_soak" --seed 233
+"$san_dir/bench/bench_crash_soak" --seed 233
 
 echo
-echo "== determinism: E9 json byte-reproducible for a fixed seed =="
+echo "== determinism: E9 + E10 json byte-reproducible for a fixed seed =="
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 "$san_dir/bench/bench_fault_soak" --seed 233 --json "$tmp/a.json" >/dev/null
 "$san_dir/bench/bench_fault_soak" --seed 233 --json "$tmp/b.json" >/dev/null
 cmp "$tmp/a.json" "$tmp/b.json"
+"$san_dir/bench/bench_crash_soak" --seed 233 --json "$tmp/c.json" >/dev/null
+"$san_dir/bench/bench_crash_soak" --seed 233 --json "$tmp/d.json" >/dev/null
+cmp "$tmp/c.json" "$tmp/d.json"
 echo "identical artifacts for seed 233"
 
 echo

@@ -3,12 +3,17 @@
 # BENCH_*.json artifacts at the repo root (schema: schema_version / bench /
 # params / results / profiles / metrics — see bench/bench_util.h).
 #
+# Every bench runs even if an earlier one fails; failures are collected and
+# reported at the end, and the script exits non-zero if there were any. A
+# half-written artifact from a failed bench is removed so stale JSON never
+# masquerades as a fresh result.
+#
 # Usage:
 #   scripts/run_benches.sh [out_dir]      # default: repo root
 #
 # bench_crypto_primitives is google-benchmark based and exports through that
 # framework's own --benchmark_format=json instead of the shared schema.
-set -euo pipefail
+set -uo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 out_dir="${1:-$repo_root}"
@@ -18,11 +23,17 @@ mkdir -p "$out_dir"
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$build_dir" -j >/dev/null
 
+failures=()
+
 run() {
   local id="$1" bin="$2"
   shift 2
   echo "== $id: $bin $* =="
-  "$build_dir/bench/$bin" "$@" --json "$out_dir/BENCH_$id.json"
+  if ! "$build_dir/bench/$bin" "$@" --json "$out_dir/BENCH_$id.json"; then
+    echo "!! $id FAILED" >&2
+    rm -f "$out_dir/BENCH_$id.json"
+    failures+=("$id")
+  fi
 }
 
 run E1 bench_aes_asm_vs_c
@@ -33,12 +44,23 @@ run E5 bench_ssl_throughput
 run E6 bench_handshake
 run E7 bench_memory
 run E9 bench_fault_soak --seed 233
+run E10 bench_crash_soak --seed 233
 run ABLATION bench_ablation_record
 
 echo "== CRYPTO: bench_crypto_primitives (google-benchmark JSON) =="
-"$build_dir/bench/bench_crypto_primitives" \
-  --benchmark_format=json >"$out_dir/BENCH_CRYPTO.json"
+if ! "$build_dir/bench/bench_crypto_primitives" \
+  --benchmark_format=json >"$out_dir/BENCH_CRYPTO.json"; then
+  echo "!! CRYPTO FAILED" >&2
+  rm -f "$out_dir/BENCH_CRYPTO.json"
+  failures+=(CRYPTO)
+fi
 
 echo
 echo "artifacts:"
-ls -l "$out_dir"/BENCH_*.json
+ls -l "$out_dir"/BENCH_*.json || true
+
+if ((${#failures[@]})); then
+  echo
+  echo "FAILED benches: ${failures[*]}" >&2
+  exit 1
+fi

@@ -1,0 +1,19 @@
+#include "dynk/power.h"
+
+namespace rmc::dynk {
+
+PowerFaultPlan PowerFaultPlan::random(common::u64 seed, std::size_t n_cuts,
+                                      common::u64 min_gap,
+                                      common::u64 max_gap) {
+  if (max_gap < min_gap) max_gap = min_gap;
+  common::Xorshift64 rng(seed);
+  PowerFaultPlan p;
+  p.cuts.reserve(n_cuts);
+  const common::u64 span = max_gap - min_gap + 1;
+  for (std::size_t i = 0; i < n_cuts; ++i) {
+    p.cuts.push_back(min_gap + rng.next() % span);
+  }
+  return p;
+}
+
+}  // namespace rmc::dynk

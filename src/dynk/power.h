@@ -1,0 +1,118 @@
+// Deterministic power-failure injection (paper §6 robustness work).
+//
+// The case study's board lives in a wiring closet: power is yanked at
+// arbitrary moments, including mid-way through the `protected` store
+// protocol. Reproducing "arbitrary moment" deterministically needs an
+// instrumented clock of *fault points*: every code location that matters for
+// durability calls PowerMonitor::step("site") before doing its next
+// irreversible byte of work. A PowerFaultPlan then says "cut the power at the
+// Nth fault point of this boot", which lands the cut on an exact protocol
+// step — same seed, same torn byte, every run.
+//
+// Division of labour mirrors the watchdog: the monitor only decides *whether
+// the lights are on*; reacting (dropping the board, rebooting, restoring the
+// battery-backed state) belongs to the supervisor that owns the board.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/prng.h"
+
+namespace rmc::dynk {
+
+/// A seeded schedule of power cuts. Each entry is the number of fault points
+/// the board survives after (re)gaining power before the cut trips; entry k
+/// governs the board's (k+1)-th power cycle.
+struct PowerFaultPlan {
+  std::vector<common::u64> cuts;
+
+  bool enabled() const { return !cuts.empty(); }
+
+  /// No cuts: power stays on forever (the E1-E9 baseline).
+  static PowerFaultPlan none() { return {}; }
+
+  /// Explicit cut points, one per power cycle — for aiming at a specific
+  /// protocol step in tests ("die between backup and commit").
+  static PowerFaultPlan at(std::vector<common::u64> steps) {
+    PowerFaultPlan p;
+    p.cuts = std::move(steps);
+    return p;
+  }
+
+  /// `n_cuts` cuts at seeded-random depths in [min_gap, max_gap] fault
+  /// points. Same seed, same schedule.
+  static PowerFaultPlan random(common::u64 seed, std::size_t n_cuts,
+                               common::u64 min_gap, common::u64 max_gap);
+};
+
+/// Counts fault points and trips the scheduled cuts. One monitor per board.
+class PowerMonitor {
+ public:
+  PowerMonitor() = default;
+  explicit PowerMonitor(const PowerFaultPlan& plan) { arm(plan); }
+
+  void arm(const PowerFaultPlan& plan) {
+    pending_ = plan.cuts;
+    next_ = 0;
+    load_next();
+  }
+
+  /// Declare a fault point named `site`. Returns true when the power is out
+  /// at/after this point — the caller must abandon the operation exactly
+  /// here, leaving whatever partial state it has already written.
+  bool step(const char* site) {
+    ++points_seen_;
+    if (!powered_) return true;
+    if (!armed_) return false;
+    if (countdown_ == 0) {
+      powered_ = false;
+      armed_ = false;
+      ++cuts_;
+      last_cut_site_ = site;
+      return true;
+    }
+    --countdown_;
+    return false;
+  }
+
+  bool powered() const { return powered_; }
+
+  /// Power comes back: the next scheduled cut (if any) starts counting from
+  /// the reborn board's first fault point.
+  void restore_power() {
+    powered_ = true;
+    load_next();
+  }
+
+  /// Cuts still scheduled after the current power cycle.
+  bool more_cuts_pending() const {
+    return armed_ || next_ < pending_.size();
+  }
+
+  common::u64 cuts() const { return cuts_; }
+  common::u64 points_seen() const { return points_seen_; }
+  const std::string& last_cut_site() const { return last_cut_site_; }
+
+ private:
+  void load_next() {
+    if (next_ < pending_.size()) {
+      countdown_ = pending_[next_++];
+      armed_ = true;
+    } else {
+      armed_ = false;
+    }
+  }
+
+  std::vector<common::u64> pending_;
+  std::size_t next_ = 0;
+  common::u64 countdown_ = 0;
+  bool armed_ = false;
+  bool powered_ = true;
+  common::u64 cuts_ = 0;
+  common::u64 points_seen_ = 0;
+  std::string last_cut_site_;
+};
+
+}  // namespace rmc::dynk

@@ -7,14 +7,21 @@
 //            price the guarantee.
 //
 // protected: every modification first copies the old value to battery-backed
-//            RAM; after a reset, _sysIsSoftReset() restores the last good
-//            value. ProtectedVar<T> keeps the backup copy and implements the
-//            restore path, including the "power failed mid-write" case.
+//            RAM, then raises an in-progress marker, writes, and lowers the
+//            marker; after a reset, _sysIsSoftReset() checks the marker and
+//            restores the last good value only when a store was actually
+//            interrupted. ProtectedVar<T> keeps the backup copy and
+//            implements that restore path, including the "power failed
+//            mid-write" torn-value case (the marker is what makes a torn
+//            multibyte write *detectable* instead of silently half-new).
 #pragma once
 
+#include <cstring>
 #include <functional>
+#include <type_traits>
 
 #include "common/bytes.h"
+#include "dynk/power.h"
 
 namespace rmc::dynk {
 
@@ -63,41 +70,99 @@ class SharedVar {
   T value_;
 };
 
+/// What the restore path found after a reset.
+enum class RestoreOutcome : common::u8 {
+  kIntact,         // no store in flight: the live value is trustworthy
+  kRestoredStale,  // a store was interrupted: rolled back to the backup
+};
+
 template <typename T>
 class ProtectedVar {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "protected variables are raw battery-backed bytes");
+
  public:
   explicit ProtectedVar(T initial = T{})
       : value_(initial), backup_(initial) {}
 
-  /// Modification protocol: back up the current value (to battery-backed
-  /// RAM), then write the new one.
+  /// Wire in a power monitor so a fault plan can cut power at any of the
+  /// protocol's fault points (named below). Optional: with no monitor the
+  /// store protocol runs to completion, same as before.
+  void attach_power(PowerMonitor* mon) { mon_ = mon; }
+
+  /// Modification protocol, in battery-backed write order:
+  ///   1. copy the current value to the backup slot        [pvar.backup]
+  ///   2. raise the in-progress marker                     [pvar.write]
+  ///   3. write the new value (multibyte, tearable)        [pvar.commit]
+  ///   4. lower the marker — the commit point
+  /// A power cut at [pvar.backup] leaves the live value untouched and the
+  /// marker down (clean). At [pvar.write] the new value is half-written with
+  /// the marker up (torn, detectable). At [pvar.commit] the write finished
+  /// but the marker is still up — restore conservatively rolls back, which
+  /// is stale-but-consistent, exactly Dynamic C's contract.
   void store(const T& v) {
     backup_ = value_;  // copy to battery-backed RAM first
+    backup_seq_ = seq_;
     ++backups_taken_;
+    if (trip("pvar.backup")) return;
+    in_progress_ = true;
+    if (trip("pvar.write")) {  // die mid-write: tear the multibyte value
+      std::memcpy(&value_, &v, sizeof(T) / 2);
+      return;
+    }
     value_ = v;
+    ++seq_;
+    if (trip("pvar.commit")) return;
+    in_progress_ = false;
   }
 
   T load() const { return value_; }
   T backup() const { return backup_; }
 
-  /// Simulate losing main RAM mid-operation (power failure): the live value
-  /// becomes garbage.
-  void corrupt(const T& garbage) { value_ = garbage; }
-
-  /// _sysIsSoftReset(): restore the battery-backed copy after a restart.
-  void restore_after_reset() {
-    value_ = backup_;
-    ++restores_;
+  /// Simulate losing main RAM mid-store (power failure): the live value
+  /// becomes garbage with the in-progress marker still up, which is exactly
+  /// the state a cut at [pvar.write] leaves behind.
+  void corrupt(const T& garbage) {
+    value_ = garbage;
+    in_progress_ = true;
   }
+
+  /// _sysIsSoftReset(): if (and only if) a store was in flight when the
+  /// board died, roll back to the battery-backed copy. A clean marker means
+  /// the live value is valid and must NOT be clobbered by the older backup.
+  RestoreOutcome restore_after_reset() {
+    if (!in_progress_) return RestoreOutcome::kIntact;
+    value_ = backup_;
+    seq_ = backup_seq_;
+    in_progress_ = false;
+    ++restores_;
+    ++restored_stale_;
+    return RestoreOutcome::kRestoredStale;
+  }
+
+  /// True while a store is between marker-raise and marker-lower; after a
+  /// reset this is the torn-write tell.
+  bool store_in_progress() const { return in_progress_; }
+  /// Completed stores since construction (survives resets with the value).
+  common::u64 seq() const { return seq_; }
 
   common::u64 backups_taken() const { return backups_taken_; }
   common::u64 restores() const { return restores_; }
+  /// Restores that discarded a possibly-newer in-flight value.
+  common::u64 restored_stale() const { return restored_stale_; }
 
  private:
+  bool trip(const char* site) { return mon_ && mon_->step(site); }
+
   T value_;
   T backup_;
+  bool in_progress_ = false;  // validity marker, battery-backed
+  common::u64 seq_ = 0;
+  common::u64 backup_seq_ = 0;
+  PowerMonitor* mon_ = nullptr;
   common::u64 backups_taken_ = 0;
   common::u64 restores_ = 0;
+  common::u64 restored_stale_ = 0;
 };
 
 }  // namespace rmc::dynk

@@ -62,6 +62,8 @@ void SimNet::attach(IpAddr addr, NetworkEndpoint* endpoint) {
   endpoints_[addr] = endpoint;
 }
 
+void SimNet::detach(IpAddr addr) { endpoints_.erase(addr); }
+
 bool SimNet::in_partition(u64 at_ms) const {
   for (const PartitionWindow& w : plan_.partitions) {
     if (at_ms >= w.start_ms && at_ms < w.end_ms) return true;

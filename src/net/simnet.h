@@ -150,6 +150,11 @@ class SimNet {
   /// replace earlier ones.
   void attach(IpAddr addr, NetworkEndpoint* endpoint);
 
+  /// Pull the host off the wire (power cut / board death). Segments already
+  /// in flight to it fall on the floor as no-host drops; must be called
+  /// before destroying an attached endpoint.
+  void detach(IpAddr addr);
+
   /// Medium characteristics.
   void set_loss_probability(double p) { plan_ = FaultPlan::uniform_loss(p); }
   void set_latency_ms(u32 ms) { latency_ms_ = ms; }

@@ -1,17 +1,31 @@
 #include "rabbit/board.h"
 
+#include <algorithm>
+
 namespace rmc::rabbit {
+
+const char* reset_cause_name(ResetCause cause) {
+  switch (cause) {
+    case ResetCause::kPowerOn: return "power-on";
+    case ResetCause::kSoft: return "soft";
+    case ResetCause::kWatchdog: return "watchdog";
+  }
+  return "?";
+}
 
 Board::Board()
     : cpu_(mem_, io_),
       serial_(kSerialBase, kSerialIrqVector),
-      timer_(kTimerBase, kTimerIrqVector) {
+      timer_(kTimerBase, kTimerIrqVector),
+      wdt_(kWatchdogBase, static_cast<u64>(kClockHz)) {
   io_.map(kSerialBase, kSerialBase + 3, &serial_);
   io_.map(kTimerBase, kTimerBase + 3, &timer_);
+  io_.map(kWatchdogBase, kWatchdogBase + 1, &wdt_);
   reset();
+  constructed_ = true;
 }
 
-void Board::reset() {
+void Board::init_core() {
   cpu_.reset();
   // Segment mapping: data segment 0x6000 -> SRAM 0x80000, stack segment
   // 0xD000 -> SRAM 0x8E000 (see header). SEGSIZE 0xD6 = data base 0x6000,
@@ -34,6 +48,25 @@ void Board::reset() {
   mem_.set_flash_writable(false);
 
   cpu_.regs().sp = kStackTop;
+}
+
+void Board::reset() {
+  init_core();
+  wdt_.power_on_reset();
+  soft_reset_ = false;
+  last_cause_ = ResetCause::kPowerOn;
+  if (constructed_) ++resets_;
+}
+
+void Board::warm_reset(ResetCause cause) {
+  // SRAM is untouched: the `protected` storage class (and everything else in
+  // battery-backable memory) survives this path, unlike the registers.
+  init_core();
+  wdt_.clear_fired();
+  wdt_.hit();
+  soft_reset_ = true;
+  last_cause_ = cause;
+  ++resets_;
 }
 
 void Board::load(const Image& image) {
@@ -79,5 +112,31 @@ common::Result<CallResult> Board::call(const std::string& symbol,
 }
 
 StopReason Board::run(u64 max_cycles) { return cpu_.run(max_cycles); }
+
+Board::GuardedRun Board::run_guarded(u64 max_cycles, u64 slice_cycles) {
+  GuardedRun r;
+  if (slice_cycles == 0) slice_cycles = 1;
+  while (r.cycles < max_cycles) {
+    const u64 chunk = std::min(slice_cycles, max_cycles - r.cycles);
+    const u64 cyc0 = cpu_.cycles();
+    const StopReason s = cpu_.run(chunk);
+    r.cycles += cpu_.cycles() - cyc0;
+    if (wdt_.fired()) {
+      ++r.watchdog_resets;
+      warm_reset(ResetCause::kWatchdog);
+      if (!loaded_) {
+        r.stop = s;
+        break;
+      }
+      cpu_.regs().pc = static_cast<u16>(loaded_->entry);  // reboot firmware
+      continue;
+    }
+    if (s != StopReason::kCycleLimit) {
+      r.stop = s;
+      break;
+    }
+  }
+  return r;
+}
 
 }  // namespace rmc::rabbit

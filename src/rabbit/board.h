@@ -23,6 +23,7 @@
 #include "rabbit/io.h"
 #include "rabbit/memory.h"
 #include "rabbit/peripherals.h"
+#include "rabbit/watchdog.h"
 
 namespace rmc::rabbit {
 
@@ -35,6 +36,18 @@ struct CallResult {
   u8 a = 0;
 };
 
+/// Why the board last reset. Mirrors what Dynamic C's _sysIsSoftReset() can
+/// distinguish on the real part: a cold power-on versus the warm paths
+/// (watchdog bite, deliberate soft reset) where battery-backed SRAM — and in
+/// this model all SRAM — retains its contents.
+enum class ResetCause : u8 {
+  kPowerOn,
+  kSoft,
+  kWatchdog,
+};
+
+const char* reset_cause_name(ResetCause cause);
+
 class Board {
  public:
   static constexpr double kClockHz = 30.0e6;  // 30 MHz part (paper §4)
@@ -42,13 +55,26 @@ class Board {
   static constexpr u16 kCallSentinel = 0x0004;  // HALT parked here
   static constexpr u16 kSerialBase = 0x00C0;
   static constexpr u16 kTimerBase = 0x00A0;
+  static constexpr u16 kWatchdogBase = 0x0008;  // WDTCR/WDTTR, as on silicon
   static constexpr u8 kSerialIrqVector = 1;
   static constexpr u8 kTimerIrqVector = 2;
 
   Board();
 
-  /// Re-establish the crt0 state and segment mapping; clears CPU state.
+  /// Cold (power-on) reset: re-establish the crt0 state and segment mapping,
+  /// clear CPU state, bring the watchdog back up with its default period.
   void reset();
+
+  /// Warm reset (_sysIsSoftReset() returns true afterwards): same crt0/CPU
+  /// re-init, but recorded as `cause` — SRAM contents survive, which is what
+  /// the `protected` storage class restore path depends on.
+  void warm_reset(ResetCause cause);
+
+  /// Dynamic C's _sysIsSoftReset(): true when the last reset was warm.
+  bool sys_is_soft_reset() const { return soft_reset_; }
+  ResetCause last_reset_cause() const { return last_cause_; }
+  /// Resets performed after the constructor's initial power-on.
+  u64 resets() const { return resets_; }
 
   /// Copy an image into physical memory and point PC at its entry.
   void load(const Image& image);
@@ -58,6 +84,7 @@ class Board {
   IoBus& io() { return io_; }
   SerialPort& serial() { return serial_; }
   Timer& timer() { return timer_; }
+  Watchdog& watchdog() { return wdt_; }
 
   /// Call the routine at `addr` with the standard stack and a sentinel
   /// return address; runs until the routine returns (HALT at the sentinel),
@@ -73,16 +100,39 @@ class Board {
   /// Run freely from the current PC (for main-loop style programs).
   StopReason run(u64 max_cycles);
 
+  /// Result of run_guarded(): how execution ended plus how many times the
+  /// watchdog bit and hard-reset the board along the way.
+  struct GuardedRun {
+    StopReason stop = StopReason::kCycleLimit;
+    u64 cycles = 0;
+    u64 watchdog_resets = 0;
+  };
+
+  /// Run like run(), but in `slice_cycles` chunks, honouring the watchdog:
+  /// when it fires, the board warm-resets (counted, cause kWatchdog) and —
+  /// if an image is loaded — reboots at its entry point and keeps running
+  /// inside the remaining budget. This is the firmware-eye view of a WDT
+  /// bite: the program restarts, it does not get to keep its wedged state.
+  GuardedRun run_guarded(u64 max_cycles, u64 slice_cycles = 10'000);
+
   /// Wall-clock seconds a cycle count corresponds to at 30 MHz.
   static double seconds(u64 cycles) { return static_cast<double>(cycles) / kClockHz; }
 
  private:
+  /// The crt0 + segment-register work shared by cold and warm resets.
+  void init_core();
+
   Memory mem_;
   IoBus io_;
   Cpu cpu_;
   SerialPort serial_;
   Timer timer_;
+  Watchdog wdt_;
   std::optional<Image> loaded_;
+  bool constructed_ = false;   // suppress reset counting during the ctor
+  bool soft_reset_ = false;
+  ResetCause last_cause_ = ResetCause::kPowerOn;
+  u64 resets_ = 0;
 };
 
 }  // namespace rmc::rabbit

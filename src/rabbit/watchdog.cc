@@ -1,0 +1,63 @@
+#include "rabbit/watchdog.h"
+
+namespace rmc::rabbit {
+
+u8 Watchdog::io_read(u16 port) {
+  switch (port - base_) {
+    case 0:  // WDTCR status: bit0 fired, bit1 enabled
+      return static_cast<u8>((fired_ ? 0x01 : 0x00) |
+                             (enabled_ ? 0x02 : 0x00));
+    case 1:  // WDTTR: disable-sequence progress
+      return disable_step_;
+    default:
+      return 0xFF;
+  }
+}
+
+void Watchdog::io_write(u16 port, u8 value) {
+  switch (port - base_) {
+    case 0:  // WDTCR: hit codes select a period and restart the countdown
+      switch (value) {
+        case kHit2s: period_cycles_ = 2 * clock_hz_; break;
+        case kHit1s: period_cycles_ = clock_hz_; break;
+        case kHit500ms: period_cycles_ = clock_hz_ / 2; break;
+        case kHit250ms: period_cycles_ = clock_hz_ / 4; break;
+        default: return;  // unrecognized codes do not hit (as on silicon)
+      }
+      remaining_ = period_cycles_;
+      break;
+    case 1:  // WDTTR: 0x51 then 0x54 disables; anything else resets the seq
+      if (value == kDisable1) {
+        disable_step_ = 1;
+      } else if (value == kDisable2 && disable_step_ == 1) {
+        enabled_ = false;
+        disable_step_ = 0;
+      } else {
+        disable_step_ = 0;
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void Watchdog::tick(u64 cycles) {
+  if (!enabled_ || fired_) return;
+  if (cycles >= remaining_) {
+    remaining_ = 0;
+    fired_ = true;
+    ++fires_;
+  } else {
+    remaining_ -= cycles;
+  }
+}
+
+void Watchdog::power_on_reset() {
+  enabled_ = true;
+  fired_ = false;
+  disable_step_ = 0;
+  period_cycles_ = 2 * clock_hz_;
+  remaining_ = period_cycles_;
+}
+
+}  // namespace rmc::rabbit

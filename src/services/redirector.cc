@@ -67,13 +67,46 @@ RmcRedirector::RmcRedirector(net::TcpStack& stack, net::SimNet& medium,
       dc_(stack, &medium),
       // +1 = the tcp_tick driver; +1 more when the shedder is compiled in.
       scheduler_(config_.handler_slots + 1 + (config_.shed_when_busy ? 1 : 0)),
-      log_(config_.log_capacity_bytes),
+      own_log_(config_.log_capacity_bytes),
+      log_(config_.battery_log ? config_.battery_log : &own_log_),
       sockets_(config_.handler_slots) {
   // The port's error policy (§4.1): install a handler and ignore most
   // errors, logging them to the ring buffer instead of resetting.
   errors_.define_error_handler([this](const dynk::RuntimeErrorInfo& info) {
-    log_.append(std::string("err ") + dynk::runtime_error_name(info.kind));
+    log_->append(std::string("err ") + dynk::runtime_error_name(info.kind));
   });
+
+  // Warm-restart recovery (_sysIsSoftReset() path): pick the bookkeeping
+  // back up from battery-backed RAM. A torn last update is detected by the
+  // two-slot protocol and rolled back to the newest committed value — the
+  // loss is bounded to one in-flight update and it is *reported*, never
+  // silently half-applied.
+  if (config_.durable) {
+    auto r = config_.durable->load();
+    recovery_ = r.outcome;
+    durable_state_ = r.value;
+    if (r.outcome == dynk::DurableLoadOutcome::kTornRecovered) {
+      log_->append("durable torn-recovered seq " + std::to_string(r.seq));
+    }
+    // The durable backend address wins over the config default: a backend
+    // failover recorded before the crash must survive it.
+    if (durable_state_.backend_ip != 0) {
+      config_.backend_ip = durable_state_.backend_ip;
+      config_.backend_port = durable_state_.backend_port;
+    } else {
+      durable_state_.backend_ip = config_.backend_ip;
+      durable_state_.backend_port = config_.backend_port;
+    }
+    ++durable_state_.generation;  // exactly once per boot
+    commit_durable();
+    log_->append("boot gen " + std::to_string(durable_state_.generation) +
+                 " (" + dynk::durable_outcome_name(r.outcome) + ")");
+  }
+}
+
+void RmcRedirector::commit_durable() {
+  if (!config_.durable) return;
+  (void)config_.durable->store(durable_state_);  // a cut here is recoverable
 }
 
 Status RmcRedirector::start() {
@@ -110,8 +143,10 @@ dynk::Costate RmcRedirector::shedder() {
       if (excess.ok()) {
         (void)stack_.abort(*excess);
         ++stats_.connections_shed;
+        ++durable_state_.shed;
+        commit_durable();
         shed_counter().add();
-        log_.append("shed");
+        log_->append("shed");
       }
     }
     co_await Yield{};
@@ -128,14 +163,31 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
     co_await WaitFor{[this, &sock] { return dc_.sock_established(&sock); }};
     ++stats_.connections_active;
     active_gauge().set(static_cast<telemetry::i64>(stats_.connections_active));
-    log_.append("open " + std::to_string(slot));
+    log_->append("open " + std::to_string(slot));
 
     issl::DcStream stream(dc_, &sock);
     std::optional<issl::Session> session;
     bool usable = true;
     bool abort_client = false;  // RST instead of FIN at cleanup
 
-    if (config_.secure) {
+    // Charge this session's xalloc footprint (§5.2: no free, ever). When
+    // the arena is spent the only remedy is a controlled restart, so fail
+    // this client closed and flag the supervisor rather than limp along
+    // until something allocates from nothing.
+    if (config_.arena && config_.session_xalloc_bytes > 0) {
+      auto mem = config_.arena->xalloc(config_.session_xalloc_bytes);
+      if (!mem.ok()) {
+        restart_requested_ = true;
+        usable = false;
+        abort_client = true;
+        log_->append("xalloc-spent " + std::to_string(slot));
+        errors_.raise(dynk::RuntimeErrorInfo{
+            dynk::RuntimeErrorKind::kXmemFault,
+            static_cast<common::u16>(slot), "xalloc arena exhausted"});
+      }
+    }
+
+    if (config_.secure && usable) {
       issl::ServerIdentity id;
       id.psk = config_.psk;
       id.rsa = config_.rsa;
@@ -159,12 +211,12 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
             scheduler_.now_ms() >= hs_deadline) {
           ++stats_.handshake_timeouts;
           hs_timeout_counter().add();
-          log_.append("hs-timeout " + std::to_string(slot));
+          log_->append("hs-timeout " + std::to_string(slot));
           abort_client = true;
         }
         ++stats_.handshake_failures;
         hs_fail_counter().add();
-        log_.append("hs-fail " + std::to_string(slot));
+        log_->append("hs-fail " + std::to_string(slot));
         usable = false;
       } else if (config_.crypto_cycles_handshake > 0) {
         // CPU-cost model: the 30 MHz board just spent this long on the key
@@ -185,7 +237,7 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
         if (attempt > 0) {
           ++stats_.backend_retries;
           backend_retry_counter().add();
-          log_.append("backend-retry " + std::to_string(slot));
+          log_->append("backend-retry " + std::to_string(slot));
           co_await scheduler_.delay(static_cast<common::u32>(backoff));
           backoff = std::min(backoff * 2, config_.backend_backoff_max_ms);
         }
@@ -201,7 +253,7 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
         }
       }
       if (backend < 0) {
-        log_.append("backend-dead " + std::to_string(slot));
+        log_->append("backend-dead " + std::to_string(slot));
         usable = false;
       }
     }
@@ -292,7 +344,7 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
     if (watchdogged) {
       ++stats_.watchdog_aborts;
       watchdog_counter().add();
-      log_.append("watchdog " + std::to_string(slot));
+      log_->append("watchdog " + std::to_string(slot));
       errors_.raise(dynk::RuntimeErrorInfo{
           dynk::RuntimeErrorKind::kWatchdog,
           static_cast<common::u16>(slot), "idle forwarding slot"});
@@ -313,8 +365,11 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
     --stats_.connections_active;
     active_gauge().set(static_cast<telemetry::i64>(stats_.connections_active));
     ++stats_.connections_served;
+    ++durable_state_.served;
+    if (slot < 8) ++durable_state_.slot_cycles[slot];
+    commit_durable();
     served_counter().add();
-    log_.append("done " + std::to_string(slot));
+    log_->append("done " + std::to_string(slot));
     co_await Yield{};
   }
 }
@@ -545,6 +600,19 @@ Status Client::start() {
 
 bool Client::poll() {
   if (sock_ < 0) return false;
+  if (idle_give_up_polls_ > 0) {
+    const bool hs = handshake_done();
+    if (received_.size() != progress_rx_ || hs != progress_hs_) {
+      progress_rx_ = received_.size();
+      progress_hs_ = hs;
+      polls_since_progress_ = 0;
+    } else if (++polls_since_progress_ > idle_give_up_polls_) {
+      // Read timeout: the server died holding this connection with nothing
+      // in flight, so TCP alone would wait forever. Abort (RST) and fail.
+      (void)stack_.abort(sock_);
+      return false;
+    }
+  }
   if (!stack_.is_established(sock_)) {
     return stack_.is_open(sock_);  // still handshaking at the TCP level
   }

@@ -30,6 +30,8 @@
 #include "common/ringlog.h"
 #include "dynk/costate.h"
 #include "dynk/error.h"
+#include "dynk/persist.h"
+#include "dynk/xalloc.h"
 #include "issl/issl.h"
 #include "net/bsd.h"
 #include "net/dcnet.h"
@@ -40,6 +42,21 @@ namespace rmc::services {
 
 using common::u64;
 using common::u8;
+
+/// The redirector's battery-backed bookkeeping: everything the service must
+/// not lose across a watchdog bite or power cut. Stored through a
+/// DurableVar, so a torn update is detected and rolled back, never
+/// half-applied. Trivially copyable by design — these are raw SRAM bytes.
+struct RedirectorDurableState {
+  common::u64 served = 0;      // completed sessions, across all boots
+  common::u64 shed = 0;        // refused-at-ceiling, across all boots
+  common::u64 generation = 0;  // boot count: +1 exactly once per boot
+  net::IpAddr backend_ip = 0;  // last known-good backend address
+  net::Port backend_port = 0;
+  /// Per-handler-slot reuse counters (paper Figure 3 has three slots; eight
+  /// covers any configuration the benches use).
+  common::u32 slot_cycles[8] = {};
+};
 
 struct RedirectorConfig {
   net::Port listen_port = 4433;
@@ -82,6 +99,21 @@ struct RedirectorConfig {
   /// paper's port simply let them wait, and E4 measures exactly that — the
   /// soak bench turns this on as the observable degradation mode.
   bool shed_when_busy = false;
+
+  // --- Device-fault tolerance hooks (all optional; null/0 = legacy) -------
+  /// Supervisor-owned battery-backed ring log: survives warm resets, so the
+  /// post-mortem dump after a watchdog bite shows the pre-crash history.
+  /// When null the redirector owns a fresh (volatile) log, as before.
+  common::RingLog* battery_log = nullptr;
+  /// Supervisor-owned durable bookkeeping (A/B-slot committed). When set,
+  /// the constructor runs the warm-restart recovery path: restore counters
+  /// and backend address, bump the generation, report torn updates.
+  dynk::DurableVar<RedirectorDurableState>* durable = nullptr;
+  /// xalloc arena modelling §5.2's no-free extended memory: each accepted
+  /// session charges `session_xalloc_bytes`; exhaustion cannot be freed
+  /// back, so the service requests a controlled restart to reclaim it.
+  dynk::XallocArena* arena = nullptr;
+  std::size_t session_xalloc_bytes = 0;
 };
 
 struct RedirectorStats {
@@ -113,23 +145,39 @@ class RmcRedirector {
   void poll();
 
   const RedirectorStats& stats() const { return stats_; }
-  common::RingLog& log() { return log_; }
+  common::RingLog& log() { return *log_; }
   dynk::ErrorDispatcher& errors() { return errors_; }
   std::size_t handler_slots() const { return config_.handler_slots; }
+
+  /// Durable bookkeeping as of the last commit (zeroed when no DurableVar
+  /// is wired in).
+  const RedirectorDurableState& durable_state() const { return durable_state_; }
+  /// What the constructor's recovery read found (kEmpty on a cold boot).
+  dynk::DurableLoadOutcome recovery_outcome() const { return recovery_; }
+  /// True once the xalloc arena is spent: memory cannot be freed (§5.2), so
+  /// the only way to reclaim it is the controlled restart the supervisor
+  /// performs when it sees this.
+  bool restart_requested() const { return restart_requested_; }
 
  private:
   dynk::Costate handler(std::size_t slot);
   dynk::Costate tick_driver();
   dynk::Costate shedder();
+  /// Push durable_state_ through the two-slot commit (no-op when detached).
+  void commit_durable();
 
   net::TcpStack& stack_;
   RedirectorConfig config_;
   net::DcTcpApi dc_;
   dynk::Scheduler scheduler_;
-  common::RingLog log_;
+  common::RingLog own_log_;
+  common::RingLog* log_;  // battery_log when provided, else &own_log_
   dynk::ErrorDispatcher errors_;
   common::Xorshift64 rng_{0x52AB0B17};
   RedirectorStats stats_;
+  RedirectorDurableState durable_state_;
+  dynk::DurableLoadOutcome recovery_ = dynk::DurableLoadOutcome::kEmpty;
+  bool restart_requested_ = false;
   // Static allocation, as the port was forced into (§5.2): one socket and
   // one session slot per handler, sized at construction, never freed.
   std::vector<net::tcp_Socket> sockets_;
@@ -197,6 +245,13 @@ class Client {
   bool failed() const;
   void close();
 
+  /// Client-side read timeout: after `polls` poll() calls with no progress
+  /// (no new bytes, no handshake transition), abort the connection and
+  /// report failure. 0 (default) waits forever — the legacy behaviour. A
+  /// real client needs this against a server that died holding an idle
+  /// connection: with nothing in flight, TCP alone never notices.
+  void set_idle_give_up(u64 polls) { idle_give_up_polls_ = polls; }
+
  private:
   net::TcpStack& stack_;
   net::IpAddr server_ip_;
@@ -211,6 +266,10 @@ class Client {
   std::vector<u8> received_;
   std::vector<u8> pending_send_;
   bool send_done_ = false;
+  u64 idle_give_up_polls_ = 0;
+  u64 polls_since_progress_ = 0;
+  std::size_t progress_rx_ = 0;
+  bool progress_hs_ = false;
 };
 
 }  // namespace rmc::services

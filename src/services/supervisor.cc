@@ -1,0 +1,149 @@
+#include "services/supervisor.h"
+
+#include "rabbit/board.h"
+#include "telemetry/metrics.h"
+
+namespace rmc::services {
+
+namespace {
+// All fault instruments are created lazily, on the first actual fault: a
+// fault-free run (every E1-E9 bench) must emit metrics JSON bit-identical
+// to a build without this subsystem.
+void count_reset(FaultKind fault, common::u64 recovery_ms) {
+  telemetry::Registry::global().counter("board.resets").add();
+  telemetry::Registry::global()
+      .counter("recovery.cycles")
+      .add(recovery_ms * ServiceBoard::kCyclesPerMs);
+  telemetry::Registry::global()
+      .gauge("redirector.last_reset_cause")
+      .set(static_cast<telemetry::i64>(fault));
+}
+void count_wdt_fire() {
+  telemetry::Registry::global().counter("wdt.fires").add();
+}
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kWatchdogBite: return "watchdog";
+    case FaultKind::kPowerCut: return "power-cut";
+    case FaultKind::kXallocExhausted: return "xalloc";
+  }
+  return "?";
+}
+
+ServiceBoard::ServiceBoard(net::SimNet& net, ServiceBoardConfig config)
+    : net_(net),
+      config_(std::move(config)),
+      battery_(config_.battery_log_bytes),
+      wdt_(rabbit::Board::kWatchdogBase, 30'000'000) {
+  battery_.durable.attach_power(&power_);
+  power_.arm(config_.power_plan);
+  boot();
+}
+
+ServiceBoard::~ServiceBoard() {
+  if (stack_) net_.detach(config_.board_ip);
+}
+
+void ServiceBoard::boot() {
+  ++boots_;
+  // A restart is precisely what reclaims xalloc memory (§5.2: nothing else
+  // can), hence the fresh arena; the stack seed varies per boot so the
+  // reborn stack's ISNs don't replay the dead one's sequence space.
+  if (config_.xalloc_capacity > 0) {
+    arena_ = std::make_unique<dynk::XallocArena>(config_.xalloc_capacity);
+  }
+  stack_ = std::make_unique<net::TcpStack>(net_, config_.board_ip,
+                                           config_.net_seed + boots_);
+  RedirectorConfig rc = config_.redirector;
+  rc.battery_log = &battery_.log;
+  rc.durable = &battery_.durable;
+  rc.arena = arena_.get();
+  rc.session_xalloc_bytes = config_.session_xalloc_bytes;
+  redirector_ = std::make_unique<RmcRedirector>(*stack_, net_, rc);
+  (void)redirector_->start();  // re-arms every costatement (Figure 3)
+
+  wdt_.power_on_reset();
+  wdt_.set_period_cycles(config_.wdt_period_ms * kCyclesPerMs);
+  up_ = true;
+
+  if (last_fault_ != FaultKind::kNone) {
+    last_recovery_ms_ = net_.now_ms() - fault_at_ms_;
+    total_recovery_ms_ += last_recovery_ms_;
+    count_reset(last_fault_, last_recovery_ms_);
+  }
+}
+
+void ServiceBoard::go_down(FaultKind fault) {
+  sessions_dropped_ += redirector_->stats().connections_active;
+  if (fault == FaultKind::kWatchdogBite) {
+    // Post-mortem: the battery-backed ring log is exactly what survives a
+    // WDT bite on the real board. Snapshot it, then mark the bite so the
+    // next boot's history shows where the gap came from.
+    postmortem_ = battery_.log.entries();
+    battery_.log.append("wdt-bite gen " +
+                        std::to_string(redirector_->durable_state().generation));
+    count_wdt_fire();
+  }
+  last_fault_ = fault;
+  fault_at_ms_ = net_.now_ms();
+  // Fail closed: off the wire first, then tear down the per-boot world.
+  // Anything the medium still carries for us becomes a no-host drop; the
+  // reborn stack RSTs whatever the peers retransmit.
+  net_.detach(config_.board_ip);
+  redirector_.reset();
+  stack_.reset();
+  arena_.reset();
+  up_ = false;
+  down_for_ms_ =
+      fault == FaultKind::kPowerCut ? config_.power_off_ms : config_.reboot_ms;
+  pending_fault_ = fault;
+}
+
+void ServiceBoard::poll() {
+  if (!up_) {
+    if (down_for_ms_ > 0) {
+      --down_for_ms_;
+      return;
+    }
+    if (pending_fault_ == FaultKind::kPowerCut) power_.restore_power();
+    pending_fault_ = FaultKind::kNone;
+    boot();
+    return;
+  }
+
+  // One main-loop pass: service the costatements, then hit the watchdog —
+  // unless the loop is wedged, in which case the WDT keeps counting and
+  // nobody feeds it. That asymmetry IS the watchdog's whole value.
+  if (wedged_for_ms_ > 0) {
+    --wedged_for_ms_;
+  } else {
+    redirector_->poll();
+    wdt_.hit();
+  }
+  wdt_.tick(kCyclesPerMs);
+  if (wdt_.fired()) {
+    ++wdt_bites_;
+    go_down(FaultKind::kWatchdogBite);
+    return;
+  }
+
+  // Power check: the cut may have tripped at a named fault site inside the
+  // redirector poll above (mid-store, mid-handshake) or at this board-level
+  // point between main-loop passes.
+  (void)power_.step("board.tick");
+  if (!power_.powered()) {
+    ++power_cuts_;
+    go_down(FaultKind::kPowerCut);
+    return;
+  }
+
+  if (redirector_->restart_requested()) {
+    ++xalloc_restarts_;
+    go_down(FaultKind::kXallocExhausted);
+  }
+}
+
+}  // namespace rmc::services
