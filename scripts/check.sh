@@ -1,15 +1,22 @@
 #!/usr/bin/env bash
 # Pre-merge gate: tier-1 tests, then ASan/UBSan builds of the two soak
 # benches — E9 (wire faults) and E10 (board deaths: watchdog, power cuts,
-# xalloc exhaustion) — so every corruption/teardown/recovery path the fault
-# plans can reach is sanitizer-clean, then double runs proving both soaks'
-# --json artifacts are byte-reproducible for a fixed seed.
+# xalloc exhaustion) — plus the resumption bench E11, so every
+# corruption/teardown/recovery/abbreviated-handshake path is
+# sanitizer-clean, then double runs proving the soaks' and E11's --json
+# artifacts are byte-reproducible for a fixed seed. Finally, a baseline
+# gate: with resumption off (the default), the gated bench artifacts
+# (E1/E4/E5/E9/E10) must be byte-identical to the ones a clean checkout of
+# origin/main (or main) produces — the resumption machinery must be
+# invisible until switched on.
 #
 # Usage:
-#   scripts/check.sh
+#   scripts/check.sh [--skip-baseline]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+skip_baseline=0
+[[ "${1:-}" == "--skip-baseline" ]] && skip_baseline=1
 
 echo "== tier-1: build + ctest =="
 cmake -B "$repo_root/build" -S "$repo_root" >/dev/null
@@ -17,16 +24,18 @@ cmake --build "$repo_root/build" -j >/dev/null
 (cd "$repo_root/build" && ctest --output-on-failure -j)
 
 echo
-echo "== sanitizers: ASan+UBSan fault soak (E9) + crash soak (E10) =="
+echo "== sanitizers: ASan+UBSan soaks (E9, E10) + resumption (E11) =="
 san_dir="$repo_root/build-san"
 cmake -B "$san_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=Debug -DRMC_SANITIZE=address,undefined >/dev/null
-cmake --build "$san_dir" -j --target bench_fault_soak --target bench_crash_soak >/dev/null
+cmake --build "$san_dir" -j --target bench_fault_soak --target bench_crash_soak \
+  --target bench_resumption >/dev/null
 "$san_dir/bench/bench_fault_soak" --seed 233
 "$san_dir/bench/bench_crash_soak" --seed 233
+"$san_dir/bench/bench_resumption"
 
 echo
-echo "== determinism: E9 + E10 json byte-reproducible for a fixed seed =="
+echo "== determinism: E9 + E10 + E11 json byte-reproducible =="
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 "$san_dir/bench/bench_fault_soak" --seed 233 --json "$tmp/a.json" >/dev/null
@@ -35,7 +44,51 @@ cmp "$tmp/a.json" "$tmp/b.json"
 "$san_dir/bench/bench_crash_soak" --seed 233 --json "$tmp/c.json" >/dev/null
 "$san_dir/bench/bench_crash_soak" --seed 233 --json "$tmp/d.json" >/dev/null
 cmp "$tmp/c.json" "$tmp/d.json"
-echo "identical artifacts for seed 233"
+"$san_dir/bench/bench_resumption" --json "$tmp/e.json" >/dev/null
+"$san_dir/bench/bench_resumption" --json "$tmp/f.json" >/dev/null
+cmp "$tmp/e.json" "$tmp/f.json"
+echo "identical artifacts"
+
+if ((skip_baseline)); then
+  echo
+  echo "check.sh: baseline gate skipped (--skip-baseline)"
+else
+  echo
+  echo "== baseline: resumption off => gated benches identical to main =="
+  # The resumption work is default-off; prove it is invisible by running the
+  # gated benches (E1/E4/E5/E9/E10 — the ones whose configs never enable
+  # resumption) from this tree AND from a pristine main worktree, and
+  # requiring byte-identical JSON.
+  base_ref="origin/main"
+  git -C "$repo_root" rev-parse --verify -q "$base_ref" >/dev/null || base_ref="main"
+  if git -C "$repo_root" rev-parse --verify -q "$base_ref" >/dev/null &&
+     ! git -C "$repo_root" diff --quiet "$base_ref" -- \
+         src bench scripts 2>/dev/null; then
+    base_dir="$tmp/baseline-src"
+    git -C "$repo_root" worktree add --detach "$base_dir" "$base_ref" >/dev/null
+    trap 'git -C "$repo_root" worktree remove --force "$base_dir" >/dev/null 2>&1 || true; rm -rf "$tmp"' EXIT
+    cmake -B "$base_dir/build" -S "$base_dir" -DCMAKE_BUILD_TYPE=Release >/dev/null
+    gated=(E1:bench_aes_asm_vs_c E4:bench_connections E5:bench_ssl_throughput
+           E9:bench_fault_soak E10:bench_crash_soak)
+    targets=()
+    for entry in "${gated[@]}"; do targets+=(--target "${entry#*:}"); done
+    cmake --build "$base_dir/build" -j "${targets[@]}" >/dev/null
+    rel_dir="$repo_root/build-rel-gate"
+    cmake -B "$rel_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null
+    cmake --build "$rel_dir" -j "${targets[@]}" >/dev/null
+    for entry in "${gated[@]}"; do
+      id="${entry%%:*}" bin="${entry#*:}"
+      extra=()
+      [[ "$id" == E9 || "$id" == E10 ]] && extra=(--seed 233)
+      "$base_dir/build/bench/$bin" "${extra[@]}" --json "$tmp/base_$id.json" >/dev/null
+      "$rel_dir/bench/$bin" "${extra[@]}" --json "$tmp/head_$id.json" >/dev/null
+      cmp "$tmp/base_$id.json" "$tmp/head_$id.json"
+      echo "$id: identical to $base_ref"
+    done
+  else
+    echo "tree matches $base_ref (or no baseline ref) — nothing to compare"
+  fi
+fi
 
 echo
 echo "check.sh: all gates passed"

@@ -45,6 +45,7 @@ run E6 bench_handshake
 run E7 bench_memory
 run E9 bench_fault_soak --seed 233
 run E10 bench_crash_soak --seed 233
+run E11 bench_resumption
 run ABLATION bench_ablation_record
 
 echo "== CRYPTO: bench_crypto_primitives (google-benchmark JSON) =="

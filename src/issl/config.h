@@ -25,11 +25,24 @@ struct Config {
   std::size_t aes_key_bits = 128;  // 128 / 192 / 256
   std::size_t rsa_modulus_bits = 256;  // small for simulation speed
 
+  // Session resumption (DESIGN.md §10). Off by default: the hello messages
+  // then carry the original 34-byte bodies and the wire is bit-identical to
+  // a build without this feature. When on, ClientHello grows an optional
+  // session-ID field, the server answers with an assigned/confirmed ID, and
+  // a cache hit runs the abbreviated handshake (no RSA, no premaster —
+  // straight to Finished from the cached master secret). Both sides must
+  // enable it; a resuming client talking to a legacy server falls back to
+  // the full handshake.
+  bool resumption = false;
+
   // Robustness budgets, counted in pump() calls — the session has no clock
   // of its own, and service loops pump roughly once per virtual
-  // millisecond. A pump "stalls" when it consumed no transport bytes while
+  // millisecond. A pump "stalls" when it made no *protocol* progress (no
+  // complete record opened, no handshake message, no state advance) while
   // the session was mid-handshake, or while a partial record sat in
-  // reassembly (an established, idle session never stalls). Exceeding the
+  // reassembly (an established, idle session never stalls). Raw trickled
+  // bytes deliberately do not count as progress — a peer drip-feeding one
+  // byte per pump must still exhaust the budget. Exceeding the
   // budget fails the session with kTimeout instead of wedging the caller's
   // costatement forever. The defaults comfortably clear TCP's worst-case
   // backed-off retransmission horizon (~19 s to give-up); 0 disables.

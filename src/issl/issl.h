@@ -14,11 +14,14 @@
 
 namespace rmc::issl {
 
-/// Bind a client session onto an established transport stream.
+/// Bind a client session onto an established transport stream. With
+/// resumption enabled, pass the ticket() from a previous session to offer
+/// an abbreviated handshake.
 inline Session issl_bind_client(ByteStream& stream, const Config& config,
                                 common::Xorshift64& rng,
-                                std::vector<u8> psk = {}) {
-  return Session::client(config, stream, rng, std::move(psk));
+                                std::vector<u8> psk = {},
+                                const ResumptionTicket* ticket = nullptr) {
+  return Session::client(config, stream, rng, std::move(psk), ticket);
 }
 
 /// Bind a server session onto an accepted transport stream.

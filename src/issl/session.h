@@ -9,11 +9,19 @@
 //
 // Handshake (SSL-3.0-shaped, not wire-compatible with any RFC):
 //   C -> S  ClientHello        client_random, requested kx + key size
+//                              [+ session-ID offer when resumption is on]
 //   S -> C  ServerHello        server_random, confirmation (+ RSA pubkey)
+//                              [+ resumed flag and assigned/confirmed ID]
 //   C -> S  ClientKeyExchange  RSA(premaster)  or  SHA1(psk) proof
 //           -- both sides derive the key block and switch on encryption --
 //   C -> S  Finished           HMAC(master, transcript || "client finished")
 //   S -> C  Finished           HMAC(master, transcript || "server finished")
+//
+// Abbreviated handshake (resumption cache hit, DESIGN.md §10): the server
+// answers the offered session ID with resumed=1, both sides derive the key
+// block directly from the *cached* master secret and the fresh randoms —
+// no RSA encrypt/decrypt, no ClientKeyExchange — and exchange Finished
+// (server first). This cuts the dominant cycle cost out of reconnects.
 //
 // Everything is non-blocking: call pump() whenever the underlying transport
 // may have made progress (from a costatement loop on the embedded side, a
@@ -30,6 +38,7 @@
 #include "crypto/sha1.h"
 #include "issl/config.h"
 #include "issl/record.h"
+#include "issl/session_cache.h"
 #include "issl/stream.h"
 
 namespace rmc::issl {
@@ -53,13 +62,19 @@ const char* session_state_name(SessionState s);
 struct ServerIdentity {
   std::optional<crypto::RsaKeyPair> rsa;  // required for KeyExchange::kRsa
   std::vector<u8> psk;                    // required for KeyExchange::kPsk
+  /// Resumption cache (owned by the service, shared across sessions). Only
+  /// consulted when Config::resumption is on; null = every offer misses.
+  SessionCache* session_cache = nullptr;
 };
 
 class Session {
  public:
-  /// Client endpoint. For PSK configs, `psk` must match the server's.
+  /// Client endpoint. For PSK configs, `psk` must match the server's. With
+  /// resumption enabled, a valid `ticket` from a previous session is
+  /// offered in the ClientHello; the server may resume or fall back.
   static Session client(const Config& config, ByteStream& stream,
-                        common::Xorshift64& rng, std::vector<u8> psk = {});
+                        common::Xorshift64& rng, std::vector<u8> psk = {},
+                        const ResumptionTicket* ticket = nullptr);
 
   /// Server endpoint.
   static Session server(const Config& config, ByteStream& stream,
@@ -89,8 +104,26 @@ class Session {
   std::size_t handshake_messages_seen() const { return hs_messages_; }
   const Config& config() const { return config_; }
   /// Consecutive pumps that made no progress while waiting on the peer
-  /// (see Config::handshake_stall_limit).
+  /// (see Config::handshake_stall_limit). Progress means a complete record
+  /// (or handshake message) arrived — raw trickled bytes do not count.
   std::size_t stalled_pumps() const { return stall_pumps_; }
+
+  /// True once this session completed via the abbreviated (resumed) path.
+  bool resumed() const { return resumed_; }
+  /// The ticket for resuming this session later. valid=0 until the
+  /// handshake completes with resumption negotiated on both sides.
+  const ResumptionTicket& ticket() const { return ticket_; }
+  /// True when the RSA premaster could not be carried intact (small
+  /// modulus) and both sides derived it by SHA-1 expansion instead of the
+  /// old silent truncation.
+  bool premaster_expanded() const { return premaster_expanded_; }
+
+  /// Deterministic estimate of the 30 MHz target's handshake crypto cost,
+  /// accumulated as the state machine performs each operation (modexp, PRF,
+  /// Finished MACs). This is a *model* — see the constants in session.cc —
+  /// but it is exact virtual arithmetic, so bench JSON built from it is
+  /// byte-reproducible. E11 uses it for the full-vs-resumed comparison.
+  common::u64 handshake_cost_cycles() const { return hs_cost_cycles_; }
 
  private:
   Session(Role role, const Config& config, ByteStream& stream,
@@ -107,7 +140,10 @@ class Session {
   common::Status on_server_hello(std::span<const u8> body);
   common::Status on_client_key_exchange(std::span<const u8> body);
   common::Status on_finished(std::span<const u8> body);
+  common::Status expand_premaster();
+  common::Status derive_master_from_premaster();
   common::Status derive_keys_and_activate();
+  void fill_ticket();
   std::array<u8, 20> finished_mac(Role sender) const;
 
   Role role_;
@@ -133,6 +169,17 @@ class Session {
   std::size_t hs_messages_ = 0;
   std::size_t stall_pumps_ = 0;  // consecutive no-progress pumps
   std::size_t fill_bytes_ = 0;   // transport bytes consumed by last pump
+
+  // Resumption state (DESIGN.md §10).
+  ResumptionTicket offered_;           // client: ticket offered in the hello
+  bool offer_sent_ = false;            // client put the ID field on the wire
+  bool peer_offered_ = false;          // server saw the ID field
+  std::array<u8, kSessionIdBytes> session_id_{};  // assigned/confirmed ID
+  bool have_session_id_ = false;
+  bool resumed_ = false;
+  ResumptionTicket ticket_;            // filled once established
+  bool premaster_expanded_ = false;
+  common::u64 hs_cost_cycles_ = 0;     // modeled 30 MHz crypto cost
 };
 
 }  // namespace rmc::issl

@@ -1,0 +1,145 @@
+#include "issl/session_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "telemetry/metrics.h"
+
+namespace rmc::issl {
+
+namespace {
+// Lazily registered: a resumption-off run never touches these, keeping the
+// pre-existing benches' metrics JSON bit-identical (same discipline as the
+// fault/recovery instruments).
+telemetry::Counter& hit_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("issl.cache_hits");
+  return c;
+}
+telemetry::Counter& miss_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("issl.cache_misses");
+  return c;
+}
+telemetry::Counter& evict_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("issl.cache_evictions");
+  return c;
+}
+telemetry::Counter& insert_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("issl.cache_insertions");
+  return c;
+}
+telemetry::Counter& expire_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("issl.cache_expirations");
+  return c;
+}
+
+bool id_equal(const SessionCacheEntry& e, std::span<const u8> id) {
+  return id.size() == kSessionIdBytes &&
+         std::memcmp(e.id, id.data(), kSessionIdBytes) == 0;
+}
+}  // namespace
+
+SessionCache::SessionCache(std::size_t capacity, u64 ttl_ms)
+    : capacity_(std::min(capacity, kSessionCacheMaxEntries)),
+      ttl_ms_(ttl_ms) {}
+
+bool SessionCache::expired(const SessionCacheEntry& e) const {
+  return ttl_ms_ > 0 && now_ms_ - e.last_used_ms >= ttl_ms_;
+}
+
+SessionCacheEntry* SessionCache::find(std::span<const u8> id) {
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    SessionCacheEntry& e = data_.entries[i];
+    if (e.in_use != 0 && id_equal(e, id)) return &e;
+  }
+  return nullptr;
+}
+
+SessionCacheEntry* SessionCache::allocate() {
+  SessionCacheEntry* lru = nullptr;
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    SessionCacheEntry& e = data_.entries[i];
+    if (e.in_use == 0) return &e;
+    if (lru == nullptr || e.last_used_ms < lru->last_used_ms) lru = &e;
+  }
+  if (lru != nullptr) {
+    ++evictions_;
+    evict_counter().add();
+    *lru = SessionCacheEntry{};
+  }
+  return lru;
+}
+
+void SessionCache::insert(std::span<const u8> id, std::span<const u8> master,
+                          u8 key_exchange, u8 key_bytes) {
+  if (capacity_ == 0 || id.size() != kSessionIdBytes ||
+      master.size() != kMasterSecretBytes) {
+    return;
+  }
+  SessionCacheEntry* e = find(id);
+  if (e == nullptr) e = allocate();
+  if (e == nullptr) return;
+  std::memcpy(e->id, id.data(), kSessionIdBytes);
+  std::memcpy(e->master, master.data(), kMasterSecretBytes);
+  e->key_exchange = key_exchange;
+  e->key_bytes = key_bytes;
+  e->in_use = 1;
+  e->created_ms = now_ms_;
+  e->last_used_ms = now_ms_;
+  ++insertions_;
+  insert_counter().add();
+}
+
+bool SessionCache::lookup(std::span<const u8> id, ResumptionTicket* out) {
+  SessionCacheEntry* e =
+      id.size() == kSessionIdBytes ? find(id) : nullptr;
+  if (e != nullptr && expired(*e)) {
+    *e = SessionCacheEntry{};
+    ++expirations_;
+    expire_counter().add();
+    e = nullptr;
+  }
+  if (e == nullptr) {
+    ++misses_;
+    miss_counter().add();
+    return false;
+  }
+  e->last_used_ms = now_ms_;
+  if (out != nullptr) {
+    std::memcpy(out->id, e->id, kSessionIdBytes);
+    std::memcpy(out->master, e->master, kMasterSecretBytes);
+    out->key_exchange = e->key_exchange;
+    out->key_bytes = e->key_bytes;
+    out->valid = 1;
+  }
+  ++hits_;
+  hit_counter().add();
+  return true;
+}
+
+void SessionCache::remove(std::span<const u8> id) {
+  if (SessionCacheEntry* e = find(id)) *e = SessionCacheEntry{};
+}
+
+std::size_t SessionCache::size() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    if (data_.entries[i].in_use != 0) ++n;
+  }
+  return n;
+}
+
+void SessionCache::restore(const SessionCacheData& data) {
+  data_ = data;
+  // Entries beyond the runtime capacity (a smaller cache this boot) are
+  // dropped rather than left unreachable-but-resident.
+  for (std::size_t i = capacity_; i < kSessionCacheMaxEntries; ++i) {
+    data_.entries[i] = SessionCacheEntry{};
+  }
+}
+
+}  // namespace rmc::issl

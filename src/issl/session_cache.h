@@ -1,0 +1,128 @@
+// Session-resumption cache — the software answer to the paper's E5 claim
+// that SSL costs a server an order of magnitude (§2, citing Goldberg et
+// al.): nearly all of that cost is the per-connection RSA handshake, and
+// real deployments amortize it by resuming sessions. The FPGA SSL-processor
+// work in PAPERS.md attacks the same bottleneck in hardware; here a bounded
+// cache lets a reconnecting client skip straight to Finished.
+//
+// Design constraints, inherited from the port (§5.2):
+//
+//   * xalloc-style fixed capacity: the entry array is statically sized and
+//     never grows; a full cache evicts the least-recently-used entry.
+//   * trivially copyable storage (SessionCacheData): the redirector carries
+//     the cache across warm restarts through the same DurableVar two-slot
+//     commit machinery as its counters, so a watchdog bite does not force
+//     every client back through full RSA.
+//   * virtual-time TTL: entries expire `ttl_ms` after last use, measured on
+//     the owner's scheduler clock (the cache has no clock of its own).
+//
+// Security simplifications vs. real TLS session tickets are deliberate and
+// documented in DESIGN.md §10 (master secrets stored in the clear in
+// battery RAM, no ticket encryption or rotation).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/bytes.h"
+
+namespace rmc::issl {
+
+using common::u64;
+using common::u8;
+
+inline constexpr std::size_t kSessionIdBytes = 16;
+inline constexpr std::size_t kMasterSecretBytes = 48;
+/// Hard ceiling on cache slots (the xalloc-style static allocation); the
+/// runtime capacity is clamped to this at construction.
+inline constexpr std::size_t kSessionCacheMaxEntries = 32;
+
+/// What a client keeps between connections (and offers in ClientHello).
+/// Trivially copyable so callers may battery-back it like any other
+/// `protected` variable.
+struct ResumptionTicket {
+  u8 id[kSessionIdBytes] = {};
+  u8 master[kMasterSecretBytes] = {};
+  u8 key_exchange = 0;  // issl::KeyExchange, narrowed for raw storage
+  u8 key_bytes = 0;     // AES key length in bytes
+  u8 valid = 0;         // 0 = no ticket
+};
+
+/// One server-side cache slot. Raw battery-RAM bytes by design.
+struct SessionCacheEntry {
+  u8 id[kSessionIdBytes] = {};
+  u8 master[kMasterSecretBytes] = {};
+  u8 key_exchange = 0;
+  u8 key_bytes = 0;
+  u8 in_use = 0;
+  u64 created_ms = 0;    // virtual time of insertion
+  u64 last_used_ms = 0;  // virtual time of last insert/hit (LRU key)
+};
+
+/// The trivially-copyable whole-cache snapshot a DurableVar commits.
+struct SessionCacheData {
+  SessionCacheEntry entries[kSessionCacheMaxEntries];
+};
+
+class SessionCache {
+ public:
+  /// `capacity` slots (clamped to kSessionCacheMaxEntries); `ttl_ms` = 0
+  /// disables expiry. Capacity 0 makes every lookup a miss and every insert
+  /// a no-op, so a disabled cache can still be wired in unconditionally.
+  explicit SessionCache(std::size_t capacity, u64 ttl_ms = 0);
+
+  /// Advance the cache's idea of virtual time (the owner's scheduler
+  /// clock). Lookups/inserts stamp entries with the latest value.
+  void set_now(u64 now_ms) { now_ms_ = now_ms; }
+  u64 now_ms() const { return now_ms_; }
+
+  /// Store (or refresh) a session. Evicts the LRU entry when full.
+  void insert(std::span<const u8> id, std::span<const u8> master,
+              u8 key_exchange, u8 key_bytes);
+
+  /// Look up a session ID offered by a reconnecting client. A hit fills
+  /// `out` (valid=1) and bumps the entry's LRU stamp; an expired entry is
+  /// dropped and counted as a miss.
+  bool lookup(std::span<const u8> id, ResumptionTicket* out);
+
+  /// Drop one session (e.g. after a handshake failure on a resumed ID).
+  void remove(std::span<const u8> id);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  u64 ttl_ms() const { return ttl_ms_; }
+
+  // Counters for telemetry/bench export (also mirrored into the global
+  // registry as issl.cache_* — registered lazily so resumption-off runs
+  // leave the metrics JSON untouched).
+  u64 hits() const { return hits_; }
+  u64 misses() const { return misses_; }
+  u64 evictions() const { return evictions_; }
+  u64 insertions() const { return insertions_; }
+  u64 expirations() const { return expirations_; }
+
+  /// Raw snapshot for the DurableVar carry (and its inverse). restore()
+  /// accepts entries from a previous boot verbatim; stale ones age out via
+  /// the normal TTL path.
+  const SessionCacheData& data() const { return data_; }
+  void restore(const SessionCacheData& data);
+
+ private:
+  SessionCacheEntry* find(std::span<const u8> id);
+  /// Slot to write a new entry into: first free, else LRU (counted as an
+  /// eviction).
+  SessionCacheEntry* allocate();
+  bool expired(const SessionCacheEntry& e) const;
+
+  SessionCacheData data_;
+  std::size_t capacity_;
+  u64 ttl_ms_;
+  u64 now_ms_ = 0;
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+  u64 evictions_ = 0;
+  u64 insertions_ = 0;
+  u64 expirations_ = 0;
+};
+
+}  // namespace rmc::issl

@@ -223,6 +223,33 @@ bool TcpStack::was_reset(int sock) const {
   return t != nullptr && t->reset;
 }
 
+bool TcpStack::reap(int sock) {
+  auto it = socks_.find(sock);
+  if (it == socks_.end()) return false;
+  const TcpState s = it->second.state;
+  if (s != TcpState::kClosed && s != TcpState::kTimeWait) return false;
+  if (it->second.backlog > 0) return false;  // listeners are never reaped
+  socks_.erase(it);
+  ++tcbs_reaped_;
+  return true;
+}
+
+std::size_t TcpStack::reap_dead() {
+  std::size_t n = 0;
+  for (auto it = socks_.begin(); it != socks_.end();) {
+    const TcpState s = it->second.state;
+    if ((s == TcpState::kClosed || s == TcpState::kTimeWait) &&
+        it->second.backlog == 0) {
+      it = socks_.erase(it);
+      ++tcbs_reaped_;
+      ++n;
+    } else {
+      ++it;
+    }
+  }
+  return n;
+}
+
 u64 TcpStack::rto_ms(int sock) const {
   const Tcb* t = find(sock);
   return t == nullptr ? 0 : t->rto_ms;

@@ -91,6 +91,21 @@ class TcpStack : public NetworkEndpoint {
   /// True if the connection died from RST or retransmission give-up.
   bool was_reset(int sock) const;
 
+  /// Release one fully-dead, non-listener TCB (kClosed / kTimeWait). The
+  /// stack historically kept every socket id resident forever — harmless
+  /// for the port's fixed handful of sockets, but a reconnect-heavy client
+  /// grows the table without bound. Opt-in and explicit because reaping
+  /// forgets the socket's post-mortem state (was_reset etc.); callers reap
+  /// only ids they are done querying. Returns false if the socket is still
+  /// live (or unknown).
+  bool reap(int sock);
+  /// Reap every dead non-listener TCB; returns how many were released.
+  std::size_t reap_dead();
+  /// TCBs currently resident (listeners included) — tests watch this to
+  /// prove reaping bounds the table.
+  std::size_t tcb_count() const { return socks_.size(); }
+  u64 tcbs_reaped() const { return tcbs_reaped_; }
+
   IpAddr address() const { return addr_; }
   u64 retransmissions() const { return retransmissions_; }
   u64 resets_sent() const { return resets_sent_; }
@@ -180,6 +195,7 @@ class TcpStack : public NetworkEndpoint {
   u64 retransmissions_ = 0;
   u64 resets_sent_ = 0;
   u64 retx_giveups_ = 0;
+  u64 tcbs_reaped_ = 0;
   u64 syn_backlog_drops_ = 0;
   common::RingLog* diag_log_ = nullptr;
   std::map<Port, std::deque<Datagram>> udp_ports_;

@@ -69,6 +69,8 @@ RmcRedirector::RmcRedirector(net::TcpStack& stack, net::SimNet& medium,
       scheduler_(config_.handler_slots + 1 + (config_.shed_when_busy ? 1 : 0)),
       own_log_(config_.log_capacity_bytes),
       log_(config_.battery_log ? config_.battery_log : &own_log_),
+      session_cache_(config_.session_cache_capacity,
+                     config_.session_cache_ttl_ms),
       sockets_(config_.handler_slots) {
   // The port's error policy (§4.1): install a handler and ignore most
   // errors, logging them to the ring buffer instead of resetting.
@@ -98,15 +100,33 @@ RmcRedirector::RmcRedirector(net::TcpStack& stack, net::SimNet& medium,
       durable_state_.backend_port = config_.backend_port;
     }
     ++durable_state_.generation;  // exactly once per boot
+    durable_state_.schema = RedirectorDurableState{}.schema;
     commit_durable();
     log_->append("boot gen " + std::to_string(durable_state_.generation) +
                  " (" + dynk::durable_outcome_name(r.outcome) + ")");
+  }
+
+  // Warm-restart carry of the resumption cache: restore the battery-backed
+  // snapshot so reconnecting clients still hit. Gated on the cache being
+  // enabled — a disabled cache must not add durable traffic (or power-fault
+  // trip sites) to configurations that predate it.
+  if (resumption_on() && config_.durable_session_cache) {
+    auto r = config_.durable_session_cache->load();
+    if (r.outcome != dynk::DurableLoadOutcome::kEmpty) {
+      session_cache_.restore(r.value);
+      log_->append("cache restored " + std::to_string(session_cache_.size()));
+    }
   }
 }
 
 void RmcRedirector::commit_durable() {
   if (!config_.durable) return;
   (void)config_.durable->store(durable_state_);  // a cut here is recoverable
+}
+
+void RmcRedirector::commit_session_cache() {
+  if (!resumption_on() || !config_.durable_session_cache) return;
+  (void)config_.durable_session_cache->store(session_cache_.data());
 }
 
 Status RmcRedirector::start() {
@@ -122,7 +142,12 @@ Status RmcRedirector::start() {
   return scheduler_.add(tick_driver(), "tcp_tick");
 }
 
-void RmcRedirector::poll() { scheduler_.tick(); }
+void RmcRedirector::poll() {
+  // The cache keeps virtual time so TTL expiry follows the same clock the
+  // handlers' timeouts do.
+  session_cache_.set_now(scheduler_.now_ms());
+  scheduler_.tick();
+}
 
 dynk::Costate RmcRedirector::tick_driver() {
   // Figure 3: "one [process] to drive the TCP stack".
@@ -191,6 +216,7 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
       issl::ServerIdentity id;
       id.psk = config_.psk;
       id.rsa = config_.rsa;
+      if (resumption_on()) id.session_cache = &session_cache_;
       session.emplace(
           issl::issl_bind_server(stream, config_.tls, rng_, std::move(id)));
       // A silent or stalled peer must not pin this slot forever: the
@@ -217,12 +243,26 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
         ++stats_.handshake_failures;
         hs_fail_counter().add();
         log_->append("hs-fail " + std::to_string(slot));
+        // The session may have dropped a poisoned cache entry on the way
+        // down; keep the battery snapshot in step.
+        commit_session_cache();
         usable = false;
-      } else if (config_.crypto_cycles_handshake > 0) {
+      } else {
+        // A completed handshake may have inserted (or refreshed) a cache
+        // entry; commit before serving so a warm restart mid-session still
+        // lets this client resume.
+        commit_session_cache();
         // CPU-cost model: the 30 MHz board just spent this long on the key
-        // schedule, PRF, and Finished MACs.
-        co_await scheduler_.delay(static_cast<common::u32>(
-            config_.crypto_cycles_handshake / 30'000));
+        // schedule, PRF, and Finished MACs — much less of it when the
+        // abbreviated handshake skipped the key exchange.
+        const u64 hs_cycles =
+            session->resumed() && config_.crypto_cycles_resumed_handshake > 0
+                ? config_.crypto_cycles_resumed_handshake
+                : config_.crypto_cycles_handshake;
+        if (hs_cycles > 0) {
+          co_await scheduler_.delay(static_cast<common::u32>(
+              hs_cycles / 30'000));
+        }
       }
     }
 
@@ -366,7 +406,14 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
     active_gauge().set(static_cast<telemetry::i64>(stats_.connections_active));
     ++stats_.connections_served;
     ++durable_state_.served;
-    if (slot < 8) ++durable_state_.slot_cycles[slot];
+    // Sized from the durable record's declared capacity, not a magic 8 that
+    // silently under-counted handler_slots > 8 configurations; anything
+    // past the array lands in the explicit overflow aggregate.
+    if (slot < kDurableSlotCounters) {
+      ++durable_state_.slot_cycles[slot];
+    } else {
+      ++durable_state_.slot_cycles_overflow;
+    }
     commit_durable();
     served_counter().add();
     log_->append("done " + std::to_string(slot));
@@ -383,7 +430,9 @@ UnixRedirector::UnixRedirector(net::TcpStack& stack, RedirectorConfig config)
       config_(std::move(config)),
       bsd_(stack),
       // "Fork" freely: a workstation-sized process table.
-      scheduler_(4096) {}
+      scheduler_(4096),
+      session_cache_(config_.session_cache_capacity,
+                     config_.session_cache_ttl_ms) {}
 
 Status UnixRedirector::start() {
   auto fd = bsd_.socket_fd();
@@ -396,7 +445,10 @@ Status UnixRedirector::start() {
   return scheduler_.add(acceptor(), "acceptor");
 }
 
-void UnixRedirector::poll() { scheduler_.tick(); }
+void UnixRedirector::poll() {
+  session_cache_.set_now(scheduler_.now_ms());
+  scheduler_.tick();
+}
 
 dynk::Costate UnixRedirector::acceptor() {
   // The Figure 2(a)/§5.3 loop: accept, fork a child, loop immediately.
@@ -424,6 +476,9 @@ dynk::Costate UnixRedirector::connection_process(int fd) {
     issl::ServerIdentity id;
     id.psk = config_.psk;
     id.rsa = config_.rsa;
+    if (config_.tls.resumption && config_.session_cache_capacity > 0) {
+      id.session_cache = &session_cache_;
+    }
     session.emplace(
         issl::issl_bind_server(stream, config_.tls, rng_, std::move(id)));
     const u64 hs_deadline =
@@ -618,11 +673,14 @@ bool Client::poll() {
   }
   if (secure_) {
     if (!session_) {
-      session_.emplace(issl::issl_bind_client(*stream_, tls_, rng_, psk_));
+      session_.emplace(issl::issl_bind_client(
+          *stream_, tls_, rng_, psk_,
+          offered_.valid != 0 ? &offered_ : nullptr));
     }
     (void)session_->pump();
     if (session_->failed()) return false;
     if (session_->established()) {
+      if (session_->ticket().valid != 0) ticket_ = session_->ticket();
       if (!pending_send_.empty()) {
         if (session_->write(pending_send_).ok()) pending_send_.clear();
       }
@@ -667,6 +725,25 @@ bool Client::failed() const {
 void Client::close() {
   if (session_ && session_->established()) (void)session_->close();
   if (sock_ >= 0) (void)stack_.close(sock_);
+}
+
+Status Client::reconnect() {
+  close();
+  session_.reset();
+  stream_.reset();
+  sock_ = -1;
+  received_.clear();
+  pending_send_.clear();
+  send_done_ = false;
+  polls_since_progress_ = 0;
+  progress_rx_ = 0;
+  progress_hs_ = false;
+  // The earned ticket rides along so the next handshake can resume; dead
+  // TCBs from previous connections are reclaimed once TCP is done with
+  // them, keeping a reconnect-heavy client's socket table bounded.
+  if (ticket_.valid != 0) offered_ = ticket_;
+  (void)stack_.reap_dead();
+  return start();
 }
 
 }  // namespace rmc::services

@@ -47,15 +47,28 @@ using common::u8;
 /// not lose across a watchdog bite or power cut. Stored through a
 /// DurableVar, so a torn update is detected and rolled back, never
 /// half-applied. Trivially copyable by design — these are raw SRAM bytes.
+/// Slot-counter capacity of the durable record. handler_slots is a runtime
+/// knob with no upper bound, so the battery-backed array cannot silently
+/// track it; 32 covers every configuration in the tree, and completions on
+/// slots beyond it land in an explicit aggregate instead of vanishing.
+inline constexpr std::size_t kDurableSlotCounters = 32;
+
 struct RedirectorDurableState {
+  /// Layout version of this struct. Bumped to 2 when slot_cycles grew from
+  /// 8 to kDurableSlotCounters entries; the two-slot commit protocol treats
+  /// an old-layout battery image as torn/stale and recovers cleanly.
+  common::u32 schema = 2;
   common::u64 served = 0;      // completed sessions, across all boots
   common::u64 shed = 0;        // refused-at-ceiling, across all boots
   common::u64 generation = 0;  // boot count: +1 exactly once per boot
   net::IpAddr backend_ip = 0;  // last known-good backend address
   net::Port backend_port = 0;
-  /// Per-handler-slot reuse counters (paper Figure 3 has three slots; eight
-  /// covers any configuration the benches use).
-  common::u32 slot_cycles[8] = {};
+  /// Per-handler-slot reuse counters (paper Figure 3 has three slots).
+  /// Previously sized 8 and guarded with a bare `slot < 8`, which silently
+  /// dropped accounting for handler_slots > 8 configurations.
+  common::u32 slot_cycles[kDurableSlotCounters] = {};
+  /// Completions on slots >= kDurableSlotCounters (never silently lost).
+  common::u64 slot_cycles_overflow = 0;
 };
 
 struct RedirectorConfig {
@@ -114,6 +127,24 @@ struct RedirectorConfig {
   /// back, so the service requests a controlled restart to reclaim it.
   dynk::XallocArena* arena = nullptr;
   std::size_t session_xalloc_bytes = 0;
+
+  // --- Session resumption (DESIGN.md §10; all off by default) -------------
+  /// Server-side resumption cache slots (0 = no cache, every offer misses).
+  /// Only meaningful when tls.resumption is also on. Clamped to
+  /// issl::kSessionCacheMaxEntries — the xalloc-style static ceiling.
+  std::size_t session_cache_capacity = 0;
+  /// Cache entry TTL in virtual ms on the redirector's scheduler clock
+  /// (0 = entries never expire).
+  common::u64 session_cache_ttl_ms = 0;
+  /// Supervisor-owned durable snapshot of the cache: restored at boot,
+  /// committed after every handshake that changes it, so a warm restart
+  /// does not force every client back through the full RSA exchange. Only
+  /// read/written when the cache is actually enabled — a disabled cache
+  /// adds zero power-fault trip sites, keeping E10 sequences unchanged.
+  dynk::DurableVar<issl::SessionCacheData>* durable_session_cache = nullptr;
+  /// CPU charge for an abbreviated (resumed) handshake when the cost model
+  /// is on; defaults to crypto_cycles_handshake when 0 and resumption off.
+  common::u64 crypto_cycles_resumed_handshake = 0;
 };
 
 struct RedirectorStats {
@@ -159,12 +190,23 @@ class RmcRedirector {
   /// performs when it sees this.
   bool restart_requested() const { return restart_requested_; }
 
+  /// Server-side resumption cache (capacity 0 unless configured). Hit/miss/
+  /// eviction counters live here and in the issl.cache_* telemetry.
+  issl::SessionCache& session_cache() { return session_cache_; }
+  const issl::SessionCache& session_cache() const { return session_cache_; }
+
  private:
   dynk::Costate handler(std::size_t slot);
   dynk::Costate tick_driver();
   dynk::Costate shedder();
   /// Push durable_state_ through the two-slot commit (no-op when detached).
   void commit_durable();
+  /// Commit the resumption cache to its DurableVar (no-op when the cache is
+  /// disabled or no durable snapshot is wired in).
+  void commit_session_cache();
+  bool resumption_on() const {
+    return config_.tls.resumption && config_.session_cache_capacity > 0;
+  }
 
   net::TcpStack& stack_;
   RedirectorConfig config_;
@@ -178,6 +220,7 @@ class RmcRedirector {
   RedirectorDurableState durable_state_;
   dynk::DurableLoadOutcome recovery_ = dynk::DurableLoadOutcome::kEmpty;
   bool restart_requested_ = false;
+  issl::SessionCache session_cache_;
   // Static allocation, as the port was forced into (§5.2): one socket and
   // one session slot per handler, sized at construction, never freed.
   std::vector<net::tcp_Socket> sockets_;
@@ -193,6 +236,7 @@ class UnixRedirector {
 
   const RedirectorStats& stats() const { return stats_; }
   const std::vector<std::string>& log() const { return log_; }
+  issl::SessionCache& session_cache() { return session_cache_; }
 
  private:
   dynk::Costate acceptor();
@@ -206,6 +250,7 @@ class UnixRedirector {
   RedirectorStats stats_;
   std::vector<std::string> log_;  // unbounded, as on a real filesystem
   int listen_fd_ = -1;
+  issl::SessionCache session_cache_;
 };
 
 /// Plaintext TCP backend the redirector forwards to. Applies `transform`
@@ -252,6 +297,25 @@ class Client {
   /// connection: with nothing in flight, TCP alone never notices.
   void set_idle_give_up(u64 polls) { idle_give_up_polls_ = polls; }
 
+  // --- Session resumption -------------------------------------------------
+  /// The ticket earned by the last completed handshake (valid=0 until one
+  /// completes with resumption negotiated). Survives reconnect().
+  const issl::ResumptionTicket& ticket() const { return ticket_; }
+  /// Offer a ticket (e.g. from a previous Client) on the next handshake.
+  void offer_ticket(const issl::ResumptionTicket& t) { offered_ = t; }
+  /// True once the current session completed via the abbreviated path.
+  bool resumed() const { return session_ && session_->resumed(); }
+  /// Modeled handshake crypto cost of the current session (see
+  /// issl::Session::handshake_cost_cycles).
+  u64 handshake_cost_cycles() const {
+    return session_ ? session_->handshake_cost_cycles() : 0;
+  }
+  /// Tear down the current connection and dial again, keeping the earned
+  /// ticket so the new handshake can be abbreviated. The dead TCB is
+  /// reaped once TCP lets go of it (see TcpStack::reap_dead) so
+  /// reconnect-heavy clients do not grow the socket table without bound.
+  common::Status reconnect();
+
  private:
   net::TcpStack& stack_;
   net::IpAddr server_ip_;
@@ -270,6 +334,8 @@ class Client {
   u64 polls_since_progress_ = 0;
   std::size_t progress_rx_ = 0;
   bool progress_hs_ = false;
+  issl::ResumptionTicket offered_;  // offered on the next handshake
+  issl::ResumptionTicket ticket_;   // earned by the last handshake
 };
 
 }  // namespace rmc::services

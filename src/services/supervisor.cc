@@ -39,6 +39,7 @@ ServiceBoard::ServiceBoard(net::SimNet& net, ServiceBoardConfig config)
       battery_(config_.battery_log_bytes),
       wdt_(rabbit::Board::kWatchdogBase, 30'000'000) {
   battery_.durable.attach_power(&power_);
+  battery_.session_cache.attach_power(&power_);
   power_.arm(config_.power_plan);
   boot();
 }
@@ -60,6 +61,7 @@ void ServiceBoard::boot() {
   RedirectorConfig rc = config_.redirector;
   rc.battery_log = &battery_.log;
   rc.durable = &battery_.durable;
+  rc.durable_session_cache = &battery_.session_cache;
   rc.arena = arena_.get();
   rc.session_xalloc_bytes = config_.session_xalloc_bytes;
   redirector_ = std::make_unique<RmcRedirector>(*stack_, net_, rc);

@@ -54,6 +54,11 @@ struct BatteryFile {
 
   common::RingLog log;
   dynk::DurableVar<RedirectorDurableState> durable;
+  /// Resumption-cache snapshot (DESIGN.md §10): carried so a warm restart
+  /// does not force every reconnecting client back through the full RSA
+  /// handshake. Idle (no loads, no stores, no power-trip sites) unless the
+  /// redirector config enables the cache.
+  dynk::DurableVar<issl::SessionCacheData> session_cache;
 };
 
 struct ServiceBoardConfig {

@@ -508,5 +508,166 @@ TEST(SessionTest, StateNames) {
   EXPECT_STREQ(session_state_name(SessionState::kFailed), "FAILED");
 }
 
+// ---------------------------------------------------------------------------
+// Stall watchdog boundaries (regression: the old watchdog reset whenever any
+// raw bytes arrived, so a one-byte-per-pump peer could evade it forever)
+// ---------------------------------------------------------------------------
+
+TEST(SessionTest, StallBudgetBoundaryFailsOnLimitNotBefore) {
+  // Client against a silent server: the first pump sends ClientHello
+  // (progress), every later pump stalls. limit-1 stalled pumps must leave
+  // the session alive; the limit-th must fail it with kTimeout.
+  PipeStream c2s, s2c;
+  HalfStream client_end(c2s, s2c);
+  common::Xorshift64 rng(41);
+  Config cfg = Config::embedded_port();
+  cfg.handshake_stall_limit = 25;
+  auto client = issl_bind_client(client_end, cfg, rng, bytes_of("k"));
+  ASSERT_TRUE(client.pump().is_ok());  // ClientHello out: progress
+  for (std::size_t i = 0; i + 1 < cfg.handshake_stall_limit; ++i) {
+    ASSERT_TRUE(client.pump().is_ok()) << "failed early at stall pump " << i;
+  }
+  EXPECT_EQ(client.stalled_pumps(), cfg.handshake_stall_limit - 1);
+  EXPECT_FALSE(client.failed());
+  auto s = client.pump();  // crosses the budget
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kTimeout);
+  EXPECT_TRUE(client.failed());
+}
+
+TEST(SessionTest, OneByteTricklePerPumpStillHitsTheStallBudget) {
+  // Drip a valid ClientHello into the server one byte per pump. Bytes are
+  // arriving every single pump, but no complete record ever lands within
+  // the budget — the server must still time the handshake out.
+  PipeStream c2s, s2c;
+  HalfStream client_end(c2s, s2c), server_end(s2c, c2s);
+  common::Xorshift64 crng(42), srng(43);
+  auto client =
+      issl_bind_client(client_end, Config::embedded_port(), crng, bytes_of("k"));
+  ASSERT_TRUE(client.pump().is_ok());
+  const std::vector<u8> hello = std::move(c2s.buf_);
+  c2s.buf_.clear();
+  Config scfg = Config::embedded_port();
+  scfg.handshake_stall_limit = 10;  // far fewer pumps than hello has bytes
+  ASSERT_GT(hello.size(), scfg.handshake_stall_limit + 1);
+  ServerIdentity id;
+  id.psk = bytes_of("k");
+  auto server = issl_bind_server(server_end, scfg, srng, id);
+  common::Status last = common::Status::ok();
+  std::size_t fed = 0;
+  while (fed < hello.size() && last.is_ok()) {
+    c2s.buf_.push_back(hello[fed++]);
+    last = server.pump();
+  }
+  EXPECT_FALSE(last.is_ok());
+  EXPECT_EQ(last.code(), ErrorCode::kTimeout);
+  EXPECT_LT(fed, hello.size());  // gave up before the record completed
+  EXPECT_TRUE(server.failed());
+}
+
+TEST(SessionTest, PartialRecordTailNeverArrivingFailsWithTimeout) {
+  // Established + idle never stalls, but a partial record sitting in
+  // reassembly is a promise the peer must keep: if the tail never arrives,
+  // the record budget fails the session instead of wedging the reader.
+  PipeStream c2s, s2c;
+  HalfStream client_end(c2s, s2c), server_end(s2c, c2s);
+  common::Xorshift64 crng(44), srng(45);
+  auto client =
+      issl_bind_client(client_end, Config::embedded_port(), crng, bytes_of("k"));
+  Config scfg = Config::embedded_port();
+  scfg.record_stall_limit = 15;
+  ServerIdentity id;
+  id.psk = bytes_of("k");
+  auto server = issl_bind_server(server_end, scfg, srng, id);
+  for (int i = 0; i < 200 && !(client.established() && server.established());
+       ++i) {
+    (void)client.pump();
+    (void)server.pump();
+  }
+  ASSERT_TRUE(client.established() && server.established());
+  // Idle-established: pumps forever without stalling.
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(server.pump().is_ok());
+  EXPECT_EQ(server.stalled_pumps(), 0u);
+  // Now deliver only a header fragment of a real record.
+  ASSERT_TRUE(issl_write(client, bytes_of("half a record")).ok());
+  const std::vector<u8> full = std::move(c2s.buf_);
+  c2s.buf_.assign(full.begin(), full.begin() + 3);
+  common::Status last = common::Status::ok();
+  for (int i = 0; i < 100 && last.is_ok(); ++i) last = server.pump();
+  EXPECT_FALSE(last.is_ok());
+  EXPECT_EQ(last.code(), ErrorCode::kTimeout);
+}
+
+// ---------------------------------------------------------------------------
+// Premaster transport vs small RSA moduli (regression: silent truncation)
+// ---------------------------------------------------------------------------
+
+common::u64 premaster_expansions() {
+  const auto* c =
+      telemetry::Registry::global().find_counter("issl.premaster_expansions");
+  return c != nullptr ? c->value() : 0;
+}
+
+TEST(SessionTest, SmallRsaModulusExpandsPremasterOnBothSides) {
+  // A 256-bit modulus can carry at most 21 premaster bytes under PKCS#1.
+  // The old code silently keyed the whole session off that truncated seed;
+  // now both sides must expand the carried seed to the full 48 bytes (and
+  // say so), and the session must actually interoperate.
+  TlsHarness h;
+  h.connect_transport();
+  Config cfg = Config::unix_default();
+  ASSERT_EQ(cfg.rsa_modulus_bits, 256u);
+  auto client = issl_bind_client(*h.client_stream, cfg, h.client_rng);
+  ServerIdentity id;
+  id.rsa = crypto::rsa_generate(cfg.rsa_modulus_bits, h.server_rng);
+  auto server = issl_bind_server(*h.server_stream, cfg, h.server_rng, id);
+  const common::u64 before = premaster_expansions();
+  ASSERT_TRUE(h.drive(client, server));
+  EXPECT_TRUE(client.premaster_expanded());
+  EXPECT_TRUE(server.premaster_expanded());
+  EXPECT_EQ(premaster_expansions(), before + 2);
+  // Matching masters or nothing: prove it with an application-data echo.
+  const auto msg = bytes_of("expanded but interoperable");
+  ASSERT_TRUE(issl_write(client, msg).ok());
+  std::vector<u8> got;
+  for (int i = 0; i < 200 && got.empty(); ++i) {
+    h.net.tick(1);
+    (void)server.pump();
+    auto r = issl_read(server);
+    if (r.ok()) got = *r;
+  }
+  EXPECT_EQ(got, msg);
+}
+
+TEST(SessionTest, LargeRsaModulusCarriesFullPremasterUnexpanded) {
+  TlsHarness h;
+  h.connect_transport();
+  Config cfg = Config::unix_default();
+  cfg.rsa_modulus_bits = 512;  // 53-byte chunk >= 48: full premaster fits
+  auto client = issl_bind_client(*h.client_stream, cfg, h.client_rng);
+  ServerIdentity id;
+  id.rsa = crypto::rsa_generate(cfg.rsa_modulus_bits, h.server_rng);
+  auto server = issl_bind_server(*h.server_stream, cfg, h.server_rng, id);
+  ASSERT_TRUE(h.drive(client, server));
+  EXPECT_FALSE(client.premaster_expanded());
+  EXPECT_FALSE(server.premaster_expanded());
+}
+
+TEST(SessionTest, TinyRsaModulusFailsClearlyInsteadOfTruncating) {
+  // Below 12 modulus bytes PKCS#1 type-2 cannot carry a single payload
+  // byte; the client must refuse with kFailedPrecondition up front.
+  TlsHarness h;
+  h.connect_transport();
+  Config cfg = Config::unix_default();
+  cfg.rsa_modulus_bits = 64;
+  auto client = issl_bind_client(*h.client_stream, cfg, h.client_rng);
+  ServerIdentity id;
+  id.rsa = crypto::rsa_generate(cfg.rsa_modulus_bits, h.server_rng);
+  auto server = issl_bind_server(*h.server_stream, cfg, h.server_rng, id);
+  EXPECT_FALSE(h.drive(client, server, 200));
+  EXPECT_TRUE(client.failed());
+  EXPECT_EQ(client.error().code(), ErrorCode::kFailedPrecondition);
+}
+
 }  // namespace
 }  // namespace rmc::issl

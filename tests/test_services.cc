@@ -254,6 +254,54 @@ TEST(UnixRedirector, ManySimultaneousConnections) {
   EXPECT_GE(red.log().size(), 10u);  // unbounded log keeps everything
 }
 
+TEST(RmcRedirector, SlotAccountingCoversAllConfiguredHandlerSlots) {
+  // Regression: the durable slot counters were a fixed 8-entry array behind
+  // an `if (slot < 8)` guard while handler_slots is unbounded, so a
+  // 10-handler board silently dropped all accounting for slots 8 and 9.
+  // Now the array is sized from the record's declared capacity
+  // (kDurableSlotCounters) with an explicit overflow aggregate, and the
+  // record's schema says so.
+  World w;
+  ASSERT_TRUE(w.backend.start().is_ok());
+  RedirectorConfig cfg = w.rmc_config();
+  cfg.handler_slots = 10;
+  RmcRedirector red(w.redirector_stack, w.net, cfg);
+  ASSERT_TRUE(red.start().is_ok());
+
+  std::vector<std::unique_ptr<Client>> clients;
+  std::vector<Client*> ptrs;
+  for (int i = 0; i < 10; ++i) {
+    clients.push_back(std::make_unique<Client>(w.make_client(
+        true, issl::Config::embedded_port(), bytes_of("board-psk"),
+        0xC11E47 + static_cast<common::u64>(i))));
+    ASSERT_TRUE(clients.back()->start().is_ok());
+    ASSERT_TRUE(clients.back()->send(bytes_of("slot test")).is_ok());
+    ptrs.push_back(clients.back().get());
+  }
+  // Nobody closes until everyone is served, so all ten handler slots end up
+  // occupied simultaneously before the first close lands.
+  run_world(w, red, ptrs, 4'000);
+  for (auto& c : clients) {
+    EXPECT_EQ(std::string(c->received().begin(), c->received().end()),
+              "SLOT TEST");
+    c->close();
+  }
+  run_world(w, red, ptrs, 600);  // handlers wind down and account
+
+  const auto& d = red.durable_state();
+  EXPECT_EQ(d.schema, RedirectorDurableState{}.schema);
+  EXPECT_EQ(red.stats().connections_served, 10u);
+  common::u64 sum = 0;
+  for (std::size_t s = 0; s < kDurableSlotCounters; ++s) {
+    sum += d.slot_cycles[s];
+  }
+  EXPECT_EQ(sum, red.stats().connections_served);
+  EXPECT_EQ(d.slot_cycles_overflow, 0u);
+  // The slots the old guard dropped on the floor are the interesting ones.
+  EXPECT_EQ(d.slot_cycles[8], 1u);
+  EXPECT_EQ(d.slot_cycles[9], 1u);
+}
+
 TEST(EchoBackendTest, TransformsAndCountsBytes) {
   World w;
   ASSERT_TRUE(w.backend.start().is_ok());
