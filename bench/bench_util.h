@@ -26,6 +26,7 @@
 #include "telemetry/json.h"
 #include "telemetry/metrics.h"
 #include "telemetry/profiler.h"
+#include "telemetry/trace.h"
 
 namespace rmc::bench {
 
@@ -57,6 +58,19 @@ class Args {
       f.name = std::move(arg);
       flags_.push_back(std::move(f));
     }
+    // Tracing exports, available to every bench (DESIGN.md §11). These are
+    // deliberately NOT recorded as params: enabling tracing must leave the
+    // bench's JSON byte-identical to an untraced run, and an output path is
+    // host state, not workload shape.
+    if (const std::string* s = take("trace")) {
+      trace_path_ = *s;
+      telemetry::Tracer::global().set_enabled(true);
+    }
+    if (const std::string* s = take("pcap")) {
+      pcap_path_ = *s;
+      telemetry::Tracer::global().set_enabled(true);
+      telemetry::Tracer::global().set_pcap_capture(true);
+    }
   }
 
   /// Declares an integer knob; returns the parsed override or `def`.
@@ -87,6 +101,10 @@ class Args {
     if (const std::string* s = take("json")) return *s;
     return {};
   }
+
+  /// Paths given with --trace / --pcap (already consumed; empty = off).
+  const std::string& trace_path() const { return trace_path_; }
+  const std::string& pcap_path() const { return pcap_path_; }
 
   /// Declared knobs with their effective values (for the params object).
   const std::vector<std::pair<std::string, long>>& params() const {
@@ -124,6 +142,8 @@ class Args {
 
   std::vector<Flag> flags_;
   std::vector<std::pair<std::string, long>> params_;
+  std::string trace_path_;
+  std::string pcap_path_;
 };
 
 /// Accumulates a bench's numbers and writes the schema above. Results keep
@@ -168,6 +188,7 @@ class JsonReport {
   void write(Args& args) const {
     const std::string path = args.json_path();
     if (!args.all_consumed()) std::exit(2);
+    write_trace_artifacts(args);
     if (path.empty()) return;
 
     telemetry::JsonWriter w;
@@ -213,6 +234,31 @@ class JsonReport {
   }
 
  private:
+  /// Honor --trace / --pcap: dump whatever the tracer captured. Runs even
+  /// without --json, so any bench can be used purely as a trace source.
+  static void write_trace_artifacts(const Args& args) {
+    auto& tracer = telemetry::Tracer::global();
+    if (!args.trace_path().empty()) {
+      if (!telemetry::write_chrome_trace(args.trace_path(),
+                                         tracer.events())) {
+        std::fprintf(stderr, "cannot write %s\n", args.trace_path().c_str());
+        std::exit(1);
+      }
+      std::printf("chrome trace written to %s (%zu events)\n",
+                  args.trace_path().c_str(), tracer.events().size());
+    }
+    if (!args.pcap_path().empty()) {
+      const auto bytes = tracer.pcap_file_bytes();
+      if (!telemetry::write_binary_file(args.pcap_path(), bytes)) {
+        std::fprintf(stderr, "cannot write %s\n", args.pcap_path().c_str());
+        std::exit(1);
+      }
+      std::printf("pcap written to %s (%llu packets)\n",
+                  args.pcap_path().c_str(),
+                  static_cast<unsigned long long>(tracer.pcap_packets()));
+    }
+  }
+
   struct Entry {
     std::string key;
     enum Kind { kU64, kI64, kDouble, kBool, kString } kind;

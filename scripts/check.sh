@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
 # Pre-merge gate: tier-1 tests, then ASan/UBSan builds of the two soak
 # benches — E9 (wire faults) and E10 (board deaths: watchdog, power cuts,
-# xalloc exhaustion) — plus the resumption bench E11, so every
-# corruption/teardown/recovery/abbreviated-handshake path is
-# sanitizer-clean, then double runs proving the soaks' and E11's --json
-# artifacts are byte-reproducible for a fixed seed. Finally, a baseline
-# gate: with resumption off (the default), the gated bench artifacts
+# xalloc exhaustion) — plus the resumption bench E11 and the trace audit
+# E12, so every corruption/teardown/recovery/abbreviated-handshake/tracing
+# path is sanitizer-clean, then double runs proving those --json artifacts
+# are byte-reproducible for a fixed seed. E12 additionally proves trace
+# determinism: two traced runs must produce byte-identical Chrome trace
+# JSON *and* pcap, not just identical bench JSON. Finally, a baseline gate:
+# with resumption and tracing off (the defaults), the gated bench artifacts
 # (E1/E4/E5/E9/E10) must be byte-identical to the ones a clean checkout of
-# origin/main (or main) produces — the resumption machinery must be
-# invisible until switched on.
+# origin/main (or main) produces — new machinery must be invisible until
+# switched on.
 #
 # Usage:
 #   scripts/check.sh [--skip-baseline]
@@ -24,15 +26,16 @@ cmake --build "$repo_root/build" -j >/dev/null
 (cd "$repo_root/build" && ctest --output-on-failure -j)
 
 echo
-echo "== sanitizers: ASan+UBSan soaks (E9, E10) + resumption (E11) =="
+echo "== sanitizers: ASan+UBSan soaks (E9, E10) + E11 + trace audit (E12) =="
 san_dir="$repo_root/build-san"
 cmake -B "$san_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=Debug -DRMC_SANITIZE=address,undefined >/dev/null
 cmake --build "$san_dir" -j --target bench_fault_soak --target bench_crash_soak \
-  --target bench_resumption >/dev/null
+  --target bench_resumption --target bench_trace_audit >/dev/null
 "$san_dir/bench/bench_fault_soak" --seed 233
 "$san_dir/bench/bench_crash_soak" --seed 233
 "$san_dir/bench/bench_resumption"
+"$san_dir/bench/bench_trace_audit"
 
 echo
 echo "== determinism: E9 + E10 + E11 json byte-reproducible =="
@@ -48,6 +51,17 @@ cmp "$tmp/c.json" "$tmp/d.json"
 "$san_dir/bench/bench_resumption" --json "$tmp/f.json" >/dev/null
 cmp "$tmp/e.json" "$tmp/f.json"
 echo "identical artifacts"
+
+echo
+echo "== trace determinism: E12 json + chrome trace + pcap byte-identical =="
+"$san_dir/bench/bench_trace_audit" --json "$tmp/g.json" \
+  --trace "$tmp/g.trace.json" --pcap "$tmp/g.pcap" >/dev/null
+"$san_dir/bench/bench_trace_audit" --json "$tmp/h.json" \
+  --trace "$tmp/h.trace.json" --pcap "$tmp/h.pcap" >/dev/null
+cmp "$tmp/g.json" "$tmp/h.json"
+cmp "$tmp/g.trace.json" "$tmp/h.trace.json"
+cmp "$tmp/g.pcap" "$tmp/h.pcap"
+echo "identical trace artifacts"
 
 if ((skip_baseline)); then
   echo

@@ -4,9 +4,12 @@
 # params / results / profiles / metrics — see bench/bench_util.h).
 #
 # Every bench runs even if an earlier one fails; failures are collected and
-# reported at the end, and the script exits non-zero if there were any. A
-# half-written artifact from a failed bench is removed so stale JSON never
-# masquerades as a fresh result.
+# a per-bench PASS/FAIL table is printed at the end, and the script exits
+# non-zero if there were any failures. A half-written artifact from a failed
+# bench is removed so stale JSON never masquerades as a fresh result.
+#
+# E12 (bench_trace_audit) additionally writes the tracing artifacts — the
+# Chrome trace JSON and the pcap — next to its BENCH_E12.json.
 #
 # Usage:
 #   scripts/run_benches.sh [out_dir]      # default: repo root
@@ -23,12 +26,14 @@ mkdir -p "$out_dir"
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$build_dir" -j >/dev/null
 
+ran=()
 failures=()
 
 run() {
   local id="$1" bin="$2"
   shift 2
   echo "== $id: $bin $* =="
+  ran+=("$id")
   if ! "$build_dir/bench/$bin" "$@" --json "$out_dir/BENCH_$id.json"; then
     echo "!! $id FAILED" >&2
     rm -f "$out_dir/BENCH_$id.json"
@@ -46,9 +51,12 @@ run E7 bench_memory
 run E9 bench_fault_soak --seed 233
 run E10 bench_crash_soak --seed 233
 run E11 bench_resumption
+run E12 bench_trace_audit \
+  --trace "$out_dir/BENCH_E12.trace.json" --pcap "$out_dir/BENCH_E12.pcap"
 run ABLATION bench_ablation_record
 
 echo "== CRYPTO: bench_crypto_primitives (google-benchmark JSON) =="
+ran+=(CRYPTO)
 if ! "$build_dir/bench/bench_crypto_primitives" \
   --benchmark_format=json >"$out_dir/BENCH_CRYPTO.json"; then
   echo "!! CRYPTO FAILED" >&2
@@ -58,7 +66,18 @@ fi
 
 echo
 echo "artifacts:"
-ls -l "$out_dir"/BENCH_*.json || true
+ls -l "$out_dir"/BENCH_* || true
+
+echo
+echo "bench     result"
+echo "--------  ------"
+for id in "${ran[@]}"; do
+  verdict=PASS
+  for f in "${failures[@]:-}"; do
+    [[ "$f" == "$id" ]] && verdict=FAIL
+  done
+  printf '%-8s  %s\n' "$id" "$verdict"
+done
 
 if ((${#failures[@]})); then
   echo

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace rmc::issl {
 
@@ -135,6 +136,13 @@ Session Session::server(const Config& config, ByteStream& stream,
   return s;
 }
 
+void Session::trace_hs(u8 event, common::u32 b) const {
+  auto& tracer = telemetry::Tracer::global();
+  if (!tracer.enabled()) return;
+  tracer.emit(telemetry::TraceLayer::kIssl, event, stream_->trace_conn_id(),
+              role_ == Role::kServer ? 1u : 0u, b);
+}
+
 Status Session::fail(Status status) {
   // Failures before the session is up count against the handshake.
   if (state_ != SessionState::kEstablished &&
@@ -148,6 +156,8 @@ Status Session::fail(Status status) {
       identity_.session_cache->remove(session_id_);
     }
   }
+  trace_hs(telemetry::IsslTrace::kFailed,
+           static_cast<common::u32>(status.code()));
   state_ = SessionState::kFailed;
   error_ = status;
   (void)send_alert(kAlertHandshakeFailure);
@@ -155,6 +165,7 @@ Status Session::fail(Status status) {
 }
 
 Status Session::send_alert(u8 code) {
+  trace_hs(telemetry::IsslTrace::kAlertSent, code);
   const u8 body[1] = {code};
   auto wire = codec_.seal(RecordType::kAlert, body);
   if (!wire.ok()) return wire.status();
@@ -223,13 +234,13 @@ Status Session::pump() {
     std::vector<u8> body(client_random_.begin(), client_random_.end());
     body.push_back(static_cast<u8>(config_.key_exchange));
     body.push_back(static_cast<u8>(config_.aes_key_bits / 8));
+    bool offer = false;
     if (config_.resumption) {
       // Optional session-ID field: [id_len u8][id]. Only a ticket whose
       // cipher parameters match this config is worth offering.
-      const bool offer =
-          offered_.valid != 0 &&
-          offered_.key_exchange == static_cast<u8>(config_.key_exchange) &&
-          offered_.key_bytes == config_.aes_key_bits / 8;
+      offer = offered_.valid != 0 &&
+              offered_.key_exchange == static_cast<u8>(config_.key_exchange) &&
+              offered_.key_bytes == config_.aes_key_bits / 8;
       body.push_back(offer ? static_cast<u8>(kSessionIdBytes) : 0);
       if (offer) {
         body.insert(body.end(), offered_.id, offered_.id + kSessionIdBytes);
@@ -238,6 +249,7 @@ Status Session::pump() {
     }
     Status s = send_handshake(kMsgClientHello, body);
     if (!s.is_ok()) return fail(s);
+    trace_hs(telemetry::IsslTrace::kHello, offer ? 1 : 0);
     state_ = SessionState::kAwaitServerHello;
   }
 
@@ -323,6 +335,7 @@ Status Session::handle_record(const Record& record) {
       return Status::ok();
     case RecordType::kAlert: {
       const u8 code = record.payload.empty() ? 255 : record.payload[0];
+      trace_hs(telemetry::IsslTrace::kAlertRecv, code);
       if (code == kAlertCloseNotify) {
         state_ = SessionState::kClosed;
         return Status::ok();
@@ -369,6 +382,7 @@ Status Session::on_client_hello(std::span<const u8> body) {
     offered_id = body.subspan(35, id_len);
   }
   std::memcpy(client_random_.data(), body.data(), 32);
+  trace_hs(telemetry::IsslTrace::kHello, peer_offered_ ? 1 : 0);
   const auto kx = static_cast<KeyExchange>(body[32]);
   const std::size_t key_bytes = body[33];
   // The negotiation reproduces the port's dropped features: an embedded
@@ -431,6 +445,7 @@ Status Session::on_client_hello(std::span<const u8> body) {
     // the fresh randoms; no ClientKeyExchange, and the server's Finished
     // goes out first.
     resumed_ = true;
+    trace_hs(telemetry::IsslTrace::kResumed);
     master_.assign(cached.master, cached.master + kMasterBytes);
     s = derive_keys_and_activate();
     if (!s.is_ok()) return s;
@@ -438,6 +453,7 @@ Status Session::on_client_hello(std::span<const u8> body) {
     hs_cost_cycles_ += hmac_cycles(mac.size() + 20);
     s = send_handshake(kMsgFinished, mac);
     if (!s.is_ok()) return s;
+    trace_hs(telemetry::IsslTrace::kFinished);
     sent_finished_ = true;
     state_ = SessionState::kAwaitFinished;
     return Status::ok();
@@ -489,6 +505,7 @@ Status Session::on_server_hello(std::span<const u8> body) {
       // the key block from the ticket's master secret and wait for the
       // server's Finished (it comes first on this path).
       resumed_ = true;
+      trace_hs(telemetry::IsslTrace::kResumed);
       master_.assign(offered_.master, offered_.master + kMasterBytes);
       Status s = derive_keys_and_activate();
       if (!s.is_ok()) return s;
@@ -549,6 +566,7 @@ Status Session::on_server_hello(std::span<const u8> body) {
   }
   Status s = send_handshake(kMsgClientKeyExchange, cke);
   if (!s.is_ok()) return s;
+  trace_hs(telemetry::IsslTrace::kKeyExchange);
 
   s = derive_master_from_premaster();
   if (!s.is_ok()) return s;
@@ -558,6 +576,7 @@ Status Session::on_server_hello(std::span<const u8> body) {
   hs_cost_cycles_ += hmac_cycles(mac.size() + 20);
   s = send_handshake(kMsgFinished, mac);
   if (!s.is_ok()) return s;
+  trace_hs(telemetry::IsslTrace::kFinished);
   sent_finished_ = true;
   state_ = SessionState::kAwaitFinished;
   return Status::ok();
@@ -595,6 +614,7 @@ Status Session::on_client_key_exchange(std::span<const u8> body) {
     }
     premaster_ = identity_.psk;
   }
+  trace_hs(telemetry::IsslTrace::kKeyExchange);
   Status s = derive_master_from_premaster();
   if (!s.is_ok()) return s;
   s = derive_keys_and_activate();
@@ -621,9 +641,11 @@ Status Session::on_finished(std::span<const u8> body) {
     hs_cost_cycles_ += hmac_cycles(mac.size() + 20);
     Status s = send_handshake(kMsgFinished, mac);
     if (!s.is_ok()) return s;
+    trace_hs(telemetry::IsslTrace::kFinished);
     sent_finished_ = true;
   }
   state_ = SessionState::kEstablished;
+  trace_hs(telemetry::IsslTrace::kEstablished, resumed_ ? 1 : 0);
   hs_complete_counter().add();
   if (resumed_) hs_resumed_counter().add();
   // A full handshake against a resumption-capable pair ends with the server

@@ -130,6 +130,9 @@ class Session {
           common::Xorshift64& rng);
 
   common::Status fail(common::Status status);
+  /// Emit a handshake-stage trace event (telemetry::IsslTrace) on the
+  /// transport's connection track; a = role, b = event-specific word.
+  void trace_hs(u8 event, common::u32 b = 0) const;
   common::Status send_alert(u8 code);
   common::Status send_handshake(u8 msg_type, std::span<const u8> body);
   common::Status flush_and_fill();

@@ -23,6 +23,10 @@ class ByteStream {
   virtual common::Result<std::size_t> read(std::span<u8> out) = 0;
   virtual bool open() const = 0;
   virtual void close() = 0;
+  /// Trace correlation id of the underlying transport connection, so issl
+  /// handshake events land on the same track as the TCP/net events below
+  /// them (telemetry/trace.h). 0 when the stream has no live connection.
+  virtual common::u32 trace_conn_id() const { return 0; }
 };
 
 /// Directly over a TcpStack connection socket.
@@ -39,6 +43,9 @@ class TcpStream final : public ByteStream {
     return stack_.is_open(sock_) || stack_.bytes_available(sock_) > 0;
   }
   void close() override { (void)stack_.close(sock_); }
+  common::u32 trace_conn_id() const override {
+    return stack_.trace_conn_id(sock_);
+  }
 
  private:
   net::TcpStack& stack_;
@@ -59,6 +66,9 @@ class BsdStream final : public ByteStream {
     return api_.open_fd(fd_) || api_.bytes_ready_fd(fd_) > 0;
   }
   void close() override { (void)api_.close_fd(fd_); }
+  common::u32 trace_conn_id() const override {
+    return api_.trace_conn_id(fd_);
+  }
 
  private:
   net::BsdSocketApi& api_;
@@ -80,6 +90,9 @@ class DcStream final : public ByteStream {
     return api_.tcp_tick(sock_) || api_.sock_bytes_ready(sock_) > 0;
   }
   void close() override { api_.sock_close(sock_); }
+  common::u32 trace_conn_id() const override {
+    return api_.trace_conn_id(sock_);
+  }
 
  private:
   net::DcTcpApi& api_;

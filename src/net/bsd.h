@@ -48,6 +48,12 @@ class BsdSocketApi {
   /// Connection still alive (for service loops)?
   bool open_fd(int fd) const;
 
+  /// Trace correlation id of the fd's connection (0 for listeners/unknown).
+  u32 trace_conn_id(int fd) const {
+    const FdEntry* e = find(fd);
+    return e == nullptr ? 0 : stack_.trace_conn_id(e->sock);
+  }
+
  private:
   struct FdEntry {
     Port bound_port = 0;

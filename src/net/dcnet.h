@@ -87,6 +87,12 @@ class DcTcpApi {
   common::u64 tick_calls() const { return tick_calls_; }
   bool initialized() const { return initialized_; }
 
+  /// Trace correlation id of the socket's live connection (0 when no peer
+  /// is bound yet).
+  u32 trace_conn_id(const tcp_Socket* s) const {
+    return (s == nullptr || s->conn < 0) ? 0 : stack_.trace_conn_id(s->conn);
+  }
+
  private:
   common::Status fill_gather(tcp_Socket* s);
 

@@ -3,10 +3,24 @@
 #include <algorithm>
 
 #include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace rmc::net {
 
 namespace {
+
+using telemetry::NetTrace;
+using telemetry::TraceLayer;
+
+/// Trace correlation id for a segment — orderless, so both directions of a
+/// connection (and every layer above) share it.
+telemetry::u32 seg_conn(const Segment& s) {
+  return telemetry::trace_conn_id(s.src_ip, s.src_port, s.dst_ip, s.dst_port);
+}
+
+telemetry::u32 seg_meta(const Segment& s) {
+  return (static_cast<telemetry::u32>(s.protocol) << 8) | s.flags;
+}
 // Process-wide wire counters: every SimNet instance feeds the same
 // instruments (benches construct several media per run and want totals).
 telemetry::Counter& sent_counter() {
@@ -74,12 +88,27 @@ bool SimNet::in_partition(u64 at_ms) const {
 void SimNet::enqueue(Segment segment) {
   u64 due = now_ms_ + latency_ms_;
   if (plan_.jitter_ms > 0) due += rng_.next_below(plan_.jitter_ms + 1);
+  // The pcap tap sits here: it sees every segment actually put on the wire
+  // (including duplicate copies), not ones the fault plan ate before
+  // transmission. Capture is a no-op unless --pcap enabled it.
+  auto& tracer = telemetry::Tracer::global();
+  if (tracer.pcap_capture()) {
+    tracer.pcap_packet(segment.src_ip, segment.src_port, segment.dst_ip,
+                       segment.dst_port, segment.protocol, segment.seq,
+                       segment.ack, segment.flags, segment.payload);
+  }
   in_flight_.push_back(InFlight{due, std::move(segment)});
 }
 
 void SimNet::send(Segment segment) {
   ++sent_;
   sent_counter().add();
+  auto& tracer = telemetry::Tracer::global();
+  if (tracer.enabled()) {
+    tracer.emit(TraceLayer::kNet, NetTrace::kSend, seg_conn(segment),
+                seg_meta(segment),
+                static_cast<telemetry::u32>(segment.payload.size()));
+  }
 
   // Scheduled partition: the wire simply isn't there. Checked before any
   // PRNG draw so partition windows don't perturb the loss/corruption
@@ -88,6 +117,10 @@ void SimNet::send(Segment segment) {
     ++dropped_partition_;
     dropped_partition_counter().add();
     dropped_counter().add();
+    if (tracer.enabled()) {
+      tracer.emit(TraceLayer::kNet, NetTrace::kDropPartition,
+                  seg_conn(segment));
+    }
     return;
   }
 
@@ -104,6 +137,9 @@ void SimNet::send(Segment segment) {
     ++dropped_loss_;
     dropped_loss_counter().add();
     dropped_counter().add();
+    if (tracer.enabled()) {
+      tracer.emit(TraceLayer::kNet, NetTrace::kDropLoss, seg_conn(segment));
+    }
     return;
   }
 
@@ -121,6 +157,11 @@ void SimNet::send(Segment segment) {
     if (corrupted) {
       ++corrupted_;
       corrupted_counter().add();
+      if (tracer.enabled()) {
+        tracer.emit(TraceLayer::kNet, NetTrace::kCorrupt, seg_conn(segment),
+                    seg_meta(segment),
+                    static_cast<telemetry::u32>(segment.payload.size()));
+      }
     }
   }
 
@@ -128,6 +169,10 @@ void SimNet::send(Segment segment) {
   if (duplicate) {
     ++duplicated_;
     duplicated_counter().add();
+    if (tracer.enabled()) {
+      tracer.emit(TraceLayer::kNet, NetTrace::kDuplicate, seg_conn(segment),
+                  seg_meta(segment));
+    }
     enqueue(segment);  // copy; each copy gets its own jitter
   }
   enqueue(std::move(segment));
@@ -135,8 +180,12 @@ void SimNet::send(Segment segment) {
 }
 
 void SimNet::tick(u32 ms) {
+  auto& tracer = telemetry::Tracer::global();
   for (u32 step = 0; step < ms; ++step) {
     ++now_ms_;
+    // The medium's clock is the trace clock: every layer's emissions during
+    // this step (deliveries, TCP transitions, handshake stages) share it.
+    if (tracer.enabled()) tracer.set_now_ms(now_ms_);
     // Deliver everything due. Delivery can enqueue replies (ACKs), which get
     // their own latency and thus a later due time — no reentrancy hazard.
     for (std::size_t i = 0; i < in_flight_.size();) {
@@ -148,11 +197,20 @@ void SimNet::tick(u32 ms) {
           ++delivered_;
           delivered_counter().add();
           payload_bytes_ += seg.payload.size();
+          if (tracer.enabled()) {
+            tracer.emit(TraceLayer::kNet, NetTrace::kDeliver, seg_conn(seg),
+                        seg_meta(seg),
+                        static_cast<telemetry::u32>(seg.payload.size()));
+          }
           it->second->deliver(seg);
         } else {
           ++dropped_no_host_;  // no host at that address
           dropped_no_host_counter().add();
           dropped_counter().add();
+          if (tracer.enabled()) {
+            tracer.emit(TraceLayer::kNet, NetTrace::kDropNoHost,
+                        seg_conn(seg));
+          }
         }
       } else {
         ++i;

@@ -3,12 +3,21 @@
 #include <algorithm>
 
 #include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace rmc::net {
 
 using common::ErrorCode;
 using common::Result;
 using common::Status;
+using telemetry::TcpTrace;
+using telemetry::TraceLayer;
+
+// The trace audit (telemetry/trace.cc) mirrors these values because the
+// dependency runs telemetry <- net; pin them here where both are visible.
+static_assert(static_cast<u32>(TcpState::kClosed) == 0);
+static_assert(static_cast<u32>(TcpState::kEstablished) == 4);
+static_assert(static_cast<u32>(TcpState::kTimeWait) == 9);
 
 namespace {
 // Process-wide TCP health counters (all stacks aggregate; benches reset the
@@ -110,13 +119,13 @@ Result<int> TcpStack::listen(Port port, int backlog) {
 Result<int> TcpStack::connect(IpAddr dst_ip, Port dst_port) {
   const int id = next_id_++;
   Tcb tcb;
-  tcb.state = TcpState::kSynSent;
   tcb.remote_ip = dst_ip;
   tcb.remote_port = dst_port;
   tcb.local_port = static_cast<Port>(0xC000 + (next_id_ * 13) % 0x3FFF);
   tcb.iss = rng_.next_u32();
   tcb.snd_una = tcb.iss;
   tcb.snd_nxt = tcb.iss + 1;  // SYN occupies one sequence number
+  transition(tcb, TcpState::kSynSent);
   transmit(tcb, tcb.iss, TcpFlags::kSyn, {});
   auto [it, ok] = socks_.emplace(id, std::move(tcb));
   (void)ok;
@@ -197,7 +206,7 @@ Status TcpStack::close(int sock) {
     return Status::ok();
   }
   if (t->state == TcpState::kSynSent) {
-    t->state = TcpState::kClosed;
+    transition(*t, TcpState::kClosed);
     return Status::ok();
   }
   t->fin_pending = true;
@@ -255,6 +264,27 @@ u64 TcpStack::rto_ms(int sock) const {
   return t == nullptr ? 0 : t->rto_ms;
 }
 
+u32 TcpStack::conn_trace_id(const Tcb& tcb) const {
+  if (tcb.remote_ip == 0 && tcb.remote_port == 0) return 0;  // listener
+  return telemetry::trace_conn_id(addr_, tcb.local_port, tcb.remote_ip,
+                                  tcb.remote_port);
+}
+
+u32 TcpStack::trace_conn_id(int sock) const {
+  const Tcb* t = find(sock);
+  if (t == nullptr || t->state == TcpState::kListen) return 0;
+  return conn_trace_id(*t);
+}
+
+void TcpStack::transition(Tcb& tcb, TcpState to) {
+  auto& tracer = telemetry::Tracer::global();
+  if (tracer.enabled() && tcb.state != to) {
+    tracer.emit(TraceLayer::kTcp, TcpTrace::kState, conn_trace_id(tcb),
+                static_cast<u32>(tcb.state), static_cast<u32>(to));
+  }
+  tcb.state = to;
+}
+
 // ---------------------------------------------------------------------------
 // Wire side
 // ---------------------------------------------------------------------------
@@ -298,8 +328,8 @@ void TcpStack::pump(Tcb& tcb) {
     transmit(tcb, tcb.snd_nxt, TcpFlags::kFin | TcpFlags::kAck, {});
     tcb.snd_nxt += 1;  // FIN occupies one sequence number
     tcb.fin_sent = true;
-    tcb.state = (tcb.state == TcpState::kCloseWait) ? TcpState::kLastAck
-                                                    : TcpState::kFinWait1;
+    transition(tcb, tcb.state == TcpState::kCloseWait ? TcpState::kLastAck
+                                                      : TcpState::kFinWait1);
     arm_retx(tcb);
   }
 }
@@ -308,6 +338,7 @@ void TcpStack::retransmit(Tcb& tcb) {
   ++retransmissions_;
   retx_counter().add();
   ++tcb.retx_count;
+  auto& tracer = telemetry::Tracer::global();
   if (tcb.retx_count > kMaxRetx) {
     // Give up: the peer (or the wire) is gone. RST, latch was_reset, free.
     ++retx_giveups_;
@@ -316,8 +347,18 @@ void TcpStack::retransmit(Tcb& tcb) {
       diag_log_->append("tcp retx-giveup port=" +
                         std::to_string(tcb.local_port));
     }
+    if (tracer.enabled()) {
+      tracer.emit(TraceLayer::kTcp, TcpTrace::kGiveUp, conn_trace_id(tcb),
+                  static_cast<u32>(tcb.retx_count),
+                  static_cast<u32>(tcb.rto_ms));
+    }
     kill(tcb, /*reset=*/true);
     return;
+  }
+  if (tracer.enabled()) {
+    tracer.emit(TraceLayer::kTcp, TcpTrace::kRetransmit, conn_trace_id(tcb),
+                static_cast<u32>(tcb.retx_count),
+                static_cast<u32>(tcb.rto_ms));
   }
   switch (tcb.state) {
     case TcpState::kSynSent:
@@ -353,7 +394,7 @@ void TcpStack::kill(Tcb& tcb, bool reset) {
     resets_counter().add();
     tcb.reset = true;
   }
-  tcb.state = TcpState::kClosed;
+  transition(tcb, TcpState::kClosed);
   tcb.retx_deadline = 0;
 }
 
@@ -370,11 +411,17 @@ void TcpStack::handle_listener(Tcb& listener, const Segment& seg) {
       diag_log_->append("tcp syn-drop port=" +
                         std::to_string(listener.local_port) + " backlog-full");
     }
+    auto& tracer = telemetry::Tracer::global();
+    if (tracer.enabled()) {
+      tracer.emit(TraceLayer::kTcp, TcpTrace::kSynDrop,
+                  telemetry::trace_conn_id(addr_, listener.local_port,
+                                           seg.src_ip, seg.src_port),
+                  listener.local_port);
+    }
     return;
   }
   const int id = next_id_++;
   Tcb conn;
-  conn.state = TcpState::kSynRcvd;
   conn.remote_ip = seg.src_ip;
   conn.remote_port = seg.src_port;
   conn.local_port = listener.local_port;
@@ -382,6 +429,7 @@ void TcpStack::handle_listener(Tcb& listener, const Segment& seg) {
   conn.iss = rng_.next_u32();
   conn.snd_una = conn.iss;
   conn.snd_nxt = conn.iss + 1;
+  transition(conn, TcpState::kSynRcvd);
   transmit(conn, conn.iss, TcpFlags::kSyn | TcpFlags::kAck, {});
   auto [it, ok] = socks_.emplace(id, std::move(conn));
   (void)ok;
@@ -393,7 +441,7 @@ void TcpStack::handle_connection(int id, Tcb& tcb, const Segment& seg) {
   (void)id;
   if (seg.has(TcpFlags::kRst)) {
     tcb.reset = true;
-    tcb.state = TcpState::kClosed;
+    transition(tcb, TcpState::kClosed);
     return;
   }
 
@@ -402,7 +450,7 @@ void TcpStack::handle_connection(int id, Tcb& tcb, const Segment& seg) {
         seg.ack == tcb.iss + 1) {
       tcb.rcv_nxt = seg.seq + 1;
       tcb.snd_una = seg.ack;
-      tcb.state = TcpState::kEstablished;
+      transition(tcb, TcpState::kEstablished);
       tcb.retx_deadline = 0;
       tcb.retx_count = 0;
       tcb.rto_ms = kRtoMs;
@@ -431,7 +479,7 @@ void TcpStack::handle_connection(int id, Tcb& tcb, const Segment& seg) {
       u32 remaining = acked;
       if (tcb.state == TcpState::kSynRcvd) {
         // Our SYN consumed one unit that is not in the byte buffer.
-        tcb.state = TcpState::kEstablished;
+        transition(tcb, TcpState::kEstablished);
         remaining -= 1;
       }
       const std::size_t pop =
@@ -446,9 +494,12 @@ void TcpStack::handle_connection(int id, Tcb& tcb, const Segment& seg) {
       // FIN fully acknowledged?
       if (tcb.fin_sent && tcb.snd_una == tcb.snd_nxt) {
         if (tcb.state == TcpState::kFinWait1) {
-          tcb.state = TcpState::kFinWait2;
+          transition(tcb, TcpState::kFinWait2);
+          if (fin_wait2_timeout_ms_ != 0) {
+            tcb.fin_wait2_deadline = now_ms_ + fin_wait2_timeout_ms_;
+          }
         } else if (tcb.state == TcpState::kLastAck) {
-          tcb.state = TcpState::kClosed;
+          transition(tcb, TcpState::kClosed);
         }
       }
       pump(tcb);
@@ -477,14 +528,14 @@ void TcpStack::handle_connection(int id, Tcb& tcb, const Segment& seg) {
       transmit(tcb, tcb.snd_nxt, TcpFlags::kAck, {});
       switch (tcb.state) {
         case TcpState::kEstablished:
-          tcb.state = TcpState::kCloseWait;
+          transition(tcb, TcpState::kCloseWait);
           break;
         case TcpState::kFinWait1:
           // Simultaneous close: our FIN not yet acked.
-          tcb.state = TcpState::kTimeWait;
+          transition(tcb, TcpState::kTimeWait);
           break;
         case TcpState::kFinWait2:
-          tcb.state = TcpState::kTimeWait;
+          transition(tcb, TcpState::kTimeWait);
           break;
         default:
           break;
@@ -601,6 +652,18 @@ void TcpStack::on_tick(u64 now_ms) {
     }
     if (tcb.retx_deadline != 0 && now_ms_ >= tcb.retx_deadline) {
       retransmit(tcb);
+    }
+    if (tcb.state == TcpState::kFinWait2 && tcb.fin_wait2_deadline != 0 &&
+        now_ms_ >= tcb.fin_wait2_deadline) {
+      // The peer acked our FIN but never closed its half; it is almost
+      // certainly dead (a live peer would have something to say within the
+      // timeout). Drop quietly — there is nobody to RST.
+      if (diag_log_ != nullptr) {
+        diag_log_->append("tcp fin-wait-2 timeout port=" +
+                          std::to_string(tcb.local_port));
+      }
+      kill(tcb, /*reset=*/false);
+      continue;
     }
     pump(tcb);
   }

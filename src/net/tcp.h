@@ -107,6 +107,11 @@ class TcpStack : public NetworkEndpoint {
   u64 tcbs_reaped() const { return tcbs_reaped_; }
 
   IpAddr address() const { return addr_; }
+
+  /// Trace correlation id of a connection socket — the orderless 4-tuple
+  /// hash shared with the peer stack and every layer above (see
+  /// telemetry/trace.h). 0 for listeners and unknown sockets.
+  u32 trace_conn_id(int sock) const;
   u64 retransmissions() const { return retransmissions_; }
   u64 resets_sent() const { return resets_sent_; }
   /// Connections that died from retransmission exhaustion.
@@ -121,6 +126,14 @@ class TcpStack : public NetworkEndpoint {
   /// be invisible (backlog-full SYN drops, retransmission give-ups) get a
   /// log line here.
   void set_diag_log(common::RingLog* log) { diag_log_ = log; }
+
+  /// Optional FIN_WAIT_2 inactivity timeout (0 = off, the default). A peer
+  /// that acked our FIN but never sends its own — typically because its host
+  /// lost power mid-close — leaves the TCB half-open forever: FIN_WAIT_2 has
+  /// nothing in flight, so the retransmission machinery never times out.
+  /// After `ms` of silence the connection is dropped quietly (no RST, no
+  /// reset counters), like Linux's tcp_fin_timeout.
+  void set_fin_wait2_timeout_ms(u64 ms) { fin_wait2_timeout_ms_ = ms; }
 
   // --- UDP (datagram, unreliable — no retransmission) --------------------
   struct Datagram {
@@ -166,6 +179,7 @@ class TcpStack : public NetworkEndpoint {
     bool peer_fin = false;
     bool reset = false;
     u64 retx_deadline = 0;
+    u64 fin_wait2_deadline = 0;  // armed on entering FIN_WAIT_2 (if enabled)
     u64 rto_ms = kRtoMs;  // current (backed-off) RTO
     int retx_count = 0;
     // Listener-only:
@@ -179,6 +193,10 @@ class TcpStack : public NetworkEndpoint {
   int find_listener(Port lport) const;
 
   void transmit(const Tcb& tcb, u32 seq, u8 flags, std::vector<u8> payload);
+  /// Every connection state change funnels through here so the trace sees
+  /// each transition exactly once (a = from, b = to).
+  void transition(Tcb& tcb, TcpState to);
+  u32 conn_trace_id(const Tcb& tcb) const;
   void pump(Tcb& tcb);            // move send_queue -> wire within window
   void arm_retx(Tcb& tcb);
   void retransmit(Tcb& tcb);
@@ -198,6 +216,7 @@ class TcpStack : public NetworkEndpoint {
   u64 tcbs_reaped_ = 0;
   u64 syn_backlog_drops_ = 0;
   common::RingLog* diag_log_ = nullptr;
+  u64 fin_wait2_timeout_ms_ = 0;  // 0 = never expire (historical behavior)
   std::map<Port, std::deque<Datagram>> udp_ports_;
   u64 echo_replies_ = 0;
   u32 last_echo_seq_ = 0;

@@ -3,6 +3,7 @@
 #include <array>
 
 #include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace rmc::services {
 
@@ -53,6 +54,15 @@ telemetry::Counter& watchdog_counter() {
   static telemetry::Counter& c =
       telemetry::Registry::global().counter("redirector.watchdog_aborts");
   return c;
+}
+
+// Slot-lifecycle trace events (telemetry::ServiceTrace) on the client
+// connection's track; no-ops while the tracer is off.
+void trace_slot(u8 event, common::u32 conn, common::u32 a,
+                common::u32 b = 0) {
+  auto& tracer = telemetry::Tracer::global();
+  if (!tracer.enabled()) return;
+  tracer.emit(telemetry::TraceLayer::kService, event, conn, a, b);
 }
 }  // namespace
 
@@ -166,6 +176,8 @@ dynk::Costate RmcRedirector::shedder() {
     if (stats_.connections_active >= config_.handler_slots) {
       auto excess = dc_.accept_pending(config_.listen_port);
       if (excess.ok()) {
+        trace_slot(telemetry::ServiceTrace::kShed,
+                   stack_.trace_conn_id(*excess), 0);
         (void)stack_.abort(*excess);
         ++stats_.connections_shed;
         ++durable_state_.shed;
@@ -189,6 +201,10 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
     ++stats_.connections_active;
     active_gauge().set(static_cast<telemetry::i64>(stats_.connections_active));
     log_->append("open " + std::to_string(slot));
+    // Captured once: after an abort the TCB is reset and the id is gone.
+    const common::u32 trace_conn = dc_.trace_conn_id(&sock);
+    trace_slot(telemetry::ServiceTrace::kSlotOpen, trace_conn,
+               static_cast<common::u32>(slot));
 
     issl::DcStream stream(dc_, &sock);
     std::optional<issl::Session> session;
@@ -238,6 +254,8 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
           ++stats_.handshake_timeouts;
           hs_timeout_counter().add();
           log_->append("hs-timeout " + std::to_string(slot));
+          trace_slot(telemetry::ServiceTrace::kHsTimeout, trace_conn,
+                     static_cast<common::u32>(slot));
           abort_client = true;
         }
         ++stats_.handshake_failures;
@@ -385,6 +403,8 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
       ++stats_.watchdog_aborts;
       watchdog_counter().add();
       log_->append("watchdog " + std::to_string(slot));
+      trace_slot(telemetry::ServiceTrace::kWatchdogAbort, trace_conn,
+                 static_cast<common::u32>(slot));
       errors_.raise(dynk::RuntimeErrorInfo{
           dynk::RuntimeErrorKind::kWatchdog,
           static_cast<common::u16>(slot), "idle forwarding slot"});
@@ -397,6 +417,8 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
         (void)stack_.close(backend);
       }
     }
+    trace_slot(telemetry::ServiceTrace::kSlotClose, trace_conn,
+               static_cast<common::u32>(slot), abort_client ? 1 : 0);
     if (abort_client) {
       dc_.sock_abort(&sock);
     } else {
@@ -467,6 +489,9 @@ dynk::Costate UnixRedirector::acceptor() {
 dynk::Costate UnixRedirector::connection_process(int fd) {
   ++stats_.connections_active;
   active_gauge().set(static_cast<telemetry::i64>(stats_.connections_active));
+  const common::u32 trace_conn = bsd_.trace_conn_id(fd);
+  trace_slot(telemetry::ServiceTrace::kSlotOpen, trace_conn,
+             static_cast<common::u32>(fd));
   std::array<u8, 4096> buf{};
   issl::BsdStream stream(bsd_, fd);
   std::optional<issl::Session> session;
@@ -573,6 +598,8 @@ dynk::Costate UnixRedirector::connection_process(int fd) {
     co_await Yield{};
   }
 
+  trace_slot(telemetry::ServiceTrace::kSlotClose, trace_conn,
+             static_cast<common::u32>(fd));
   if (backend >= 0) (void)stack_.close(backend);
   (void)bsd_.close_fd(fd);
   --stats_.connections_active;
@@ -628,6 +655,11 @@ void EchoBackend::poll() {
       ++it;
     }
   }
+}
+
+void EchoBackend::close_all() {
+  for (int conn : conns_) (void)stack_.close(conn);
+  conns_.clear();
 }
 
 // ---------------------------------------------------------------------------

@@ -261,6 +261,9 @@ class EchoBackend {
               std::function<u8(u8)> transform = {});
   common::Status start();
   void poll();
+  /// Close every tracked connection (scenario teardown: lets conns whose
+  /// peer died get a clean TCP terminal instead of lingering half-open).
+  void close_all();
   u64 bytes_served() const { return bytes_served_; }
 
  private:

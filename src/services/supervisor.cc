@@ -2,24 +2,32 @@
 
 #include "rabbit/board.h"
 #include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace rmc::services {
 
 namespace {
 // All fault instruments are created lazily, on the first actual fault: a
 // fault-free run (every E1-E9 bench) must emit metrics JSON bit-identical
-// to a build without this subsystem.
+// to a build without this subsystem. The function-local statics keep the
+// registration lazy while pinning the handles, so repeated faults cost no
+// further by-name registry lookups (the regression test on
+// Registry::name_lookups() counts on this).
 void count_reset(FaultKind fault, common::u64 recovery_ms) {
-  telemetry::Registry::global().counter("board.resets").add();
-  telemetry::Registry::global()
-      .counter("recovery.cycles")
-      .add(recovery_ms * ServiceBoard::kCyclesPerMs);
-  telemetry::Registry::global()
-      .gauge("redirector.last_reset_cause")
-      .set(static_cast<telemetry::i64>(fault));
+  static telemetry::Counter& resets =
+      telemetry::Registry::global().counter("board.resets");
+  static telemetry::Counter& cycles =
+      telemetry::Registry::global().counter("recovery.cycles");
+  static telemetry::Gauge& cause =
+      telemetry::Registry::global().gauge("redirector.last_reset_cause");
+  resets.add();
+  cycles.add(recovery_ms * ServiceBoard::kCyclesPerMs);
+  cause.set(static_cast<telemetry::i64>(fault));
 }
 void count_wdt_fire() {
-  telemetry::Registry::global().counter("wdt.fires").add();
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("wdt.fires");
+  c.add();
 }
 }  // namespace
 
@@ -41,11 +49,18 @@ ServiceBoard::ServiceBoard(net::SimNet& net, ServiceBoardConfig config)
   battery_.durable.attach_power(&power_);
   battery_.session_cache.attach_power(&power_);
   power_.arm(config_.power_plan);
+  // Black box: every trace event also lands in the battery-SRAM ring, so
+  // the tail survives whatever kills the per-boot world. Attached even when
+  // tracing is off (emit() never reaches the ring then); one ring at a
+  // time, so the most recently constructed board owns the recorder.
+  telemetry::Tracer::global().attach_ring(&battery_.flightrec);
   boot();
 }
 
 ServiceBoard::~ServiceBoard() {
   if (stack_) net_.detach(config_.board_ip);
+  auto& tracer = telemetry::Tracer::global();
+  if (tracer.ring() == &battery_.flightrec) tracer.attach_ring(nullptr);
 }
 
 void ServiceBoard::boot() {
@@ -71,6 +86,10 @@ void ServiceBoard::boot() {
   wdt_.set_period_cycles(config_.wdt_period_ms * kCyclesPerMs);
   up_ = true;
 
+  telemetry::Tracer::global().emit(
+      telemetry::TraceLayer::kBoard, telemetry::BoardTrace::kBoot, 0,
+      static_cast<common::u32>(boots_), static_cast<common::u32>(last_fault_));
+
   if (last_fault_ != FaultKind::kNone) {
     last_recovery_ms_ = net_.now_ms() - fault_at_ms_;
     total_recovery_ms_ += last_recovery_ms_;
@@ -79,7 +98,11 @@ void ServiceBoard::boot() {
 }
 
 void ServiceBoard::go_down(FaultKind fault) {
-  sessions_dropped_ += redirector_->stats().connections_active;
+  const common::u64 dying = redirector_->stats().connections_active;
+  sessions_dropped_ += dying;
+  telemetry::Tracer::global().emit(
+      telemetry::TraceLayer::kBoard, telemetry::BoardTrace::kFault, 0,
+      static_cast<common::u32>(fault), static_cast<common::u32>(dying));
   if (fault == FaultKind::kWatchdogBite) {
     // Post-mortem: the battery-backed ring log is exactly what survives a
     // WDT bite on the real board. Snapshot it, then mark the bite so the
@@ -88,6 +111,17 @@ void ServiceBoard::go_down(FaultKind fault) {
     battery_.log.append("wdt-bite gen " +
                         std::to_string(redirector_->durable_state().generation));
     count_wdt_fire();
+  }
+  // Black box dump: the flight recorder's retained tail is the last trace
+  // activity before death — append it to the post-mortem on the two
+  // uncontrolled faults. Gated on the ring being non-empty, so untraced
+  // runs keep their post-mortem (and E10's JSON) byte-identical.
+  if ((fault == FaultKind::kWatchdogBite || fault == FaultKind::kPowerCut) &&
+      !battery_.flightrec.empty()) {
+    if (fault == FaultKind::kPowerCut) postmortem_ = battery_.log.entries();
+    for (auto& line : battery_.flightrec.tail_lines()) {
+      postmortem_.push_back(std::move(line));
+    }
   }
   last_fault_ = fault;
   fault_at_ms_ = net_.now_ms();

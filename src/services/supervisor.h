@@ -31,6 +31,7 @@
 #include "dynk/power.h"
 #include "rabbit/watchdog.h"
 #include "services/redirector.h"
+#include "telemetry/flightrec.h"
 
 namespace rmc::services {
 
@@ -59,6 +60,10 @@ struct BatteryFile {
   /// handshake. Idle (no loads, no stores, no power-trip sites) unless the
   /// redirector config enables the cache.
   dynk::DurableVar<issl::SessionCacheData> session_cache;
+  /// Trace black box (DESIGN.md §11): the last ~96 trace events, battery-
+  /// backed by ownership like the log ring. Plain storage, not a DurableVar
+  /// — see flightrec.h for why. Idle unless the tracer is enabled.
+  telemetry::FlightRecorder flightrec;
 };
 
 struct ServiceBoardConfig {

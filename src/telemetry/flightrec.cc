@@ -1,0 +1,46 @@
+#include "telemetry/flightrec.h"
+
+#include <cstdio>
+
+namespace rmc::telemetry {
+
+void FlightRecorder::record(const TraceEvent& e) {
+  data_.events[data_.head] = e;
+  data_.head = (data_.head + 1) % kFlightRecorderCapacity;
+  if (data_.head == 0) data_.wrapped = 1;
+  ++data_.total;
+}
+
+std::size_t FlightRecorder::size() const {
+  return data_.wrapped != 0 ? kFlightRecorderCapacity : data_.head;
+}
+
+std::vector<TraceEvent> FlightRecorder::tail() const {
+  std::vector<TraceEvent> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  const std::size_t start =
+      data_.wrapped != 0 ? data_.head : 0;  // oldest retained slot
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(data_.events[(start + i) % kFlightRecorderCapacity]);
+  }
+  return out;
+}
+
+std::vector<std::string> FlightRecorder::tail_lines() const {
+  std::vector<std::string> lines;
+  for (const TraceEvent& e : tail()) lines.push_back(format_trace_event(e));
+  return lines;
+}
+
+std::string format_trace_event(const TraceEvent& e) {
+  const auto layer = static_cast<TraceLayer>(e.layer);
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "trace t=%llu conn=%08x %s.%s a=%u b=%u",
+                static_cast<unsigned long long>(e.t_ms), e.conn,
+                trace_layer_name(layer), trace_event_name(layer, e.event), e.a,
+                e.b);
+  return buf;
+}
+
+}  // namespace rmc::telemetry

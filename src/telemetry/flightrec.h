@@ -1,0 +1,67 @@
+// Flight recorder: the black box in battery SRAM.
+//
+// A bounded ring of the last kFlightRecorderCapacity TraceEvents. The
+// supervisor owns one inside its BatteryFile, so — like the RingLog — it is
+// battery-backed *by ownership*: the BatteryFile outlives warm resets, and
+// the ring's contents survive WDT bites and power cuts without any commit
+// protocol. It is deliberately NOT a DurableVar: a per-event two-slot
+// commit would add named power-trip sites to every traced scenario and
+// perturb the seeded fault schedules PR 3's benches pin down. The ring is
+// append-only with a single writer, so the worst a mid-append power cut can
+// lose is the event being written — exactly the semantics of a real
+// battery-backed trace buffer.
+//
+// Storage is the trivially-copyable FlightRecorderData so the supervisor
+// can snapshot/compare it raw; ~2.3 KB for the default 96-slot ring, small
+// enough for the RMC2000's battery-backed SRAM budget.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "telemetry/trace.h"
+
+namespace rmc::telemetry {
+
+inline constexpr std::size_t kFlightRecorderCapacity = 96;
+
+struct FlightRecorderData {
+  u32 head = 0;     // next slot to write
+  u32 wrapped = 0;  // ring has lapped at least once
+  u64 total = 0;    // events ever recorded (monotonic across resets)
+  TraceEvent events[kFlightRecorderCapacity];
+};
+static_assert(std::is_trivially_copyable_v<FlightRecorderData>);
+
+class FlightRecorder {
+ public:
+  void record(const TraceEvent& e);
+
+  /// Events currently retained (<= capacity).
+  std::size_t size() const;
+  /// Events ever recorded, including overwritten ones.
+  u64 total() const { return data_.total; }
+  bool empty() const { return data_.total == 0; }
+
+  /// Retained tail, oldest first — by construction the last size() events
+  /// of the full trace, in emission order.
+  std::vector<TraceEvent> tail() const;
+
+  /// Human-readable dump of the tail (one "trace ..." line per event),
+  /// what the supervisor appends to a postmortem.
+  std::vector<std::string> tail_lines() const;
+
+  void clear() { data_ = FlightRecorderData{}; }
+
+  const FlightRecorderData& data() const { return data_; }
+
+ private:
+  FlightRecorderData data_;
+};
+
+/// One postmortem line for an event: "trace t=<ms> conn=<hex> <layer>.<event>
+/// a=<a> b=<b>". Shared by tail_lines() and the exporter tests.
+std::string format_trace_event(const TraceEvent& e);
+
+}  // namespace rmc::telemetry

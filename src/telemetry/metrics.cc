@@ -10,6 +10,7 @@ Registry& Registry::global() {
 }
 
 Counter& Registry::counter(std::string_view name) {
+  ++name_lookups_;
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_
@@ -21,6 +22,7 @@ Counter& Registry::counter(std::string_view name) {
 }
 
 Gauge& Registry::gauge(std::string_view name) {
+  ++name_lookups_;
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_
@@ -33,6 +35,7 @@ Gauge& Registry::gauge(std::string_view name) {
 
 Histogram& Registry::histogram(std::string_view name,
                                std::span<const u64> bounds) {
+  ++name_lookups_;
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_

@@ -160,6 +160,13 @@ class Registry {
   /// name return the existing instrument unchanged.
   Histogram& histogram(std::string_view name, std::span<const u64> bounds);
 
+  /// Total by-name resolutions (counter()/gauge()/histogram() calls) since
+  /// process start. Hot loops must pin handles via function-local statics,
+  /// so this figure stops moving once every site has warmed up — the
+  /// regression test in test_trace.cc asserts exactly that. Not exported to
+  /// JSON (it is a property of the instrumentation, not the workload).
+  u64 name_lookups() const { return name_lookups_; }
+
   /// nullptr when the instrument does not exist (tests, exports).
   const Counter* find_counter(std::string_view name) const;
   const Gauge* find_gauge(std::string_view name) const;
@@ -183,6 +190,7 @@ class Registry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  u64 name_lookups_ = 0;
 };
 
 /// Scoped wall-clock timer: records elapsed *microseconds* into a histogram

@@ -1,0 +1,532 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "telemetry/flightrec.h"
+#include "telemetry/json.h"
+
+namespace rmc::telemetry {
+
+// ---------------------------------------------------------------------------
+// Names
+// ---------------------------------------------------------------------------
+
+const char* trace_layer_name(TraceLayer layer) {
+  switch (layer) {
+    case TraceLayer::kNet: return "net";
+    case TraceLayer::kTcp: return "tcp";
+    case TraceLayer::kIssl: return "issl";
+    case TraceLayer::kService: return "svc";
+    case TraceLayer::kBoard: return "board";
+  }
+  return "?";
+}
+
+const char* trace_event_name(TraceLayer layer, u8 event) {
+  switch (layer) {
+    case TraceLayer::kNet:
+      switch (event) {
+        case NetTrace::kSend: return "send";
+        case NetTrace::kDeliver: return "deliver";
+        case NetTrace::kDropLoss: return "drop_loss";
+        case NetTrace::kDropNoHost: return "drop_no_host";
+        case NetTrace::kDropPartition: return "drop_partition";
+        case NetTrace::kCorrupt: return "corrupt";
+        case NetTrace::kDuplicate: return "duplicate";
+      }
+      break;
+    case TraceLayer::kTcp:
+      switch (event) {
+        case TcpTrace::kState: return "state";
+        case TcpTrace::kRetransmit: return "retransmit";
+        case TcpTrace::kGiveUp: return "give_up";
+        case TcpTrace::kSynDrop: return "syn_drop";
+      }
+      break;
+    case TraceLayer::kIssl:
+      switch (event) {
+        case IsslTrace::kHello: return "hello";
+        case IsslTrace::kKeyExchange: return "key_exchange";
+        case IsslTrace::kResumed: return "resumed";
+        case IsslTrace::kFinished: return "finished";
+        case IsslTrace::kEstablished: return "established";
+        case IsslTrace::kFailed: return "failed";
+        case IsslTrace::kAlertSent: return "alert_sent";
+        case IsslTrace::kAlertRecv: return "alert_recv";
+      }
+      break;
+    case TraceLayer::kService:
+      switch (event) {
+        case ServiceTrace::kSlotOpen: return "slot_open";
+        case ServiceTrace::kSlotClose: return "slot_close";
+        case ServiceTrace::kShed: return "shed";
+        case ServiceTrace::kWatchdogAbort: return "watchdog_abort";
+        case ServiceTrace::kHsTimeout: return "hs_timeout";
+      }
+      break;
+    case TraceLayer::kBoard:
+      switch (event) {
+        case BoardTrace::kBoot: return "boot";
+        case BoardTrace::kFault: return "fault";
+      }
+      break;
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Connection id
+// ---------------------------------------------------------------------------
+
+namespace {
+
+u64 mix64(u64 x) {
+  // splitmix64 finalizer — fixed constants, no process state.
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+u32 trace_conn_id(u32 ip_a, u16 port_a, u32 ip_b, u16 port_b) {
+  u64 ka = (static_cast<u64>(ip_a) << 16) | port_a;
+  u64 kb = (static_cast<u64>(ip_b) << 16) | port_b;
+  if (ka > kb) std::swap(ka, kb);  // orderless: both directions hash alike
+  const u64 h = mix64(mix64(ka) ^ kb);
+  u32 id = static_cast<u32>(h ^ (h >> 32));
+  return id == 0 ? 1 : id;
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::clear() {
+  events_.clear();
+  pcap_.clear();
+  pcap_packets_ = 0;
+}
+
+void Tracer::ring_record(const TraceEvent& e) { ring_->record(e); }
+
+// ---------------------------------------------------------------------------
+// pcap writer
+// ---------------------------------------------------------------------------
+//
+// Classic libpcap format: little-endian global header (magic 0xa1b2c3d4,
+// v2.4, LINKTYPE_ETHERNET) followed by per-packet records. Each packet is a
+// synthesized Ethernet/IPv4 frame with real header checksums, so the file
+// loads in Wireshark/tcpdump with zero warnings. The sim's 32-bit IpAddr
+// maps straight onto the IPv4 address fields and onto locally-administered
+// MACs (02:00:ip), and the sim's compact TCP flag bits are translated to
+// real TCP header flags.
+
+namespace {
+
+void put16le(std::vector<u8>& out, u16 v) {
+  out.push_back(static_cast<u8>(v));
+  out.push_back(static_cast<u8>(v >> 8));
+}
+void put32le(std::vector<u8>& out, u32 v) {
+  put16le(out, static_cast<u16>(v));
+  put16le(out, static_cast<u16>(v >> 16));
+}
+void put16be(std::vector<u8>& out, u16 v) {
+  out.push_back(static_cast<u8>(v >> 8));
+  out.push_back(static_cast<u8>(v));
+}
+void put32be(std::vector<u8>& out, u32 v) {
+  put16be(out, static_cast<u16>(v >> 16));
+  put16be(out, static_cast<u16>(v));
+}
+
+void put_mac(std::vector<u8>& out, u32 ip) {
+  out.push_back(0x02);  // locally administered, unicast
+  out.push_back(0x00);
+  out.push_back(static_cast<u8>(ip >> 24));
+  out.push_back(static_cast<u8>(ip >> 16));
+  out.push_back(static_cast<u8>(ip >> 8));
+  out.push_back(static_cast<u8>(ip));
+}
+
+/// One's-complement sum over big-endian 16-bit words (RFC 1071).
+u32 csum_add(u32 sum, std::span<const u8> bytes) {
+  std::size_t i = 0;
+  for (; i + 1 < bytes.size(); i += 2) {
+    sum += (static_cast<u32>(bytes[i]) << 8) | bytes[i + 1];
+  }
+  if (i < bytes.size()) sum += static_cast<u32>(bytes[i]) << 8;
+  return sum;
+}
+
+u16 csum_finish(u32 sum) {
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<u16>(~sum);
+}
+
+/// Map the sim's TcpFlags bits (kSyn=1, kAck=2, kFin=4, kRst=8 — see
+/// net/simnet.h) to real TCP header flag bits.
+u8 real_tcp_flags(u8 sim_flags) {
+  u8 f = 0;
+  if (sim_flags & 0x01) f |= 0x02;  // SYN
+  if (sim_flags & 0x02) f |= 0x10;  // ACK
+  if (sim_flags & 0x04) f |= 0x01;  // FIN
+  if (sim_flags & 0x08) f |= 0x04;  // RST
+  return f;
+}
+
+constexpr u16 kEtherIpv4 = 0x0800;
+constexpr std::size_t kEthHeader = 14;
+constexpr std::size_t kIpHeader = 20;
+
+}  // namespace
+
+void Tracer::pcap_packet(u32 src_ip, u16 src_port, u32 dst_ip, u16 dst_port,
+                         u8 protocol, u32 seq, u32 ack, u8 flags,
+                         std::span<const u8> payload) {
+#if RMC_TELEMETRY_ENABLED
+  if (!enabled_ || !pcap_on_) return;
+
+  // L4 header.
+  std::vector<u8> l4;
+  switch (protocol) {
+    case 6: {  // TCP
+      l4.reserve(20 + payload.size());
+      put16be(l4, src_port);
+      put16be(l4, dst_port);
+      put32be(l4, seq);
+      put32be(l4, ack);
+      l4.push_back(5 << 4);  // data offset: 5 words, no options
+      l4.push_back(real_tcp_flags(flags));
+      put16be(l4, 2144);  // window: 4 * kMss(536), the sim's fixed rx window
+      put16be(l4, 0);     // checksum placeholder
+      put16be(l4, 0);     // urgent pointer
+      break;
+    }
+    case 17: {  // UDP
+      l4.reserve(8 + payload.size());
+      put16be(l4, src_port);
+      put16be(l4, dst_port);
+      put16be(l4, static_cast<u16>(8 + payload.size()));
+      put16be(l4, 0);  // checksum placeholder
+      break;
+    }
+    default: {  // ICMP: flags carries the type, seq the echo sequence
+      l4.reserve(8 + payload.size());
+      l4.push_back(flags);  // type (8 echo request / 0 echo reply)
+      l4.push_back(0);      // code
+      put16be(l4, 0);       // checksum placeholder
+      put16be(l4, 0);       // identifier
+      put16be(l4, static_cast<u16>(seq));
+      break;
+    }
+  }
+  l4.insert(l4.end(), payload.begin(), payload.end());
+
+  // L4 checksum.
+  if (protocol == 6 || protocol == 17) {
+    std::vector<u8> pseudo;
+    put32be(pseudo, src_ip);
+    put32be(pseudo, dst_ip);
+    pseudo.push_back(0);
+    pseudo.push_back(protocol);
+    put16be(pseudo, static_cast<u16>(l4.size()));
+    u16 csum = csum_finish(csum_add(csum_add(0, pseudo), l4));
+    if (protocol == 17 && csum == 0) csum = 0xFFFF;  // RFC 768
+    const std::size_t at = protocol == 6 ? 16 : 6;
+    l4[at] = static_cast<u8>(csum >> 8);
+    l4[at + 1] = static_cast<u8>(csum);
+  } else {
+    const u16 csum = csum_finish(csum_add(0, l4));
+    l4[2] = static_cast<u8>(csum >> 8);
+    l4[3] = static_cast<u8>(csum);
+  }
+
+  // IPv4 header.
+  std::vector<u8> ip;
+  ip.reserve(kIpHeader);
+  ip.push_back(0x45);  // version 4, IHL 5
+  ip.push_back(0);     // DSCP/ECN
+  put16be(ip, static_cast<u16>(kIpHeader + l4.size()));
+  put16be(ip, static_cast<u16>(pcap_packets_));  // identification
+  put16be(ip, 0x4000);                           // flags: DF
+  ip.push_back(64);                              // TTL
+  ip.push_back(protocol);
+  put16be(ip, 0);  // checksum placeholder
+  put32be(ip, src_ip);
+  put32be(ip, dst_ip);
+  const u16 ip_csum = csum_finish(csum_add(0, ip));
+  ip[10] = static_cast<u8>(ip_csum >> 8);
+  ip[11] = static_cast<u8>(ip_csum);
+
+  // Record header + Ethernet frame.
+  const u32 frame_len =
+      static_cast<u32>(kEthHeader + ip.size() + l4.size());
+  put32le(pcap_, static_cast<u32>(now_ms_ / 1000));         // ts_sec
+  put32le(pcap_, static_cast<u32>(now_ms_ % 1000) * 1000);  // ts_usec
+  put32le(pcap_, frame_len);                                // incl_len
+  put32le(pcap_, frame_len);                                // orig_len
+  put_mac(pcap_, dst_ip);
+  put_mac(pcap_, src_ip);
+  put16be(pcap_, kEtherIpv4);
+  pcap_.insert(pcap_.end(), ip.begin(), ip.end());
+  pcap_.insert(pcap_.end(), l4.begin(), l4.end());
+  ++pcap_packets_;
+#else
+  (void)src_ip; (void)src_port; (void)dst_ip; (void)dst_port;
+  (void)protocol; (void)seq; (void)ack; (void)flags; (void)payload;
+#endif
+}
+
+std::vector<u8> Tracer::pcap_file_bytes() const {
+  std::vector<u8> out;
+  out.reserve(24 + pcap_.size());
+  put32le(out, 0xA1B2C3D4);  // magic (microsecond timestamps)
+  put16le(out, 2);           // version major
+  put16le(out, 4);           // version minor
+  put32le(out, 0);           // thiszone
+  put32le(out, 0);           // sigfigs
+  put32le(out, 65535);       // snaplen
+  put32le(out, 1);           // network: LINKTYPE_ETHERNET
+  out.insert(out.end(), pcap_.begin(), pcap_.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Audit
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// TcpState values mirrored from net/tcp.h (telemetry cannot include net
+// headers — the dependency runs the other way). Guarded by a static_assert
+// at the emission site in tcp.cc.
+constexpr u32 kTcpStateEstablished = 4;
+constexpr u32 kTcpStateTimeWait = 9;
+constexpr u32 kTcpStateClosed = 0;
+
+}  // namespace
+
+TraceAudit audit_trace(std::span<const TraceEvent> events) {
+  std::map<u32, TraceConnAudit> conns;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (e.conn == 0) continue;
+    auto [it, fresh] = conns.try_emplace(e.conn);
+    TraceConnAudit& c = it->second;
+    if (fresh) {
+      c.conn = e.conn;
+      c.first_index = i;
+      c.open_ms = e.t_ms;
+    }
+    if (e.layer == static_cast<u8>(TraceLayer::kTcp) &&
+        e.event == TcpTrace::kState) {
+      if (e.b == kTcpStateEstablished) {
+        c.established = true;
+        c.terminated = false;  // re-armed: terminal must follow the establish
+        c.last_establish_index = i;
+      } else if (e.b == kTcpStateClosed || e.b == kTcpStateTimeWait) {
+        c.has_terminal = true;
+        c.last_terminal_index = i;
+        c.close_ms = e.t_ms;
+        if (c.established) c.terminated = true;
+      }
+    } else if (e.layer == static_cast<u8>(TraceLayer::kIssl)) {
+      const u32 role = e.a & 1;
+      TraceConnAudit::HsSpan& span = c.hs[role];
+      switch (e.event) {
+        case IsslTrace::kHello:
+          if (!span.started) {
+            span.started = true;
+            span.start_index = i;
+            span.start_ms = e.t_ms;
+          }
+          break;
+        case IsslTrace::kEstablished:
+          span.ended = true;
+          span.ok = true;
+          span.resumed = e.b != 0;
+          span.end_index = i;
+          span.end_ms = e.t_ms;
+          break;
+        case IsslTrace::kFailed:
+          if (!span.ended) {
+            span.ended = true;
+            span.end_index = i;
+            span.end_ms = e.t_ms;
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  TraceAudit audit;
+  audit.conns.reserve(conns.size());
+  for (auto& [id, c] : conns) {
+    if (c.established) {
+      ++audit.established_connections;
+      if (!c.terminated) ++audit.orphan_connections;
+    }
+    for (const TraceConnAudit::HsSpan& span : c.hs) {
+      if (!span.started) continue;
+      if (span.ended) {
+        if (span.ok) {
+          ++audit.handshakes_completed;
+          if (span.resumed) ++audit.handshakes_resumed;
+          // Nesting: a completed handshake must live inside its
+          // connection's lifetime — start after the connection's first
+          // event, and (when the connection has terminated) complete
+          // before the final terminal transition.
+          const bool starts_inside = span.start_index > c.first_index;
+          const bool ends_inside =
+              !c.has_terminal || span.end_index < c.last_terminal_index;
+          if (!starts_inside || !ends_inside) ++audit.nesting_violations;
+        }
+      } else {
+        // Open span: excused only if the transport died under it (a TCP
+        // terminal event after the span started) — the board-death case.
+        const bool excused =
+            c.has_terminal && c.last_terminal_index > span.start_index;
+        if (!excused) ++audit.orphan_handshakes;
+      }
+    }
+    audit.conns.push_back(c);
+  }
+  return audit;
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event exporter
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string conn_label(u32 conn) {
+  if (conn == 0) return "global";
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "conn %08x", conn);
+  return buf;
+}
+
+void chrome_meta(JsonWriter& w, u32 pid, u64 tid, const char* meta,
+                 const std::string& name) {
+  w.begin_object();
+  w.kv("name", meta);
+  w.kv("ph", "M");
+  w.kv("pid", static_cast<u64>(pid));
+  w.kv("tid", tid);
+  w.key("args");
+  w.begin_object();
+  w.kv("name", name);
+  w.end_object();
+  w.end_object();
+}
+
+void chrome_complete(JsonWriter& w, const std::string& name, u32 pid, u64 tid,
+                     u64 ts_us, u64 dur_us) {
+  w.begin_object();
+  w.kv("name", name);
+  w.kv("ph", "X");
+  w.kv("ts", ts_us);
+  w.kv("dur", dur_us);
+  w.kv("pid", static_cast<u64>(pid));
+  w.kv("tid", tid);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string chrome_trace_json(std::span<const TraceEvent> events) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+
+  // Track metadata: pid = connection, tid = layer + 1 (tid 0 renders badly
+  // in some viewers). std::set gives deterministic ascending order.
+  std::set<u32> conns;
+  std::set<std::pair<u32, u8>> tracks;
+  for (const TraceEvent& e : events) {
+    conns.insert(e.conn);
+    tracks.insert({e.conn, e.layer});
+  }
+  for (u32 conn : conns) {
+    chrome_meta(w, conn, 0, "process_name", conn_label(conn));
+  }
+  for (const auto& [conn, layer] : tracks) {
+    chrome_meta(w, conn, static_cast<u64>(layer) + 1, "thread_name",
+                trace_layer_name(static_cast<TraceLayer>(layer)));
+  }
+
+  // Instant events, one per TraceEvent.
+  for (const TraceEvent& e : events) {
+    const auto layer = static_cast<TraceLayer>(e.layer);
+    w.begin_object();
+    w.kv("name", trace_event_name(layer, e.event));
+    w.kv("ph", "i");
+    w.kv("s", "t");
+    w.kv("ts", e.t_ms * 1000);
+    w.kv("pid", static_cast<u64>(e.conn));
+    w.kv("tid", static_cast<u64>(e.layer) + 1);
+    w.key("args");
+    w.begin_object();
+    w.kv("a", static_cast<u64>(e.a));
+    w.kv("b", static_cast<u64>(e.b));
+    w.end_object();
+    w.end_object();
+  }
+
+  // Derived spans: connection lifetimes on the tcp track, completed
+  // handshakes on the issl track.
+  const TraceAudit audit = audit_trace(events);
+  for (const TraceConnAudit& c : audit.conns) {
+    if (c.established && c.terminated) {
+      chrome_complete(w, "connection", c.conn,
+                      static_cast<u64>(TraceLayer::kTcp) + 1, c.open_ms * 1000,
+                      (c.close_ms - c.open_ms) * 1000);
+    }
+    for (std::size_t role = 0; role < 2; ++role) {
+      const TraceConnAudit::HsSpan& span = c.hs[role];
+      if (!span.started || !span.ended || !span.ok) continue;
+      std::string name = role == 0 ? "handshake/client" : "handshake/server";
+      if (span.resumed) name += " (resumed)";
+      chrome_complete(w, name, c.conn, static_cast<u64>(TraceLayer::kIssl) + 1,
+                      span.start_ms * 1000,
+                      (span.end_ms - span.start_ms) * 1000);
+    }
+  }
+
+  w.end_array();
+  w.kv("displayTimeUnit", "ms");
+  w.end_object();
+  return w.str();
+}
+
+bool write_chrome_trace(const std::string& path,
+                        std::span<const TraceEvent> events) {
+  return write_file(path, chrome_trace_json(events));
+}
+
+bool write_binary_file(const std::string& path, std::span<const u8> bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return out.good();
+}
+
+}  // namespace rmc::telemetry

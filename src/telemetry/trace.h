@@ -1,0 +1,280 @@
+// Flight-recorder tracing: cross-layer causal event spans.
+//
+// The metrics layer (DESIGN.md §7) answers "how much"; this layer answers
+// "in what order and why". Every layer of the stack — SimNet delivery, TCP
+// state transitions and RTO fires, issl handshake stages, redirector slot
+// lifecycle, board boots and faults — emits fixed-size binary TraceEvents
+// into one global, deterministically ordered buffer. Events are correlated
+// by a *connection id* derived from the normalized TCP 4-tuple, so both
+// directions of one connection (and every layer touching it) share an id:
+// one grep of a trace reconstructs a connection end-to-end.
+//
+// Design rules (DESIGN.md §11):
+//   * zero cost when off: every emission site is guarded by one inline bool
+//     load; with RMC_TELEMETRY=OFF the emit paths compile to nothing;
+//   * passive by construction: enabling tracing draws no PRNG values and
+//     registers no metrics instruments, so every seeded bench produces
+//     byte-identical BENCH_*.json whether tracing is on or off;
+//   * deterministic: timestamps are the medium's virtual clock and buffer
+//     order is emission order, so a fixed seed yields a byte-identical
+//     Chrome trace and pcap (scripts/check.sh gates on exactly that);
+//   * telemetry stays leaf-level: the pcap writer takes scalar header
+//     fields, not net::Segment, so rmc_telemetry never depends on rmc_net.
+//
+// Exporters: chrome_trace_json() writes Chrome trace-event JSON
+// (chrome://tracing / Perfetto, one track per layer per connection, derived
+// "X" spans for connections and handshakes) and the Tracer's pcap capture
+// writes a real libpcap file (Ethernet/IPv4/TCP-UDP-ICMP with valid
+// checksums — opens in Wireshark/tcpdump). audit_trace() checks the
+// completeness invariants E12 enforces.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+#ifndef RMC_TELEMETRY_ENABLED
+#define RMC_TELEMETRY_ENABLED 1
+#endif
+
+namespace rmc::telemetry {
+
+using common::u16;
+using common::u32;
+using common::u64;
+using common::u8;
+
+class FlightRecorder;
+
+/// Layer that emitted an event (one trace track per layer per connection).
+enum class TraceLayer : u8 {
+  kNet = 0,      // SimNet medium: transmissions, deliveries, fault drops
+  kTcp = 1,      // TcpStack: state transitions, RTO fires, give-ups
+  kIssl = 2,     // issl sessions: handshake stages, alerts
+  kService = 3,  // redirector: handler-slot lifecycle, shed, watchdog
+  kBoard = 4,    // supervisor: boots and faults
+};
+inline constexpr std::size_t kTraceLayers = 5;
+
+// Event ids, per layer. Payload word conventions are noted per event; `a`
+// and `b` are free 32-bit words.
+struct NetTrace {
+  enum : u8 {
+    kSend = 0,     // a = (protocol<<8)|flags, b = payload bytes
+    kDeliver = 1,  // a = (protocol<<8)|flags, b = payload bytes
+    kDropLoss = 2,
+    kDropNoHost = 3,
+    kDropPartition = 4,
+    kCorrupt = 5,    // b = payload bytes
+    kDuplicate = 6,
+  };
+};
+struct TcpTrace {
+  enum : u8 {
+    kState = 0,       // a = from TcpState, b = to TcpState
+    kRetransmit = 1,  // a = consecutive retx count, b = current rto_ms
+    kGiveUp = 2,      // retransmission exhaustion -> RST
+    kSynDrop = 3,     // backlog-full SYN drop; a = listening port
+  };
+};
+struct IsslTrace {
+  enum : u8 {
+    kHello = 0,        // a = role (0 client / 1 server), b = id offered
+    kKeyExchange = 1,  // a = role
+    kResumed = 2,      // abbreviated path taken; a = role
+    kFinished = 3,     // Finished sent; a = role
+    kEstablished = 4,  // a = role, b = resumed flag
+    kFailed = 5,       // a = role, b = common::ErrorCode
+    kAlertSent = 6,    // a = role, b = alert code
+    kAlertRecv = 7,    // a = role, b = alert code
+  };
+};
+struct ServiceTrace {
+  enum : u8 {
+    kSlotOpen = 0,       // a = handler slot
+    kSlotClose = 1,      // a = handler slot, b = 1 when aborted (RST)
+    kShed = 2,           // refused at the ceiling
+    kWatchdogAbort = 3,  // a = handler slot
+    kHsTimeout = 4,      // a = handler slot
+  };
+};
+struct BoardTrace {
+  enum : u8 {
+    kBoot = 0,   // a = boot count, b = last FaultKind
+    kFault = 1,  // a = FaultKind, b = active sessions dropped
+  };
+};
+
+const char* trace_layer_name(TraceLayer layer);
+const char* trace_event_name(TraceLayer layer, u8 event);
+
+/// One fixed-size binary trace event (24 bytes, trivially copyable — the
+/// flight-recorder ring stores these raw in battery SRAM).
+struct TraceEvent {
+  u64 t_ms = 0;  // virtual time (the medium's clock)
+  u32 conn = 0;  // connection id (trace_conn_id); 0 = no connection context
+  u32 a = 0;
+  u32 b = 0;
+  u8 layer = 0;
+  u8 event = 0;
+  u16 reserved = 0;  // explicit padding, always zero
+
+  friend bool operator==(const TraceEvent& x, const TraceEvent& y) {
+    return x.t_ms == y.t_ms && x.conn == y.conn && x.a == y.a && x.b == y.b &&
+           x.layer == y.layer && x.event == y.event;
+  }
+};
+static_assert(sizeof(TraceEvent) == 24, "flight-recorder slot layout");
+
+/// Connection id from a TCP/UDP 4-tuple. Orderless — both directions of a
+/// connection map to the same id — and deterministic across runs (a fixed
+/// splitmix-style hash, no process state). Never returns 0 (reserved for
+/// "no connection").
+u32 trace_conn_id(u32 ip_a, u16 port_a, u32 ip_b, u16 port_b);
+
+/// Process-wide event sink. Disabled by default; enabling it costs each
+/// emission site one bool load. All state is explicit so benches can run
+/// traced and untraced scenarios back to back.
+class Tracer {
+ public:
+  static Tracer& global();
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  /// Virtual clock, advanced by SimNet::tick. Emissions between ticks carry
+  /// the latest value.
+  void set_now_ms(u64 t) { now_ms_ = t; }
+  u64 now_ms() const { return now_ms_; }
+
+  void emit(TraceLayer layer, u8 event, u32 conn, u32 a = 0, u32 b = 0) {
+#if RMC_TELEMETRY_ENABLED
+    if (!enabled_) return;
+    TraceEvent e;
+    e.t_ms = now_ms_;
+    e.conn = conn;
+    e.a = a;
+    e.b = b;
+    e.layer = static_cast<u8>(layer);
+    e.event = event;
+    events_.push_back(e);
+    if (ring_ != nullptr) ring_record(e);
+#else
+    (void)layer; (void)event; (void)conn; (void)a; (void)b;
+#endif
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Drop buffered events and pcap bytes (scenario isolation); the enabled
+  /// flags, clock, and ring attachment are left alone.
+  void clear();
+
+  /// Attach the battery-SRAM flight recorder: every emitted event is also
+  /// recorded into the ring. One ring at a time; null detaches.
+  void attach_ring(FlightRecorder* ring) { ring_ = ring; }
+  FlightRecorder* ring() const { return ring_; }
+
+  // --- pcap capture (SimNet wire bytes) ------------------------------------
+  /// Capture only happens while both the tracer and this flag are on.
+  void set_pcap_capture(bool on) { pcap_on_ = on; }
+  bool pcap_capture() const { return enabled_ && pcap_on_; }
+
+  /// Append one packet record (timestamped with the virtual clock). The
+  /// fields mirror net::Segment but stay scalar so telemetry never depends
+  /// on net. `flags` are the sim's TCP flag bits (net::TcpFlags), mapped to
+  /// real TCP header flags on the way out; for ICMP it is the type.
+  void pcap_packet(u32 src_ip, u16 src_port, u32 dst_ip, u16 dst_port,
+                   u8 protocol, u32 seq, u32 ack, u8 flags,
+                   std::span<const u8> payload);
+
+  u64 pcap_packets() const { return pcap_packets_; }
+  /// Complete file image: 24-byte libpcap global header + packet records.
+  std::vector<u8> pcap_file_bytes() const;
+
+ private:
+  void ring_record(const TraceEvent& e);  // out-of-line (needs flightrec.h)
+
+  bool enabled_ = false;
+  bool pcap_on_ = false;
+  u64 now_ms_ = 0;
+  std::vector<TraceEvent> events_;
+  FlightRecorder* ring_ = nullptr;
+  std::vector<u8> pcap_;  // packet records only (no global header)
+  u64 pcap_packets_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Completeness audit (the E12 invariants)
+// ---------------------------------------------------------------------------
+
+/// Per-connection reconstruction. Handshake spans are tracked per role
+/// (index 0 = client, 1 = server) because both endpoints of a connection
+/// emit under the same conn id.
+struct TraceConnAudit {
+  struct HsSpan {
+    bool started = false;
+    bool ended = false;  // established or failed
+    bool ok = false;     // established
+    bool resumed = false;
+    std::size_t start_index = 0;
+    std::size_t end_index = 0;
+    u64 start_ms = 0;
+    u64 end_ms = 0;
+  };
+
+  u32 conn = 0;
+  std::size_t first_index = 0;        // first event seen for this conn
+  bool established = false;           // some side entered ESTABLISHED
+  bool terminated = false;            // terminal tcp event after establish
+  bool has_terminal = false;          // any CLOSED/TIME_WAIT transition
+  std::size_t last_establish_index = 0;
+  std::size_t last_terminal_index = 0;
+  u64 open_ms = 0;
+  u64 close_ms = 0;
+  HsSpan hs[2];
+};
+
+struct TraceAudit {
+  std::vector<TraceConnAudit> conns;  // ascending conn id
+  u64 established_connections = 0;
+  u64 handshakes_completed = 0;
+  u64 handshakes_resumed = 0;
+  /// Reached ESTABLISHED but no terminal close/reset followed — a half-open
+  /// connection the trace cannot account for.
+  u64 orphan_connections = 0;
+  /// Handshake span started but neither completed, failed, nor excused by a
+  /// TCP terminal event after its start (the board-died-mid-handshake case
+  /// is excused: the peer's RST/give-up terminal covers it).
+  u64 orphan_handshakes = 0;
+  /// A completed handshake span that escapes its connection's lifetime.
+  u64 nesting_violations = 0;
+
+  bool clean() const {
+    return orphan_connections == 0 && orphan_handshakes == 0 &&
+           nesting_violations == 0;
+  }
+};
+
+TraceAudit audit_trace(std::span<const TraceEvent> events);
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+/// Chrome trace-event JSON (load in chrome://tracing or ui.perfetto.dev):
+/// pid = connection, tid = layer, instant events per TraceEvent plus derived
+/// "X" spans for connection lifetimes and completed handshakes.
+/// Byte-deterministic for a given event sequence.
+std::string chrome_trace_json(std::span<const TraceEvent> events);
+
+bool write_chrome_trace(const std::string& path,
+                        std::span<const TraceEvent> events);
+
+/// Binary (no trailing newline) sibling of telemetry::write_file.
+bool write_binary_file(const std::string& path, std::span<const u8> bytes);
+
+}  // namespace rmc::telemetry

@@ -364,5 +364,34 @@ TEST(CycleProfilerTest, WriteJsonEmitsPhasesAndRegions) {
   EXPECT_NE(json.find("\"f2\":"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Export edge cases: hostile instrument names, degenerate histograms
+// ---------------------------------------------------------------------------
+
+#if RMC_TELEMETRY_ENABLED
+TEST(JsonWriter, MetricNamesWithJsonMetacharactersExportEscaped) {
+  // Instrument names come from code today, but nothing in the registry
+  // forbids a quote or newline — the export must stay parseable anyway.
+  Registry r;
+  r.counter("he said \"hi\"").add(1);
+  r.counter("back\\slash").add(2);
+  r.gauge("line\nbreak").set(3);
+  EXPECT_EQ(r.to_json(),
+            "{\"counters\":{\"back\\\\slash\":2,\"he said \\\"hi\\\"\":1},"
+            "\"gauges\":{\"line\\nbreak\":{\"value\":3,\"max\":3}},"
+            "\"histograms\":{}}");
+}
+
+TEST(JsonWriter, EmptyHistogramExportsZeroesNotGarbage) {
+  Registry r;
+  const u64 bounds[] = {10};
+  (void)r.histogram("latency", bounds);  // registered, never recorded
+  EXPECT_EQ(r.to_json(),
+            "{\"counters\":{},\"gauges\":{},"
+            "\"histograms\":{\"latency\":{\"count\":0,\"sum\":0,\"min\":0,"
+            "\"max\":0,\"bounds\":[10],\"counts\":[0,0]}}}");
+}
+#endif  // RMC_TELEMETRY_ENABLED
+
 }  // namespace
 }  // namespace rmc
