@@ -18,6 +18,7 @@
 //   }
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -96,6 +97,26 @@ class Args {
     return value;
   }
 
+  /// Declares a string knob (e.g. --backend asm); returns the override or
+  /// `def`. Recorded in "params" alongside the integer knobs.
+  std::string flag_str(const std::string& name, const std::string& def) {
+    std::string value = def;
+    if (const std::string* s = take(name)) value = *s;
+    str_params_.emplace_back(name, value);
+    return value;
+  }
+
+  /// Wall-clock milliseconds since flag parsing (≈ process start). Host
+  /// state, not workload shape: reported next to the deterministic numbers
+  /// but excluded from the byte-determinism comparison set (see
+  /// JsonReport::write and RMC_BENCH_NO_HOST_MS).
+  u64 host_ms() const {
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
   /// Path given with --json, empty when absent (= human output only).
   std::string json_path() {
     if (const std::string* s = take("json")) return *s;
@@ -109,6 +130,9 @@ class Args {
   /// Declared knobs with their effective values (for the params object).
   const std::vector<std::pair<std::string, long>>& params() const {
     return params_;
+  }
+  const std::vector<std::pair<std::string, std::string>>& str_params() const {
+    return str_params_;
   }
 
   /// True when every flag on the command line was declared by the bench.
@@ -142,8 +166,11 @@ class Args {
 
   std::vector<Flag> flags_;
   std::vector<std::pair<std::string, long>> params_;
+  std::vector<std::pair<std::string, std::string>> str_params_;
   std::string trace_path_;
   std::string pcap_path_;
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
 };
 
 /// Accumulates a bench's numbers and writes the schema above. Results keep
@@ -195,10 +222,20 @@ class JsonReport {
     w.begin_object();
     w.kv("schema_version", 1);
     w.kv("bench", bench_);
+    // Wall-clock cost of the run: the perf trajectory the committed
+    // snapshots carry. Host state varies run to run, so the determinism
+    // gates (scripts/check.sh) export RMC_BENCH_NO_HOST_MS=1 to keep their
+    // byte-for-byte comparisons meaningful.
+    if (std::getenv("RMC_BENCH_NO_HOST_MS") == nullptr) {
+      w.kv("host_ms", args.host_ms());
+    }
     w.key("params");
     w.begin_object();
     for (const auto& [name, value] : args.params()) {
       w.kv(name, static_cast<i64>(value));
+    }
+    for (const auto& [name, value] : args.str_params()) {
+      w.kv(name, value);
     }
     w.end_object();
     w.key("results");

@@ -8,15 +8,21 @@
 # determinism: two traced runs must produce byte-identical Chrome trace
 # JSON *and* pcap, not just identical bench JSON. Finally, a baseline gate:
 # with resumption and tracing off (the defaults), the gated bench artifacts
-# (E1/E4/E5/E9/E10) must be byte-identical to the ones a clean checkout of
-# origin/main (or main) produces — new machinery must be invisible until
-# switched on.
+# (E1/E4/E5/E9/E10/E11/E12) must be byte-identical to the ones a clean
+# checkout of origin/main (or main) produces — new machinery must be
+# invisible until switched on. With the crypto offload engine in the tree
+# (E14), that baseline doubles as the backend matrix gate: the engine
+# backend is compiled into every bench binary but never selected by the
+# gated configs, so their JSON must not move by a byte.
 #
 # Usage:
 #   scripts/check.sh [--skip-baseline]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+# Benches report wall-clock host_ms in their JSON for the snapshot perf
+# trajectory; every byte-for-byte comparison below must exclude it.
+export RMC_BENCH_NO_HOST_MS=1
 skip_baseline=0
 [[ "${1:-}" == "--skip-baseline" ]] && skip_baseline=1
 
@@ -26,19 +32,23 @@ cmake --build "$repo_root/build" -j >/dev/null
 (cd "$repo_root/build" && ctest --output-on-failure -j)
 
 echo
-echo "== sanitizers: ASan+UBSan soaks (E9, E10) + E11 + trace audit (E12) =="
+echo "== sanitizers: ASan+UBSan soaks (E9, E10) + E11 + E12 + offload (E14) =="
 san_dir="$repo_root/build-san"
 cmake -B "$san_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=Debug -DRMC_SANITIZE=address,undefined >/dev/null
 cmake --build "$san_dir" -j --target bench_fault_soak --target bench_crash_soak \
-  --target bench_resumption --target bench_trace_audit >/dev/null
+  --target bench_resumption --target bench_trace_audit \
+  --target bench_crypto_offload >/dev/null
 "$san_dir/bench/bench_fault_soak" --seed 233
 "$san_dir/bench/bench_crash_soak" --seed 233
 "$san_dir/bench/bench_resumption"
 "$san_dir/bench/bench_trace_audit"
+# E14 carries its own PASS/FAIL gate (engine wire identity + >=5x per
+# record); a nonzero exit here fails the check either way.
+"$san_dir/bench/bench_crypto_offload"
 
 echo
-echo "== determinism: E9 + E10 + E11 json byte-reproducible =="
+echo "== determinism: E9 + E10 + E11 + E14 json byte-reproducible =="
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 "$san_dir/bench/bench_fault_soak" --seed 233 --json "$tmp/a.json" >/dev/null
@@ -50,6 +60,9 @@ cmp "$tmp/c.json" "$tmp/d.json"
 "$san_dir/bench/bench_resumption" --json "$tmp/e.json" >/dev/null
 "$san_dir/bench/bench_resumption" --json "$tmp/f.json" >/dev/null
 cmp "$tmp/e.json" "$tmp/f.json"
+"$san_dir/bench/bench_crypto_offload" --json "$tmp/e14a.json" >/dev/null
+"$san_dir/bench/bench_crypto_offload" --json "$tmp/e14b.json" >/dev/null
+cmp "$tmp/e14a.json" "$tmp/e14b.json"
 echo "identical artifacts"
 
 echo
@@ -68,11 +81,13 @@ if ((skip_baseline)); then
   echo "check.sh: baseline gate skipped (--skip-baseline)"
 else
   echo
-  echo "== baseline: resumption off => gated benches identical to main =="
-  # The resumption work is default-off; prove it is invisible by running the
-  # gated benches (E1/E4/E5/E9/E10 — the ones whose configs never enable
-  # resumption) from this tree AND from a pristine main worktree, and
-  # requiring byte-identical JSON.
+  echo "== baseline: new machinery off => gated benches identical to main =="
+  # Default-off machinery (resumption, tracing, the engine backend) must be
+  # invisible: run the gated benches (E1/E4/E5/E9/E10/E11/E12 — none of
+  # whose configs select Backend::kEngine) from this tree AND from a
+  # pristine main worktree, and require byte-identical JSON. This is the
+  # backend matrix gate — the engine is linked into every binary here, and
+  # merely compiling it in must not move a byte.
   base_ref="origin/main"
   git -C "$repo_root" rev-parse --verify -q "$base_ref" >/dev/null || base_ref="main"
   if git -C "$repo_root" rev-parse --verify -q "$base_ref" >/dev/null &&
@@ -83,7 +98,8 @@ else
     trap 'git -C "$repo_root" worktree remove --force "$base_dir" >/dev/null 2>&1 || true; rm -rf "$tmp"' EXIT
     cmake -B "$base_dir/build" -S "$base_dir" -DCMAKE_BUILD_TYPE=Release >/dev/null
     gated=(E1:bench_aes_asm_vs_c E4:bench_connections E5:bench_ssl_throughput
-           E9:bench_fault_soak E10:bench_crash_soak)
+           E9:bench_fault_soak E10:bench_crash_soak E11:bench_resumption
+           E12:bench_trace_audit)
     targets=()
     for entry in "${gated[@]}"; do targets+=(--target "${entry#*:}"); done
     cmake --build "$base_dir/build" -j "${targets[@]}" >/dev/null

@@ -53,6 +53,7 @@ run E10 bench_crash_soak --seed 233
 run E11 bench_resumption
 run E12 bench_trace_audit \
   --trace "$out_dir/BENCH_E12.trace.json" --pcap "$out_dir/BENCH_E12.pcap"
+run E14 bench_crypto_offload
 run ABLATION bench_ablation_record
 
 echo "== CRYPTO: bench_crypto_primitives (google-benchmark JSON) =="

@@ -1,0 +1,300 @@
+#include "dynk/cryptodev.h"
+
+#include <algorithm>
+
+#include "telemetry/metrics.h"
+
+namespace rmc::dynk {
+
+namespace {
+using rabbit::CryptoCell;
+using rabbit::CryptoCellError;
+using rabbit::CryptoCellOp;
+
+telemetry::Counter& ops_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("cryptocell.ops");
+  return c;
+}
+telemetry::Counter& stall_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("cryptocell.stall_cycles");
+  return c;
+}
+
+common::Status engine_error_status(CryptoCellError err, const char* what) {
+  switch (err) {
+    case CryptoCellError::kBadOp:
+      return common::make_error(common::ErrorCode::kInternal,
+                                std::string(what) + ": engine rejected op");
+    case CryptoCellError::kBadKeySlot:
+      return common::make_error(common::ErrorCode::kInternal,
+                                std::string(what) + ": bad key slot");
+    case CryptoCellError::kBadLength:
+      return common::make_error(common::ErrorCode::kInvalidArgument,
+                                std::string(what) + ": bad length");
+    case CryptoCellError::kRingMisconfig:
+      return common::make_error(common::ErrorCode::kInternal,
+                                std::string(what) + ": ring misconfigured");
+    case CryptoCellError::kNone:
+      break;
+  }
+  return common::make_error(common::ErrorCode::kInternal,
+                            std::string(what) + ": unknown engine error");
+}
+
+const common::Status kAbsent = common::make_error(
+    common::ErrorCode::kUnavailable, "crypto engine not present");
+}  // namespace
+
+CryptoDev::CryptoDev(rabbit::IoBus& bus, rabbit::Memory& mem, u16 base,
+                     Layout layout)
+    : bus_(&bus), mem_(&mem), base_(base), layout_(layout) {
+  probe();
+}
+
+bool CryptoDev::probe() {
+  present_ = bus_->read(base_) == CryptoCell::kIdValue;
+  ring_programmed_ = false;  // hardware may have changed under us
+  tail_ = 0;
+  pending_ = Pending{};
+  for (auto& s : slot_cache_) s = SlotCache{};
+  return present_;
+}
+
+u8 CryptoDev::rd(u16 reg) { return bus_->read(static_cast<u16>(base_ + reg)); }
+void CryptoDev::wr(u16 reg, u8 value) {
+  bus_->write(static_cast<u16>(base_ + reg), value);
+}
+
+void CryptoDev::program_ring() {
+  wr(3, static_cast<u8>(layout_.ring & 0xFF));
+  wr(4, static_cast<u8>((layout_.ring >> 8) & 0xFF));
+  wr(5, static_cast<u8>((layout_.ring >> 16) & 0x0F));
+  wr(6, layout_.ring_capacity);
+  tail_ = rd(7);  // resync with the engine's head (0 after reset)
+  wr(8, tail_);
+  ring_programmed_ = true;
+}
+
+void CryptoDev::write_addr24(u32 field, u32 addr) {
+  mem_->write_phys(field, static_cast<u8>(addr & 0xFF));
+  mem_->write_phys(field + 1, static_cast<u8>((addr >> 8) & 0xFF));
+  mem_->write_phys(field + 2, static_cast<u8>((addr >> 16) & 0x0F));
+}
+
+void CryptoDev::push_descriptor(CryptoCellOp op, u8 slot, u32 src, u32 dst,
+                                std::size_t len, u32 iv_addr) {
+  const u32 d = layout_.ring + tail_ * static_cast<u32>(
+                                          CryptoCell::kDescriptorBytes);
+  mem_->write_phys(d + 0, static_cast<u8>(op));
+  mem_->write_phys(d + 1, slot);
+  write_addr24(d + 2, src);
+  write_addr24(d + 5, dst);
+  mem_->write_phys(d + 8, static_cast<u8>(len & 0xFF));
+  mem_->write_phys(d + 9, static_cast<u8>((len >> 8) & 0xFF));
+  write_addr24(d + 10, iv_addr);
+  mem_->write_phys(d + 13, 0);  // polled completion; IRQ mode unused here
+  mem_->write_phys(d + 14, 0);  // status: engine writes 1 ok / 2 error
+  mem_->write_phys(d + 15, 0);
+  tail_ = static_cast<u8>((tail_ + 1) % layout_.ring_capacity);
+  wr(8, tail_);
+}
+
+common::Status CryptoDev::recover(const char* what) {
+  const auto err = static_cast<CryptoCellError>(rd(9));
+  wr(1, CryptoCell::kStatusError | CryptoCell::kStatusDone);  // ack latches
+  wr(2, CryptoCell::kCtrlReset);  // ring halted at the bad descriptor
+  ring_programmed_ = false;
+  for (auto& s : slot_cache_) s = SlotCache{};  // reset cleared the slots
+  ++engine_errors_;
+  return engine_error_status(err, what);
+}
+
+common::Status CryptoDev::run_to_completion() {
+  wr(2, CryptoCell::kCtrlGo);
+  u8 status = rd(1);
+  while (status & CryptoCell::kStatusBusy) {
+    // CCSR only defines bits 0-2, so 0xFF is the floating bus: the card was
+    // pulled after the probe. Without this check the stuck busy bit would
+    // spin the driver forever.
+    if (status == 0xFF) {
+      present_ = false;
+      pending_ = Pending{};
+      return kAbsent;
+    }
+    constexpr u64 kSpinQuantum = 64;
+    bus_->tick(kSpinQuantum);
+    stall_cycles_ += kSpinQuantum;
+    stall_counter().add(kSpinQuantum);
+    status = rd(1);
+  }
+  if (status & CryptoCell::kStatusError) return recover("cryptodev");
+  wr(1, CryptoCell::kStatusDone);
+  return common::Status::ok();
+}
+
+common::Result<int> CryptoDev::ensure_key(bool mac, std::span<const u8> key) {
+  ++lru_clock_;
+  int victim = 0;
+  for (int i = 0; i < CryptoCell::kKeySlots; ++i) {
+    SlotCache& s = slot_cache_[i];
+    if (s.used && s.mac == mac && s.key.size() == key.size() &&
+        std::equal(key.begin(), key.end(), s.key.begin())) {
+      s.last_use = lru_clock_;
+      ++key_cache_hits_;
+      return i;
+    }
+    if (!slot_cache_[victim].used) continue;  // keep first free slot
+    if (!s.used || s.last_use < slot_cache_[victim].last_use) victim = i;
+  }
+
+  if (!ring_programmed_) program_ring();
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    mem_->write_phys(layout_.key_staging + static_cast<u32>(i), key[i]);
+  }
+  push_descriptor(mac ? CryptoCellOp::kLoadMacKey : CryptoCellOp::kLoadAesKey,
+                  static_cast<u8>(victim), layout_.key_staging, 0, key.size(),
+                  0);
+  if (auto st = run_to_completion(); !st.is_ok()) return st;
+  slot_cache_[victim] =
+      SlotCache{true, mac, std::vector<u8>(key.begin(), key.end()),
+                lru_clock_};
+  ++key_loads_;
+  return victim;
+}
+
+common::Status CryptoDev::stage_and_go(CryptoCellOp op,
+                                       std::span<const u8> key,
+                                       std::span<const u8> iv,
+                                       std::span<const u8> data) {
+  if (!present_) return kAbsent;
+  if (pending_.kind != Pending::kNone) {
+    return common::make_error(common::ErrorCode::kFailedPrecondition,
+                              "cryptodev: op already in flight");
+  }
+  if (data.size() > kMaxDataBytes) {
+    return common::make_error(common::ErrorCode::kInvalidArgument,
+                              "cryptodev: op exceeds bounce buffer");
+  }
+  const bool is_mac = op == CryptoCellOp::kHmacSha1;
+  auto slot = ensure_key(is_mac, key);
+  if (!slot.ok()) return slot.status();
+
+  if (!ring_programmed_) program_ring();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    mem_->write_phys(layout_.src + static_cast<u32>(i), data[i]);
+  }
+  u32 iv_addr = 0;
+  if (!is_mac) {
+    for (std::size_t i = 0; i < iv.size(); ++i) {
+      mem_->write_phys(layout_.iv + static_cast<u32>(i), iv[i]);
+    }
+    iv_addr = layout_.iv;
+  }
+  const u32 dst = is_mac ? layout_.digest : layout_.dst;
+  push_descriptor(op, static_cast<u8>(*slot), layout_.src, dst, data.size(),
+                  iv_addr);
+  wr(2, CryptoCell::kCtrlGo);
+  pending_.kind = is_mac ? Pending::kHmac : Pending::kAes;
+  pending_.len = data.size();
+  return common::Status::ok();
+}
+
+common::Status CryptoDev::submit_aes_cbc(bool encrypt,
+                                         std::span<const u8> key,
+                                         std::span<const u8> iv,
+                                         std::span<const u8> data) {
+  if (data.empty() || data.size() % crypto::kAesBlockBytes != 0) {
+    return common::make_error(common::ErrorCode::kInvalidArgument,
+                              "cryptodev: AES length not a block multiple");
+  }
+  return stage_and_go(encrypt ? CryptoCellOp::kAesCbcEncrypt
+                              : CryptoCellOp::kAesCbcDecrypt,
+                      key, iv, data);
+}
+
+common::Status CryptoDev::submit_hmac_sha1(std::span<const u8> key,
+                                           std::span<const u8> message) {
+  return stage_and_go(CryptoCellOp::kHmacSha1, key, {}, message);
+}
+
+common::Status CryptoDev::poll(u64 quantum) {
+  if (!present_) return kAbsent;
+  if (pending_.kind == Pending::kNone) {
+    return common::make_error(common::ErrorCode::kFailedPrecondition,
+                              "cryptodev: no op in flight");
+  }
+  u8 status = rd(1);
+  if (status & CryptoCell::kStatusBusy) {
+    if (status == 0xFF) {  // floating bus: card pulled mid-op (see above)
+      present_ = false;
+      pending_ = Pending{};
+      return kAbsent;
+    }
+    bus_->tick(quantum);
+    stall_cycles_ += quantum;
+    stall_counter().add(quantum);
+    status = rd(1);
+    if (status & CryptoCell::kStatusBusy) {
+      return common::make_error(common::ErrorCode::kUnavailable,
+                                "cryptodev: engine busy");
+    }
+  }
+  if (status & CryptoCell::kStatusError) {
+    pending_ = Pending{};
+    return recover("cryptodev.poll");
+  }
+  wr(1, CryptoCell::kStatusDone);
+  ++ops_;
+  ops_counter().add();
+  return common::Status::ok();
+}
+
+std::vector<u8> CryptoDev::take_data() {
+  std::vector<u8> out(pending_.len);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = mem_->read_phys(layout_.dst + static_cast<u32>(i));
+  }
+  pending_ = Pending{};
+  return out;
+}
+
+std::array<u8, 20> CryptoDev::take_digest() {
+  std::array<u8, 20> out{};
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = mem_->read_phys(layout_.digest + static_cast<u32>(i));
+  }
+  pending_ = Pending{};
+  return out;
+}
+
+common::Result<std::vector<u8>> CryptoDev::aes_cbc(bool encrypt,
+                                                   std::span<const u8> key,
+                                                   std::span<const u8> iv,
+                                                   std::span<const u8> data) {
+  if (auto st = submit_aes_cbc(encrypt, key, iv, data); !st.is_ok()) return st;
+  // kUnavailable with the op still pending = engine busy, keep spinning;
+  // with pending cleared it means the card vanished mid-op — bail out.
+  common::Status st = poll();
+  while (!st.is_ok() && st.code() == common::ErrorCode::kUnavailable &&
+         op_pending()) {
+    st = poll();
+  }
+  if (!st.is_ok()) return st;
+  return take_data();
+}
+
+common::Result<std::array<u8, 20>> CryptoDev::hmac_sha1(
+    std::span<const u8> key, std::span<const u8> message) {
+  if (auto st = submit_hmac_sha1(key, message); !st.is_ok()) return st;
+  common::Status st = poll();
+  while (!st.is_ok() && st.code() == common::ErrorCode::kUnavailable &&
+         op_pending()) {
+    st = poll();
+  }
+  if (!st.is_ok()) return st;
+  return take_digest();
+}
+
+}  // namespace rmc::dynk

@@ -15,15 +15,37 @@
 
 namespace rmc::issl {
 
+class RecordEngine;  // issl/engine.h — crypto offload (Backend::kEngine)
+
 enum class KeyExchange {
   kRsa,  // RSA-encrypted premaster secret (needs the bignum package)
   kPsk,  // pre-shared key (what the port fell back to)
 };
 
+/// Where record-layer bulk crypto (AES-CBC + HMAC-SHA1) runs. The paper's
+/// two software answers — the direct C port and the hand-assembly rewrite —
+/// plus the modern third one: a memory-mapped offload engine (ROADMAP item
+/// 3). Wire bytes are identical across all three; only the modeled cycle
+/// cost (and for kEngine, which hardware does the work) differs.
+enum class Backend {
+  kC,       // portable C port (the paper's starting point)
+  kAsm,     // hand-assembly inner loops (the paper's shipped answer)
+  kEngine,  // CryptoCell offload via an issl::RecordEngine
+};
+
+const char* backend_name(Backend b);
+
 struct Config {
   KeyExchange key_exchange = KeyExchange::kRsa;
   std::size_t aes_key_bits = 128;  // 128 / 192 / 256
   std::size_t rsa_modulus_bits = 256;  // small for simulation speed
+
+  // Record-layer backend. kEngine needs `engine` wired to a driver (e.g.
+  // dynk::CryptoDev); a null or unavailable engine falls back to kC at key
+  // activation so a service configured for offload still runs on a stock
+  // board (Session::engine_fallback() reports when that happened).
+  Backend backend = Backend::kC;
+  RecordEngine* engine = nullptr;
 
   // Session resumption (DESIGN.md §10). Off by default: the hello messages
   // then carry the original 34-byte bodies and the wire is bit-identical to
@@ -50,7 +72,18 @@ struct Config {
   std::size_t record_stall_limit = 30'000;
 
   bool valid() const {
-    return aes_key_bits == 128 || aes_key_bits == 192 || aes_key_bits == 256;
+    if (aes_key_bits != 128 && aes_key_bits != 192 && aes_key_bits != 256) {
+      return false;
+    }
+    // PKCS#1 type-2 needs 11 bytes of framing; below a 12-byte (96-bit)
+    // modulus the premaster cannot carry a single byte. Reject at
+    // construction instead of failing mid-handshake.
+    if (key_exchange == KeyExchange::kRsa && rsa_modulus_bits < 96) {
+      return false;
+    }
+    // The offload engine is AES-128 only (like the paper's embedded port).
+    if (backend == Backend::kEngine && aes_key_bits != 128) return false;
+    return true;
   }
 
   static Config unix_default() {

@@ -22,6 +22,8 @@
 #include "common/status.h"
 #include "crypto/aes.h"
 #include "crypto/sha1.h"
+#include "issl/config.h"
+#include "issl/engine.h"
 #include "issl/stream.h"
 
 namespace rmc::issl {
@@ -53,7 +55,18 @@ struct DirectionKeys {
 
 class RecordCodec {
  public:
-  explicit RecordCodec(common::Xorshift64& rng) : rng_(&rng) {}
+  /// `backend` picks where bulk crypto nominally runs; kEngine additionally
+  /// needs `engine`. The choice only matters once keys are activated: the
+  /// null-cipher phase does no crypto, and activate_keys() resolves kEngine
+  /// down to kC when the engine is null or unavailable (engine_fallback()).
+  /// Wire bytes are backend-independent by construction — kEngine computes
+  /// the same MAC-then-encrypt with the same RNG-drawn IVs, just on the
+  /// offload hardware.
+  explicit RecordCodec(common::Xorshift64& rng,
+                       Backend backend = Backend::kC,
+                       RecordEngine* engine = nullptr)
+      : rng_(&rng), backend_(backend), engine_(engine),
+        effective_backend_(backend) {}
 
   /// Switch from the null cipher to sealed mode.
   common::Status activate_keys(const DirectionKeys& send,
@@ -84,14 +97,38 @@ class RecordCodec {
   /// off this).
   std::size_t buffered_bytes() const { return rx_buffer_.size(); }
 
+  /// The backend actually in use after fallback resolution (meaningful once
+  /// sealed; before activation it reports the configured choice).
+  Backend effective_backend() const { return effective_backend_; }
+  /// kEngine was requested but the engine was missing/unavailable at key
+  /// activation, so records run through kC instead.
+  bool engine_fallback() const { return engine_fallback_; }
+  /// Modeled 30 MHz cycles spent on record crypto (MAC + CBC + key setup),
+  /// accumulated per sealed/opened record under the effective backend's
+  /// cost model; for kEngine this is the driver's measured stall cycles.
+  /// Exact integer arithmetic, so bench JSON built on it is reproducible.
+  u64 crypto_cost_cycles() const { return crypto_cost_cycles_; }
+
  private:
   common::Result<std::vector<u8>> open_payload(RecordType type,
                                                std::span<const u8> wire);
-  std::array<u8, 20> record_mac(const DirectionKeys& keys, u64 seq,
-                                RecordType type,
-                                std::span<const u8> plaintext) const;
+  std::vector<u8> mac_input(u64 seq, RecordType type,
+                            std::span<const u8> plaintext) const;
+  common::Result<std::array<u8, 20>> record_mac(
+      const DirectionKeys& keys, u64 seq, RecordType type,
+      std::span<const u8> plaintext);
+  common::Result<std::vector<u8>> backend_cbc(bool encrypt,
+                                              const DirectionKeys& keys,
+                                              const crypto::AesFast& cipher,
+                                              std::span<const u8> iv,
+                                              std::span<const u8> data);
 
   common::Xorshift64* rng_;
+  Backend backend_;
+  RecordEngine* engine_;
+  Backend effective_backend_ = Backend::kC;
+  bool engine_fallback_ = false;
+  u64 crypto_cost_cycles_ = 0;
   bool sealed_ = false;
   bool poisoned_ = false;
   DirectionKeys send_keys_;

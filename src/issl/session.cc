@@ -117,7 +117,16 @@ const char* session_state_name(SessionState s) {
 Session::Session(Role role, const Config& config, ByteStream& stream,
                  common::Xorshift64& rng)
     : role_(role), config_(config), stream_(&stream), rng_(&rng),
-      codec_(rng) {}
+      codec_(rng, config.backend, config.engine) {
+  // Bad configs fail here, visibly, instead of mid-handshake: the caller
+  // sees failed() + kFailedPrecondition before a single byte hits the wire.
+  if (!config.valid()) {
+    state_ = SessionState::kFailed;
+    error_ = Status(ErrorCode::kFailedPrecondition,
+                    "invalid issl config (key size, rsa modulus < 96 bits, "
+                    "or non-engine-capable backend combo)");
+  }
+}
 
 Session Session::client(const Config& config, ByteStream& stream,
                         common::Xorshift64& rng, std::vector<u8> psk,
@@ -132,7 +141,9 @@ Session Session::server(const Config& config, ByteStream& stream,
                         common::Xorshift64& rng, ServerIdentity identity) {
   Session s(Role::kServer, config, stream, rng);
   s.identity_ = std::move(identity);
-  s.state_ = SessionState::kAwaitClientHello;
+  if (s.state_ != SessionState::kFailed) {
+    s.state_ = SessionState::kAwaitClientHello;
+  }
   return s;
 }
 

@@ -125,6 +125,15 @@ class Session {
   /// byte-reproducible. E11 uses it for the full-vs-resumed comparison.
   common::u64 handshake_cost_cycles() const { return hs_cost_cycles_; }
 
+  /// Modeled record-layer crypto cost under the configured backend (see
+  /// RecordCodec::crypto_cost_cycles); E14's per-record comparison.
+  common::u64 record_cost_cycles() const { return codec_.crypto_cost_cycles(); }
+  /// Backend actually carrying record crypto after fallback resolution.
+  Backend effective_backend() const { return codec_.effective_backend(); }
+  /// Backend::kEngine was requested but no engine answered the probe, so
+  /// records run through the C port instead.
+  bool engine_fallback() const { return codec_.engine_fallback(); }
+
  private:
   Session(Role role, const Config& config, ByteStream& stream,
           common::Xorshift64& rng);

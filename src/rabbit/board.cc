@@ -53,6 +53,9 @@ void Board::init_core() {
 void Board::reset() {
   init_core();
   wdt_.power_on_reset();
+  if (cryptocell_) {
+    cryptocell_->io_write(kCryptoCellBase + 2, CryptoCell::kCtrlReset);
+  }
   soft_reset_ = false;
   last_cause_ = ResetCause::kPowerOn;
   if (constructed_) ++resets_;
@@ -64,9 +67,30 @@ void Board::warm_reset(ResetCause cause) {
   init_core();
   wdt_.clear_fired();
   wdt_.hit();
+  if (cryptocell_) {
+    // The engine resets with the board; any in-flight batch is lost and the
+    // driver must reprogram the ring and reload key slots.
+    cryptocell_->io_write(kCryptoCellBase + 2, CryptoCell::kCtrlReset);
+  }
   soft_reset_ = true;
   last_cause_ = cause;
   ++resets_;
+}
+
+CryptoCell& Board::attach_cryptocell(CryptoCellTiming timing) {
+  detach_cryptocell();
+  cryptocell_ = std::make_unique<CryptoCell>(kCryptoCellBase, mem_, timing,
+                                             kCryptoCellIrqVector);
+  io_.map(kCryptoCellBase,
+          static_cast<u16>(kCryptoCellBase + CryptoCell::kPortSpan - 1),
+          cryptocell_.get());
+  return *cryptocell_;
+}
+
+void Board::detach_cryptocell() {
+  if (!cryptocell_) return;
+  io_.unmap(cryptocell_.get());
+  cryptocell_.reset();
 }
 
 void Board::load(const Image& image) {

@@ -14,11 +14,13 @@
 // call() helper uses a HALT parked at kCallSentinel as the return address.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "common/status.h"
 #include "rabbit/cpu.h"
+#include "rabbit/cryptocell.h"
 #include "rabbit/image.h"
 #include "rabbit/io.h"
 #include "rabbit/memory.h"
@@ -56,8 +58,10 @@ class Board {
   static constexpr u16 kSerialBase = 0x00C0;
   static constexpr u16 kTimerBase = 0x00A0;
   static constexpr u16 kWatchdogBase = 0x0008;  // WDTCR/WDTTR, as on silicon
+  static constexpr u16 kCryptoCellBase = 0x0100;  // optional offload engine
   static constexpr u8 kSerialIrqVector = 1;
   static constexpr u8 kTimerIrqVector = 2;
+  static constexpr u8 kCryptoCellIrqVector = 3;
 
   Board();
 
@@ -85,6 +89,15 @@ class Board {
   SerialPort& serial() { return serial_; }
   Timer& timer() { return timer_; }
   Watchdog& watchdog() { return wdt_; }
+
+  /// Fit the optional crypto offload engine (an expansion card, not part of
+  /// the stock RMC2000 kit — boards without it read 0xFF at kCryptoCellBase
+  /// and drivers fall back to software). Re-attaching replaces the engine.
+  CryptoCell& attach_cryptocell(CryptoCellTiming timing = {});
+  /// Pull the engine back off the bus (tests of driver fault paths).
+  void detach_cryptocell();
+  /// The attached engine, or nullptr on a stock board.
+  CryptoCell* cryptocell() { return cryptocell_.get(); }
 
   /// Call the routine at `addr` with the standard stack and a sentinel
   /// return address; runs until the routine returns (HALT at the sentinel),
@@ -128,6 +141,7 @@ class Board {
   SerialPort serial_;
   Timer timer_;
   Watchdog wdt_;
+  std::unique_ptr<CryptoCell> cryptocell_;
   std::optional<Image> loaded_;
   bool constructed_ = false;   // suppress reset counting during the ctor
   bool soft_reset_ = false;

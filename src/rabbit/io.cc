@@ -6,6 +6,12 @@ void IoBus::map(u16 first, u16 last, IoDevice* device) {
   ranges_.push_back(Range{first, last, device});
 }
 
+std::size_t IoBus::unmap(IoDevice* device) {
+  const std::size_t before = ranges_.size();
+  std::erase_if(ranges_, [device](const Range& r) { return r.device == device; });
+  return before - ranges_.size();
+}
+
 IoDevice* IoBus::find(u16 port) const {
   // Scan in reverse so later registrations override earlier ones.
   for (auto it = ranges_.rbegin(); it != ranges_.rend(); ++it) {

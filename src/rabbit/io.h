@@ -7,6 +7,7 @@
 // dropped — both counted so tests can assert nothing strays.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -42,6 +43,11 @@ class IoBus {
   /// Map [first, last] inclusive to `device`. Later registrations win on
   /// overlap (mirrors development-board jumper overrides).
   void map(u16 first, u16 last, IoDevice* device);
+
+  /// Remove every range mapped to `device` (pulling the card off the bus).
+  /// Ranges it was shadowing become visible again; unknown devices are a
+  /// no-op. Returns the number of ranges removed.
+  std::size_t unmap(IoDevice* device);
 
   u8 read(u16 port);
   void write(u16 port, u8 value);

@@ -40,6 +40,12 @@ telemetry::Counter& hs_timeout_counter() {
       telemetry::Registry::global().counter("redirector.handshake_timeouts");
   return c;
 }
+// Lazy so stock-software runs keep their metrics JSON unchanged.
+telemetry::Counter& engine_fallback_counter() {
+  static telemetry::Counter& c = telemetry::Registry::global().counter(
+      "redirector.engine_fallbacks");
+  return c;
+}
 telemetry::Counter& backend_retry_counter() {
   static telemetry::Counter& c =
       telemetry::Registry::global().counter("redirector.backend_retries");
@@ -270,6 +276,11 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
         // entry; commit before serving so a warm restart mid-session still
         // lets this client resume.
         commit_session_cache();
+        if (session->engine_fallback()) {
+          ++stats_.engine_fallbacks;
+          engine_fallback_counter().add();
+          log_->append("engine-fallback " + std::to_string(slot));
+        }
         // CPU-cost model: the 30 MHz board just spent this long on the key
         // schedule, PRF, and Finished MACs — much less of it when the
         // abbreviated handshake skipped the key exchange.

@@ -158,6 +158,9 @@ struct RedirectorStats {
   u64 backend_retries = 0;      // reconnect attempts beyond the first
   u64 connections_shed = 0;     // refused with RST while all slots busy
   u64 watchdog_aborts = 0;      // idle forwarding loops killed
+  /// Sessions that asked for Backend::kEngine but ran on the C fallback
+  /// because no engine answered the probe (stock board, or card pulled).
+  u64 engine_fallbacks = 0;
 };
 
 /// The embedded port (Figure 3 structure).

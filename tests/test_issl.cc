@@ -503,6 +503,69 @@ TEST(SessionTest, LargeTransferAcrossManyRecords) {
   EXPECT_EQ(got, big);
 }
 
+TEST(ConfigTest, RejectsRsaModulusBelowPremasterFloor) {
+  Config cfg = Config::unix_default();
+  cfg.rsa_modulus_bits = 96;  // the 12-byte PKCS#1 floor: one premaster byte
+  EXPECT_TRUE(cfg.valid());
+  cfg.rsa_modulus_bits = 95;
+  EXPECT_FALSE(cfg.valid());
+  cfg.rsa_modulus_bits = 64;
+  EXPECT_FALSE(cfg.valid());
+  // The floor is an RSA-framing constraint; PSK has no premaster to carry.
+  cfg.key_exchange = KeyExchange::kPsk;
+  EXPECT_TRUE(cfg.valid());
+}
+
+TEST(ConfigTest, RejectsEngineBackendWithWideKeys) {
+  Config cfg = Config::embedded_port();
+  cfg.backend = Backend::kEngine;
+  EXPECT_TRUE(cfg.valid());  // AES-128: the engine's one key size
+  cfg.aes_key_bits = 256;
+  EXPECT_FALSE(cfg.valid());  // offload hardware is AES-128 only
+  cfg.backend = Backend::kC;
+  EXPECT_TRUE(cfg.valid());  // software handles 256 fine
+}
+
+TEST(SessionTest, EngineWithWideKeysFailsAtConstruction) {
+  TlsHarness h;
+  h.connect_transport();
+  Config cfg = Config::embedded_port();
+  cfg.backend = Backend::kEngine;
+  cfg.aes_key_bits = 256;  // non-engine-capable combo
+  auto client = issl_bind_client(*h.client_stream, cfg, h.client_rng,
+                                 bytes_of("psk"));
+  EXPECT_TRUE(client.failed());  // before any pump: rejected at construction
+  EXPECT_EQ(client.error().code(), common::ErrorCode::kFailedPrecondition);
+}
+
+TEST(SessionTest, NullEngineFallsBackToSoftwareAndInterops) {
+  TlsHarness h;
+  h.connect_transport();
+  const auto psk = bytes_of("offload-psk");
+  Config cfg = Config::embedded_port();
+  cfg.backend = Backend::kEngine;  // asked for offload, wired no engine
+  auto client = issl_bind_client(*h.client_stream, cfg, h.client_rng, psk);
+  ServerIdentity id;
+  id.psk = psk;
+  auto server = issl_bind_server(*h.server_stream, Config::embedded_port(),
+                                 h.server_rng, id);  // plain kC peer
+  ASSERT_TRUE(h.drive(client, server));
+  EXPECT_TRUE(client.engine_fallback());
+  EXPECT_EQ(client.effective_backend(), Backend::kC);
+
+  const auto msg = bytes_of("still works in software");
+  ASSERT_TRUE(client.write(msg).ok());
+  std::vector<u8> got;
+  for (int i = 0; i < 200 && got.size() < msg.size(); ++i) {
+    (void)client.pump();
+    (void)server.pump();
+    h.net.tick(1);
+    auto r = server.read();
+    if (r.ok()) got.insert(got.end(), r->begin(), r->end());
+  }
+  EXPECT_EQ(got, msg);
+}
+
 TEST(SessionTest, StateNames) {
   EXPECT_STREQ(session_state_name(SessionState::kEstablished), "ESTABLISHED");
   EXPECT_STREQ(session_state_name(SessionState::kFailed), "FAILED");

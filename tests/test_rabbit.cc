@@ -503,6 +503,61 @@ TEST(Board, CallUnknownSymbolFails) {
   EXPECT_EQ(res.status().code(), common::ErrorCode::kNotFound);
 }
 
+// ---------------------------------------------------------------------------
+// IoBus mapping edges
+// ---------------------------------------------------------------------------
+
+// Scriptable device: reads return `id`, writes are recorded.
+struct StubDevice final : public IoDevice {
+  u8 id;
+  std::vector<std::pair<u16, u8>> writes;
+  explicit StubDevice(u8 id_) : id(id_) {}
+  u8 io_read(u16) override { return id; }
+  void io_write(u16 port, u8 value) override { writes.push_back({port, value}); }
+};
+
+TEST(IoBus, UnclaimedPortsFloatAndAreCounted) {
+  IoBus bus;
+  EXPECT_EQ(bus.read(0x0123), 0xFF);  // floating bus
+  EXPECT_EQ(bus.unclaimed_reads(), 1u);
+  bus.write(0x0123, 0x42);  // dropped, nothing claims it
+  EXPECT_EQ(bus.unclaimed_writes(), 1u);
+}
+
+TEST(IoBus, OverlappingRegistrationLaterWins) {
+  IoBus bus;
+  StubDevice under(0x11), over(0x22);
+  bus.map(0x0100, 0x010F, &under);
+  bus.map(0x0104, 0x0107, &over);  // jumper override shadows the middle
+
+  EXPECT_EQ(bus.read(0x0100), 0x11);
+  EXPECT_EQ(bus.read(0x0104), 0x22);
+  EXPECT_EQ(bus.read(0x0107), 0x22);
+  EXPECT_EQ(bus.read(0x0108), 0x11);
+  bus.write(0x0105, 9);
+  ASSERT_EQ(over.writes.size(), 1u);
+  EXPECT_TRUE(under.writes.empty());
+  EXPECT_EQ(bus.unclaimed_reads(), 0u);
+}
+
+TEST(IoBus, UnmapRestoresShadowedRangeAndReportsCount) {
+  IoBus bus;
+  StubDevice under(0x11), over(0x22);
+  bus.map(0x0100, 0x010F, &under);
+  bus.map(0x0104, 0x0107, &over);
+  bus.map(0x0200, 0x0201, &over);  // same card claims a second range
+
+  EXPECT_EQ(bus.unmap(&over), 2u);  // both ranges pulled
+  EXPECT_EQ(bus.read(0x0104), 0x11);  // shadowed device visible again
+  EXPECT_EQ(bus.read(0x0200), 0xFF);  // second range floats now
+  EXPECT_EQ(bus.unmap(&over), 0u);  // already gone: no-op
+  StubDevice stranger(0x33);
+  EXPECT_EQ(bus.unmap(&stranger), 0u);  // never mapped: no-op
+
+  EXPECT_EQ(bus.unmap(&under), 1u);
+  EXPECT_EQ(bus.read(0x0100), 0xFF);  // bus fully bare again
+}
+
 TEST(Board, SerialTxCollectedByHost) {
   Board board;
   auto& mem = board.mem();
