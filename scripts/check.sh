@@ -6,14 +6,18 @@
 # path is sanitizer-clean, then double runs proving those --json artifacts
 # are byte-reproducible for a fixed seed. E12 additionally proves trace
 # determinism: two traced runs must produce byte-identical Chrome trace
-# JSON *and* pcap, not just identical bench JSON. Finally, a baseline gate:
-# with resumption and tracing off (the defaults), the gated bench artifacts
-# (E1/E4/E5/E9/E10/E11/E12) must be byte-identical to the ones a clean
-# checkout of origin/main (or main) produces — new machinery must be
-# invisible until switched on. With the crypto offload engine in the tree
-# (E14), that baseline doubles as the backend matrix gate: the engine
-# backend is compiled into every bench binary but never selected by the
-# gated configs, so their JSON must not move by a byte.
+# JSON *and* pcap, not just identical bench JSON. E15 (abuse soak) runs its
+# hostile-peer scenarios and the coverage-guided fuzz phase under the same
+# sanitizers — every malformed-input parse path gets exercised with ASan
+# watching — and its JSON joins the determinism double-run. Finally, a
+# baseline gate: with resumption and tracing off (the defaults), the gated
+# bench artifacts (E1/E4/E5/E9/E10/E11/E12/E14) must be byte-identical to
+# the ones a clean checkout of origin/main (or main) produces — new
+# machinery must be invisible until switched on. With the crypto offload
+# engine (E14) and the abuse library in the tree, that baseline doubles as
+# the do-no-harm gate: the hardening hooks are compiled into every bench
+# binary but never selected by the gated configs, so their JSON must not
+# move by a byte.
 #
 # Usage:
 #   scripts/check.sh [--skip-baseline]
@@ -32,13 +36,13 @@ cmake --build "$repo_root/build" -j >/dev/null
 (cd "$repo_root/build" && ctest --output-on-failure -j)
 
 echo
-echo "== sanitizers: ASan+UBSan soaks (E9, E10) + E11 + E12 + offload (E14) =="
+echo "== sanitizers: ASan+UBSan soaks (E9, E10) + E11 + E12 + E14 + E15 =="
 san_dir="$repo_root/build-san"
 cmake -B "$san_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=Debug -DRMC_SANITIZE=address,undefined >/dev/null
 cmake --build "$san_dir" -j --target bench_fault_soak --target bench_crash_soak \
   --target bench_resumption --target bench_trace_audit \
-  --target bench_crypto_offload >/dev/null
+  --target bench_crypto_offload --target bench_abuse_soak >/dev/null
 "$san_dir/bench/bench_fault_soak" --seed 233
 "$san_dir/bench/bench_crash_soak" --seed 233
 "$san_dir/bench/bench_resumption"
@@ -46,9 +50,13 @@ cmake --build "$san_dir" -j --target bench_fault_soak --target bench_crash_soak 
 # E14 carries its own PASS/FAIL gate (engine wire identity + >=5x per
 # record); a nonzero exit here fails the check either way.
 "$san_dir/bench/bench_crypto_offload"
+# E15 likewise: never-wedge, zero corruption, full flight-recorder
+# attribution, legit goodput under attack — plus the fuzz phase, which
+# under this build feeds every mutated input to ASan/UBSan-checked parsers.
+"$san_dir/bench/bench_abuse_soak" --seed 233
 
 echo
-echo "== determinism: E9 + E10 + E11 + E14 json byte-reproducible =="
+echo "== determinism: E9 + E10 + E11 + E14 + E15 json byte-reproducible =="
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 "$san_dir/bench/bench_fault_soak" --seed 233 --json "$tmp/a.json" >/dev/null
@@ -63,6 +71,9 @@ cmp "$tmp/e.json" "$tmp/f.json"
 "$san_dir/bench/bench_crypto_offload" --json "$tmp/e14a.json" >/dev/null
 "$san_dir/bench/bench_crypto_offload" --json "$tmp/e14b.json" >/dev/null
 cmp "$tmp/e14a.json" "$tmp/e14b.json"
+"$san_dir/bench/bench_abuse_soak" --seed 233 --json "$tmp/e15a.json" >/dev/null
+"$san_dir/bench/bench_abuse_soak" --seed 233 --json "$tmp/e15b.json" >/dev/null
+cmp "$tmp/e15a.json" "$tmp/e15b.json"
 echo "identical artifacts"
 
 echo
@@ -82,12 +93,13 @@ if ((skip_baseline)); then
 else
   echo
   echo "== baseline: new machinery off => gated benches identical to main =="
-  # Default-off machinery (resumption, tracing, the engine backend) must be
-  # invisible: run the gated benches (E1/E4/E5/E9/E10/E11/E12 — none of
-  # whose configs select Backend::kEngine) from this tree AND from a
-  # pristine main worktree, and require byte-identical JSON. This is the
-  # backend matrix gate — the engine is linked into every binary here, and
-  # merely compiling it in must not move a byte.
+  # Default-off machinery (resumption, tracing, the engine backend, the
+  # record/cache hardening telemetry) must be invisible: run the gated
+  # benches (E1/E4/E5/E9/E10/E11/E12/E14 — none of whose configs switch the
+  # new knobs on) from this tree AND from a pristine main worktree, and
+  # require byte-identical JSON. This is the do-no-harm gate — the hardening
+  # paths are compiled into every binary here, and merely compiling them in
+  # must not move a byte.
   base_ref="origin/main"
   git -C "$repo_root" rev-parse --verify -q "$base_ref" >/dev/null || base_ref="main"
   if git -C "$repo_root" rev-parse --verify -q "$base_ref" >/dev/null &&
@@ -97,9 +109,19 @@ else
     git -C "$repo_root" worktree add --detach "$base_dir" "$base_ref" >/dev/null
     trap 'git -C "$repo_root" worktree remove --force "$base_dir" >/dev/null 2>&1 || true; rm -rf "$tmp"' EXIT
     cmake -B "$base_dir/build" -S "$base_dir" -DCMAKE_BUILD_TYPE=Release >/dev/null
-    gated=(E1:bench_aes_asm_vs_c E4:bench_connections E5:bench_ssl_throughput
-           E9:bench_fault_soak E10:bench_crash_soak E11:bench_resumption
-           E12:bench_trace_audit)
+    # A gated bench that the baseline ref predates (a brand-new experiment)
+    # has nothing to compare against — skip it rather than fail the build.
+    gated=()
+    for entry in E1:bench_aes_asm_vs_c E4:bench_connections \
+                 E5:bench_ssl_throughput E9:bench_fault_soak \
+                 E10:bench_crash_soak E11:bench_resumption \
+                 E12:bench_trace_audit E14:bench_crypto_offload; do
+      if [[ -f "$base_dir/bench/${entry#*:}.cpp" ]]; then
+        gated+=("$entry")
+      else
+        echo "${entry%%:*}: not in $base_ref yet — skipped"
+      fi
+    done
     targets=()
     for entry in "${gated[@]}"; do targets+=(--target "${entry#*:}"); done
     cmake --build "$base_dir/build" -j "${targets[@]}" >/dev/null

@@ -1,0 +1,396 @@
+#include "abuse/fuzz.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "abuse/hostile.h"
+#include "issl/session_cache.h"
+
+namespace rmc::abuse {
+
+namespace {
+
+// Feature-space encoding: [target:8][kind:8][value:48]. Keeping the target
+// in the feature means "session reached FAILED" and "sealed codec poisoned"
+// are distinct coverage, as they should be.
+enum FeatKind : u8 {
+  kFeatStateEdge = 1,   // (from_state << 8) | to_state
+  kFeatErrorCode = 2,
+  kFeatHsMessages = 3,  // exact count (small by construction)
+  kFeatWroteBack = 4,   // log2 bucket of bytes the server wrote
+  kFeatPoisoned = 5,
+  kFeatMalformed = 6,   // log2 bucket
+  kFeatOpened = 7,      // records successfully opened (exact, capped)
+  kFeatBuffered = 8,    // log2 bucket of bytes left in reassembly
+  kFeatWedged = 9,
+};
+
+u64 feat(FuzzTarget t, u8 kind, u64 value) {
+  return (static_cast<u64>(t) << 56) | (static_cast<u64>(kind) << 48) |
+         (value & 0xFFFF'FFFF'FFFFULL);
+}
+
+u64 log2_bucket(u64 v) {
+  u64 b = 0;
+  while (v != 0) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+u64 mix(u64 h, u64 v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+u64 signature_of(const std::vector<u64>& features) {
+  u64 h = 0xCBF29CE484222325ULL;
+  for (u64 f : features) h = mix(h, f);
+  return h;
+}
+
+// Fixed seeds for the *target-side* PRNGs: the server's randoms and the
+// codec's IVs must be a function of the input alone, or the same input
+// would produce different coverage on different iterations and the corpus
+// would fill with noise.
+constexpr u64 kSessionRngSeed = 0xFEEDFACE0000ABCDULL;
+constexpr u64 kCodecRngSeed = 0x00C0FFEE00C0FFEEULL;
+
+// The one resumable entry primed into the fuzz server's cache: a seed input
+// offering this ID exercises the abbreviated-handshake path, and mutants of
+// it exercise every way that offer can go wrong.
+constexpr u8 kPrimedId = 0x11;
+constexpr u8 kPrimedMaster = 0x22;
+
+}  // namespace
+
+common::Result<std::size_t> ScriptedStream::write(std::span<const u8> data) {
+  // Capture everything, even post-close: an alert racing a teardown is
+  // still bytes the server chose to emit, and the judge wants to see them.
+  written_.insert(written_.end(), data.begin(), data.end());
+  return data.size();
+}
+
+common::Result<std::size_t> ScriptedStream::read(std::span<u8> out) {
+  if (pos_ >= input_.size()) {
+    if (eof_after_input_) return static_cast<std::size_t>(0);
+    return common::Status(common::ErrorCode::kUnavailable, "no data");
+  }
+  const std::size_t n =
+      std::min({chunk_, input_.size() - pos_, out.size()});
+  std::copy_n(input_.begin() + static_cast<long>(pos_), n, out.begin());
+  pos_ += n;
+  return n;
+}
+
+void Fuzzer::add_seed_input(std::vector<u8> input) {
+  corpus_.push_back(std::move(input));
+}
+
+void Fuzzer::add_default_seeds() {
+  // Seeds use their own fixed-seed PRNG so the corpus is identical no
+  // matter when they are added relative to run() calls.
+  common::Xorshift64 srng(0xABCD1234ULL);
+  issl::Config plain = issl::Config::embedded_port();
+  issl::Config res = plain;
+  res.resumption = true;
+  u8 primed_id[issl::kSessionIdBytes];
+  std::fill(std::begin(primed_id), std::end(primed_id), kPrimedId);
+
+  // The happy paths (the fuzzer breeds the unhappy ones from them).
+  add_seed_input(client_hello_record(srng, plain, nullptr));
+  add_seed_input(client_hello_record(srng, res, nullptr));
+  add_seed_input(client_hello_record(srng, res, primed_id));
+
+  // A clean close_notify alert.
+  const u8 close_note[] = {0};
+  add_seed_input(plaintext_record(issl::RecordType::kAlert, close_note));
+
+  // A handshake message promising more than it delivers.
+  std::vector<u8> truncated = {1, 0x01, 0x2C};  // claims 300 bytes
+  for (int i = 0; i < 10; ++i) truncated.push_back(srng.next_u8());
+  add_seed_input(
+      plaintext_record(issl::RecordType::kHandshake, truncated));
+
+  // Headers the codec must refuse outright.
+  u8 few[4];
+  srng.fill(few);
+  add_seed_input(raw_record(1, issl::kIsslVersion, 0xFFFF, few));
+  add_seed_input(raw_record(1, 0x31, 1, std::span<const u8>(few, 1)));
+
+  // Unstructured noise.
+  std::vector<u8> noise(40);
+  srng.fill(noise);
+  add_seed_input(std::move(noise));
+}
+
+FuzzResult Fuzzer::run_record_target(std::span<const u8> input,
+                                     bool sealed) {
+  FuzzResult r;
+  r.target = sealed ? FuzzTarget::kRecordSealed : FuzzTarget::kRecordPlain;
+  common::Xorshift64 crng(kCodecRngSeed);
+  issl::RecordCodec codec(crng);
+  if (sealed) {
+    issl::DirectionKeys keys;
+    keys.aes_key.assign(16, 0x5A);
+    keys.mac_key.fill(0xA5);
+    (void)codec.activate_keys(keys, keys);
+  }
+
+  // Feed in input-derived chunk sizes (TCP never promises record-aligned
+  // delivery) and drain eagerly, like flush_and_fill does.
+  const std::size_t chunk = 5 + input.size() % 23;
+  std::size_t pos = 0;
+  u64 opened = 0;
+  while (pos < input.size()) {
+    const std::size_t n = std::min(chunk, input.size() - pos);
+    common::Status fed = codec.feed(input.subspan(pos, n));
+    pos += n;
+    if (!fed.is_ok()) break;  // reassembly overflow refused
+    for (int i = 0; i < 64; ++i) {
+      auto popped = codec.pop();
+      if (!popped.ok() || !popped.value().has_value()) break;
+      ++opened;
+    }
+    if (codec.poisoned()) break;
+  }
+
+  r.poisoned = codec.poisoned();
+  r.malformed = codec.malformed_records();
+  r.features.push_back(feat(r.target, kFeatPoisoned, r.poisoned ? 1 : 0));
+  r.features.push_back(
+      feat(r.target, kFeatMalformed, log2_bucket(r.malformed)));
+  r.features.push_back(feat(r.target, kFeatOpened, std::min<u64>(opened, 64)));
+  r.features.push_back(
+      feat(r.target, kFeatBuffered, log2_bucket(codec.buffered_bytes())));
+  r.signature = signature_of(r.features);
+  return r;
+}
+
+FuzzResult Fuzzer::run_session_target(std::span<const u8> input,
+                                      bool eof_after_input) {
+  FuzzResult r;
+  r.target = FuzzTarget::kSession;
+
+  const std::size_t chunk = 1 + input.size() % 57;
+  ScriptedStream stream(std::vector<u8>(input.begin(), input.end()), chunk,
+                        eof_after_input);
+
+  issl::Config cfg = issl::Config::embedded_port();
+  cfg.resumption = true;
+  // Tight watchdog budgets: the wedge invariant is only as strong as the
+  // bound it is checked against, and 64 no-progress pumps inside a 400-pump
+  // budget leaves room to verify the watchdog actually fired.
+  cfg.handshake_stall_limit = 64;
+  cfg.record_stall_limit = 64;
+
+  issl::SessionCache cache(4);
+  u8 id[issl::kSessionIdBytes];
+  u8 master[issl::kMasterSecretBytes];
+  std::fill(std::begin(id), std::end(id), kPrimedId);
+  std::fill(std::begin(master), std::end(master), kPrimedMaster);
+  cache.insert(id, master, static_cast<u8>(issl::KeyExchange::kPsk), 16);
+
+  issl::ServerIdentity ident;
+  ident.psk = {'f', 'u', 'z', 'z'};
+  ident.session_cache = &cache;
+
+  common::Xorshift64 srng(kSessionRngSeed);
+  issl::Session session = issl::Session::server(cfg, stream, srng, ident);
+
+  constexpr std::size_t kPumpBudget = 400;
+  int prev = static_cast<int>(session.state());
+  bool terminal = false;
+  while (r.pumps < kPumpBudget) {
+    ++r.pumps;
+    (void)session.pump();
+    const int now = static_cast<int>(session.state());
+    if (now != prev) {
+      r.features.push_back(
+          feat(r.target, kFeatStateEdge,
+               (static_cast<u64>(prev) << 8) | static_cast<u64>(now)));
+      prev = now;
+    }
+    if (session.failed() || session.closed() || session.established()) {
+      terminal = true;
+      break;
+    }
+  }
+
+  r.final_state = prev;
+  r.error_code = static_cast<int>(session.error().code());
+  r.wedged = !terminal;
+  r.features.push_back(
+      feat(r.target, kFeatErrorCode, static_cast<u64>(r.error_code)));
+  r.features.push_back(
+      feat(r.target, kFeatHsMessages,
+           std::min<std::size_t>(session.handshake_messages_seen(), 64)));
+  r.features.push_back(
+      feat(r.target, kFeatWroteBack,
+           log2_bucket(stream.written().size())));
+  if (r.wedged) r.features.push_back(feat(r.target, kFeatWedged, 1));
+  r.signature = signature_of(r.features);
+  return r;
+}
+
+std::size_t Fuzzer::note_features(const FuzzResult& r) {
+  std::size_t fresh = 0;
+  for (u64 f : r.features) {
+    if (features_.insert(f).second) ++fresh;
+  }
+  return fresh;
+}
+
+std::vector<u8> Fuzzer::mutate(const std::vector<u8>& base) {
+  std::vector<u8> m = base;
+  if (m.empty()) {
+    m.resize(1 + rng_.next_below(32));
+    rng_.fill(m);
+    return m;
+  }
+  const u32 rounds = 1 + rng_.next_below(3);
+  for (u32 round = 0; round < rounds; ++round) {
+    switch (rng_.next_below(7)) {
+      case 0: {  // flip one bit
+        const std::size_t i = rng_.next_below(static_cast<u32>(m.size()));
+        m[i] ^= static_cast<u8>(1u << rng_.next_below(8));
+        break;
+      }
+      case 1: {  // rewrite one byte
+        m[rng_.next_below(static_cast<u32>(m.size()))] = rng_.next_u8();
+        break;
+      }
+      case 2: {  // truncate
+        m.resize(1 + rng_.next_below(static_cast<u32>(m.size())));
+        break;
+      }
+      case 3: {  // insert noise
+        const std::size_t at = rng_.next_below(static_cast<u32>(m.size()) + 1);
+        u8 noise[8];
+        rng_.fill(noise);
+        m.insert(m.begin() + static_cast<long>(at), noise,
+                 noise + 1 + rng_.next_below(8));
+        break;
+      }
+      case 4: {  // length-field surgery on the record header
+        if (m.size() >= issl::kRecordHeaderBytes) {
+          static constexpr u16 kMagic[] = {
+              0, 1, 2, 16, 16384, 16432, 16448, 16449, 0x8000, 0xFFFF};
+          const u16 v = kMagic[rng_.next_below(10)];
+          m[2] = static_cast<u8>(v >> 8);
+          m[3] = static_cast<u8>(v & 0xFF);
+        } else {
+          m.push_back(rng_.next_u8());
+        }
+        break;
+      }
+      case 5: {  // splice head of this with tail of another corpus entry
+        if (!corpus_.empty()) {
+          const std::vector<u8>& other =
+              corpus_[rng_.next_below(static_cast<u32>(corpus_.size()))];
+          if (!other.empty()) {
+            const std::size_t keep =
+                rng_.next_below(static_cast<u32>(m.size()) + 1);
+            const std::size_t from =
+                rng_.next_below(static_cast<u32>(other.size()));
+            m.resize(keep);
+            m.insert(m.end(), other.begin() + static_cast<long>(from),
+                     other.end());
+          }
+        }
+        break;
+      }
+      default: {  // duplicate a slice in place
+        const std::size_t at = rng_.next_below(static_cast<u32>(m.size()));
+        const std::size_t n =
+            std::min<std::size_t>(1 + rng_.next_below(16), m.size() - at);
+        std::vector<u8> slice(m.begin() + static_cast<long>(at),
+                              m.begin() + static_cast<long>(at + n));
+        m.insert(m.begin() + static_cast<long>(at), slice.begin(),
+                 slice.end());
+        break;
+      }
+    }
+  }
+  if (m.size() > 4096) m.resize(4096);  // keep iterations cheap
+  return m;
+}
+
+void Fuzzer::execute_and_judge(const std::vector<u8>& input) {
+  const u32 pick = rng_.next_below(4);
+  FuzzResult r;
+  if (pick == 0) {
+    r = run_record_target(input, /*sealed=*/false);
+  } else if (pick == 1) {
+    r = run_record_target(input, /*sealed=*/true);
+  } else {
+    r = run_session_target(input, /*eof_after_input=*/pick == 3);
+  }
+
+  ++stats_.iterations;
+  stats_.malformed_records += r.malformed;
+  if (r.poisoned) ++stats_.record_poisons;
+  if (r.target == FuzzTarget::kSession) {
+    if (r.final_state == static_cast<int>(issl::SessionState::kFailed)) {
+      ++stats_.session_failures;
+    } else if (r.final_state ==
+               static_cast<int>(issl::SessionState::kClosed)) {
+      ++stats_.session_closed;
+    } else if (r.final_state ==
+               static_cast<int>(issl::SessionState::kEstablished)) {
+      ++stats_.session_established;
+    }
+  }
+  if (r.wedged) {
+    ++stats_.wedges;
+    if (wedge_inputs_.size() < 16) {
+      wedge_inputs_.emplace_back(input.begin(), input.end());
+    }
+  }
+  if (note_features(r) > 0) {
+    ++stats_.new_feature_events;
+    if (corpus_.size() < 128) {
+      corpus_.emplace_back(input.begin(), input.end());
+    }
+  }
+}
+
+FuzzStats Fuzzer::run(std::size_t iterations) {
+  if (!baselined_) {
+    // Replay the seed corpus through every target once so the coverage map
+    // starts from "known protocol behavior" and novelty means novelty.
+    const std::size_t n_seeds = corpus_.size();
+    for (std::size_t i = 0; i < n_seeds; ++i) {
+      const std::vector<u8> seed = corpus_[i];  // copy: corpus_ may grow
+      for (FuzzResult r : {run_record_target(seed, false),
+                           run_record_target(seed, true),
+                           run_session_target(seed, false)}) {
+        ++stats_.iterations;
+        if (r.wedged) ++stats_.wedges;
+        note_features(r);
+      }
+    }
+    baselined_ = true;
+  }
+
+  for (std::size_t i = 0; i < iterations; ++i) {
+    if (corpus_.empty()) corpus_.push_back({});
+    const std::vector<u8> base =
+        corpus_[rng_.next_below(static_cast<u32>(corpus_.size()))];
+    execute_and_judge(mutate(base));
+  }
+
+  stats_.coverage_features = features_.size();
+  stats_.corpus_size = corpus_.size();
+  return stats_;
+}
+
+std::vector<u8> load_corpus_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  return std::vector<u8>(std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>());
+}
+
+}  // namespace rmc::abuse

@@ -1,0 +1,147 @@
+// Host-native coverage-guided fuzzer for the issl parse paths — no
+// libFuzzer, no sanitizer runtime, no process forking: just the repo's own
+// seeded PRNG mutating bytes and a cheap coverage signal, so a fuzz run is
+// a deterministic function of (seed, iterations) and can gate CI.
+//
+// Targets:
+//   * record codec, null-cipher phase  — header parsing, reassembly bounds
+//   * record codec, sealed phase       — CBC shape, unpad, MAC framing
+//   * server Session over a ScriptedStream — the full front door a hostile
+//     ClientHello reaches, resumption offers included
+//
+// Coverage signal: observable-feature edges. Each execution emits a set of
+// u64 features — every (state -> state) transition the session took, plus
+// bucketed outcome facts (error code, handshake messages, bytes the server
+// wrote back, poisoned/malformed counts). An input that produces any
+// feature the global map has not seen is "interesting" and joins the
+// corpus. This is deliberately not branch coverage — it needs no
+// instrumentation and stays bit-stable across compilers — but it drives the
+// same feedback loop: mutants that reach new protocol behavior breed.
+//
+// The invariant the fuzzer exists to enforce: NO input may wedge a session.
+// Every execution must reach a terminal state (failed/closed/established)
+// within the pump budget; the stall watchdog is configured tight, so a
+// "wedge" verdict means attacker bytes found a shape the watchdog misses.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/prng.h"
+#include "issl/record.h"
+#include "issl/session.h"
+#include "issl/stream.h"
+
+namespace rmc::abuse {
+
+using common::u64;
+using common::u8;
+
+/// In-memory ByteStream: doles out a scripted input in fixed-size chunks
+/// (modelling TCP segmentation) and captures everything the session writes.
+/// After the input is exhausted it either reports kUnavailable forever (a
+/// peer gone silent — the stall watchdog's problem) or EOF (peer closed).
+class ScriptedStream final : public issl::ByteStream {
+ public:
+  explicit ScriptedStream(std::vector<u8> input, std::size_t chunk = 64,
+                          bool eof_after_input = false)
+      : input_(std::move(input)),
+        chunk_(chunk == 0 ? 1 : chunk),
+        eof_after_input_(eof_after_input) {}
+
+  common::Result<std::size_t> write(std::span<const u8> data) override;
+  common::Result<std::size_t> read(std::span<u8> out) override;
+  bool open() const override { return open_; }
+  void close() override { open_ = false; }
+
+  const std::vector<u8>& written() const { return written_; }
+  bool exhausted() const { return pos_ >= input_.size(); }
+
+ private:
+  std::vector<u8> input_;
+  std::size_t pos_ = 0;
+  std::size_t chunk_;
+  bool eof_after_input_;
+  std::vector<u8> written_;
+  bool open_ = true;
+};
+
+enum class FuzzTarget : u8 {
+  kRecordPlain = 0,
+  kRecordSealed = 1,
+  kSession = 2,
+};
+
+/// Outcome of one input execution.
+struct FuzzResult {
+  FuzzTarget target = FuzzTarget::kSession;
+  bool wedged = false;     // no terminal state within the pump budget
+  bool poisoned = false;   // record targets: codec latched poisoned
+  u64 malformed = 0;       // codec-refused structural garbage
+  int final_state = 0;     // issl::SessionState (session target)
+  int error_code = 0;      // common::ErrorCode of the latched error
+  u64 signature = 0;       // hash of the full feature set
+  std::size_t pumps = 0;
+  std::vector<u64> features;  // coverage features this run produced
+};
+
+struct FuzzStats {
+  u64 iterations = 0;
+  u64 wedges = 0;
+  u64 session_failures = 0;
+  u64 session_closed = 0;
+  u64 session_established = 0;
+  u64 record_poisons = 0;
+  u64 malformed_records = 0;
+  u64 new_feature_events = 0;  // iterations that grew the coverage map
+  u64 coverage_features = 0;   // final map size
+  u64 corpus_size = 0;
+};
+
+class Fuzzer {
+ public:
+  explicit Fuzzer(u64 seed) : rng_(seed ? seed : 1) {}
+
+  /// Seed corpus management. add_default_seeds() installs protocol-shaped
+  /// starting points (valid hello, resumption offer, alert, truncated and
+  /// oversized frames) built from the hostile.h crafting helpers.
+  void add_seed_input(std::vector<u8> input);
+  void add_default_seeds();
+
+  /// Run `iterations` mutate-execute-judge cycles (the first call replays
+  /// the seed corpus once to baseline the coverage map). Deterministic for
+  /// a given (constructor seed, call sequence).
+  FuzzStats run(std::size_t iterations);
+
+  /// Single-input execution, shared with the regression-corpus tests.
+  FuzzResult run_record_target(std::span<const u8> input, bool sealed);
+  FuzzResult run_session_target(std::span<const u8> input,
+                                bool eof_after_input);
+
+  const FuzzStats& stats() const { return stats_; }
+  const std::vector<std::vector<u8>>& corpus() const { return corpus_; }
+  const std::vector<std::vector<u8>>& wedge_inputs() const {
+    return wedge_inputs_;
+  }
+
+  /// One mutation step (exposed for tests: determinism, shrinking).
+  std::vector<u8> mutate(const std::vector<u8>& base);
+
+ private:
+  void execute_and_judge(const std::vector<u8>& input);
+  std::size_t note_features(const FuzzResult& r);  // returns # new features
+
+  common::Xorshift64 rng_;
+  std::vector<std::vector<u8>> corpus_;
+  std::vector<std::vector<u8>> wedge_inputs_;
+  std::set<u64> features_;
+  FuzzStats stats_;
+  bool baselined_ = false;
+};
+
+/// Read a regression-corpus file (tests/corpus/issl/*.bin). Empty vector if
+/// the file cannot be read — callers treat that as a test failure.
+std::vector<u8> load_corpus_file(const std::string& path);
+
+}  // namespace rmc::abuse

@@ -1,0 +1,350 @@
+#include "abuse/hostile.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "issl/session_cache.h"
+
+namespace rmc::abuse {
+
+namespace {
+
+void put_u16(std::vector<u8>& out, u16 v) {
+  out.push_back(static_cast<u8>(v >> 8));
+  out.push_back(static_cast<u8>(v & 0xFF));
+}
+
+// Handshake message type codes (session.cc keeps them private; the attacker
+// knows the wire protocol regardless).
+constexpr u8 kMsgClientHello = 1;
+
+}  // namespace
+
+std::vector<u8> raw_record(u8 type, u8 version, u16 claimed_len,
+                           std::span<const u8> body) {
+  std::vector<u8> out;
+  out.reserve(issl::kRecordHeaderBytes + body.size());
+  out.push_back(type);
+  out.push_back(version);
+  put_u16(out, claimed_len);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::vector<u8> plaintext_record(issl::RecordType type,
+                                 std::span<const u8> body) {
+  return raw_record(static_cast<u8>(type), issl::kIsslVersion,
+                    static_cast<u16>(body.size()), body);
+}
+
+std::vector<u8> handshake_message(u8 msg_type, std::span<const u8> body) {
+  std::vector<u8> out;
+  out.reserve(3 + body.size());
+  out.push_back(msg_type);
+  put_u16(out, static_cast<u16>(body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::vector<u8> client_hello_record(common::Xorshift64& rng,
+                                    const issl::Config& cfg,
+                                    const u8* session_id) {
+  // Mirrors the client kickoff in Session::pump(): 32 random bytes, the
+  // cipher-suite pair, and (when resumption is on) the optional
+  // [id_len][id] offer.
+  std::vector<u8> body(32);
+  rng.fill(body);
+  body.push_back(static_cast<u8>(cfg.key_exchange));
+  body.push_back(static_cast<u8>(cfg.aes_key_bits / 8));
+  if (cfg.resumption || session_id != nullptr) {
+    body.push_back(session_id != nullptr
+                       ? static_cast<u8>(issl::kSessionIdBytes)
+                       : 0);
+    if (session_id != nullptr) {
+      body.insert(body.end(), session_id,
+                  session_id + issl::kSessionIdBytes);
+    }
+  }
+  return plaintext_record(issl::RecordType::kHandshake,
+                          handshake_message(kMsgClientHello, body));
+}
+
+const char* behavior_name(Behavior b) {
+  switch (b) {
+    case Behavior::kMalformedRecord: return "malformed_record";
+    case Behavior::kOversizedRecord: return "oversized_record";
+    case Behavior::kTruncatedHandshake: return "truncated_handshake";
+    case Behavior::kSlowDrip: return "slow_drip";
+    case Behavior::kClientHelloStorm: return "hello_storm";
+    case Behavior::kMidHandshakeReset: return "mid_reset";
+    case Behavior::kSynFlood: return "syn_flood";
+    case Behavior::kResumptionThrash: return "resumption_thrash";
+  }
+  return "?";
+}
+
+HostileClient::HostileClient(net::TcpStack& stack, net::SimNet& medium,
+                             net::IpAddr server_ip, net::Port server_port,
+                             u64 seed, Options opts)
+    : stack_(stack),
+      medium_(medium),
+      server_ip_(server_ip),
+      server_port_(server_port),
+      rng_(seed),
+      opts_(opts) {
+  if (opts_.behavior == Behavior::kSynFlood) phase_ = Phase::kAct;
+}
+
+bool HostileClient::conn_dead() {
+  return sock_ < 0 || !stack_.is_open(sock_) || stack_.was_reset(sock_);
+}
+
+void HostileClient::drain_recv() {
+  if (sock_ < 0) return;
+  u8 scratch[256];
+  auto r = stack_.recv(sock_, scratch);
+  // A graceful server close (FIN, not RST) reads as EOF; for the attacker
+  // that's the same verdict — the server has hung up on us.
+  if (r.ok() && r.value() == 0) peer_eof_ = true;
+}
+
+void HostileClient::send_bytes(std::span<const u8> bytes) {
+  if (sock_ < 0) return;
+  auto r = stack_.send(sock_, bytes);
+  if (r.ok()) stats_.bytes_sent += r.value();
+}
+
+void HostileClient::start_round() {
+  if (round_ >= opts_.rounds) {
+    phase_ = Phase::kDone;
+    return;
+  }
+  auto r = stack_.connect(server_ip_, server_port_);
+  if (!r.ok()) {
+    phase_ = Phase::kDone;
+    return;
+  }
+  sock_ = r.value();
+  ++stats_.conns_attempted;
+  phase_ = Phase::kWaitEstablished;
+  phase_polls_ = 0;
+  act_step_ = 0;
+  peer_eof_ = false;
+  drip_buffer_.clear();
+  drip_sent_ = 0;
+}
+
+void HostileClient::finish_round(bool abort_conn) {
+  if (sock_ >= 0) {
+    if (stack_.was_reset(sock_)) ++stats_.resets_seen;
+    if (abort_conn && stack_.is_open(sock_)) stack_.abort(sock_);
+    stack_.reap(sock_);
+    sock_ = -1;
+  }
+  ++round_;
+  ++stats_.rounds_done;
+  phase_ = Phase::kConnect;
+  phase_polls_ = 0;
+}
+
+void HostileClient::spoof_syns() {
+  for (int i = 0; i < opts_.flood_syns_per_poll; ++i) {
+    net::Segment syn;
+    // Sources nobody answers from: addresses with no attached endpoint, so
+    // the listener's SYN-ACKs die as no-host drops and the embryo can only
+    // be reclaimed by timeout / retx give-up — the classic spoofed flood.
+    syn.src_ip = 0x0A00'0000u + rng_.next_below(4096);
+    syn.dst_ip = server_ip_;
+    syn.src_port = static_cast<net::Port>(1024 + rng_.next_below(60000));
+    syn.dst_port = server_port_;
+    syn.seq = rng_.next_u32();
+    syn.flags = net::TcpFlags::kSyn;
+    medium_.send(syn);
+    ++stats_.syns_spoofed;
+  }
+  if (++flood_polls_done_ >= opts_.flood_polls) phase_ = Phase::kDone;
+}
+
+void HostileClient::act_once() {
+  // Drain whatever the server sent (ServerHello, alerts) so our half of the
+  // conversation looks alive; the bytes themselves are irrelevant.
+  drain_recv();
+  if (conn_dead() || peer_eof_) {
+    finish_round(true);
+    return;
+  }
+
+  switch (opts_.behavior) {
+    case Behavior::kMalformedRecord: {
+      // One structural insult per poll; the first already poisons the
+      // server's codec, the rest land on a dying connection.
+      static constexpr int kSteps = 4;
+      u8 garbage[32];
+      rng_.fill(garbage);
+      std::span<const u8> g(garbage);
+      switch (act_step_) {
+        case 0:  // wrong protocol version
+          send_bytes(raw_record(1, 0x31, 4, g.subspan(0, 4)));
+          break;
+        case 1:  // impossible record type
+          send_bytes(raw_record(static_cast<u8>(rng_.chance(0.5) ? 0 : 9),
+                                issl::kIsslVersion, 8, g.subspan(0, 8)));
+          break;
+        case 2:  // valid framing, garbage handshake body
+          send_bytes(plaintext_record(issl::RecordType::kHandshake,
+                                      g.subspan(0, 16)));
+          break;
+        default:  // raw noise, not even a header
+          send_bytes(g);
+          break;
+      }
+      ++stats_.records_sent;
+      if (++act_step_ >= kSteps) {
+        phase_ = Phase::kLinger;
+        phase_polls_ = 0;
+      }
+      break;
+    }
+    case Behavior::kOversizedRecord: {
+      u8 few[8];
+      rng_.fill(few);
+      const u16 claim = act_step_ == 0
+                            ? 0xFFFF
+                            : static_cast<u16>(issl::kMaxRecordLen + 1);
+      send_bytes(raw_record(static_cast<u8>(issl::RecordType::kHandshake),
+                            issl::kIsslVersion, claim, few));
+      ++stats_.records_sent;
+      if (++act_step_ >= 2) {
+        phase_ = Phase::kLinger;
+        phase_polls_ = 0;
+      }
+      break;
+    }
+    case Behavior::kTruncatedHandshake: {
+      std::vector<u8> msg;
+      if (round_ % 2 == 0) {
+        // Promise 300 body bytes, deliver 10, go silent: the reassembly
+        // buffer holds the fragment until a watchdog reaps the slot.
+        msg.push_back(kMsgClientHello);
+        put_u16(msg, 300);
+        for (int i = 0; i < 10; ++i) msg.push_back(rng_.next_u8());
+      } else {
+        // The length bomb: a claim past kMaxHandshakeBody must be refused
+        // up front (alert + close), not buffered toward.
+        msg.push_back(kMsgClientHello);
+        put_u16(msg, 0xFFFF);
+        msg.push_back(0xAA);
+      }
+      send_bytes(plaintext_record(issl::RecordType::kHandshake, msg));
+      ++stats_.records_sent;
+      phase_ = Phase::kLinger;
+      phase_polls_ = 0;
+      break;
+    }
+    case Behavior::kSlowDrip: {
+      if (drip_buffer_.empty()) {
+        drip_buffer_ = client_hello_record(rng_, opts_.tls, nullptr);
+        drip_sent_ = 0;
+      }
+      // Trickle the hello but never finish it (the last two bytes stay
+      // ours forever): pure Slowloris against the handshake budget.
+      const std::size_t stop = drip_buffer_.size() - 2;
+      if (drip_sent_ < stop &&
+          phase_polls_ % opts_.drip_interval_polls == 0) {
+        const std::size_t n =
+            std::min(opts_.drip_bytes, stop - drip_sent_);
+        send_bytes(std::span<const u8>(drip_buffer_).subspan(drip_sent_, n));
+        drip_sent_ += n;
+      }
+      if (drip_sent_ >= stop) {
+        ++stats_.records_sent;  // one (never-completed) record shipped
+        phase_ = Phase::kLinger;
+        phase_polls_ = 0;
+      }
+      break;
+    }
+    case Behavior::kClientHelloStorm: {
+      // A fresh hello every poll: the first is legal, every repeat is an
+      // "unexpected ClientHello" the server must refuse.
+      send_bytes(client_hello_record(rng_, opts_.tls, nullptr));
+      ++stats_.records_sent;
+      if (++act_step_ >= opts_.storm_hellos) {
+        phase_ = Phase::kLinger;
+        phase_polls_ = 0;
+      }
+      break;
+    }
+    case Behavior::kMidHandshakeReset: {
+      if (act_step_ == 0) {
+        send_bytes(client_hello_record(rng_, opts_.tls, nullptr));
+        ++stats_.records_sent;
+      }
+      // Give the ServerHello a few polls to arrive, then RST in its face.
+      if (++act_step_ >= 4) finish_round(/*abort_conn=*/true);
+      break;
+    }
+    case Behavior::kResumptionThrash: {
+      if (act_step_ == 0) {
+        u8 bogus[issl::kSessionIdBytes];
+        rng_.fill(bogus);
+        issl::Config cfg = opts_.tls;
+        cfg.resumption = true;
+        send_bytes(client_hello_record(rng_, cfg, bogus));
+        ++stats_.records_sent;
+      }
+      // Every offer is a guaranteed cache miss; abandon once the server
+      // has paid for the lookup and its ServerHello.
+      if (++act_step_ >= 6) finish_round(/*abort_conn=*/true);
+      break;
+    }
+    case Behavior::kSynFlood:
+      break;  // handled in poll() without a connection
+  }
+}
+
+bool HostileClient::poll() {
+  if (phase_ == Phase::kDone) return false;
+  ++phase_polls_;
+
+  if (opts_.behavior == Behavior::kSynFlood) {
+    spoof_syns();
+    return phase_ != Phase::kDone;
+  }
+
+  switch (phase_) {
+    case Phase::kConnect:
+      if (round_ == 0 || phase_polls_ > opts_.reconnect_delay_polls) {
+        start_round();
+      }
+      break;
+    case Phase::kWaitEstablished:
+      if (sock_ >= 0 && stack_.is_established(sock_)) {
+        ++stats_.conns_established;
+        phase_ = Phase::kAct;
+        phase_polls_ = 0;
+        act_step_ = 0;
+      } else if (conn_dead() || phase_polls_ > opts_.wait_budget_polls) {
+        finish_round(/*abort_conn=*/true);
+      }
+      break;
+    case Phase::kAct:
+      act_once();
+      break;
+    case Phase::kLinger: {
+      // Sit on the connection until the server kills it — RST or a
+      // graceful FIN both count — or our own give-up budget expires: the
+      // attacker must never be the reason the bench loop can't settle.
+      drain_recv();
+      if (conn_dead() || peer_eof_ ||
+          phase_polls_ > opts_.wait_budget_polls) {
+        finish_round(/*abort_conn=*/true);
+      }
+      break;
+    }
+    case Phase::kDone:
+      break;
+  }
+  return phase_ != Phase::kDone;
+}
+
+}  // namespace rmc::abuse

@@ -1,0 +1,170 @@
+// Hostile-peer library: deterministic, seeded attacker behaviors against the
+// issl/TCP front door (ROADMAP item 5, DESIGN.md §13).
+//
+// PR 2's FaultPlan made the *network* hostile; everything here makes the
+// *peer* hostile. Each HostileClient is a small scripted state machine that
+// speaks just enough TCP/issl to reach the code path it attacks, driven one
+// poll() per scheduler tick so a whole abuse mix stays byte-reproducible
+// from one seed. The crafting helpers below are shared with the fuzzer
+// (abuse/fuzz.h) and the regression tests — one definition of "what a
+// malformed record looks like" for the whole tree.
+//
+// None of this machinery touches the stacks unless constructed: linking the
+// library into every bench changes nothing (the check.sh baseline gate
+// proves it byte-for-byte).
+#pragma once
+
+#include <vector>
+
+#include "common/prng.h"
+#include "issl/config.h"
+#include "issl/record.h"
+#include "issl/session.h"
+#include "net/simnet.h"
+#include "net/tcp.h"
+
+namespace rmc::abuse {
+
+using common::u16;
+using common::u32;
+using common::u64;
+using common::u8;
+
+// ---------------------------------------------------------------------------
+// Wire-crafting helpers (attacker's view of the issl framing)
+// ---------------------------------------------------------------------------
+
+/// A raw record with every header field attacker-controlled: the claimed
+/// length is written verbatim, independent of how many body bytes follow.
+std::vector<u8> raw_record(u8 type, u8 version, u16 claimed_len,
+                           std::span<const u8> body);
+
+/// A correctly framed plaintext (null-cipher phase) record.
+std::vector<u8> plaintext_record(issl::RecordType type,
+                                 std::span<const u8> body);
+
+/// One handshake message [u8 msg_type][u16 len][body] with an honest length.
+std::vector<u8> handshake_message(u8 msg_type, std::span<const u8> body);
+
+/// A protocol-valid ClientHello *record* for `cfg` (fresh random from
+/// `rng`). `session_id` null = no resumption field when cfg.resumption is
+/// off, an empty offer when on; non-null = offer these 16 bytes.
+std::vector<u8> client_hello_record(common::Xorshift64& rng,
+                                    const issl::Config& cfg,
+                                    const u8* session_id);
+
+// ---------------------------------------------------------------------------
+// Scripted attacker behaviors
+// ---------------------------------------------------------------------------
+
+enum class Behavior {
+  /// Structurally bad records once connected: wrong version, impossible
+  /// type, garbage bodies. The server must alert+close (poisoned codec),
+  /// never parse garbage as data.
+  kMalformedRecord,
+  /// Record headers claiming lengths past kMaxRecordLen — the
+  /// attacker-supplied length field the hardening refuses up front.
+  kOversizedRecord,
+  /// A handshake message header promising bytes that never come (plus the
+  /// 64 KB length-bomb variant): the stall watchdog / handshake timeout
+  /// must reap the slot.
+  kTruncatedHandshake,
+  /// A valid ClientHello delivered one byte at a time, slower than any
+  /// honest link: Slowloris against the handshake-timeout budget.
+  kSlowDrip,
+  /// Valid hellos, then more hellos: a renegotiation/ClientHello storm.
+  /// Each extra hello is protocol-invalid and must be refused; the
+  /// reconnect churn is the load.
+  kClientHelloStorm,
+  /// RST mid-handshake, over and over — the abandoned-handshake churn that
+  /// leaks slots if any cleanup path is missing.
+  kMidHandshakeReset,
+  /// Spoofed-source SYNs injected straight onto the medium against the
+  /// counted listener backlog. No TCP state on the attacker side at all.
+  kSynFlood,
+  /// ClientHellos offering random bogus session IDs: resumption-cache
+  /// lookup thrash (every offer misses), then abandon the handshake.
+  kResumptionThrash,
+};
+
+const char* behavior_name(Behavior b);
+
+struct HostileStats {
+  u64 conns_attempted = 0;
+  u64 conns_established = 0;  // TCP-level
+  u64 rounds_done = 0;
+  u64 bytes_sent = 0;
+  u64 records_sent = 0;
+  u64 resets_seen = 0;   // our connection was RST/killed by the server side
+  u64 syns_spoofed = 0;  // kSynFlood only
+};
+
+class HostileClient {
+ public:
+  struct Options {
+    Behavior behavior = Behavior::kMalformedRecord;
+    /// Reconnect cycles (ignored by kSynFlood).
+    int rounds = 1;
+    /// Polls to wait before redialing between rounds. Spacing the rounds
+    /// out keeps an attacker relevant across the victim's whole busy/idle
+    /// cycle instead of burning every round into a full accept queue in the
+    /// first few ticks.
+    u64 reconnect_delay_polls = 40;
+    /// kSlowDrip: polls between bytes, and bytes per drip.
+    u32 drip_interval_polls = 8;
+    std::size_t drip_bytes = 1;
+    /// kClientHelloStorm: hellos pushed per connection.
+    int storm_hellos = 6;
+    /// kSynFlood: spoofed SYNs injected per poll, and for how many polls.
+    int flood_syns_per_poll = 2;
+    u64 flood_polls = 1000;
+    /// Per-phase poll budget: the attacker itself must never wedge the
+    /// bench loop, so every wait gives up (abort + next round) after this.
+    u64 wait_budget_polls = 6000;
+    /// Protocol parameters to mimic when crafting valid-looking hellos.
+    issl::Config tls = issl::Config::embedded_port();
+  };
+
+  /// `medium` is only used by kSynFlood (raw spoofed-segment injection);
+  /// every other behavior speaks through `stack` like an honest client.
+  HostileClient(net::TcpStack& stack, net::SimNet& medium,
+                net::IpAddr server_ip, net::Port server_port, u64 seed,
+                Options opts);
+
+  /// One step per scheduler tick. Returns true while still attacking.
+  bool poll();
+  bool done() const { return phase_ == Phase::kDone; }
+  const HostileStats& stats() const { return stats_; }
+  Behavior behavior() const { return opts_.behavior; }
+
+ private:
+  enum class Phase { kConnect, kWaitEstablished, kAct, kLinger, kDone };
+
+  void start_round();
+  void finish_round(bool abort_conn);
+  bool conn_dead();
+  void drain_recv();  // discard server bytes; notes a peer FIN (EOF)
+  void send_bytes(std::span<const u8> bytes);
+  void act_once();  // behavior-specific payload, called from kAct
+  void spoof_syns();
+
+  net::TcpStack& stack_;
+  net::SimNet& medium_;
+  net::IpAddr server_ip_;
+  net::Port server_port_;
+  common::Xorshift64 rng_;
+  Options opts_;
+  HostileStats stats_;
+
+  Phase phase_ = Phase::kConnect;
+  int sock_ = -1;
+  bool peer_eof_ = false;  // server FIN'd us: the kill we linger for
+  int round_ = 0;
+  u64 phase_polls_ = 0;   // polls spent in the current phase
+  u64 flood_polls_done_ = 0;
+  int act_step_ = 0;      // behavior-specific progress inside kAct
+  std::vector<u8> drip_buffer_;   // kSlowDrip: the record being trickled
+  std::size_t drip_sent_ = 0;
+};
+
+}  // namespace rmc::abuse

@@ -32,6 +32,17 @@ telemetry::Counter& engine_fallback_counter() {
       telemetry::Registry::global().counter("issl.engine_fallbacks");
   return c;
 }
+// Gated behind set_hardening_telemetry: lazy registration alone is not
+// enough here, because wire corruption in pre-existing gated soaks (E9) can
+// land on the 4 header bytes and take the malformed path — registering this
+// instrument there would move their metrics JSON. The per-codec counter
+// (malformed_records()) is always live; only the registry mirror is opt-in.
+bool g_hardening_telemetry = false;
+telemetry::Counter& malformed_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("issl.malformed_records");
+  return c;
+}
 
 // ---------------------------------------------------------------------------
 // Per-backend record-crypto cost model (30 MHz Rabbit-class target).
@@ -59,6 +70,14 @@ u64 software_hmac_cycles(const SoftwareCost& c, std::size_t msg_bytes) {
          c.sha1_block_cycles;
 }
 }  // namespace
+
+void set_hardening_telemetry(bool on) { g_hardening_telemetry = on; }
+bool hardening_telemetry() { return g_hardening_telemetry; }
+
+void RecordCodec::note_malformed() {
+  ++malformed_records_;
+  if (g_hardening_telemetry) malformed_counter().add();
+}
 
 const char* backend_name(Backend b) {
   switch (b) {
@@ -199,6 +218,7 @@ Result<std::vector<u8>> RecordCodec::open_payload(RecordType type,
   }
   if (wire.size() < 2 * crypto::kAesBlockBytes ||
       (wire.size() % crypto::kAesBlockBytes) != 0) {
+    note_malformed();
     return Status(ErrorCode::kDataLoss, "bad sealed record length");
   }
   const auto iv = wire.subspan(0, crypto::kAesBlockBytes);
@@ -206,8 +226,12 @@ Result<std::vector<u8>> RecordCodec::open_payload(RecordType type,
   const auto padded = backend_cbc(false, recv_keys_, *recv_cipher_, iv, ct);
   if (!padded.ok()) return padded.status();
   auto unpadded = crypto::pkcs7_unpad(*padded, crypto::kAesBlockBytes);
-  if (!unpadded.ok()) return unpadded.status();
+  if (!unpadded.ok()) {
+    note_malformed();
+    return unpadded.status();
+  }
   if (unpadded->size() < crypto::kSha1DigestBytes) {
+    note_malformed();
     return Status(ErrorCode::kDataLoss, "record shorter than its MAC");
   }
   const std::size_t data_len = unpadded->size() - crypto::kSha1DigestBytes;
@@ -231,7 +255,8 @@ Status RecordCodec::feed(std::span<const u8> bytes) {
   }
   // Defense in depth: more buffered bytes than two maximum records can ever
   // need means the peer is not speaking the protocol.
-  if (rx_buffer_.size() + bytes.size() > 2 * (kMaxRecordPayload + 128)) {
+  if (rx_buffer_.size() + bytes.size() > 2 * (kMaxRecordLen + 64)) {
+    note_malformed();
     poisoned_ = true;
     return Status(ErrorCode::kDataLoss, "record reassembly overflow");
   }
@@ -249,7 +274,8 @@ Result<std::optional<Record>> RecordCodec::pop() {
   const std::size_t len =
       (static_cast<std::size_t>(rx_buffer_[2]) << 8) | rx_buffer_[3];
   if (version != kIsslVersion || type_byte < 1 || type_byte > 3 ||
-      len > kMaxRecordPayload + 64) {
+      len > kMaxRecordLen) {
+    note_malformed();
     poisoned_ = true;
     return Status(ErrorCode::kDataLoss, "malformed record header");
   }

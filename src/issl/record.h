@@ -41,6 +41,22 @@ enum class RecordType : u8 {
 inline constexpr u8 kIsslVersion = 0x30;
 inline constexpr std::size_t kRecordHeaderBytes = 4;
 inline constexpr std::size_t kMaxRecordPayload = 16 * 1024;
+/// Hard bound on the attacker-controlled wire length field: the largest
+/// body a legitimate record can carry is a maximum payload plus one IV,
+/// a 20-byte MAC and a full pad block (16 + 16384 + 20 + 12 = 16432); 64
+/// bytes of headroom over kMaxRecordPayload covers that exactly. A header
+/// claiming more is malformed by construction and poisons the codec before
+/// a single body byte is buffered on its behalf.
+inline constexpr std::size_t kMaxRecordLen = kMaxRecordPayload + 64;
+
+/// Off-by-default mirror of the per-codec hardening counters into the
+/// global registry (`issl.malformed_records`). Gated rather than lazily
+/// registered because pre-existing soaks (E9's corruption scenarios) can
+/// hit the malformed-record path: an always-on registry instrument would
+/// change their metrics JSON and break the check.sh baseline byte-identity
+/// gate. The abuse bench and tests switch it on explicitly.
+void set_hardening_telemetry(bool on);
+bool hardening_telemetry();
 
 struct Record {
   RecordType type;
@@ -92,6 +108,12 @@ class RecordCodec {
   u64 records_opened() const { return seq_recv_; }
   /// A MAC/padding/header failure latched; every later pop() fails too.
   bool poisoned() const { return poisoned_; }
+  /// Structurally malformed input this codec refused: bad header (version /
+  /// type / length over kMaxRecordLen), reassembly overflow, or a sealed
+  /// body whose shape cannot be honest (length not a block multiple, unpad
+  /// failure, shorter than its MAC). MAC mismatches are counted separately
+  /// (issl.mac_failures) — those bytes were well-formed, just not authentic.
+  u64 malformed_records() const { return malformed_records_; }
   /// Bytes sitting in reassembly (a non-zero value that never completes a
   /// record means the tail was lost — the session's stall watchdog keys
   /// off this).
@@ -110,6 +132,9 @@ class RecordCodec {
   u64 crypto_cost_cycles() const { return crypto_cost_cycles_; }
 
  private:
+  /// Record one refused-as-malformed input (and mirror it into the gated
+  /// global counter when hardening telemetry is on).
+  void note_malformed();
   common::Result<std::vector<u8>> open_payload(RecordType type,
                                                std::span<const u8> wire);
   std::vector<u8> mac_input(u64 seq, RecordType type,
@@ -131,6 +156,7 @@ class RecordCodec {
   u64 crypto_cost_cycles_ = 0;
   bool sealed_ = false;
   bool poisoned_ = false;
+  u64 malformed_records_ = 0;
   DirectionKeys send_keys_;
   DirectionKeys recv_keys_;
   std::optional<crypto::AesFast> send_cipher_;

@@ -318,6 +318,13 @@ Status Session::handle_record(const Record& record) {
         const u8 msg_type = hs_reassembly_[0];
         const std::size_t len =
             read_u16(std::span<const u8>(hs_reassembly_.data() + 1, 2));
+        // Refuse the claimed length up front instead of buffering toward it:
+        // a 64 KB "ClientHello" is an attack, not a big hello, and waiting
+        // for its tail would hold reassembly memory for the whole stall
+        // budget.
+        if (len > kMaxHandshakeBody) {
+          return Status(ErrorCode::kAborted, "oversized handshake message");
+        }
         if (hs_reassembly_.size() < 3 + len) break;
         // Transcript covers every handshake message except Finished.
         if (msg_type != kMsgFinished) {

@@ -45,6 +45,15 @@ namespace rmc::issl {
 
 enum class Role { kClient, kServer };
 
+/// Hard bound on the attacker-controlled [u8 type][u16 len] handshake
+/// message length field. The largest legitimate message is a ServerHello
+/// carrying the resumption trailer plus an RSA public key — well under a
+/// kilobyte even for oversized moduli — so a peer claiming more is not
+/// speaking the protocol. Without this bound the reassembly buffer would
+/// dutifully hold up to 65535 claimed bytes per message waiting for a tail
+/// that never comes (the fuzzer's favourite wedge shape).
+inline constexpr std::size_t kMaxHandshakeBody = 2048;
+
 enum class SessionState {
   kStart,
   kAwaitServerHello,        // client

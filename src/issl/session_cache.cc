@@ -37,11 +37,44 @@ telemetry::Counter& expire_counter() {
   return c;
 }
 
+// Lazy like the cache_* family: the accessor is only ever reached on an
+// integrity mismatch, which no pre-existing gated bench produces (their
+// entries are always written and read by the same healthy insert path), so
+// registration cannot perturb the baseline metrics JSON.
+telemetry::Counter& integrity_reject_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("issl.resumption_rejects");
+  return c;
+}
+
 bool id_equal(const SessionCacheEntry& e, std::span<const u8> id) {
   return id.size() == kSessionIdBytes &&
          std::memcmp(e.id, id.data(), kSessionIdBytes) == 0;
 }
 }  // namespace
+
+void stamp_entry_checksum(SessionCacheEntry& e) {
+  // Fletcher-16 over the fields the abbreviated handshake will trust. Cheap
+  // enough for battery-RAM discipline; this is corruption detection, not
+  // authentication (DESIGN.md §10 documents the threat model).
+  common::u32 a = 1, b = 0;
+  auto mix = [&](u8 byte) {
+    a = (a + byte) % 255;
+    b = (b + a) % 255;
+  };
+  for (u8 byte : e.id) mix(byte);
+  for (u8 byte : e.master) mix(byte);
+  mix(e.key_exchange);
+  mix(e.key_bytes);
+  e.check[0] = static_cast<u8>(a);
+  e.check[1] = static_cast<u8>(b);
+}
+
+bool entry_checksum_ok(const SessionCacheEntry& e) {
+  SessionCacheEntry probe = e;
+  stamp_entry_checksum(probe);
+  return probe.check[0] == e.check[0] && probe.check[1] == e.check[1];
+}
 
 SessionCache::SessionCache(std::size_t capacity, u64 ttl_ms)
     : capacity_(std::min(capacity, kSessionCacheMaxEntries)),
@@ -87,6 +120,7 @@ void SessionCache::insert(std::span<const u8> id, std::span<const u8> master,
   std::memcpy(e->master, master.data(), kMasterSecretBytes);
   e->key_exchange = key_exchange;
   e->key_bytes = key_bytes;
+  stamp_entry_checksum(*e);
   e->in_use = 1;
   e->created_ms = now_ms_;
   e->last_used_ms = now_ms_;
@@ -101,6 +135,16 @@ bool SessionCache::lookup(std::span<const u8> id, ResumptionTicket* out) {
     *e = SessionCacheEntry{};
     ++expirations_;
     expire_counter().add();
+    e = nullptr;
+  }
+  // Integrity gate: a matching ID whose payload fails its checksum is a
+  // poisoned slot, not a resumable session. Wipe it so the client's retry
+  // runs the full handshake against a clean cache instead of tripping over
+  // the same corrupt master secret forever.
+  if (e != nullptr && !entry_checksum_ok(*e)) {
+    *e = SessionCacheEntry{};
+    ++integrity_rejects_;
+    integrity_reject_counter().add();
     e = nullptr;
   }
   if (e == nullptr) {
@@ -140,6 +184,11 @@ void SessionCache::restore(const SessionCacheData& data) {
   for (std::size_t i = capacity_; i < kSessionCacheMaxEntries; ++i) {
     data_.entries[i] = SessionCacheEntry{};
   }
+  // Deliberately no checksum sweep here: verification happens lazily in
+  // lookup(), the moment a client actually offers the ID. That keeps boot
+  // O(1) in corrupt entries, catches in-memory decay that happens *after*
+  // restore just the same, and means integrity_rejects counts what its name
+  // says — resumption attempts refused, not slots scrubbed.
 }
 
 }  // namespace rmc::issl

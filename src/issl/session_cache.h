@@ -55,9 +55,20 @@ struct SessionCacheEntry {
   u8 key_exchange = 0;
   u8 key_bytes = 0;
   u8 in_use = 0;
+  /// Fletcher-16 over id||master||key_exchange||key_bytes, stamped at
+  /// insert. A lookup whose stored checksum no longer matches — a decayed
+  /// battery cell, a torn restore, or deliberate poisoning of the raw
+  /// snapshot — is rejected and wiped instead of handing a corrupted master
+  /// secret to the abbreviated handshake (where it would burn a client's
+  /// reconnect on a Finished that can never verify).
+  u8 check[2] = {};
   u64 created_ms = 0;    // virtual time of insertion
   u64 last_used_ms = 0;  // virtual time of last insert/hit (LRU key)
 };
+
+/// The checksum insert() stamps and lookup()/restore() verify.
+void stamp_entry_checksum(SessionCacheEntry& e);
+bool entry_checksum_ok(const SessionCacheEntry& e);
 
 /// The trivially-copyable whole-cache snapshot a DurableVar commits.
 struct SessionCacheData {
@@ -100,10 +111,15 @@ class SessionCache {
   u64 evictions() const { return evictions_; }
   u64 insertions() const { return insertions_; }
   u64 expirations() const { return expirations_; }
+  /// Entries refused (and wiped) because their stored checksum failed —
+  /// each is also a miss, and mirrored as issl.resumption_rejects.
+  u64 integrity_rejects() const { return integrity_rejects_; }
 
   /// Raw snapshot for the DurableVar carry (and its inverse). restore()
-  /// accepts entries from a previous boot verbatim; stale ones age out via
-  /// the normal TTL path.
+  /// takes the battery image at face value; each entry is checksum-verified
+  /// lazily by lookup() when a client offers its ID, so a slot the image
+  /// carried in corrupted is wiped and counted the moment it would have been
+  /// served. Stale survivors age out via the normal TTL path.
   const SessionCacheData& data() const { return data_; }
   void restore(const SessionCacheData& data);
 
@@ -123,6 +139,7 @@ class SessionCache {
   u64 evictions_ = 0;
   u64 insertions_ = 0;
   u64 expirations_ = 0;
+  u64 integrity_rejects_ = 0;
 };
 
 }  // namespace rmc::issl

@@ -138,6 +138,7 @@ Result<int> TcpStack::accept(int listener) {
   if (l == nullptr || l->state != TcpState::kListen) {
     return Status(ErrorCode::kInvalidArgument, "not a listening socket");
   }
+  prune_accept_queue(*l);
   for (std::size_t i = 0; i < l->accept_queue.size(); ++i) {
     const int id = l->accept_queue[i];
     const Tcb* c = find(id);
@@ -398,8 +399,24 @@ void TcpStack::kill(Tcb& tcb, bool reset) {
   tcb.retx_deadline = 0;
 }
 
+void TcpStack::prune_accept_queue(Tcb& listener) {
+  for (std::size_t i = 0; i < listener.accept_queue.size();) {
+    const Tcb* c = find(listener.accept_queue[i]);
+    if (c == nullptr || c->state == TcpState::kClosed ||
+        c->state == TcpState::kTimeWait) {
+      listener.accept_queue.erase(listener.accept_queue.begin() +
+                                  static_cast<long>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
 void TcpStack::handle_listener(Tcb& listener, const Segment& seg) {
   if (!seg.has(TcpFlags::kSyn)) return;  // stray segment to a listener
+  // Reclaim slots held by dead queue entries (timed-out embryos, peers that
+  // reset before accept) before judging the backlog full.
+  prune_accept_queue(listener);
   if (static_cast<int>(listener.accept_queue.size()) >= listener.backlog) {
     // Backlog full: drop the SYN (client will retransmit). This used to be
     // invisible; now it is counted and logged so a saturated service shows
@@ -429,6 +446,9 @@ void TcpStack::handle_listener(Tcb& listener, const Segment& seg) {
   conn.iss = rng_.next_u32();
   conn.snd_una = conn.iss;
   conn.snd_nxt = conn.iss + 1;
+  if (syn_rcvd_timeout_ms_ > 0) {
+    conn.syn_rcvd_deadline = now_ms_ + syn_rcvd_timeout_ms_;
+  }
   transition(conn, TcpState::kSynRcvd);
   transmit(conn, conn.iss, TcpFlags::kSyn | TcpFlags::kAck, {});
   auto [it, ok] = socks_.emplace(id, std::move(conn));
@@ -643,6 +663,15 @@ void TcpStack::deliver(const Segment& seg) {
   }
 }
 
+std::size_t TcpStack::half_open_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, tcb] : socks_) {
+    (void)id;
+    if (tcb.state == TcpState::kSynRcvd) ++n;
+  }
+  return n;
+}
+
 void TcpStack::on_tick(u64 now_ms) {
   now_ms_ = now_ms;
   for (auto& [id, tcb] : socks_) {
@@ -652,6 +681,19 @@ void TcpStack::on_tick(u64 now_ms) {
     }
     if (tcb.retx_deadline != 0 && now_ms_ >= tcb.retx_deadline) {
       retransmit(tcb);
+    }
+    if (tcb.state == TcpState::kSynRcvd && tcb.syn_rcvd_deadline != 0 &&
+        now_ms_ >= tcb.syn_rcvd_deadline) {
+      // Embryo never completed the handshake inside the cap. A spoofed
+      // flood source will never answer, so there is nobody to RST; drop
+      // quietly and let the accept-queue prune reclaim the backlog slot.
+      ++embryonic_timeouts_;
+      if (diag_log_ != nullptr) {
+        diag_log_->append("tcp syn-rcvd timeout port=" +
+                          std::to_string(tcb.local_port));
+      }
+      kill(tcb, /*reset=*/false);
+      continue;
     }
     if (tcb.state == TcpState::kFinWait2 && tcb.fin_wait2_deadline != 0 &&
         now_ms_ >= tcb.fin_wait2_deadline) {

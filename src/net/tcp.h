@@ -135,6 +135,21 @@ class TcpStack : public NetworkEndpoint {
   /// reset counters), like Linux's tcp_fin_timeout.
   void set_fin_wait2_timeout_ms(u64 ms) { fin_wait2_timeout_ms_ = ms; }
 
+  /// Optional embryonic-connection timeout (0 = off, the default —
+  /// historical behavior: a SYN_RCVD TCB lives until SYN-ACK retransmission
+  /// gives up, ~19 s of backoff). A SYN flood from spoofed sources parks
+  /// one never-answering embryo per backlog slot, so the abuse-facing
+  /// profile caps their lifetime: after `ms` without the handshake ACK the
+  /// embryo is dropped quietly (no RST — a spoofed source has nobody
+  /// listening) and its backlog slot is reclaimed, like a short
+  /// tcp_synack_retries horizon.
+  void set_syn_rcvd_timeout_ms(u64 ms) { syn_rcvd_timeout_ms_ = ms; }
+  /// Embryos dropped by that timeout.
+  u64 embryonic_timeouts() const { return embryonic_timeouts_; }
+  /// SYN_RCVD TCBs currently resident — the half-open backlog pressure a
+  /// SYN flood creates.
+  std::size_t half_open_count() const;
+
   // --- UDP (datagram, unreliable — no retransmission) --------------------
   struct Datagram {
     IpAddr src_ip = 0;
@@ -180,6 +195,7 @@ class TcpStack : public NetworkEndpoint {
     bool reset = false;
     u64 retx_deadline = 0;
     u64 fin_wait2_deadline = 0;  // armed on entering FIN_WAIT_2 (if enabled)
+    u64 syn_rcvd_deadline = 0;   // armed on embryo creation (if enabled)
     u64 rto_ms = kRtoMs;  // current (backed-off) RTO
     int retx_count = 0;
     // Listener-only:
@@ -201,6 +217,11 @@ class TcpStack : public NetworkEndpoint {
   void arm_retx(Tcb& tcb);
   void retransmit(Tcb& tcb);
   void kill(Tcb& tcb, bool reset);
+  /// Drop accept-queue entries whose TCB is gone or fully dead. Without
+  /// this, an embryo that timed out (or an accepted-but-reset peer) holds
+  /// its backlog slot forever and a burst of `backlog` dead SYNs wedges the
+  /// listener permanently — the SYN flood's lasting damage.
+  void prune_accept_queue(Tcb& listener);
   void handle_listener(Tcb& listener, const Segment& seg);
   void handle_connection(int id, Tcb& tcb, const Segment& seg);
 
@@ -217,6 +238,8 @@ class TcpStack : public NetworkEndpoint {
   u64 syn_backlog_drops_ = 0;
   common::RingLog* diag_log_ = nullptr;
   u64 fin_wait2_timeout_ms_ = 0;  // 0 = never expire (historical behavior)
+  u64 syn_rcvd_timeout_ms_ = 0;   // 0 = retx give-up only (historical)
+  u64 embryonic_timeouts_ = 0;
   std::map<Port, std::deque<Datagram>> udp_ports_;
   u64 echo_replies_ = 0;
   u32 last_echo_seq_ = 0;
