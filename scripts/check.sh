@@ -9,15 +9,18 @@
 # JSON *and* pcap, not just identical bench JSON. E15 (abuse soak) runs its
 # hostile-peer scenarios and the coverage-guided fuzz phase under the same
 # sanitizers — every malformed-input parse path gets exercised with ASan
-# watching — and its JSON joins the determinism double-run. Finally, a
-# baseline gate: with resumption and tracing off (the defaults), the gated
-# bench artifacts (E1/E4/E5/E9/E10/E11/E12/E14) must be byte-identical to
-# the ones a clean checkout of origin/main (or main) produces — new
-# machinery must be invisible until switched on. With the crypto offload
-# engine (E14) and the abuse library in the tree, that baseline doubles as
-# the do-no-harm gate: the hardening hooks are compiled into every bench
-# binary but never selected by the gated configs, so their JSON must not
-# move by a byte.
+# watching — and its JSON joins the determinism double-run. E16 (memory
+# churn) runs reduced-scale in quarantine/poison mode so every slab
+# alloc/free/audit path is sanitizer-checked, and double-runs for byte
+# reproducibility. Finally, a baseline gate: with resumption and tracing
+# off (the defaults), the gated bench artifacts
+# (E1/E4/E5/E9/E10/E11/E12/E14) must be byte-identical to the ones a clean
+# checkout of origin/main (or main) produces — new machinery must be
+# invisible until switched on. With the crypto offload engine (E14), the
+# abuse library, and the slab allocator (E16) in the tree, that baseline
+# doubles as the do-no-harm gate: the hardening hooks are compiled into
+# every bench binary but never selected by the gated configs, so their
+# JSON must not move by a byte.
 #
 # Usage:
 #   scripts/check.sh [--skip-baseline]
@@ -36,13 +39,14 @@ cmake --build "$repo_root/build" -j >/dev/null
 (cd "$repo_root/build" && ctest --output-on-failure -j)
 
 echo
-echo "== sanitizers: ASan+UBSan soaks (E9, E10) + E11 + E12 + E14 + E15 =="
+echo "== sanitizers: ASan+UBSan soaks (E9, E10) + E11 + E12 + E14 + E15 + E16 =="
 san_dir="$repo_root/build-san"
 cmake -B "$san_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=Debug -DRMC_SANITIZE=address,undefined >/dev/null
 cmake --build "$san_dir" -j --target bench_fault_soak --target bench_crash_soak \
   --target bench_resumption --target bench_trace_audit \
-  --target bench_crypto_offload --target bench_abuse_soak >/dev/null
+  --target bench_crypto_offload --target bench_abuse_soak \
+  --target bench_mem_churn >/dev/null
 "$san_dir/bench/bench_fault_soak" --seed 233
 "$san_dir/bench/bench_crash_soak" --seed 233
 "$san_dir/bench/bench_resumption"
@@ -54,6 +58,16 @@ cmake --build "$san_dir" -j --target bench_fault_soak --target bench_crash_soak 
 # attribution, legit goodput under attack — plus the fuzz phase, which
 # under this build feeds every mutated input to ASan/UBSan-checked parsers.
 "$san_dir/bench/bench_abuse_soak" --seed 233
+# E16 under sanitizers runs the whole churn in quarantine/poison mode with
+# reduced cycle counts (full scale is the Release snapshot's job): every
+# alloc/free/poison-audit path executes with ASan watching the backing
+# store, and the deliberate double-free/use-after-free demo must be caught
+# by the slab's own detection (the slab never hands the stale bytes to the
+# host allocator, so ASan stays quiet and the named-fault gate does the
+# asserting).
+e16_flags=(--seed 233 --churn-cycles 20000 --quarantine-cycles 5000
+           --sessions 40 --fault-sessions 8 --min-cycles 1 --quarantine 1)
+"$san_dir/bench/bench_mem_churn" "${e16_flags[@]}"
 
 echo
 echo "== determinism: E9 + E10 + E11 + E14 + E15 json byte-reproducible =="
@@ -74,6 +88,9 @@ cmp "$tmp/e14a.json" "$tmp/e14b.json"
 "$san_dir/bench/bench_abuse_soak" --seed 233 --json "$tmp/e15a.json" >/dev/null
 "$san_dir/bench/bench_abuse_soak" --seed 233 --json "$tmp/e15b.json" >/dev/null
 cmp "$tmp/e15a.json" "$tmp/e15b.json"
+"$san_dir/bench/bench_mem_churn" "${e16_flags[@]}" --json "$tmp/e16a.json" >/dev/null
+"$san_dir/bench/bench_mem_churn" "${e16_flags[@]}" --json "$tmp/e16b.json" >/dev/null
+cmp "$tmp/e16a.json" "$tmp/e16b.json"
 echo "identical artifacts"
 
 echo

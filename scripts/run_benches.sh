@@ -55,6 +55,7 @@ run E12 bench_trace_audit \
   --trace "$out_dir/BENCH_E12.trace.json" --pcap "$out_dir/BENCH_E12.pcap"
 run E14 bench_crypto_offload
 run E15 bench_abuse_soak --seed 233
+run E16 bench_mem_churn --seed 233
 run ABLATION bench_ablation_record
 
 echo "== CRYPTO: bench_crypto_primitives (google-benchmark JSON) =="

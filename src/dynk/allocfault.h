@@ -1,0 +1,129 @@
+// Deterministic allocation-failure injection (ROADMAP item 4).
+//
+// PR 3's PowerFaultPlan proved the recipe: reproducing "fails at an
+// arbitrary moment" deterministically needs an instrumented count of fault
+// points, not wall-clock randomness. Here the fault points are *allocation
+// attempts*: every SlabAllocator::alloc() names its site ("conn.state",
+// "conn.buf", ...) and asks the monitor whether this particular attempt is
+// scheduled to fail. Same seed, same failing allocation, every run — which
+// is what lets a bench assert "the redirector shed exactly the one
+// connection whose memory never arrived" instead of hoping a soak happens
+// to run out of memory at an interesting moment.
+//
+// Unlike a power cut, an allocation failure is transient: the monitor
+// re-arms itself with the next scheduled failure automatically, so one plan
+// drives many independent failures across one board life.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/prng.h"
+
+namespace rmc::dynk {
+
+/// A seeded schedule of injected allocation failures. Entry k is the number
+/// of allocation attempts that *succeed normally* between the k-th and the
+/// (k+1)-th injected failure (entry 0 counts from monitor arming).
+struct AllocFaultPlan {
+  std::vector<common::u64> failures;
+
+  bool enabled() const { return !failures.empty(); }
+
+  /// No injected failures: allocations succeed or fail on their own merits
+  /// (the default for every pre-E16 bench).
+  static AllocFaultPlan none() { return {}; }
+
+  /// Explicit gaps, for aiming at a specific allocation in a known sequence
+  /// ("fail the second alloc of the recipe" = survive 1, then trip).
+  static AllocFaultPlan at(std::vector<common::u64> gaps) {
+    AllocFaultPlan p;
+    p.failures = std::move(gaps);
+    return p;
+  }
+
+  /// `n` failures at seeded-random gaps in [min_gap, max_gap] attempts.
+  /// Same seed, same schedule (mirrors PowerFaultPlan::random).
+  static AllocFaultPlan random(common::u64 seed, std::size_t n,
+                               common::u64 min_gap, common::u64 max_gap) {
+    if (max_gap < min_gap) max_gap = min_gap;
+    common::Xorshift64 rng(seed);
+    AllocFaultPlan p;
+    p.failures.reserve(n);
+    const common::u64 span = max_gap - min_gap + 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      p.failures.push_back(min_gap + rng.next() % span);
+    }
+    return p;
+  }
+};
+
+/// Counts allocation attempts and trips the scheduled failures. One monitor
+/// per board; it outlives warm restarts (like the PowerMonitor), so a plan
+/// spans the board's whole life, not one boot.
+class AllocFaultMonitor {
+ public:
+  AllocFaultMonitor() = default;
+  explicit AllocFaultMonitor(const AllocFaultPlan& plan) { arm(plan); }
+
+  void arm(const AllocFaultPlan& plan) {
+    pending_ = plan.failures;
+    next_ = 0;
+    load_next();
+  }
+
+  /// Declare an allocation attempt at `site`. Returns true when this
+  /// attempt is scheduled to fail — the allocator must return
+  /// kResourceExhausted without touching any freelist. The monitor re-arms
+  /// with the next scheduled failure immediately.
+  bool step(const char* site) {
+    ++attempts_;
+    if (!armed_) return false;
+    if (countdown_ == 0) {
+      ++injected_;
+      last_site_ = site;
+      note_site(site);
+      load_next();
+      return true;
+    }
+    --countdown_;
+    return false;
+  }
+
+  bool more_pending() const { return armed_; }
+  common::u64 attempts() const { return attempts_; }
+  common::u64 injected() const { return injected_; }
+  const std::string& last_site() const { return last_site_; }
+  /// Distinct sites that have tripped, in first-trip order (deterministic);
+  /// E16 gates on fault coverage of the whole per-connection recipe.
+  const std::vector<std::string>& sites_tripped() const { return sites_; }
+
+ private:
+  void load_next() {
+    if (next_ < pending_.size()) {
+      countdown_ = pending_[next_++];
+      armed_ = true;
+    } else {
+      armed_ = false;
+    }
+  }
+
+  void note_site(const char* site) {
+    for (const std::string& s : sites_) {
+      if (s == site) return;
+    }
+    sites_.emplace_back(site);
+  }
+
+  std::vector<common::u64> pending_;
+  std::size_t next_ = 0;
+  common::u64 countdown_ = 0;
+  bool armed_ = false;
+  common::u64 attempts_ = 0;
+  common::u64 injected_ = 0;
+  std::string last_site_;
+  std::vector<std::string> sites_;
+};
+
+}  // namespace rmc::dynk

@@ -1,0 +1,358 @@
+#include "dynk/slab.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "telemetry/metrics.h"
+
+namespace rmc::dynk {
+
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+using common::u32;
+using common::u8;
+
+namespace {
+// Lazy like every other instrument family in the tree: a build that never
+// constructs a SlabAllocator (every paper-mode bench) must emit metrics
+// JSON byte-identical to a build without this file.
+telemetry::Gauge& live_gauge() {
+  static telemetry::Gauge& g =
+      telemetry::Registry::global().gauge("dynk.slab_live_bytes");
+  return g;
+}
+telemetry::Gauge& committed_gauge() {
+  static telemetry::Gauge& g =
+      telemetry::Registry::global().gauge("dynk.slab_committed_bytes");
+  return g;
+}
+// External fragmentation in basis points (0..10000): gauges are integers
+// and the high-water max() is what E16's ceiling gate reads.
+telemetry::Gauge& frag_gauge() {
+  static telemetry::Gauge& g =
+      telemetry::Registry::global().gauge("dynk.slab_external_frag_bp");
+  return g;
+}
+telemetry::Counter& fail_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("dynk.slab_failed_allocs");
+  return c;
+}
+telemetry::Counter& injected_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("dynk.slab_injected_faults");
+  return c;
+}
+// Fault counters are created on the first actual fault (the PR 3 pattern):
+// a clean soak's JSON should not even mention them.
+telemetry::Counter& double_free_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("dynk.slab_double_frees");
+  return c;
+}
+telemetry::Counter& foreign_free_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("dynk.slab_foreign_frees");
+  return c;
+}
+telemetry::Counter& poison_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("dynk.slab_poison_trips");
+  return c;
+}
+
+bool is_pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+const char* allocator_kind_name(AllocatorKind kind) {
+  switch (kind) {
+    case AllocatorKind::kXalloc: return "xalloc";
+    case AllocatorKind::kSlab: return "slab";
+  }
+  return "?";
+}
+
+SlabAllocator::SlabAllocator(SlabConfig config)
+    : page_bytes_(config.page_bytes),
+      base_(config.base),
+      quarantine_(config.quarantine),
+      quarantine_depth_(config.quarantine_depth) {
+  if (!is_pow2(page_bytes_) || page_bytes_ < kMaxClassBytes) {
+    page_bytes_ = 4096;  // refuse degenerate geometry rather than UB
+  }
+  page_count_ = config.capacity / page_bytes_;
+  mem_.assign(page_count_ * page_bytes_, 0);
+  const std::size_t granules = (page_count_ * page_bytes_) / kMinClassBytes;
+  state_.assign(granules, BlockState::kUnmapped);
+  block_class_.assign(granules, 0);
+  block_req_.assign(granules, 0);
+  if (page_count_ > 0) {
+    free_runs_.emplace_back(0, static_cast<u32>(page_count_));
+  }
+}
+
+std::size_t SlabAllocator::class_for(std::size_t n) {
+  std::size_t cls = 0;
+  std::size_t block = kMinClassBytes;
+  while (block < n && cls < kNumClasses) {
+    block <<= 1;
+    ++cls;
+  }
+  return cls;  // == kNumClasses when n > kMaxClassBytes (large spill)
+}
+
+bool SlabAllocator::acquire_pages(std::size_t n, u32* out_page) {
+  // First fit over the sorted run list: deterministic, and with uniform
+  // page churn the list stays tiny.
+  for (std::size_t i = 0; i < free_runs_.size(); ++i) {
+    auto& [off, len] = free_runs_[i];
+    if (len >= n) {
+      *out_page = off;
+      off += static_cast<u32>(n);
+      len -= static_cast<u32>(n);
+      if (len == 0) free_runs_.erase(free_runs_.begin() + static_cast<long>(i));
+      committed_pages_ += n;
+      high_water_committed_pages_ =
+          std::max(high_water_committed_pages_, committed_pages_);
+      return true;
+    }
+  }
+  return false;
+}
+
+void SlabAllocator::release_pages(u32 page, std::size_t n) {
+  committed_pages_ -= n;
+  auto it = std::lower_bound(
+      free_runs_.begin(), free_runs_.end(), page,
+      [](const auto& run, u32 p) { return run.first < p; });
+  it = free_runs_.insert(it, {page, static_cast<u32>(n)});
+  // Coalesce with the right neighbour, then the left.
+  if (it + 1 != free_runs_.end() && it->first + it->second == (it + 1)->first) {
+    it->second += (it + 1)->second;
+    free_runs_.erase(it + 1);
+  }
+  if (it != free_runs_.begin()) {
+    auto prev = it - 1;
+    if (prev->first + prev->second == it->first) {
+      prev->second += it->second;
+      free_runs_.erase(it);
+    }
+  }
+}
+
+bool SlabAllocator::carve_slab(std::size_t cls) {
+  u32 page = 0;
+  if (!acquire_pages(1, &page)) return false;
+  ClassList& cl = classes_[cls];
+  ++cl.pages;
+  const std::size_t block = class_block_bytes(cls);
+  const u32 page_off = page * static_cast<u32>(page_bytes_);
+  // Push in reverse so the LIFO freelist hands out ascending offsets first —
+  // an arbitrary but *fixed* order the determinism test pins down.
+  for (std::size_t i = page_bytes_ / block; i-- > 0;) {
+    const u32 off = page_off + static_cast<u32>(i * block);
+    state_[granule(off)] = BlockState::kFree;
+    block_class_[granule(off)] = static_cast<u8>(cls);
+    cl.freelist.push_back(off);
+  }
+  return true;
+}
+
+Result<SlabHandle> SlabAllocator::alloc(std::size_t n, const char* site) {
+  if (n == 0) {
+    return Status(ErrorCode::kInvalidArgument, "zero-byte slab alloc");
+  }
+  if (monitor_ != nullptr && monitor_->step(site)) {
+    ++injected_failures_;
+    ++failed_allocs_;
+    injected_counter().add();
+    fail_counter().add();
+    return Status(ErrorCode::kResourceExhausted,
+                  std::string("injected allocation fault at ") + site);
+  }
+
+  const std::size_t cls = class_for(n);
+  u32 off = 0;
+  if (cls < kNumClasses) {
+    ClassList& cl = classes_[cls];
+    if (cl.freelist.empty() && quarantine_ && !cl.quarantine.empty()) {
+      // Budget pressure overrides the reuse delay: drain the oldest
+      // quarantined block (with its poison audit) before carving a page.
+      release_from_quarantine(cls);
+    }
+    if (cl.freelist.empty() && !carve_slab(cls)) {
+      ++failed_allocs_;
+      fail_counter().add();
+      return Status(ErrorCode::kResourceExhausted,
+                    std::string("slab budget exhausted at ") + site);
+    }
+    off = cl.freelist.back();
+    cl.freelist.pop_back();
+    const std::size_t block = class_block_bytes(cls);
+    if (quarantine_) std::memset(mem_.data() + off, kPoisonAlloc, block);
+    state_[granule(off)] = BlockState::kLive;
+    block_req_[granule(off)] = static_cast<u32>(n);
+    live_bytes_ += block;
+  } else {
+    const std::size_t pages = (n + page_bytes_ - 1) / page_bytes_;
+    u32 page = 0;
+    if (!acquire_pages(pages, &page)) {
+      ++failed_allocs_;
+      fail_counter().add();
+      return Status(ErrorCode::kResourceExhausted,
+                    std::string("slab budget exhausted at ") + site);
+    }
+    off = page * static_cast<u32>(page_bytes_);
+    if (quarantine_) {
+      std::memset(mem_.data() + off, kPoisonAlloc, pages * page_bytes_);
+    }
+    state_[granule(off)] = BlockState::kLargeLive;
+    block_req_[granule(off)] = static_cast<u32>(n);
+    large_[off] = static_cast<u32>(pages);
+    live_bytes_ += pages * page_bytes_;
+  }
+
+  requested_bytes_ += n;
+  ++live_blocks_;
+  ++alloc_count_;
+  high_water_live_ = std::max(high_water_live_, live_bytes_);
+  update_gauges();
+  return base_ + off;
+}
+
+Status SlabAllocator::free(SlabHandle h) {
+  const u32 raw = h - base_;
+  if (h < base_ || raw >= mem_.size() || raw % kMinClassBytes != 0) {
+    ++foreign_free_faults_;
+    foreign_free_counter().add();
+    trip_fault("foreign-free", h);
+    return Status(ErrorCode::kInvalidArgument, "free of foreign slab handle");
+  }
+  const std::size_t g = granule(raw);
+  switch (state_[g]) {
+    case BlockState::kLive: {
+      const std::size_t cls = block_class_[g];
+      const std::size_t block = class_block_bytes(cls);
+      live_bytes_ -= block;
+      requested_bytes_ -= block_req_[g];
+      --live_blocks_;
+      ++free_count_;
+      ClassList& cl = classes_[cls];
+      if (quarantine_) {
+        std::memset(mem_.data() + raw, kPoisonFree, block);
+        state_[g] = BlockState::kQuarantined;
+        ++quarantined_blocks_;
+        cl.quarantine.push_back(raw);
+        while (cl.quarantine.size() > quarantine_depth_) {
+          release_from_quarantine(cls);
+        }
+      } else {
+        state_[g] = BlockState::kFree;
+        cl.freelist.push_back(raw);
+      }
+      update_gauges();
+      return Status::ok();
+    }
+    case BlockState::kLargeLive: {
+      const u32 pages = large_[raw];
+      live_bytes_ -= pages * page_bytes_;
+      requested_bytes_ -= block_req_[g];
+      --live_blocks_;
+      ++free_count_;
+      if (quarantine_) {
+        std::memset(mem_.data() + raw, kPoisonFree, pages * page_bytes_);
+      }
+      state_[g] = BlockState::kUnmapped;
+      large_.erase(raw);
+      release_pages(raw / static_cast<u32>(page_bytes_), pages);
+      update_gauges();
+      return Status::ok();
+    }
+    case BlockState::kFree:
+    case BlockState::kQuarantined:
+      ++double_free_faults_;
+      double_free_counter().add();
+      trip_fault("double-free", h);
+      return Status(ErrorCode::kFailedPrecondition, "double free");
+    case BlockState::kUnmapped:
+    default:
+      ++foreign_free_faults_;
+      foreign_free_counter().add();
+      trip_fault("foreign-free", h);
+      return Status(ErrorCode::kInvalidArgument,
+                    "free of foreign slab handle");
+  }
+}
+
+std::span<u8> SlabAllocator::view(SlabHandle h) {
+  const u32 raw = h - base_;
+  if (h < base_ || raw >= mem_.size() || raw % kMinClassBytes != 0) return {};
+  const std::size_t g = granule(raw);
+  if (state_[g] == BlockState::kLive) {
+    return {mem_.data() + raw, class_block_bytes(block_class_[g])};
+  }
+  if (state_[g] == BlockState::kLargeLive) {
+    return {mem_.data() + raw, large_[raw] * page_bytes_};
+  }
+  return {};
+}
+
+void SlabAllocator::release_from_quarantine(std::size_t cls) {
+  ClassList& cl = classes_[cls];
+  const u32 off = cl.quarantine.front();
+  cl.quarantine.pop_front();
+  --quarantined_blocks_;
+  const std::size_t block = class_block_bytes(cls);
+  // The poison audit: every byte must still read back 0xDD. A disturbed
+  // byte means a write landed through a stale handle while the block sat
+  // in quarantine — the embedded use-after-free ASan would have caught.
+  bool intact = true;
+  for (std::size_t i = 0; i < block; ++i) {
+    if (mem_[off + i] != kPoisonFree) {
+      intact = false;
+      break;
+    }
+  }
+  if (!intact) {
+    ++poison_trips_;
+    poison_counter().add();
+    trip_fault("use-after-free", base_ + off);
+    std::memset(mem_.data() + off, kPoisonFree, block);  // re-arm the pattern
+  }
+  state_[granule(off)] = BlockState::kFree;
+  cl.freelist.push_back(off);
+}
+
+void SlabAllocator::flush_quarantine() {
+  for (std::size_t cls = 0; cls < kNumClasses; ++cls) {
+    while (!classes_[cls].quarantine.empty()) release_from_quarantine(cls);
+  }
+  update_gauges();
+}
+
+double SlabAllocator::external_fragmentation() const {
+  const std::size_t committed = committed_bytes();
+  if (committed == 0) return 0.0;
+  return 1.0 - static_cast<double>(live_bytes_) /
+                   static_cast<double>(committed);
+}
+
+double SlabAllocator::internal_fragmentation() const {
+  if (live_bytes_ == 0) return 0.0;
+  return 1.0 - static_cast<double>(requested_bytes_) /
+                   static_cast<double>(live_bytes_);
+}
+
+void SlabAllocator::trip_fault(const char* kind, SlabHandle h) {
+  if (fault_handler_) fault_handler_(kind, h);
+}
+
+void SlabAllocator::update_gauges() {
+  live_gauge().set(static_cast<telemetry::i64>(live_bytes_));
+  committed_gauge().set(static_cast<telemetry::i64>(committed_bytes()));
+  frag_gauge().set(
+      static_cast<telemetry::i64>(external_fragmentation() * 10'000.0));
+}
+
+}  // namespace rmc::dynk

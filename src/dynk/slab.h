@@ -1,0 +1,215 @@
+// SlabAllocator — the production answer to the paper's §5.2 confession.
+//
+// Dynamic C gives you xalloc and *no free*: the port "statically allocated
+// all variables" and a long-running service simply runs out. PR 3's remedy
+// was a counted controlled restart — honest, but it caps every soak and
+// makes ROADMAP item 1's millions-of-sessions fleet impossible. This is the
+// firmware allocator a production port would write instead: pow2 size-class
+// slabs carved from subheap pages over the same simulated xmem budget the
+// XallocArena manages, with a real free(), per-class freelists, and
+// telemetry for the two numbers that decide an embedded deployment's fate
+// (live bytes and fragmentation against the SRAM ceiling).
+//
+// Layout: the budget is divided into fixed pages. A page is either unused
+// (tracked in a sorted, coalescing run list), a *slab* for one size class
+// (split into pow2 blocks, 16..2048 bytes, threaded onto that class's LIFO
+// freelist), or part of a multi-page "large" allocation (anything over the
+// top class spills to whole pages and returns them on free). Class slabs
+// are never returned to the run list — real slab allocators keep empty
+// slabs cached for exactly the churn this exists to serve — so
+// committed_bytes() is monotone per class mix and the external-
+// fragmentation gate in E16 measures steady-state waste honestly.
+//
+// Debug (quarantine) mode is the ASan the RMC2000 never had: frees are
+// pattern-filled (0xDD) and parked in a bounded per-class FIFO before
+// reuse; a block leaving quarantine with its poison disturbed means
+// somebody wrote through a stale handle (use-after-free), and a free of a
+// non-live block is a double free. Both trip a *named fault* through the
+// installed handler and a counter — deterministic, so a soak that trips one
+// fails byte-reproducibly.
+//
+// Handles are opaque simulated-xmem offsets, same address space and spirit
+// as XmemHandle; view() exposes the backing bytes so services can actually
+// keep connection buffers in this memory rather than merely charging for it.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "dynk/allocfault.h"
+
+namespace rmc::dynk {
+
+/// Which allocator a service runs its per-connection state on.
+enum class AllocatorKind : common::u8 {
+  kXalloc,  // paper mode (§5.2): bump arena, no free, exhaustion => restart
+  kSlab,    // production mode: slab alloc/free, exhaustion => shed one conn
+};
+
+const char* allocator_kind_name(AllocatorKind kind);
+
+/// Opaque handle into the slab's simulated xmem (0 is never a valid handle;
+/// callers use it as the "nothing allocated" sentinel).
+using SlabHandle = common::u32;
+
+struct SlabConfig {
+  /// Total simulated-xmem budget in bytes (rounded down to whole pages).
+  std::size_t capacity = 0;
+  /// Subheap page granularity; must be a power of two and at least
+  /// SlabAllocator::kMaxClassBytes so one page holds whole blocks.
+  std::size_t page_bytes = 4096;
+  /// Where handles start (cosmetic, mirrors XallocArena's physical base).
+  common::u32 base = 0x90000;
+  /// Debug mode: poison-fill on free, delayed reuse, double-free and
+  /// use-after-free detection.
+  bool quarantine = false;
+  /// Frees held back per size class before re-entering the freelist.
+  std::size_t quarantine_depth = 16;
+};
+
+class SlabAllocator {
+ public:
+  static constexpr std::size_t kMinClassBytes = 16;
+  static constexpr std::size_t kMaxClassBytes = 2048;
+  static constexpr std::size_t kNumClasses = 8;  // 16,32,...,2048
+  static constexpr common::u8 kPoisonFree = 0xDD;   // written on free
+  static constexpr common::u8 kPoisonAlloc = 0xAA;  // written on alloc
+
+  explicit SlabAllocator(SlabConfig config);
+
+  /// Allocate `n` bytes. Requests up to kMaxClassBytes land in the matching
+  /// pow2 class (blocks are naturally aligned to their class size);
+  /// anything larger spills to whole pages. Fails with kResourceExhausted
+  /// when the budget cannot cover it — or when the attached fault monitor
+  /// scheduled this attempt to fail. `site` names the call site for
+  /// injection plans and postmortems.
+  common::Result<SlabHandle> alloc(std::size_t n, const char* site = "?");
+
+  /// Return a block. kInvalidArgument for a handle this allocator never
+  /// issued (foreign/misaligned), kFailedPrecondition for a double free;
+  /// both also trip the named-fault handler and a counter.
+  common::Status free(SlabHandle h);
+
+  /// Host view of the simulated xmem backing a live block (class block or
+  /// large region). Empty span for anything not currently live.
+  std::span<common::u8> view(SlabHandle h);
+
+  /// Seeded failure injection (AllocFaultPlan); null detaches.
+  void attach_fault_monitor(AllocFaultMonitor* monitor) { monitor_ = monitor; }
+
+  /// Named-fault hook: kind is "double-free", "foreign-free", or
+  /// "use-after-free". Services route this into their ErrorDispatcher.
+  using FaultHandler = std::function<void(const char* kind, SlabHandle h)>;
+  void set_fault_handler(FaultHandler handler) {
+    fault_handler_ = std::move(handler);
+  }
+
+  /// Drain every quarantined block back to its freelist, verifying poison.
+  /// Tests and end-of-soak audits call this so fragmentation/live figures
+  /// exclude the quarantine holdback.
+  void flush_quarantine();
+
+  // --- Accounting (all exact, all deterministic) ---------------------------
+  std::size_t capacity() const { return page_count_ * page_bytes_; }
+  std::size_t page_bytes() const { return page_bytes_; }
+  bool quarantine() const { return quarantine_; }
+  /// Block-granular bytes currently allocated (class block size or
+  /// page-rounded large size). The SRAM actually unavailable to others.
+  std::size_t live_bytes() const { return live_bytes_; }
+  /// Caller-requested bytes currently allocated (<= live_bytes).
+  std::size_t requested_bytes() const { return requested_bytes_; }
+  /// Pages carved out of the budget (class slabs + live large regions).
+  std::size_t committed_bytes() const { return committed_pages_ * page_bytes_; }
+  std::size_t high_water_live_bytes() const { return high_water_live_; }
+  std::size_t high_water_committed_bytes() const {
+    return high_water_committed_pages_ * page_bytes_;
+  }
+  common::u64 live_blocks() const { return live_blocks_; }
+  common::u64 quarantined_blocks() const { return quarantined_blocks_; }
+  /// 1 - live/committed: budget held by the allocator but not by callers
+  /// (free blocks on class freelists, quarantine holdback, page tails).
+  double external_fragmentation() const;
+  /// 1 - requested/live: pow2 round-up waste inside live blocks.
+  double internal_fragmentation() const;
+
+  common::u64 alloc_count() const { return alloc_count_; }
+  common::u64 free_count() const { return free_count_; }
+  common::u64 failed_allocs() const { return failed_allocs_; }
+  common::u64 injected_failures() const { return injected_failures_; }
+  common::u64 double_free_faults() const { return double_free_faults_; }
+  common::u64 foreign_free_faults() const { return foreign_free_faults_; }
+  common::u64 poison_trips() const { return poison_trips_; }
+
+  /// The class (0..kNumClasses-1) a request of `n` bytes lands in, or
+  /// kNumClasses for the large-page spill path. Exposed so benches can
+  /// reason about the recipe they replay.
+  static std::size_t class_for(std::size_t n);
+  static std::size_t class_block_bytes(std::size_t cls) {
+    return kMinClassBytes << cls;
+  }
+
+ private:
+  enum class BlockState : common::u8 {
+    kUnmapped,     // not the start of any block this allocator issued
+    kFree,         // on a class freelist
+    kLive,         // handed out (class block)
+    kQuarantined,  // freed, poisoned, awaiting delayed reuse
+    kLargeLive,    // head page of a live multi-page region
+  };
+
+  struct ClassList {
+    std::vector<common::u32> freelist;     // LIFO stack of block offsets
+    std::deque<common::u32> quarantine;    // FIFO of poisoned offsets
+    common::u64 pages = 0;                 // slab pages owned by this class
+  };
+
+  // Page-run management (offsets and lengths in whole pages).
+  bool acquire_pages(std::size_t n, common::u32* out_page);
+  void release_pages(common::u32 page, std::size_t n);
+
+  bool carve_slab(std::size_t cls);
+  void release_from_quarantine(std::size_t cls);
+  void trip_fault(const char* kind, SlabHandle h);
+  void update_gauges();
+
+  std::size_t granule(common::u32 off) const { return off / kMinClassBytes; }
+
+  std::size_t page_bytes_;
+  std::size_t page_count_;
+  common::u32 base_;
+  bool quarantine_;
+  std::size_t quarantine_depth_;
+
+  std::vector<common::u8> mem_;          // the simulated xmem backing
+  std::vector<BlockState> state_;        // per 16-byte granule
+  std::vector<common::u8> block_class_;  // class index, valid when not unmapped
+  std::vector<common::u32> block_req_;   // requested bytes, valid when live
+  std::vector<std::pair<common::u32, common::u32>> free_runs_;  // sorted
+  std::map<common::u32, common::u32> large_;  // head offset -> page count
+  ClassList classes_[kNumClasses];
+
+  AllocFaultMonitor* monitor_ = nullptr;
+  FaultHandler fault_handler_;
+
+  std::size_t live_bytes_ = 0;
+  std::size_t requested_bytes_ = 0;
+  std::size_t committed_pages_ = 0;
+  std::size_t high_water_live_ = 0;
+  std::size_t high_water_committed_pages_ = 0;
+  common::u64 live_blocks_ = 0;
+  common::u64 quarantined_blocks_ = 0;
+  common::u64 alloc_count_ = 0;
+  common::u64 free_count_ = 0;
+  common::u64 failed_allocs_ = 0;
+  common::u64 injected_failures_ = 0;
+  common::u64 double_free_faults_ = 0;
+  common::u64 foreign_free_faults_ = 0;
+  common::u64 poison_trips_ = 0;
+};
+
+}  // namespace rmc::dynk

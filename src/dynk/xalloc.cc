@@ -27,13 +27,21 @@ Result<XmemHandle> XallocArena::xalloc(std::size_t n, std::size_t align) {
   if (n == 0 || align == 0 || (align & (align - 1)) != 0) {
     return Status(ErrorCode::kInvalidArgument, "bad xalloc request");
   }
-  const std::size_t aligned = (used_ + align - 1) & ~(align - 1);
-  if (aligned + n > capacity_) {
+  // Exhaustion boundary, subtraction-only: the old `aligned + n > capacity_`
+  // could wrap for a huge n (or a huge align wrapping `used_ + align - 1`),
+  // pass the check, and leave used_ > capacity_ — after which remaining()
+  // underflowed to ~SIZE_MAX and the arena believed it was nearly empty.
+  // Padding is charged exactly when the allocation it precedes succeeds
+  // (a failed request leaves used_ untouched, so remaining() is consistent
+  // across the failure), and used_ <= capacity_ is now an invariant.
+  const std::size_t pad = (align - (used_ & (align - 1))) & (align - 1);
+  if (pad > capacity_ - used_ || n > capacity_ - used_ - pad) {
     ++failures_;
     fail_counter().add();
     return Status(ErrorCode::kResourceExhausted,
                   "xalloc arena exhausted (no free exists; restart required)");
   }
+  const std::size_t aligned = used_ + pad;
   used_ = aligned + n;
   ++allocations_;
   used_gauge().set(static_cast<telemetry::i64>(used_));

@@ -37,6 +37,9 @@ class XallocArena {
   common::Result<XmemHandle> xalloc(std::size_t n, std::size_t align = 2);
 
   /// Bytes handed out so far (also the high-water mark; they never return).
+  /// used() <= capacity() is an invariant — xalloc() checks the exhaustion
+  /// boundary by subtraction, so neither a huge request nor alignment
+  /// padding can push used_ past capacity_ and make remaining() underflow.
   std::size_t used() const { return used_; }
   std::size_t capacity() const { return capacity_; }
   std::size_t remaining() const { return capacity_ - used_; }

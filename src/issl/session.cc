@@ -114,6 +114,20 @@ const char* session_state_name(SessionState s) {
   return "?";
 }
 
+std::size_t Session::sram_footprint(const Config& config) {
+  // Per-session SRAM model for the 16-bit target. The fixed term covers the
+  // state machine, transcript hash, record codec scratch, and the pending
+  // record reassembly buffer the port keeps per session; the key-schedule
+  // term is the two expanded AES schedules (11/13/15 round keys of 16 bytes
+  // each direction, charged as 4x the raw key to round the per-direction
+  // overhead up the way the port's static tables did); resumption adds a
+  // ticket cache slot (master secret + ids + expiry bookkeeping).
+  std::size_t bytes = 320;
+  bytes += (config.aes_key_bits / 8) * 4;
+  if (config.resumption) bytes += 64;
+  return bytes;
+}
+
 Session::Session(Role role, const Config& config, ByteStream& stream,
                  common::Xorshift64& rng)
     : role_(role), config_(config), stream_(&stream), rng_(&rng),

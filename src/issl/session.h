@@ -143,6 +143,15 @@ class Session {
   /// records run through the C port instead.
   bool engine_fallback() const { return codec_.engine_fallback(); }
 
+  /// Modeled per-session SRAM footprint on the 16-bit target for a session
+  /// built from `config`: state machine + record codec working set, the
+  /// expanded AES key schedules (both directions), and the resumption
+  /// ticket cache slot when resumption is on. Like handshake_cost_cycles()
+  /// this is a *model* (constants documented in session.cc), but it is
+  /// deterministic arithmetic — the services layer charges it against the
+  /// per-connection allocator so the memory soak sizes sessions honestly.
+  static std::size_t sram_footprint(const Config& config);
+
  private:
   Session(Role role, const Config& config, ByteStream& stream,
           common::Xorshift64& rng);

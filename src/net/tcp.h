@@ -45,6 +45,12 @@ class TcpStack : public NetworkEndpoint {
  public:
   static constexpr std::size_t kMss = 536;          // classic default MSS
   static constexpr std::size_t kWindow = 4 * kMss;  // fixed send window
+  /// Modeled per-connection SRAM footprint of a socket: the send window
+  /// (inflight + queue share) the stack may buffer for one established
+  /// connection. The services layer charges this against its allocator per
+  /// accepted connection (DESIGN.md §14) so the memory soak accounts for
+  /// TCP buffers, not just application state.
+  static constexpr std::size_t kConnSramBytes = kWindow;
   static constexpr u64 kRtoMs = 200;                // base RTO
   static constexpr u64 kRtoMaxMs = 3'200;           // backoff ceiling
   static constexpr int kMaxRetx = 8;                // then RST + was_reset

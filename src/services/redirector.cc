@@ -61,6 +61,12 @@ telemetry::Counter& watchdog_counter() {
       telemetry::Registry::global().counter("redirector.watchdog_aborts");
   return c;
 }
+// Slab-mode only — lazy so xalloc-mode runs keep their metrics JSON stable.
+telemetry::Counter& alloc_shed_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("redirector.alloc_sheds");
+  return c;
+}
 
 // Slot-lifecycle trace events (telemetry::ServiceTrace) on the client
 // connection's track; no-ops while the tracer is off.
@@ -87,7 +93,8 @@ RmcRedirector::RmcRedirector(net::TcpStack& stack, net::SimNet& medium,
       log_(config_.battery_log ? config_.battery_log : &own_log_),
       session_cache_(config_.session_cache_capacity,
                      config_.session_cache_ttl_ms),
-      sockets_(config_.handler_slots) {
+      sockets_(config_.handler_slots),
+      slots_(config_.handler_slots) {
   // The port's error policy (§4.1): install a handler and ignore most
   // errors, logging them to the ring buffer instead of resetting.
   errors_.define_error_handler([this](const dynk::RuntimeErrorInfo& info) {
@@ -196,6 +203,46 @@ dynk::Costate RmcRedirector::shedder() {
   }
 }
 
+bool RmcRedirector::alloc_conn(std::size_t slot) {
+  dynk::SlabAllocator& slab = *config_.slab;
+  ConnAlloc& c = slots_[slot];
+  struct Item {
+    dynk::SlabHandle* h;
+    std::size_t n;
+    const char* site;
+  };
+  // The per-connection recipe, in a fixed order so fault injection by
+  // allocation index is deterministic: slot state, the session's modeled
+  // SRAM, the forwarding scratch, the TCP window charge.
+  const Item recipe[] = {
+      {&c.state, kConnStateBytes, "conn.state"},
+      {&c.session, issl::Session::sram_footprint(config_.tls), "conn.session"},
+      {&c.buf, kForwardBufBytes, "conn.buf"},
+      {&c.window, net::TcpStack::kConnSramBytes, "conn.window"},
+  };
+  for (const Item& item : recipe) {
+    auto h = slab.alloc(item.n, item.site);
+    if (!h.ok()) {
+      free_conn(slot);  // release the partial recipe, shed just this client
+      return false;
+    }
+    *item.h = *h;
+  }
+  return true;
+}
+
+void RmcRedirector::free_conn(std::size_t slot) {
+  dynk::SlabAllocator& slab = *config_.slab;
+  ConnAlloc& c = slots_[slot];
+  // Reverse allocation order (LIFO) so per-class freelist order — and with
+  // it the whole soak — stays deterministic under a fixed seed.
+  if (c.window != 0) (void)slab.free(c.window);
+  if (c.buf != 0) (void)slab.free(c.buf);
+  if (c.session != 0) (void)slab.free(c.session);
+  if (c.state != 0) (void)slab.free(c.state);
+  c = ConnAlloc{};
+}
+
 dynk::Costate RmcRedirector::handler(std::size_t slot) {
   net::tcp_Socket& sock = sockets_[slot];
   // Statically-sized forwarding buffer (§5.2: no malloc on the target).
@@ -232,6 +279,35 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
             dynk::RuntimeErrorKind::kXmemFault,
             static_cast<common::u16>(slot), "xalloc arena exhausted"});
       }
+    }
+
+    // Production-memory mode (DESIGN.md §14): the per-connection recipe is
+    // a real allocation with a matching free at slot close. Exhaustion — or
+    // an injected fault — sheds exactly this connection; the slot recycles
+    // on the next client and the board never restarts. This is the designed
+    // antithesis of the xalloc path above.
+    const bool slab_mode =
+        config_.allocator == dynk::AllocatorKind::kSlab &&
+        config_.slab != nullptr;
+    if (slab_mode && usable && !alloc_conn(slot)) {
+      ++stats_.alloc_sheds;
+      alloc_shed_counter().add();
+      log_->append("alloc-shed " + std::to_string(slot));
+      trace_slot(telemetry::ServiceTrace::kShed, trace_conn,
+                 static_cast<common::u32>(slot));
+      errors_.raise(dynk::RuntimeErrorInfo{
+          dynk::RuntimeErrorKind::kXmemFault,
+          static_cast<common::u16>(slot), "slab exhausted; shedding one"});
+      usable = false;
+      abort_client = true;
+    }
+    // In slab mode the relay scratch lives in the slab (the port's static
+    // buffer becomes a real allocation, freed at slot close); otherwise the
+    // per-handler array as before. Slab backing storage is stable across
+    // the costatement's suspensions.
+    std::span<u8> fwd(buf);
+    if (slab_mode && slots_[slot].buf != 0) {
+      fwd = config_.slab->view(slots_[slot].buf);
     }
 
     if (config_.secure && usable) {
@@ -351,13 +427,13 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
               last_progress_ms = scheduler_.now_ms();
             }
           }
-          auto n = stack_.recv(backend, buf);
+          auto n = stack_.recv(backend, fwd);
           if (n.ok()) {
             if (*n == 0) {
               (void)session->close();
               done = true;
             } else {
-              (void)session->write(std::span<const u8>(buf.data(), *n));
+              (void)session->write(std::span<const u8>(fwd.data(), *n));
               stats_.bytes_backend_to_client += *n;
               forwarded_counter().add(*n);
               crypto_cycles_owed += config_.crypto_cycles_per_byte * *n;
@@ -374,24 +450,24 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
         }
       } else {
         // Plaintext pass-through (the E5 baseline build).
-        auto n = dc_.sock_fastread(&sock, buf);
+        auto n = dc_.sock_fastread(&sock, fwd);
         if (n.ok()) {
           if (*n == 0) {
             done = true;
           } else {
-            (void)stack_.send(backend, std::span<const u8>(buf.data(), *n));
+            (void)stack_.send(backend, std::span<const u8>(fwd.data(), *n));
             stats_.bytes_client_to_backend += *n;
             forwarded_counter().add(*n);
             last_progress_ms = scheduler_.now_ms();
           }
         }
-        auto m = stack_.recv(backend, buf);
+        auto m = stack_.recv(backend, fwd);
         if (m.ok()) {
           if (*m == 0) {
             done = true;
           } else {
             (void)dc_.sock_fastwrite(&sock,
-                                     std::span<const u8>(buf.data(), *m));
+                                     std::span<const u8>(fwd.data(), *m));
             stats_.bytes_backend_to_client += *m;
             forwarded_counter().add(*m);
             last_progress_ms = scheduler_.now_ms();
@@ -435,6 +511,7 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
     } else {
       dc_.sock_close(&sock);
     }
+    if (slab_mode) free_conn(slot);  // real free: the whole point of §14
     --stats_.connections_active;
     active_gauge().set(static_cast<telemetry::i64>(stats_.connections_active));
     ++stats_.connections_served;

@@ -31,6 +31,7 @@
 #include "dynk/costate.h"
 #include "dynk/error.h"
 #include "dynk/persist.h"
+#include "dynk/slab.h"
 #include "dynk/xalloc.h"
 #include "issl/issl.h"
 #include "net/bsd.h"
@@ -128,6 +129,16 @@ struct RedirectorConfig {
   dynk::XallocArena* arena = nullptr;
   std::size_t session_xalloc_bytes = 0;
 
+  // --- Production memory (DESIGN.md §14; paper-mode xalloc by default) -----
+  /// kSlab routes per-connection state through `slab` instead of the no-free
+  /// arena: alloc at accept, real free at slot close, exhaustion sheds the
+  /// one connection (RST + counter) instead of requesting a board restart.
+  /// kXalloc (the default) leaves every legacy path byte-identical.
+  dynk::AllocatorKind allocator = dynk::AllocatorKind::kXalloc;
+  /// Required when allocator == kSlab (typically supervisor-owned, rebuilt
+  /// per boot like the arena).
+  dynk::SlabAllocator* slab = nullptr;
+
   // --- Session resumption (DESIGN.md §10; all off by default) -------------
   /// Server-side resumption cache slots (0 = no cache, every offer misses).
   /// Only meaningful when tls.resumption is also on. Clamped to
@@ -161,6 +172,10 @@ struct RedirectorStats {
   /// Sessions that asked for Backend::kEngine but ran on the C fallback
   /// because no engine answered the probe (stock board, or card pulled).
   u64 engine_fallbacks = 0;
+  /// Slab-mode only: connections shed because the slab could not satisfy
+  /// the per-connection recipe (graceful degradation — the antithesis of
+  /// the xalloc path's restart_requested).
+  u64 alloc_sheds = 0;
 };
 
 /// The embedded port (Figure 3 structure).
@@ -193,6 +208,13 @@ class RmcRedirector {
   /// performs when it sees this.
   bool restart_requested() const { return restart_requested_; }
 
+  // --- Slab-mode per-connection recipe (DESIGN.md §14) ---------------------
+  /// Handler bookkeeping: slot state struct the port kept static per slot.
+  static constexpr std::size_t kConnStateBytes = 96;
+  /// Forwarding scratch: in slab mode the handler's relay buffer lives in
+  /// the slab (via SlabAllocator::view) instead of on the C stack.
+  static constexpr std::size_t kForwardBufBytes = 512;
+
   /// Server-side resumption cache (capacity 0 unless configured). Hit/miss/
   /// eviction counters live here and in the issl.cache_* telemetry.
   issl::SessionCache& session_cache() { return session_cache_; }
@@ -202,6 +224,12 @@ class RmcRedirector {
   dynk::Costate handler(std::size_t slot);
   dynk::Costate tick_driver();
   dynk::Costate shedder();
+  /// Slab-mode: allocate the per-connection recipe (state, session, buf,
+  /// window) into slots_[slot]. On any failure frees the partial recipe and
+  /// returns false — the caller sheds that one connection.
+  bool alloc_conn(std::size_t slot);
+  /// Free whatever part of the recipe slot holds (reverse alloc order).
+  void free_conn(std::size_t slot);
   /// Push durable_state_ through the two-slot commit (no-op when detached).
   void commit_durable();
   /// Commit the resumption cache to its DurableVar (no-op when the cache is
@@ -227,6 +255,15 @@ class RmcRedirector {
   // Static allocation, as the port was forced into (§5.2): one socket and
   // one session slot per handler, sized at construction, never freed.
   std::vector<net::tcp_Socket> sockets_;
+  /// Slab-mode per-slot recipe handles (0 = not allocated). Sized to
+  /// handler_slots at construction; unused (empty) in xalloc mode.
+  struct ConnAlloc {
+    dynk::SlabHandle state = 0;    // kConnStateBytes
+    dynk::SlabHandle session = 0;  // issl::Session::sram_footprint(tls)
+    dynk::SlabHandle buf = 0;      // kForwardBufBytes (used via view())
+    dynk::SlabHandle window = 0;   // net::TcpStack::kConnSramBytes
+  };
+  std::vector<ConnAlloc> slots_;
 };
 
 /// The original Unix-style service.

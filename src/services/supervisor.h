@@ -28,12 +28,21 @@
 #include <string>
 #include <vector>
 
+#include "dynk/allocfault.h"
 #include "dynk/power.h"
 #include "rabbit/watchdog.h"
 #include "services/redirector.h"
 #include "telemetry/flightrec.h"
 
 namespace rmc::services {
+
+/// Per-cause reset telemetry (board.resets.<cause> counters plus a
+/// "reset-cause <name>" battery-log line on each go_down). Off by default:
+/// enabling it changes metrics JSON and battery-log contents, so fault
+/// benches that predate it (E10, E15) stay byte-identical unless a harness
+/// opts in. E16 opts in to assert zero alloc-caused restarts by name.
+void set_reset_cause_telemetry(bool on);
+bool reset_cause_telemetry();
 
 /// Why the service world last went down.
 enum class FaultKind : common::u8 {
@@ -81,6 +90,21 @@ struct ServiceBoardConfig {
   std::size_t session_xalloc_bytes = 0;
   std::size_t battery_log_bytes = 1'024;
   dynk::PowerFaultPlan power_plan;  // none() = power never fails
+
+  // --- Production memory (DESIGN.md §14; paper-mode xalloc by default) -----
+  /// kSlab rebuilds a SlabAllocator per boot over the same xalloc_capacity
+  /// budget and routes the redirector's per-connection state through it
+  /// (real free at slot close, shed-on-exhaustion). kXalloc keeps every
+  /// legacy path — arena, restart-to-reclaim — byte-identical.
+  dynk::AllocatorKind allocator = dynk::AllocatorKind::kXalloc;
+  std::size_t slab_page_bytes = 4'096;
+  /// Debug poison/quarantine mode for the slab (see SlabConfig).
+  bool slab_quarantine = false;
+  std::size_t slab_quarantine_depth = 16;
+  /// Seeded allocation-failure injection; none() = allocations never fail.
+  /// The monitor persists across boots (like the power plan) so a sequence
+  /// spanning restarts keeps its countdown.
+  dynk::AllocFaultPlan alloc_fault_plan;
 };
 
 class ServiceBoard {
@@ -104,6 +128,9 @@ class ServiceBoard {
   BatteryFile& battery() { return battery_; }
   dynk::PowerMonitor& power() { return power_; }
   rabbit::Watchdog& watchdog() { return wdt_; }
+  /// Null unless config.allocator == kSlab (and the board is up).
+  dynk::SlabAllocator* slab() { return slab_.get(); }
+  dynk::AllocFaultMonitor& alloc_faults() { return alloc_faults_; }
 
   common::u64 boots() const { return boots_; }
   /// Fault-triggered reboots (boots minus the initial power-on).
@@ -137,10 +164,12 @@ class ServiceBoard {
   ServiceBoardConfig config_;
   BatteryFile battery_;
   dynk::PowerMonitor power_;
+  dynk::AllocFaultMonitor alloc_faults_;  // persists across boots, like power_
   rabbit::Watchdog wdt_;
   // The per-boot world: dies on every fault, rebuilt by boot().
   std::unique_ptr<net::TcpStack> stack_;
   std::unique_ptr<dynk::XallocArena> arena_;
+  std::unique_ptr<dynk::SlabAllocator> slab_;
   std::unique_ptr<RmcRedirector> redirector_;
 
   bool up_ = false;

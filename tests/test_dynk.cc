@@ -3,6 +3,8 @@
 // function chains, and the error dispatcher.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "dynk/costate.h"
 #include "dynk/error.h"
 #include "dynk/funcchain.h"
@@ -155,6 +157,47 @@ TEST(Xalloc, StatsTrackUsage) {
   EXPECT_EQ(arena.used(), 30u);
   EXPECT_EQ(arena.remaining(), 70u);
   EXPECT_EQ(arena.allocation_count(), 2u);
+}
+
+TEST(Xalloc, RemainingNeverUnderflowsAtTheExhaustionBoundary) {
+  // The old check computed `aligned + n` first, which wraps for a huge n:
+  // the request would "succeed", used_ would pass capacity_, and
+  // remaining() underflowed to ~SIZE_MAX. The subtraction-only boundary
+  // must reject these with the arena untouched.
+  XallocArena arena(100);
+  ASSERT_TRUE(arena.xalloc(10).ok());
+  auto huge = arena.xalloc(std::numeric_limits<std::size_t>::max() - 4);
+  ASSERT_FALSE(huge.ok());
+  EXPECT_EQ(huge.status().code(), common::ErrorCode::kResourceExhausted);
+  EXPECT_EQ(arena.used(), 10u);        // failed request left no trace
+  EXPECT_EQ(arena.remaining(), 90u);   // and cannot underflow
+  EXPECT_LE(arena.used(), arena.capacity());
+
+  // A huge alignment must not wrap the padding computation either.
+  auto big_align = arena.xalloc(
+      1, std::size_t{1} << (std::numeric_limits<std::size_t>::digits - 1));
+  EXPECT_FALSE(big_align.ok());
+  EXPECT_EQ(arena.remaining(), 90u);
+}
+
+TEST(Xalloc, ExactFillReachesZeroRemainingAndPadsConsistently) {
+  // Filling to the byte is legal and leaves remaining() == 0 exactly.
+  XallocArena arena(100);
+  ASSERT_TRUE(arena.xalloc(100).ok());
+  EXPECT_EQ(arena.remaining(), 0u);
+  EXPECT_FALSE(arena.xalloc(1).ok());
+  EXPECT_EQ(arena.remaining(), 0u);
+
+  // Alignment padding is charged with the allocation it precedes — a
+  // request whose pad+size overflows the budget fails without consuming
+  // the pad, so a smaller request can still use those bytes.
+  XallocArena tight(16);
+  ASSERT_TRUE(tight.xalloc(1).ok());              // used = 1
+  EXPECT_FALSE(tight.xalloc(15, 2).ok());         // pad 1 + 15 > 15
+  EXPECT_EQ(tight.remaining(), 15u);              // pad not charged on failure
+  ASSERT_TRUE(tight.xalloc(14, 2).ok());          // pad 1 + 14 fits exactly
+  EXPECT_EQ(tight.remaining(), 0u);
+  EXPECT_LE(tight.used(), tight.capacity());
 }
 
 // ---------------------------------------------------------------------------

@@ -11,6 +11,7 @@
 #include "rabbit/board.h"
 #include "rabbit/watchdog.h"
 #include "services/supervisor.h"
+#include "telemetry/metrics.h"
 
 namespace rmc {
 namespace {
@@ -490,6 +491,50 @@ TEST(ServiceBoardTest, SeededRandomCutSoakRecoversEveryTime) {
   EXPECT_EQ(board.redirector()->durable_state().generation, board.boots());
   EXPECT_GE(served_ok, 12u);  // most sessions between cuts still complete
   EXPECT_GE(board.redirector()->durable_state().served, served_ok);
+}
+
+TEST(ServiceBoardTest, ResetCauseTelemetryNamesEachCauseWhenOptedIn) {
+  // Off by default: a wedge must not create per-cause counters (the E10/E15
+  // byte-identity gates depend on that).
+  ASSERT_FALSE(services::reset_cause_telemetry());
+  {
+    FaultWorld w;
+    ASSERT_TRUE(w.backend.start().is_ok());
+    services::ServiceBoard board(w.net, w.board_config(/*secure=*/false));
+    board.wedge_for_ms(600);
+    w.drive(board, nullptr, 700);
+    ASSERT_EQ(board.wdt_bites(), 1u);
+    EXPECT_EQ(telemetry::Registry::global().find_counter(
+                  "board.resets.watchdog"),
+              nullptr);
+  }
+
+  // Opted in: the same fault now lands a named counter AND a battery-log
+  // line, so E16 can assert "zero alloc-caused restarts" by name.
+  services::set_reset_cause_telemetry(true);
+  {
+    FaultWorld w;
+    ASSERT_TRUE(w.backend.start().is_ok());
+    services::ServiceBoard board(w.net, w.board_config(/*secure=*/false));
+    board.wedge_for_ms(600);
+    w.drive(board, nullptr, 700);
+    ASSERT_EQ(board.wdt_bites(), 1u);
+    const auto* named =
+        telemetry::Registry::global().find_counter("board.resets.watchdog");
+    ASSERT_NE(named, nullptr);
+    EXPECT_GE(named->value(), 1u);
+    // Distinct causes get distinct counters: no xalloc restart happened, so
+    // its counter must not even exist.
+    EXPECT_EQ(telemetry::Registry::global().find_counter(
+                  "board.resets.xalloc"),
+              nullptr);
+    bool saw_cause_line = false;
+    for (const auto& line : board.battery().log.entries()) {
+      if (line == "reset-cause watchdog") saw_cause_line = true;
+    }
+    EXPECT_TRUE(saw_cause_line);
+  }
+  services::set_reset_cause_telemetry(false);
 }
 
 }  // namespace
