@@ -94,6 +94,32 @@ cmp "$tmp/e16a.json" "$tmp/e16b.json"
 echo "identical artifacts"
 
 echo
+echo "== dispatch matrix: fast vs legacy => byte-identical E1/E9 json =="
+# The predecoded fast interpreter must be an execution-order no-op: the same
+# bench, run under RMC_DISPATCH=fast and RMC_DISPATCH=legacy, has to emit
+# byte-identical JSON (host_ms already excluded above). E1 is the
+# interpreter-heavy artifact, E9 the SimNet-heavy one.
+for entry in E1:bench_aes_asm_vs_c E9:bench_fault_soak; do
+  id="${entry%%:*}" bin="${entry#*:}"
+  extra=()
+  [[ "$id" == E9 ]] && extra=(--seed 233)
+  RMC_DISPATCH=fast "$repo_root/build/bench/$bin" "${extra[@]}" \
+    --json "$tmp/${id}_fast.json" >/dev/null
+  RMC_DISPATCH=legacy "$repo_root/build/bench/$bin" "${extra[@]}" \
+    --json "$tmp/${id}_legacy.json" >/dev/null
+  cmp "$tmp/${id}_fast.json" "$tmp/${id}_legacy.json"
+  echo "$id: fast == legacy"
+done
+
+echo
+echo "== fleet: threaded boards == sequential boards (digest gate) =="
+# Re-run the Fleet determinism tests with a thread oversubscription that
+# shakes out scheduling races the default ctest pass may not have seen.
+RMC_BOARD_THREADS=8 "$repo_root/build/tests/test_dispatch" \
+  --gtest_filter='Fleet.*' --gtest_repeat=3 >/dev/null
+echo "fleet digests identical across thread schedules"
+
+echo
 echo "== trace determinism: E12 json + chrome trace + pcap byte-identical =="
 "$san_dir/bench/bench_trace_audit" --json "$tmp/g.json" \
   --trace "$tmp/g.trace.json" --pcap "$tmp/g.pcap" >/dev/null

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Print a host_ms before/after table: the committed bench/snapshots/ (the
+# perf trajectory the repo carries) versus a directory of freshly-run
+# BENCH_*.json artifacts. Wall-clock only — deterministic fields are covered
+# by the byte-identity gates in check.sh, so this table is purely the
+# "did the interpreter/scheduler work actually move the needle" view.
+#
+# Usage:
+#   scripts/perf_table.sh [fresh_dir]     # default: repo root
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+fresh_dir="${1:-$repo_root}"
+
+python3 - "$repo_root/bench/snapshots" "$fresh_dir" <<'EOF'
+import json, os, sys
+
+snap_dir, fresh_dir = sys.argv[1], sys.argv[2]
+rows = []
+for name in sorted(os.listdir(snap_dir)):
+    if not (name.startswith("BENCH_") and name.endswith(".json")):
+        continue
+    snap = json.load(open(os.path.join(snap_dir, name)))
+    before = snap.get("host_ms")
+    fresh_path = os.path.join(fresh_dir, name)
+    after = None
+    if os.path.exists(fresh_path):
+        after = json.load(open(fresh_path)).get("host_ms")
+    rows.append((name.removeprefix("BENCH_").removesuffix(".json"),
+                 before, after))
+
+print(f"{'bench':<10} {'before_ms':>10} {'after_ms':>10} {'speedup':>8}")
+for bench, before, after in rows:
+    b = "-" if before is None else str(before)
+    a = "-" if after is None else str(after)
+    if before and after:
+        speedup = f"{before / after:.2f}x"
+    elif before is not None and after == 0:
+        speedup = ">%dx" % before if before else "-"
+    else:
+        speedup = "-"
+    print(f"{bench:<10} {b:>10} {a:>10} {speedup:>8}")
+EOF

@@ -97,7 +97,8 @@ void SimNet::enqueue(Segment segment) {
                        segment.dst_port, segment.protocol, segment.seq,
                        segment.ack, segment.flags, segment.payload);
   }
-  in_flight_.push_back(InFlight{due, std::move(segment)});
+  in_flight_.push_back(InFlight{due, next_flight_seq_++, std::move(segment)});
+  std::push_heap(in_flight_.begin(), in_flight_.end());
 }
 
 void SimNet::send(Segment segment) {
@@ -186,34 +187,33 @@ void SimNet::tick(u32 ms) {
     // The medium's clock is the trace clock: every layer's emissions during
     // this step (deliveries, TCP transitions, handshake stages) share it.
     if (tracer.enabled()) tracer.set_now_ms(now_ms_);
-    // Deliver everything due. Delivery can enqueue replies (ACKs), which get
-    // their own latency and thus a later due time — no reentrancy hazard.
-    for (std::size_t i = 0; i < in_flight_.size();) {
-      if (in_flight_[i].due_ms <= now_ms_) {
-        Segment seg = std::move(in_flight_[i].segment);
-        in_flight_.erase(in_flight_.begin() + static_cast<long>(i));
-        auto it = endpoints_.find(seg.dst_ip);
-        if (it != endpoints_.end()) {
-          ++delivered_;
-          delivered_counter().add();
-          payload_bytes_ += seg.payload.size();
-          if (tracer.enabled()) {
-            tracer.emit(TraceLayer::kNet, NetTrace::kDeliver, seg_conn(seg),
-                        seg_meta(seg),
-                        static_cast<telemetry::u32>(seg.payload.size()));
-          }
-          it->second->deliver(seg);
-        } else {
-          ++dropped_no_host_;  // no host at that address
-          dropped_no_host_counter().add();
-          dropped_counter().add();
-          if (tracer.enabled()) {
-            tracer.emit(TraceLayer::kNet, NetTrace::kDropNoHost,
-                        seg_conn(seg));
-          }
+    // Deliver everything due, in (due_ms, seq) heap order. Delivery can
+    // enqueue replies (ACKs); a zero-latency reply lands back in the heap
+    // with due == now and a later seq, so the loop picks it up this same
+    // step after everything already pending — exactly like the old
+    // append-and-rescan deque.
+    while (!in_flight_.empty() && in_flight_.front().due_ms <= now_ms_) {
+      std::pop_heap(in_flight_.begin(), in_flight_.end());
+      Segment seg = std::move(in_flight_.back().segment);
+      in_flight_.pop_back();
+      auto it = endpoints_.find(seg.dst_ip);
+      if (it != endpoints_.end()) {
+        ++delivered_;
+        delivered_counter().add();
+        payload_bytes_ += seg.payload.size();
+        if (tracer.enabled()) {
+          tracer.emit(TraceLayer::kNet, NetTrace::kDeliver, seg_conn(seg),
+                      seg_meta(seg),
+                      static_cast<telemetry::u32>(seg.payload.size()));
         }
+        it->second->deliver(seg);
       } else {
-        ++i;
+        ++dropped_no_host_;  // no host at that address
+        dropped_no_host_counter().add();
+        dropped_counter().add();
+        if (tracer.enabled()) {
+          tracer.emit(TraceLayer::kNet, NetTrace::kDropNoHost, seg_conn(seg));
+        }
       }
     }
     for (auto& [addr, ep] : endpoints_) {

@@ -1,14 +1,11 @@
 #include "rabbit/cpu.h"
 
 #include <algorithm>
-#include <bit>
 #include <cstdio>
+#include <cstdlib>
+#include <string_view>
 
 namespace rmc::rabbit {
-
-namespace {
-bool parity_even(u8 v) { return (std::popcount(v) & 1) == 0; }
-}  // namespace
 
 void Cpu::reset() {
   regs_ = Registers{};
@@ -20,127 +17,33 @@ void Cpu::reset() {
   ei_delay_ = false;
   illegal_ = false;
   illegal_message_.clear();
+  // The micro-op cache is keyed by physical address and coherent with the
+  // backing bytes (Memory's code watch), so it survives resets.
 }
 
-u8 Cpu::fetch8() {
-  const u8 v = mem_.read(regs_.pc);
-  regs_.pc = static_cast<u16>(regs_.pc + 1);
-  return v;
+DispatchMode Cpu::default_dispatch() {
+  static const DispatchMode mode = [] {
+    const char* env = std::getenv("RMC_DISPATCH");
+    if (env != nullptr && std::string_view(env) == "legacy") {
+      return DispatchMode::kLegacy;
+    }
+    return DispatchMode::kFast;
+  }();
+  return mode;
 }
 
-u16 Cpu::fetch16() {
-  const u8 lo = fetch8();
-  const u8 hi = fetch8();
-  return common::make16(lo, hi);
-}
-
-void Cpu::push16(u16 v) {
-  regs_.sp = static_cast<u16>(regs_.sp - 1);
-  mem_.write(regs_.sp, common::hi8(v));
-  regs_.sp = static_cast<u16>(regs_.sp - 1);
-  mem_.write(regs_.sp, common::lo8(v));
-}
-
-u16 Cpu::pop16() {
-  const u8 lo = mem_.read(regs_.sp);
-  regs_.sp = static_cast<u16>(regs_.sp + 1);
-  const u8 hi = mem_.read(regs_.sp);
-  regs_.sp = static_cast<u16>(regs_.sp + 1);
-  return common::make16(lo, hi);
-}
-
-// ---------------------------------------------------------------------------
-// ALU
-// ---------------------------------------------------------------------------
-
-u8 Cpu::alu_add8(u8 a, u8 b, bool carry_in) {
-  const unsigned c = carry_in ? 1U : 0U;
-  const unsigned r = static_cast<unsigned>(a) + b + c;
-  const u8 res = static_cast<u8>(r);
-  set_flag(Flag::S, (res & 0x80) != 0);
-  set_flag(Flag::Z, res == 0);
-  set_flag(Flag::H, ((a & 0xF) + (b & 0xF) + c) > 0xF);
-  set_flag(Flag::PV, ((~(a ^ b)) & (a ^ res) & 0x80) != 0);
-  set_flag(Flag::N, false);
-  set_flag(Flag::C, r > 0xFF);
-  return res;
-}
-
-u8 Cpu::alu_sub8(u8 a, u8 b, bool carry_in, bool store_result_flags) {
-  const unsigned c = carry_in ? 1U : 0U;
-  const unsigned r = static_cast<unsigned>(a) - b - c;
-  const u8 res = static_cast<u8>(r);
-  set_flag(Flag::S, (res & 0x80) != 0);
-  set_flag(Flag::Z, res == 0);
-  set_flag(Flag::H, (a & 0xF) < ((b & 0xF) + c));
-  set_flag(Flag::PV, ((a ^ b) & (a ^ res) & 0x80) != 0);
-  set_flag(Flag::N, true);
-  set_flag(Flag::C, r > 0xFF);  // borrow
-  (void)store_result_flags;
-  return res;
-}
-
-void Cpu::alu_logic(u8 result, bool set_h) {
-  set_flag(Flag::S, (result & 0x80) != 0);
-  set_flag(Flag::Z, result == 0);
-  set_flag(Flag::H, set_h);
-  set_flag(Flag::PV, parity_even(result));
-  set_flag(Flag::N, false);
-  set_flag(Flag::C, false);
-}
-
-u16 Cpu::alu_add16(u16 a, u16 b) {
-  const u32 r = static_cast<u32>(a) + b;
-  set_flag(Flag::H, ((a & 0x0FFF) + (b & 0x0FFF)) > 0x0FFF);
-  set_flag(Flag::N, false);
-  set_flag(Flag::C, r > 0xFFFF);
-  return static_cast<u16>(r);
-}
-
-u16 Cpu::alu_adc16(u16 a, u16 b, bool carry_in) {
-  const u32 c = carry_in ? 1U : 0U;
-  const u32 r = static_cast<u32>(a) + b + c;
-  const u16 res = static_cast<u16>(r);
-  set_flag(Flag::S, (res & 0x8000) != 0);
-  set_flag(Flag::Z, res == 0);
-  set_flag(Flag::H, ((a & 0x0FFF) + (b & 0x0FFF) + c) > 0x0FFF);
-  set_flag(Flag::PV, ((~(a ^ b)) & (a ^ res) & 0x8000) != 0);
-  set_flag(Flag::N, false);
-  set_flag(Flag::C, r > 0xFFFF);
-  return res;
-}
-
-u16 Cpu::alu_sbc16(u16 a, u16 b, bool carry_in) {
-  const u32 c = carry_in ? 1U : 0U;
-  const u32 r = static_cast<u32>(a) - b - c;
-  const u16 res = static_cast<u16>(r);
-  set_flag(Flag::S, (res & 0x8000) != 0);
-  set_flag(Flag::Z, res == 0);
-  set_flag(Flag::H, (a & 0x0FFF) < ((b & 0x0FFF) + c));
-  set_flag(Flag::PV, ((a ^ b) & (a ^ res) & 0x8000) != 0);
-  set_flag(Flag::N, true);
-  set_flag(Flag::C, r > 0xFFFF);
-  return res;
-}
-
-u8 Cpu::alu_inc8(u8 v) {
-  const u8 res = static_cast<u8>(v + 1);
-  set_flag(Flag::S, (res & 0x80) != 0);
-  set_flag(Flag::Z, res == 0);
-  set_flag(Flag::H, (v & 0xF) == 0xF);
-  set_flag(Flag::PV, v == 0x7F);
-  set_flag(Flag::N, false);
-  return res;
-}
-
-u8 Cpu::alu_dec8(u8 v) {
-  const u8 res = static_cast<u8>(v - 1);
-  set_flag(Flag::S, (res & 0x80) != 0);
-  set_flag(Flag::Z, res == 0);
-  set_flag(Flag::H, (v & 0xF) == 0);
-  set_flag(Flag::PV, v == 0x80);
-  set_flag(Flag::N, true);
-  return res;
+void Cpu::on_code_write(u32 phys) {
+  // Only decodings that *cover* the written byte can go stale: an
+  // instruction is at most kMaxUopBytes long and never cached across a page
+  // boundary, so clearing the handful of slots ending at `phys` suffices.
+  // Anything coarser (wiping the page) turns a data write that happens to
+  // share a page with code into a 32 KiB fill — pathological for hot loops.
+  const u32 page = phys / Memory::kPageSize;
+  UopPage* p = uop_pages_[page].get();
+  if (p == nullptr) return;
+  const u32 off = phys & (Memory::kPageSize - 1);
+  const u32 first = off >= kMaxUopBytes - 1 ? off - (kMaxUopBytes - 1) : 0;
+  for (u32 i = first; i <= off; ++i) p->ops[i] = Uop{};
 }
 
 u8 Cpu::rot_op(unsigned op, u8 v) {
@@ -210,26 +113,16 @@ void Cpu::write_r(unsigned code, u8 v) {
   }
 }
 
-bool Cpu::cond(unsigned code) const {
-  switch (code) {
-    case 0: return !flag(Flag::Z);   // NZ
-    case 1: return flag(Flag::Z);    // Z
-    case 2: return !flag(Flag::C);   // NC
-    case 3: return flag(Flag::C);    // C
-    case 4: return !flag(Flag::PV);  // PO / LZ
-    case 5: return flag(Flag::PV);   // PE / LO
-    case 6: return !flag(Flag::S);   // P
-    default: return flag(Flag::S);   // M
-  }
-}
-
 // ---------------------------------------------------------------------------
 // Execution
 // ---------------------------------------------------------------------------
 
 unsigned Cpu::service_interrupt() {
+  // iff_ first: with interrupts globally disabled no device can be taken,
+  // so the (virtual, per-device) pending_irq scan is skipped entirely.
+  if (!iff_) return 0;
   IoDevice* dev = io_.pending_irq();
-  if (dev == nullptr || !iff_) return 0;
+  if (dev == nullptr) return 0;
   iff_ = false;
   halted_ = false;
   push16(regs_.pc);
@@ -248,13 +141,13 @@ unsigned Cpu::step() {
   if (unsigned c = service_interrupt()) {
     cycles_ += c;
     io_.tick(c);
-    if (observer_ != nullptr) observer_->on_step(pc0, phys0, c);
+    observe(pc0, phys0, c);
     return c;
   }
   if (halted_) {
     cycles_ += 2;
     io_.tick(2);
-    if (observer_ != nullptr) observer_->on_step(pc0, phys0, 2);
+    observe(pc0, phys0, 2);
     return 2;
   }
   const bool enable_after = ei_delay_;
@@ -284,30 +177,44 @@ unsigned Cpu::step() {
   ++instructions_;
   cycles_ += c;
   io_.tick(c);
-  if (observer_ != nullptr) observer_->on_step(pc0, phys0, c);
+  observe(pc0, phys0, c);
   return c;
 }
 
 StopReason Cpu::run(u64 max_cycles) {
   const u64 limit = cycles_ + max_cycles;
   while (cycles_ < limit) {
-    if (!breakpoints_.empty() &&
-        std::find(breakpoints_.begin(), breakpoints_.end(), regs_.pc) !=
-            breakpoints_.end()) {
+    if (dispatch_ == DispatchMode::kFast && breakpoints_.empty() && !iff_ &&
+        !ei_delay_ && !halted_ && !illegal_) {
+      // Fast dispatch covers every span that needs no per-step precision;
+      // it returns with the budget spent or a precision condition raised.
+      run_fast(limit);
+      if (illegal_) return StopReason::kIllegal;
+      if (halted_ && !iff_) return StopReason::kHalted;
+      continue;
+    }
+    if (!breakpoints_.empty() && bp_hit(regs_.pc)) {
       return StopReason::kBreakpoint;
     }
     step();
     if (illegal_) return StopReason::kIllegal;
     if (halted_ && !iff_) return StopReason::kHalted;
-    if (halted_ && io_.pending_irq() == nullptr && iff_) {
-      // Halted with interrupts enabled: keep ticking devices until one fires
-      // (step() already advances 2 cycles per idle iteration).
-    }
+    // Halted with interrupts enabled: keep ticking devices until one fires
+    // (step() advances 2 cycles per idle iteration).
   }
   return halted_ ? StopReason::kHalted : StopReason::kCycleLimit;
 }
 
-void Cpu::add_breakpoint(u16 addr) { breakpoints_.push_back(addr); }
+bool Cpu::bp_hit(u16 pc) const {
+  return std::binary_search(breakpoints_.begin(), breakpoints_.end(), pc);
+}
+
+void Cpu::add_breakpoint(u16 addr) {
+  const auto it =
+      std::lower_bound(breakpoints_.begin(), breakpoints_.end(), addr);
+  if (it == breakpoints_.end() || *it != addr) breakpoints_.insert(it, addr);
+}
+
 void Cpu::clear_breakpoints() { breakpoints_.clear(); }
 
 unsigned Cpu::illegal(u8 prefix, u8 op) {

@@ -1,0 +1,114 @@
+#include "rabbit/fleet.h"
+
+#include <algorithm>
+#include <barrier>
+#include <cstdlib>
+#include <thread>
+
+namespace rmc::rabbit {
+
+unsigned Fleet::threads_from_env() {
+  const char* env = std::getenv("RMC_BOARD_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v < 1) return 1;
+  return static_cast<unsigned>(v);
+}
+
+Fleet::RunResult Fleet::run(u64 quantum_cycles, u64 quanta,
+                            const std::function<void(u64)>& on_quantum) {
+  RunResult result;
+  if (boards_.empty() || quanta == 0 || quantum_cycles == 0) return result;
+
+  u64 cycles_before = 0;
+  for (Board* b : boards_) cycles_before += b->cpu().cycles();
+
+  const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
+      threads_ == 0 ? 1 : threads_, boards_.size()));
+
+  if (workers <= 1) {
+    for (u64 q = 0; q < quanta; ++q) {
+      for (Board* b : boards_) b->run(quantum_cycles);
+      if (on_quantum) on_quantum(q);
+    }
+  } else {
+    // Worker w owns boards w, w+workers, w+2*workers, ... for the whole
+    // run — a board never migrates between threads, so each board's
+    // execution is a single-threaded program with barriers in it. The
+    // barrier's completion step runs the hook exactly once per quantum, on
+    // whichever thread arrives last, while every other worker waits.
+    u64 barrier_q = 0;
+    std::barrier sync(workers, [&]() noexcept {
+      if (on_quantum) on_quantum(barrier_q);
+      ++barrier_q;
+    });
+    auto work = [&](unsigned w) {
+      for (u64 q = 0; q < quanta; ++q) {
+        for (std::size_t i = w; i < boards_.size(); i += workers) {
+          boards_[i]->run(quantum_cycles);
+        }
+        sync.arrive_and_wait();
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (unsigned w = 1; w < workers; ++w) pool.emplace_back(work, w);
+    work(0);
+    for (std::thread& t : pool) t.join();
+  }
+
+  u64 cycles_after = 0;
+  for (Board* b : boards_) cycles_after += b->cpu().cycles();
+  result.quanta = quanta;
+  result.cycles = cycles_after - cycles_before;
+  return result;
+}
+
+namespace {
+
+constexpr u64 kFnvOffset = 1469598103934665603ULL;
+constexpr u64 kFnvPrime = 1099511628211ULL;
+
+void fnv_bytes(u64& h, const u8* data, std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_u64(u64& h, u64 v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= static_cast<u8>(v >> (8 * i));
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+u64 Fleet::digest() const {
+  u64 h = kFnvOffset;
+  for (Board* board : boards_) {
+    Cpu& cpu = board->cpu();
+    const Registers& r = cpu.regs();
+    const u8 regs[] = {r.a,  r.f,  r.b,  r.c,  r.d,  r.e,  r.h,  r.l,
+                       r.a2, r.f2, r.b2, r.c2, r.d2, r.e2, r.h2, r.l2};
+    fnv_bytes(h, regs, sizeof(regs));
+    fnv_u64(h, r.ix);
+    fnv_u64(h, r.iy);
+    fnv_u64(h, r.sp);
+    fnv_u64(h, r.pc);
+    fnv_u64(h, cpu.cycles());
+    fnv_u64(h, cpu.instructions_retired());
+    fnv_u64(h, cpu.halted() ? 1 : 0);
+    Memory& mem = board->mem();
+    const u8 segs[] = {mem.segsize(), mem.dataseg(), mem.stackseg(),
+                       mem.xpc()};
+    fnv_bytes(h, segs, sizeof(segs));
+    fnv_u64(h, mem.flash_write_faults());
+    fnv_bytes(h, mem.raw_phys(), Memory::kPhysSize);
+  }
+  return h;
+}
+
+}  // namespace rmc::rabbit

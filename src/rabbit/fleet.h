@@ -1,0 +1,73 @@
+// Fleet — lockstep execution of several independent RMC2000 boards, with
+// optional host-thread parallelism.
+//
+// Multi-board experiments (a service board plus attacker boards, an AES
+// board per key server, ...) advance every board through the same span of
+// virtual time. Fleet slices that span into fixed cycle quanta: within one
+// quantum each board runs alone against its own Memory/IoBus/peripherals —
+// Boards share no state by construction — and between quanta all boards
+// stand at the same virtual-time barrier, where the single-threaded
+// `on_quantum` hook runs (tick a shared SimNet, sample telemetry, ...).
+//
+// Because boards are independent inside a quantum and every cross-board
+// interaction happens only at the barrier, the schedule of host threads
+// cannot change any board's architectural state: the threaded run is
+// *deterministically identical* to the sequential one, which digest()
+// makes checkable (tests and scripts/check.sh compare threaded vs
+// sequential digests byte for byte). SimNet delivery order is untouched —
+// the medium is only ever ticked from the barrier hook.
+//
+// Thread count comes from set_threads() or the RMC_BOARD_THREADS
+// environment variable (default 1 = sequential; the deterministic-by-
+// construction property makes turning threads on purely a host-performance
+// knob).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "rabbit/board.h"
+
+namespace rmc::rabbit {
+
+class Fleet {
+ public:
+  Fleet() : threads_(threads_from_env()) {}
+
+  /// Enlist a board. The Fleet does not own it; it must outlive run().
+  void add(Board* board) { boards_.push_back(board); }
+  std::size_t size() const { return boards_.size(); }
+
+  /// Host threads used per quantum (clamped to the board count at run
+  /// time). 0 and 1 both mean sequential.
+  void set_threads(unsigned n) { threads_ = n == 0 ? 1 : n; }
+  unsigned threads() const { return threads_; }
+  /// RMC_BOARD_THREADS, or 1 when unset/unparseable.
+  static unsigned threads_from_env();
+
+  struct RunResult {
+    u64 quanta = 0;  // barriers crossed
+    u64 cycles = 0;  // cycles consumed, summed over all boards
+  };
+
+  /// Advance every board by up to `quantum_cycles` of virtual time per
+  /// quantum, `quanta` times. `on_quantum(q)` (q = 0-based quantum index)
+  /// runs single-threaded at each barrier, after every board finished the
+  /// quantum. A halted board stops consuming cycles but stays enlisted —
+  /// its peers keep running.
+  RunResult run(u64 quantum_cycles, u64 quanta,
+                const std::function<void(u64)>& on_quantum = nullptr);
+
+  /// FNV-1a digest over every board's architectural state (registers,
+  /// counters, segment registers, full physical memory), in enlistment
+  /// order. Two runs that executed the same programs — threaded or not —
+  /// digest identically.
+  u64 digest() const;
+
+ private:
+  std::vector<Board*> boards_;
+  unsigned threads_ = 1;
+};
+
+}  // namespace rmc::rabbit

@@ -4,34 +4,40 @@
 
 namespace rmc::rabbit {
 
-Memory::Memory() : phys_(kPhysSize, 0) {}
+Memory::Memory() : phys_(kPhysSize, 0) { rebuild_page_map(); }
 
-u32 Memory::translate(u16 logical) const {
-  u32 phys;
-  if (logical >= kXpcWindowBase) {
-    phys = static_cast<u32>(logical) + (static_cast<u32>(xpc_) << 12);
-  } else if (logical >= stack_base()) {
-    phys = static_cast<u32>(logical) + (static_cast<u32>(stackseg_) << 12);
-  } else if (logical >= data_base()) {
-    phys = static_cast<u32>(logical) + (static_cast<u32>(dataseg_) << 12);
-  } else {
-    phys = logical;
+void Memory::rebuild_page_map() {
+  // Segment bases are always 4 KiB-aligned (SEGSIZE nibbles, fixed 0xE000
+  // XPC window), so a page's first address classifies every address in it.
+  const u16 db = data_base();
+  const u16 sb = stack_base();
+  for (u32 page = 0; page < page_delta_.size(); ++page) {
+    const u16 lo = static_cast<u16>(page << 12);
+    u32 delta;
+    if (lo >= kXpcWindowBase) {
+      delta = static_cast<u32>(xpc_) << 12;
+    } else if (lo >= sb) {
+      delta = static_cast<u32>(stackseg_) << 12;
+    } else if (lo >= db) {
+      delta = static_cast<u32>(dataseg_) << 12;
+    } else {
+      delta = 0;
+    }
+    page_delta_[page] = delta;
   }
-  return phys % kPhysSize;
 }
 
-void Memory::write(u16 logical, u8 value) {
-  const u32 phys = translate(logical);
-  if (!flash_writable_ && phys < kFlashSize) {
-    ++flash_write_faults_;
-    return;
-  }
-  phys_[phys] = value;
+void Memory::code_write(u32 phys) {
+  // The mark persists: the watcher invalidates only the decodings covering
+  // this byte, so later stores into the page must keep firing. Watched
+  // pages therefore pay the (cheap, targeted) callback on every store;
+  // unwatched pages pay one predictable branch.
+  if (watch_ != nullptr) watch_->on_code_write(phys);
 }
 
 void Memory::load(u32 phys, std::span<const u8> image) {
   for (std::size_t i = 0; i < image.size(); ++i) {
-    phys_[(phys + i) % kPhysSize] = image[i];
+    write_phys(phys + static_cast<u32>(i), image[i]);
   }
 }
 

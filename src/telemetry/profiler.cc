@@ -83,6 +83,20 @@ void CycleProfiler::bind(const rabbit::Image& image) {
     p.cycles.assign(regions_.size() + 1, 0);
     p.steps.assign(regions_.size() + 1, 0);
   }
+
+  // Dense lookup table equivalent to region_index(): default everything to
+  // "(other)", then paint each region's [lo, hi). Later regions win where a
+  // zero-length predecessor shares its lo, exactly like upper_bound's
+  // last-of-equals predecessor.
+  std::fill(region_of_.begin(), region_of_.end(),
+            static_cast<u16>(regions_.size()));
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    const u32 lo = std::min(regions_[i].lo, rabbit::Memory::kPhysSize);
+    const u32 hi = std::min(regions_[i].hi, rabbit::Memory::kPhysSize);
+    std::fill(region_of_.begin() + lo, region_of_.begin() + hi,
+              static_cast<u16>(i));
+  }
+  refresh_sink();
 }
 
 void CycleProfiler::set_phase(const std::string& name) {
@@ -90,6 +104,7 @@ void CycleProfiler::set_phase(const std::string& name) {
   for (std::size_t i = 0; i < phases_.size(); ++i) {
     if (phases_[i].name == name) {
       active_phase_ = i;
+      refresh_sink();
       return;
     }
   }
@@ -97,8 +112,9 @@ void CycleProfiler::set_phase(const std::string& name) {
   p.name = name;
   p.cycles.assign(regions_.size() + 1, 0);
   p.steps.assign(regions_.size() + 1, 0);
-  phases_.push_back(std::move(p));
+  phases_.push_back(std::move(p));  // may reallocate: sink must repoint
   active_phase_ = phases_.size() - 1;
+  refresh_sink();
 }
 
 std::size_t CycleProfiler::region_index(u32 phys_pc) const {

@@ -80,6 +80,13 @@ class CycleProfiler : public rabbit::CpuObserver {
   // rabbit::CpuObserver
   void on_step(u16 pc, u32 phys_pc, unsigned cycles) override;
 
+  /// Fast attribution channel: a dense phys->region table plus raw pointers
+  /// into the active phase's accumulators. The CPU turns each step into two
+  /// indexed adds instead of a virtual call and a region search; bind() and
+  /// set_phase() repoint the sink so it always targets the active phase.
+  /// Attribution through the sink is bit-identical to on_step().
+  const rabbit::StepSink* step_sink() const override { return &sink_; }
+
   /// Every cycle observed since bind() across all phases; equals the CPU's
   /// cycle-counter delta over the attachment window, exactly.
   u64 total_cycles() const;
@@ -119,9 +126,24 @@ class CycleProfiler : public rabbit::CpuObserver {
 
   std::size_t region_index(u32 phys_pc) const;
 
+  /// Retarget sink_ at region_of_ and the active phase's accumulators. Must
+  /// run after anything that can move them: bind() reassigns the vectors,
+  /// set_phase() switches phases and may reallocate phases_.
+  void refresh_sink() {
+    sink_.region_of = region_of_.data();
+    sink_.cycles = phases_[active_phase_].cycles.data();
+    sink_.steps = phases_[active_phase_].steps.data();
+  }
+
   std::vector<Region> regions_;     // sorted by lo, non-overlapping
   std::vector<Phase> phases_;
   std::size_t active_phase_ = 0;
+  /// Dense phys -> region index; regions_.size() (= "(other)") elsewhere.
+  /// Before bind() every entry is 0, which is "(other)" while regions_ is
+  /// empty, so the sink is valid from construction on.
+  std::vector<u16> region_of_ =
+      std::vector<u16>(rabbit::Memory::kPhysSize, 0);
+  rabbit::StepSink sink_;
 };
 
 }  // namespace rmc::telemetry
