@@ -27,6 +27,8 @@
 #include "telemetry/json.h"
 #include "telemetry/metrics.h"
 #include "telemetry/profiler.h"
+#include "telemetry/slo.h"
+#include "telemetry/timeseries.h"
 #include "telemetry/trace.h"
 
 namespace rmc::bench {
@@ -72,6 +74,10 @@ class Args {
       telemetry::Tracer::global().set_enabled(true);
       telemetry::Tracer::global().set_pcap_capture(true);
     }
+    // Timeseries CSV export path — same policy as --trace/--pcap: an output
+    // path is host state, never a param. Only written when the bench also
+    // attaches a Sampler to its JsonReport.
+    if (const std::string* s = take("csv")) csv_path_ = *s;
   }
 
   /// Declares an integer knob; returns the parsed override or `def`.
@@ -123,9 +129,11 @@ class Args {
     return {};
   }
 
-  /// Paths given with --trace / --pcap (already consumed; empty = off).
+  /// Paths given with --trace / --pcap / --csv (already consumed; empty =
+  /// off).
   const std::string& trace_path() const { return trace_path_; }
   const std::string& pcap_path() const { return pcap_path_; }
+  const std::string& csv_path() const { return csv_path_; }
 
   /// Declared knobs with their effective values (for the params object).
   const std::vector<std::pair<std::string, long>>& params() const {
@@ -169,6 +177,7 @@ class Args {
   std::vector<std::pair<std::string, std::string>> str_params_;
   std::string trace_path_;
   std::string pcap_path_;
+  std::string csv_path_;
   std::chrono::steady_clock::time_point start_ =
       std::chrono::steady_clock::now();
 };
@@ -208,6 +217,15 @@ class JsonReport {
   void profile(std::string name, const telemetry::CycleProfiler& p) {
     profiles_.emplace_back(std::move(name), &p);
   }
+
+  /// Attach the run's timeseries sampler: write() then emits a "timeseries"
+  /// section, honors --csv, and the --trace export gains "ph":"C" counter
+  /// tracks. Benches that never attach one emit byte-identical JSON to
+  /// before this section existed. Must stay alive until write().
+  void timeseries(const telemetry::Sampler& s) { sampler_ = &s; }
+  /// Attach the run's SLO engine: write() emits an "slo" section (rules,
+  /// firing state, alert timeline). Must stay alive until write().
+  void slo(const telemetry::SloEngine& e) { slo_ = &e; }
 
   /// Write BENCH_<id>.json-style output when --json was passed; otherwise a
   /// no-op. Exits nonzero on I/O failure or unknown flags so typos fail the
@@ -261,6 +279,14 @@ class JsonReport {
     }
     w.key("metrics");
     telemetry::Registry::global().write_json(w);
+    if (sampler_ != nullptr) {
+      w.key("timeseries");
+      sampler_->write_json(w);
+    }
+    if (slo_ != nullptr) {
+      w.key("slo");
+      slo_->write_json(w);
+    }
     w.end_object();
 
     if (!telemetry::write_file(path, w.str())) {
@@ -271,18 +297,31 @@ class JsonReport {
   }
 
  private:
-  /// Honor --trace / --pcap: dump whatever the tracer captured. Runs even
-  /// without --json, so any bench can be used purely as a trace source.
-  static void write_trace_artifacts(const Args& args) {
+  /// Honor --trace / --pcap / --csv: dump whatever the tracer and sampler
+  /// captured. Runs even without --json, so any bench can be used purely as
+  /// a trace source. With a sampler attached the Chrome trace additionally
+  /// carries the counter tracks; without one the bytes are unchanged.
+  void write_trace_artifacts(const Args& args) const {
     auto& tracer = telemetry::Tracer::global();
     if (!args.trace_path().empty()) {
-      if (!telemetry::write_chrome_trace(args.trace_path(),
-                                         tracer.events())) {
+      const std::string doc =
+          sampler_ != nullptr ? sampler_->chrome_trace_json(tracer.events())
+                              : telemetry::chrome_trace_json(tracer.events());
+      if (!telemetry::write_file(args.trace_path(), doc)) {
         std::fprintf(stderr, "cannot write %s\n", args.trace_path().c_str());
         std::exit(1);
       }
       std::printf("chrome trace written to %s (%zu events)\n",
                   args.trace_path().c_str(), tracer.events().size());
+    }
+    if (!args.csv_path().empty() && sampler_ != nullptr) {
+      if (!telemetry::write_file(args.csv_path(), sampler_->csv())) {
+        std::fprintf(stderr, "cannot write %s\n", args.csv_path().c_str());
+        std::exit(1);
+      }
+      std::printf("timeseries csv written to %s (%llu samples)\n",
+                  args.csv_path().c_str(),
+                  static_cast<unsigned long long>(sampler_->samples()));
     }
     if (!args.pcap_path().empty()) {
       const auto bytes = tracer.pcap_file_bytes();
@@ -309,6 +348,8 @@ class JsonReport {
   std::vector<Entry> entries_;
   std::vector<std::pair<std::string, const telemetry::CycleProfiler*>>
       profiles_;
+  const telemetry::Sampler* sampler_ = nullptr;
+  const telemetry::SloEngine* slo_ = nullptr;
 };
 
 }  // namespace rmc::bench

@@ -12,15 +12,19 @@
 # watching — and its JSON joins the determinism double-run. E16 (memory
 # churn) runs reduced-scale in quarantine/poison mode so every slab
 # alloc/free/audit path is sanitizer-checked, and double-runs for byte
-# reproducibility. Finally, a baseline gate: with resumption and tracing
-# off (the defaults), the gated bench artifacts
-# (E1/E4/E5/E9/E10/E11/E12/E14) must be byte-identical to the ones a clean
-# checkout of origin/main (or main) produces — new machinery must be
-# invisible until switched on. With the crypto offload engine (E14), the
-# abuse library, and the slab allocator (E16) in the tree, that baseline
-# doubles as the do-no-harm gate: the hardening hooks are compiled into
-# every bench binary but never selected by the gated configs, so their
-# JSON must not move by a byte.
+# reproducibility. E17 (SLO timeline) runs its partition + power-cut soak
+# with the sampler and alert engine under the same sanitizers, and its JSON
+# and timeseries CSV join the determinism double-run. Finally, a baseline
+# gate: with resumption and tracing off (the defaults), the gated bench
+# artifacts (E1/E4/E5/E9/E10/E11/E12/E14) must be byte-identical to the
+# ones a clean checkout of origin/main (or main) produces — new machinery
+# must be invisible until switched on. With the crypto offload engine
+# (E14), the abuse library, the slab allocator (E16), and the timeseries
+# sampler + latency histograms (E17) in the tree, that baseline doubles as
+# the do-no-harm gate: the hardening/observability hooks are compiled into
+# every bench binary but never selected by the gated configs (the sampler
+# is never attached and latency telemetry defaults off), so their JSON
+# must not move by a byte.
 #
 # Usage:
 #   scripts/check.sh [--skip-baseline]
@@ -39,14 +43,14 @@ cmake --build "$repo_root/build" -j >/dev/null
 (cd "$repo_root/build" && ctest --output-on-failure -j)
 
 echo
-echo "== sanitizers: ASan+UBSan soaks (E9, E10) + E11 + E12 + E14 + E15 + E16 =="
+echo "== sanitizers: ASan+UBSan soaks (E9, E10) + E11 + E12 + E14-E17 =="
 san_dir="$repo_root/build-san"
 cmake -B "$san_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=Debug -DRMC_SANITIZE=address,undefined >/dev/null
 cmake --build "$san_dir" -j --target bench_fault_soak --target bench_crash_soak \
   --target bench_resumption --target bench_trace_audit \
   --target bench_crypto_offload --target bench_abuse_soak \
-  --target bench_mem_churn >/dev/null
+  --target bench_mem_churn --target bench_slo_timeline >/dev/null
 "$san_dir/bench/bench_fault_soak" --seed 233
 "$san_dir/bench/bench_crash_soak" --seed 233
 "$san_dir/bench/bench_resumption"
@@ -68,9 +72,13 @@ cmake --build "$san_dir" -j --target bench_fault_soak --target bench_crash_soak 
 e16_flags=(--seed 233 --churn-cycles 20000 --quarantine-cycles 5000
            --sessions 40 --fault-sessions 8 --min-cycles 1 --quarantine 1)
 "$san_dir/bench/bench_mem_churn" "${e16_flags[@]}"
+# E17 runs both legs (bare + instrumented) of its partition/power-cut soak,
+# so the sampler scrape, delta rings, percentile math, SLO evaluation, and
+# the byte-identity signature comparison all execute under ASan/UBSan.
+"$san_dir/bench/bench_slo_timeline" --seed 563
 
 echo
-echo "== determinism: E9 + E10 + E11 + E14 + E15 json byte-reproducible =="
+echo "== determinism: E9-E11 + E14-E17 json (and E17 csv) byte-reproducible =="
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 "$san_dir/bench/bench_fault_soak" --seed 233 --json "$tmp/a.json" >/dev/null
@@ -91,6 +99,12 @@ cmp "$tmp/e15a.json" "$tmp/e15b.json"
 "$san_dir/bench/bench_mem_churn" "${e16_flags[@]}" --json "$tmp/e16a.json" >/dev/null
 "$san_dir/bench/bench_mem_churn" "${e16_flags[@]}" --json "$tmp/e16b.json" >/dev/null
 cmp "$tmp/e16a.json" "$tmp/e16b.json"
+"$san_dir/bench/bench_slo_timeline" --seed 563 \
+  --json "$tmp/e17a.json" --csv "$tmp/e17a.csv" >/dev/null
+"$san_dir/bench/bench_slo_timeline" --seed 563 \
+  --json "$tmp/e17b.json" --csv "$tmp/e17b.csv" >/dev/null
+cmp "$tmp/e17a.json" "$tmp/e17b.json"
+cmp "$tmp/e17a.csv" "$tmp/e17b.csv"
 echo "identical artifacts"
 
 echo
@@ -137,12 +151,15 @@ else
   echo
   echo "== baseline: new machinery off => gated benches identical to main =="
   # Default-off machinery (resumption, tracing, the engine backend, the
-  # record/cache hardening telemetry) must be invisible: run the gated
-  # benches (E1/E4/E5/E9/E10/E11/E12/E14 — none of whose configs switch the
-  # new knobs on) from this tree AND from a pristine main worktree, and
-  # require byte-identical JSON. This is the do-no-harm gate — the hardening
-  # paths are compiled into every binary here, and merely compiling them in
-  # must not move a byte.
+  # record/cache hardening telemetry, the timeseries sampler + SLO engine)
+  # must be invisible: run the gated benches (E1/E4/E5/E9/E10/E11/E12/E14 —
+  # none of whose configs switch the new knobs on) from this tree AND from
+  # a pristine main worktree, and require byte-identical JSON. This is the
+  # do-no-harm gate — the hardening/observability paths are compiled into
+  # every binary here, and merely compiling them in must not move a byte.
+  # In particular E1/E9/E11 pin sampler-off byte-identity: the sampler and
+  # hot-path latency histograms are linked into all three, but no sampler
+  # is attached and services latency telemetry defaults off.
   base_ref="origin/main"
   git -C "$repo_root" rev-parse --verify -q "$base_ref" >/dev/null || base_ref="main"
   if git -C "$repo_root" rev-parse --verify -q "$base_ref" >/dev/null &&

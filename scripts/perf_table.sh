@@ -16,14 +16,24 @@ python3 - "$repo_root/bench/snapshots" "$fresh_dir" <<'EOF'
 import json, os, sys
 
 snap_dir, fresh_dir = sys.argv[1], sys.argv[2]
+
+def bench_jsons(d):
+    if not os.path.isdir(d):
+        return set()
+    return {n for n in os.listdir(d)
+            if n.startswith("BENCH_") and n.endswith(".json")
+            and not n.endswith(".trace.json")}
+
+# Union of both directories so every bench gets a row: snapshot-only rows
+# show the trajectory entry awaiting a fresh run, fresh-only rows surface
+# benches (E14/E15/E16/E17/...) that don't have a committed snapshot yet.
 rows = []
-for name in sorted(os.listdir(snap_dir)):
-    if not (name.startswith("BENCH_") and name.endswith(".json")):
-        continue
-    snap = json.load(open(os.path.join(snap_dir, name)))
-    before = snap.get("host_ms")
+for name in sorted(bench_jsons(snap_dir) | bench_jsons(fresh_dir)):
+    before = after = None
+    snap_path = os.path.join(snap_dir, name)
+    if os.path.exists(snap_path):
+        before = json.load(open(snap_path)).get("host_ms")
     fresh_path = os.path.join(fresh_dir, name)
-    after = None
     if os.path.exists(fresh_path):
         after = json.load(open(fresh_path)).get("host_ms")
     rows.append((name.removeprefix("BENCH_").removesuffix(".json"),

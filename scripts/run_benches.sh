@@ -4,7 +4,8 @@
 # params / results / profiles / metrics — see bench/bench_util.h).
 #
 # Every bench runs even if an earlier one fails; failures are collected and
-# a per-bench PASS/FAIL table is printed at the end, and the script exits
+# a per-bench PASS/FAIL table is printed at the end — and also written as
+# machine-readable bench/snapshots/SUMMARY.json — and the script exits
 # non-zero if there were any failures. A half-written artifact from a failed
 # bench is removed so stale JSON never masquerades as a fresh result.
 #
@@ -56,6 +57,9 @@ run E12 bench_trace_audit \
 run E14 bench_crypto_offload
 run E15 bench_abuse_soak --seed 233
 run E16 bench_mem_churn --seed 233
+# E17 also writes the timeseries CSV next to its JSON (the same curves the
+# JSON "timeseries" section carries, in spreadsheet-friendly form).
+run E17 bench_slo_timeline --seed 563 --csv "$out_dir/BENCH_E17.timeline.csv"
 run ABLATION bench_ablation_record
 
 echo "== CRYPTO: bench_crypto_primitives (google-benchmark JSON) =="
@@ -74,6 +78,26 @@ ls -l "$out_dir"/BENCH_* || true
 echo
 echo "bench     result"
 echo "--------  ------"
+summary_json="$repo_root/bench/snapshots/SUMMARY.json"
+mkdir -p "$(dirname "$summary_json")"
+{
+  echo '{'
+  echo '  "schema_version": 1,'
+  echo '  "benches": ['
+  sep=''
+  for id in "${ran[@]}"; do
+    verdict=PASS
+    for f in "${failures[@]:-}"; do
+      [[ "$f" == "$id" ]] && verdict=FAIL
+    done
+    printf '%s    {"id": "%s", "result": "%s"}' "$sep" "$id" "$verdict"
+    sep=$',\n'
+  done
+  echo
+  echo '  ],'
+  echo "  \"failed\": ${#failures[@]}"
+  echo '}'
+} >"$summary_json"
 for id in "${ran[@]}"; do
   verdict=PASS
   for f in "${failures[@]:-}"; do
@@ -81,6 +105,7 @@ for id in "${ran[@]}"; do
   done
   printf '%-8s  %s\n' "$id" "$verdict"
 done
+echo "summary: $summary_json"
 
 if ((${#failures[@]})); then
   echo

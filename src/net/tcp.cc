@@ -265,6 +265,16 @@ u64 TcpStack::rto_ms(int sock) const {
   return t == nullptr ? 0 : t->rto_ms;
 }
 
+u64 TcpStack::last_rtt_ms(int sock) const {
+  const Tcb* t = find(sock);
+  return t == nullptr ? 0 : t->last_rtt_ms;
+}
+
+u64 TcpStack::rtt_samples(int sock) const {
+  const Tcb* t = find(sock);
+  return t == nullptr ? 0 : t->rtt_samples;
+}
+
 u32 TcpStack::conn_trace_id(const Tcb& tcb) const {
   if (tcb.remote_ip == 0 && tcb.remote_port == 0) return 0;  // listener
   return telemetry::trace_conn_id(addr_, tcb.local_port, tcb.remote_ip,
@@ -323,6 +333,13 @@ void TcpStack::pump(Tcb& tcb) {
     transmit(tcb, tcb.snd_nxt, TcpFlags::kAck, payload);
     tcb.inflight.insert(tcb.inflight.end(), payload.begin(), payload.end());
     tcb.snd_nxt += static_cast<u32>(n);
+    if (!tcb.rtt_pending) {
+      // Stamp this fresh segment for RTT sampling; the ACK covering its end
+      // sequence completes the sample (see last_rtt_ms in tcp.h).
+      tcb.rtt_pending = true;
+      tcb.rtt_seq = tcb.snd_nxt;
+      tcb.rtt_sent_ms = now_ms_;
+    }
     arm_retx(tcb);
   }
   if (tcb.fin_pending && !tcb.fin_sent && tcb.send_queue.empty()) {
@@ -339,6 +356,9 @@ void TcpStack::retransmit(Tcb& tcb) {
   ++retransmissions_;
   retx_counter().add();
   ++tcb.retx_count;
+  // Karn: an ACK arriving after a retransmission is ambiguous about which
+  // transmission it acknowledges, so the outstanding RTT stamp is void.
+  tcb.rtt_pending = false;
   auto& tracer = telemetry::Tracer::global();
   if (tcb.retx_count > kMaxRetx) {
     // Give up: the peer (or the wire) is gone. RST, latch was_reset, free.
@@ -507,6 +527,13 @@ void TcpStack::handle_connection(int id, Tcb& tcb, const Segment& seg) {
       tcb.inflight.erase(tcb.inflight.begin(),
                          tcb.inflight.begin() + static_cast<long>(pop));
       tcb.snd_una = seg.ack;
+      // RTT sample completes once the cumulative ACK covers the stamped
+      // sequence (serial-number arithmetic, same as the `acked` math above).
+      if (tcb.rtt_pending && seg.ack - tcb.rtt_seq < 0x8000'0000u) {
+        tcb.last_rtt_ms = now_ms_ - tcb.rtt_sent_ms;
+        ++tcb.rtt_samples;
+        tcb.rtt_pending = false;
+      }
       tcb.retx_count = 0;
       tcb.rto_ms = kRtoMs;  // forward progress resets the backoff
       tcb.retx_deadline =

@@ -128,6 +128,18 @@ class TcpStack : public NetworkEndpoint {
   /// exponential backoff through this; 0 for unknown sockets).
   u64 rto_ms(int sock) const;
 
+  /// Passive RTT sampling, Karn-style: at most one data segment is stamped
+  /// at a time, the sample completes when a cumulative ACK covers its end
+  /// sequence, and a retransmission invalidates the outstanding stamp (an
+  /// ACK after go-back-N is ambiguous). Pure bookkeeping on existing
+  /// segments — no wire, timer, or PRNG effect — so enabling nothing and
+  /// reading these is behavior-neutral by construction.
+  /// Most recent completed sample in virtual ms (0 until the first one).
+  u64 last_rtt_ms(int sock) const;
+  /// Completed samples on this connection — watch for increments to know
+  /// last_rtt_ms() is fresh.
+  u64 rtt_samples(int sock) const;
+
   /// Optional diagnostic sink: protocol-level events that would otherwise
   /// be invisible (backlog-full SYN drops, retransmission give-ups) get a
   /// log line here.
@@ -204,6 +216,12 @@ class TcpStack : public NetworkEndpoint {
     u64 syn_rcvd_deadline = 0;   // armed on embryo creation (if enabled)
     u64 rto_ms = kRtoMs;  // current (backed-off) RTO
     int retx_count = 0;
+    // RTT sampling (see last_rtt_ms): one outstanding stamp at a time.
+    bool rtt_pending = false;
+    u32 rtt_seq = 0;        // sample completes when snd_una reaches this
+    u64 rtt_sent_ms = 0;    // virtual send time of the stamped segment
+    u64 last_rtt_ms = 0;
+    u64 rtt_samples = 0;
     // Listener-only:
     int backlog = 0;
     std::deque<int> accept_queue;

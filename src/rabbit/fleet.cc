@@ -27,10 +27,20 @@ Fleet::RunResult Fleet::run(u64 quantum_cycles, u64 quanta,
   const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
       threads_ == 0 ? 1 : threads_, boards_.size()));
 
+  // Both hooks run single-threaded at the barrier; the persistent hook sees
+  // cumulative fleet time so samplers keep a monotonic clock across runs.
+  const auto at_barrier = [&](u64 q) {
+    if (on_quantum) on_quantum(q);
+    ++barrier_quanta_;
+    if (barrier_hook_) {
+      barrier_hook_(barrier_quanta_ * quantum_cycles / barrier_cycles_per_ms_);
+    }
+  };
+
   if (workers <= 1) {
     for (u64 q = 0; q < quanta; ++q) {
       for (Board* b : boards_) b->run(quantum_cycles);
-      if (on_quantum) on_quantum(q);
+      at_barrier(q);
     }
   } else {
     // Worker w owns boards w, w+workers, w+2*workers, ... for the whole
@@ -40,7 +50,7 @@ Fleet::RunResult Fleet::run(u64 quantum_cycles, u64 quanta,
     // whichever thread arrives last, while every other worker waits.
     u64 barrier_q = 0;
     std::barrier sync(workers, [&]() noexcept {
-      if (on_quantum) on_quantum(barrier_q);
+      at_barrier(barrier_q);
       ++barrier_q;
     });
     auto work = [&](unsigned w) {

@@ -59,6 +59,22 @@ class Fleet {
   RunResult run(u64 quantum_cycles, u64 quanta,
                 const std::function<void(u64)>& on_quantum = nullptr);
 
+  /// Persistent barrier hook, run single-threaded at every quantum barrier
+  /// in addition to the per-run `on_quantum`, with the fleet's cumulative
+  /// virtual time in ms (quanta crossed since construction × quantum cycles
+  /// ÷ cycles-per-ms, 30'000 at the boards' 30 MHz). The designed scrape
+  /// point for a telemetry Sampler:
+  ///   fleet.set_barrier_hook([&](u64 ms) { sampler.tick(ms); });
+  /// A plain function, not a Sampler*, because rabbit sits below telemetry
+  /// in the link order. Null detaches.
+  void set_barrier_hook(std::function<void(u64)> hook,
+                        u64 cycles_per_ms = 30'000) {
+    barrier_hook_ = std::move(hook);
+    barrier_cycles_per_ms_ = cycles_per_ms == 0 ? 1 : cycles_per_ms;
+  }
+  /// Barriers crossed since construction (across run() calls).
+  u64 barrier_quanta() const { return barrier_quanta_; }
+
   /// FNV-1a digest over every board's architectural state (registers,
   /// counters, segment registers, full physical memory), in enlistment
   /// order. Two runs that executed the same programs — threaded or not —
@@ -68,6 +84,9 @@ class Fleet {
  private:
   std::vector<Board*> boards_;
   unsigned threads_ = 1;
+  std::function<void(u64)> barrier_hook_;
+  u64 barrier_cycles_per_ms_ = 30'000;
+  u64 barrier_quanta_ = 0;
 };
 
 }  // namespace rmc::rabbit

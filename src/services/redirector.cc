@@ -68,6 +68,40 @@ telemetry::Counter& alloc_shed_counter() {
   return c;
 }
 
+// Latency histograms are opt-in (same pattern as the supervisor's
+// reset-cause counters): registering them changes the metrics JSON, and the
+// byte-identity gates pin the default export. Benches that want tail
+// latency (E17, the fleet work) flip services::set_latency_telemetry(true).
+bool g_latency_telemetry = false;
+
+// All in virtual cycles (1 ms = 30'000 cycles on the 30 MHz board), so the
+// numbers compare directly with the paper's cycle accounting. Handshake
+// bounds span 1 ms..10 s; RTT bounds 1 ms..1 s.
+telemetry::Histogram& hs_full_hist() {
+  static constexpr common::u64 kBounds[] = {
+      30'000,     90'000,     300'000,    900'000,     3'000'000,
+      9'000'000,  30'000'000, 90'000'000, 300'000'000};
+  static telemetry::Histogram& h = telemetry::Registry::global().histogram(
+      "redirector.handshake_full_cycles", kBounds);
+  return h;
+}
+telemetry::Histogram& hs_resumed_hist() {
+  static constexpr common::u64 kBounds[] = {
+      30'000,     90'000,     300'000,    900'000,     3'000'000,
+      9'000'000,  30'000'000, 90'000'000, 300'000'000};
+  static telemetry::Histogram& h = telemetry::Registry::global().histogram(
+      "redirector.handshake_resumed_cycles", kBounds);
+  return h;
+}
+telemetry::Histogram& forward_rtt_hist() {
+  static constexpr common::u64 kBounds[] = {
+      30'000,    60'000,    150'000,   300'000,    600'000,
+      1'500'000, 3'000'000, 6'000'000, 15'000'000, 30'000'000};
+  static telemetry::Histogram& h = telemetry::Registry::global().histogram(
+      "redirector.forward_rtt_cycles", kBounds);
+  return h;
+}
+
 // Slot-lifecycle trace events (telemetry::ServiceTrace) on the client
 // connection's track; no-ops while the tracer is off.
 void trace_slot(u8 event, common::u32 conn, common::u32 a,
@@ -77,6 +111,9 @@ void trace_slot(u8 event, common::u32 conn, common::u32 a,
   tracer.emit(telemetry::TraceLayer::kService, event, conn, a, b);
 }
 }  // namespace
+
+void set_latency_telemetry(bool on) { g_latency_telemetry = on; }
+bool latency_telemetry() { return g_latency_telemetry; }
 
 // ---------------------------------------------------------------------------
 // RmcRedirector — the Figure 3 structure
@@ -315,6 +352,7 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
       id.psk = config_.psk;
       id.rsa = config_.rsa;
       if (resumption_on()) id.session_cache = &session_cache_;
+      const u64 hs_start_ms = scheduler_.now_ms();
       session.emplace(
           issl::issl_bind_server(stream, config_.tls, rng_, std::move(id)));
       // A silent or stalled peer must not pin this slot forever: the
@@ -368,6 +406,14 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
           co_await scheduler_.delay(static_cast<common::u32>(
               hs_cycles / 30'000));
         }
+        if (latency_telemetry()) {
+          // Start -> established-and-ready, crypto cost model included, in
+          // virtual cycles. Separate curves: the resumption speedup is the
+          // whole point of the abbreviated path.
+          const u64 cycles = (scheduler_.now_ms() - hs_start_ms) * 30'000;
+          (session->resumed() ? hs_resumed_hist() : hs_full_hist())
+              .record(cycles);
+        }
       }
     }
 
@@ -408,6 +454,11 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
     bool watchdogged = false;
     u64 last_progress_ms = scheduler_.now_ms();
     common::u64 crypto_cycles_owed = 0;  // accumulated cipher+MAC work
+    // Backend-path RTT curve: the TCP stack completes passive samples on
+    // ACKs (see TcpStack::last_rtt_ms); each new one lands in the gated
+    // histogram. Samples from the connect handshake don't exist (only data
+    // segments are stamped), so this starts at zero.
+    u64 rtt_seen = backend >= 0 ? stack_.rtt_samples(backend) : 0;
     while (!done) {
       if (session) {
         (void)session->pump();
@@ -474,6 +525,13 @@ dynk::Costate RmcRedirector::handler(std::size_t slot) {
           }
         }
         if (!dc_.tcp_tick(&sock)) done = true;
+      }
+      if (latency_telemetry() && backend >= 0) {
+        const u64 s = stack_.rtt_samples(backend);
+        if (s != rtt_seen) {
+          rtt_seen = s;
+          forward_rtt_hist().record(stack_.last_rtt_ms(backend) * 30'000);
+        }
       }
       // Per-slot watchdog: no bytes either direction for the whole idle
       // budget means a wedged peer (or lost tail) — kill the slot rather

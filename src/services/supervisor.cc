@@ -183,6 +183,9 @@ void ServiceBoard::go_down(FaultKind fault) {
 }
 
 void ServiceBoard::poll() {
+  // Sample on the medium's clock whether the board is up or dark: a dead
+  // board flat-lines the curves, it must not create a hole in them.
+  if (sampler_ != nullptr) sampler_->tick(net_.now_ms());
   if (!up_) {
     if (down_for_ms_ > 0) {
       --down_for_ms_;

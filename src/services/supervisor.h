@@ -33,6 +33,7 @@
 #include "rabbit/watchdog.h"
 #include "services/redirector.h"
 #include "telemetry/flightrec.h"
+#include "telemetry/timeseries.h"
 
 namespace rmc::services {
 
@@ -122,6 +123,13 @@ class ServiceBoard {
   /// for `ms` virtual milliseconds — the "wedged costatement" fault.
   void wedge_for_ms(common::u64 ms) { wedged_for_ms_ = ms; }
 
+  /// Attach a timeseries sampler: poll() ticks it with the medium's virtual
+  /// clock, including while the board is down — an outage must appear in the
+  /// curves as flat-lined throughput, not a gap in the samples. The sampler
+  /// only reads the registry, so attaching one is behavior-neutral (E17
+  /// gate (c)). Null detaches; the board never owns the sampler.
+  void attach_sampler(telemetry::Sampler* sampler) { sampler_ = sampler; }
+
   bool up() const { return up_; }
   /// Null while the board is down.
   RmcRedirector* redirector() { return redirector_.get(); }
@@ -172,6 +180,7 @@ class ServiceBoard {
   std::unique_ptr<dynk::SlabAllocator> slab_;
   std::unique_ptr<RmcRedirector> redirector_;
 
+  telemetry::Sampler* sampler_ = nullptr;
   bool up_ = false;
   common::u64 wedged_for_ms_ = 0;
   common::u64 down_for_ms_ = 0;  // remaining outage when down

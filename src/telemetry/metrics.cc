@@ -4,6 +4,36 @@
 
 namespace rmc::telemetry {
 
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p <= 0.0) return static_cast<double>(min_);
+  if (p >= 100.0) return static_cast<double>(max_);
+  // Rank of the requested percentile within the recorded population.
+  const double target = p / 100.0 * static_cast<double>(count_);
+  u64 cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const u64 c = counts_[i];
+    if (c == 0) continue;
+    if (static_cast<double>(cum + c) >= target) {
+      // Interpolate inside this bucket. The recorded min/max bound the
+      // outermost edges: bucket bounds say only "<= bounds_[i]", and the
+      // overflow bucket has no upper bound at all.
+      double lo = i == 0 ? static_cast<double>(min_)
+                         : static_cast<double>(bounds_[i - 1]);
+      double hi = i < bounds_.size() ? static_cast<double>(bounds_[i])
+                                     : static_cast<double>(max_);
+      if (lo < static_cast<double>(min_)) lo = static_cast<double>(min_);
+      if (hi > static_cast<double>(max_)) hi = static_cast<double>(max_);
+      if (hi < lo) hi = lo;
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(c);
+      return lo + (hi - lo) * frac;
+    }
+    cum += c;
+  }
+  return static_cast<double>(max_);
+}
+
 Registry& Registry::global() {
   static Registry instance;
   return instance;
@@ -99,6 +129,17 @@ void Registry::write_json(JsonWriter& w) const {
     w.key("counts");
     w.begin_array();
     for (u64 c : h->counts()) w.value(c);
+    w.end_array();
+    // Running totals alongside the per-bucket counts: offline percentile
+    // recomputation needs ranks, and re-deriving them from a truncated or
+    // partially parsed counts array is lossy. The last entry equals "count".
+    w.key("cum_counts");
+    w.begin_array();
+    u64 cum = 0;
+    for (u64 c : h->counts()) {
+      cum += c;
+      w.value(cum);
+    }
     w.end_array();
     w.end_object();
   }

@@ -130,6 +130,14 @@ class Histogram {
   /// bucket.
   std::span<const u64> counts() const { return counts_; }
 
+  /// Bucket-interpolated percentile, `p` in [0, 100] (p50/p90/p99/p99.9 in
+  /// the benches). The value is linearly interpolated inside the bucket that
+  /// holds the target rank, using the recorded min/max as the outermost
+  /// edges (bucket 0 starts at min(); the overflow bucket ends at max()),
+  /// and is always clamped into [min(), max()] so a sparse histogram never
+  /// reports a value it could not have seen. An empty histogram returns 0.
+  double percentile(double p) const;
+
   void reset() {
     count_ = sum_ = min_ = max_ = 0;
     for (u64& c : counts_) c = 0;
@@ -171,6 +179,22 @@ class Registry {
   const Counter* find_counter(std::string_view name) const;
   const Gauge* find_gauge(std::string_view name) const;
   const Histogram* find_histogram(std::string_view name) const;
+
+  /// Read-only visitation in name order (std::map), so scrapers that walk
+  /// the registry — the timeseries Sampler — see a deterministic sequence.
+  /// Visitors must not create instruments (that would invalidate iteration).
+  template <class F>
+  void for_each_counter(F&& f) const {
+    for (const auto& [name, c] : counters_) f(name, *c);
+  }
+  template <class F>
+  void for_each_gauge(F&& f) const {
+    for (const auto& [name, g] : gauges_) f(name, *g);
+  }
+  template <class F>
+  void for_each_histogram(F&& f) const {
+    for (const auto& [name, h] : histograms_) f(name, *h);
+  }
 
   /// Zero every instrument (benches isolate runs this way). Instruments are
   /// not destroyed; references stay valid.

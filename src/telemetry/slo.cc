@@ -1,0 +1,146 @@
+#include "telemetry/slo.h"
+
+#include <limits>
+
+#include "telemetry/json.h"
+#include "telemetry/trace.h"
+
+namespace rmc::telemetry {
+
+namespace {
+
+const char* kind_name(SloKind k) {
+  switch (k) {
+    case SloKind::kAvailability: return "availability";
+    case SloKind::kLatency: return "latency";
+    case SloKind::kBurnRate: return "burn_rate";
+  }
+  return "?";
+}
+
+// Trace payload word: ratios scale poorly into u32 as-is, so carry
+// millionths (availability 0.9993 -> 999300; burn 2.5 -> 2500000); latency
+// values are already integral cycles and clamp.
+u32 scaled(double v) {
+  const double s = v < 1000.0 ? v * 1e6 : v;
+  if (s >= static_cast<double>(std::numeric_limits<u32>::max())) {
+    return std::numeric_limits<u32>::max();
+  }
+  return s <= 0.0 ? 0 : static_cast<u32>(s);
+}
+
+}  // namespace
+
+std::size_t SloEngine::add_rule(SloRule r) {
+  rules_.push_back(std::move(r));
+  states_.emplace_back();
+  return rules_.size() - 1;
+}
+
+double SloEngine::observe(const SloRule& r, bool& judged,
+                          bool& breach) const {
+  judged = false;
+  breach = false;
+  switch (r.kind) {
+    case SloKind::kAvailability: {
+      const u64 good = sampler_->window_counter_sum(r.good_counter, r.window);
+      const u64 bad = sampler_->window_counter_sum(r.bad_counter, r.window);
+      const u64 total = good + bad;
+      if (total < r.min_events) return 1.0;
+      judged = true;
+      const double avail =
+          static_cast<double>(good) / static_cast<double>(total);
+      breach = avail < r.availability_floor;
+      return avail;
+    }
+    case SloKind::kLatency: {
+      const u64 n = sampler_->window_histogram_count(r.histogram, r.window);
+      if (n < r.min_events) return 0.0;
+      judged = true;
+      const double v =
+          sampler_->window_percentile(r.histogram, r.window, r.quantile);
+      breach = v > r.ceiling;
+      return v;
+    }
+    case SloKind::kBurnRate: {
+      const double budget = 1.0 - r.target;
+      if (budget <= 0.0) return 0.0;
+      const auto burn = [&](std::size_t window, u64& total) {
+        const u64 good =
+            sampler_->window_counter_sum(r.good_counter, window);
+        const u64 bad = sampler_->window_counter_sum(r.bad_counter, window);
+        total = good + bad;
+        if (total == 0) return 0.0;
+        const double ratio =
+            static_cast<double>(bad) / static_cast<double>(total);
+        return ratio / budget;
+      };
+      u64 short_total = 0, long_total = 0;
+      const double short_burn = burn(r.short_window, short_total);
+      const double long_burn = burn(r.long_window, long_total);
+      if (long_total < r.min_events) return long_burn;
+      judged = true;
+      breach = short_burn >= r.threshold && long_burn >= r.threshold;
+      return long_burn;
+    }
+  }
+  return 0.0;
+}
+
+void SloEngine::evaluate(u64 now_ms) {
+  ++evaluations_;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const SloRule& r = rules_[i];
+    State& st = states_[i];
+    bool judged = false, breach = false;
+    const double value = observe(r, judged, breach);
+    if (!judged) continue;  // silence is not evidence either way
+    if (breach) {
+      st.good_streak = 0;
+      if (!st.firing) {
+        st.firing = true;
+        alerts_.push_back({i, true, now_ms, value});
+        Tracer::global().emit(TraceLayer::kSlo, SloTrace::kFire, 0,
+                              static_cast<u32>(i), scaled(value));
+      }
+    } else if (st.firing) {
+      if (++st.good_streak >= r.clear_after) {
+        st.firing = false;
+        st.good_streak = 0;
+        alerts_.push_back({i, false, now_ms, value});
+        Tracer::global().emit(TraceLayer::kSlo, SloTrace::kClear, 0,
+                              static_cast<u32>(i), scaled(value));
+      }
+    }
+  }
+}
+
+void SloEngine::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.kv("evaluations", evaluations_);
+  w.key("rules");
+  w.begin_array();
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const SloRule& r = rules_[i];
+    w.begin_object();
+    w.kv("name", r.name);
+    w.kv("kind", kind_name(r.kind));
+    w.kv("firing", states_[i].firing);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("alerts");
+  w.begin_array();
+  for (const SloAlert& a : alerts_) {
+    w.begin_object();
+    w.kv("rule", rules_[a.rule].name);
+    w.kv("event", a.fire ? "fire" : "clear");
+    w.kv("t_ms", a.t_ms);
+    w.kv("value", a.value);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace rmc::telemetry

@@ -1,0 +1,121 @@
+// SLO rules over sampled time series: the "when did it break" layer.
+//
+// E10/E15 prove the service survives faults; what no run-total can show is
+// how long users saw degraded service and whether the degradation cleared.
+// The SloEngine evaluates declarative rules against the Sampler's windows at
+// every sample tick and keeps a fire/clear alert timeline, so a postmortem
+// lines alerts up against the injected fault schedule (E17 gates exactly
+// that alignment).
+//
+// Rule kinds, the classic serving trio:
+//   * kAvailability — good/(good+bad) over the last `window` periods must
+//     stay >= availability_floor;
+//   * kLatency — windowed quantile of a histogram series must stay
+//     <= ceiling (the p99 handshake-latency ceiling in E17);
+//   * kBurnRate — Google-SRE multi-window burn rate: bad/(good+bad) divided
+//     by the error budget (1 - target) must exceed `threshold` in BOTH the
+//     short and the long window to fire. The short window makes alerts fast,
+//     the long window keeps one bad sample from paging.
+//
+// Alert semantics: a rule fires on the first judged breach and stays firing
+// until `clear_after` consecutive judged-good evaluations (hold-down, so an
+// oscillating signal does not flap). Windows with fewer than `min_events`
+// events are not judged at all — silence is not evidence of health, and an
+// idle service must not clear (or fire) an alert.
+//
+// Every transition is appended to the alert log and — when tracing is on —
+// emitted as a TraceLayer::kSlo event into the PR 5 flight recorder and
+// trace stream. Like the tracer, the engine is passive: evaluation reads
+// the sampler, never the workload.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "telemetry/timeseries.h"
+
+namespace rmc::telemetry {
+
+enum class SloKind : u8 {
+  kAvailability = 0,
+  kLatency = 1,
+  kBurnRate = 2,
+};
+
+struct SloRule {
+  std::string name;
+  SloKind kind = SloKind::kAvailability;
+
+  // kAvailability / kBurnRate inputs: two counter series.
+  std::string good_counter;
+  std::string bad_counter;
+
+  // kAvailability.
+  double availability_floor = 0.999;
+  std::size_t window = 10;  // sample periods (also the kLatency window)
+
+  // kLatency.
+  std::string histogram;
+  double quantile = 99.0;
+  double ceiling = 0.0;  // same unit as the histogram (virtual cycles here)
+
+  // kBurnRate.
+  double target = 0.999;     // SLO target; error budget = 1 - target
+  double threshold = 2.0;    // fire when burn >= threshold in both windows
+  std::size_t short_window = 5;
+  std::size_t long_window = 30;
+
+  // Shared.
+  u64 min_events = 1;         // don't judge windows with fewer events
+  std::size_t clear_after = 3;  // consecutive good evaluations to clear
+};
+
+/// One fire or clear transition. `value` is the observed signal at the
+/// transition: availability ratio, latency in the histogram's unit, or
+/// long-window burn rate.
+struct SloAlert {
+  std::size_t rule = 0;
+  bool fire = false;
+  u64 t_ms = 0;
+  double value = 0.0;
+};
+
+class SloEngine {
+ public:
+  explicit SloEngine(const Sampler& sampler) : sampler_(&sampler) {}
+
+  std::size_t add_rule(SloRule r);
+  std::size_t rule_count() const { return rules_.size(); }
+  const SloRule& rule(std::size_t i) const { return rules_[i]; }
+
+  /// Evaluate every rule against the sampler's current windows; call after
+  /// each sampler tick. Transitions are logged (and traced when tracing is
+  /// enabled) with timestamp `now_ms`.
+  void evaluate(u64 now_ms);
+
+  bool firing(std::size_t rule) const { return states_[rule].firing; }
+  const std::vector<SloAlert>& alerts() const { return alerts_; }
+  u64 evaluations() const { return evaluations_; }
+
+  /// {"rules":[...],"alerts":[...]} — the "slo" section of BENCH JSON.
+  void write_json(JsonWriter& w) const;
+
+ private:
+  struct State {
+    bool firing = false;
+    std::size_t good_streak = 0;
+  };
+  // Returns the observed value; sets `judged` (enough events to have an
+  // opinion) and `breach`.
+  double observe(const SloRule& r, bool& judged, bool& breach) const;
+
+  const Sampler* sampler_;
+  std::vector<SloRule> rules_;
+  std::vector<State> states_;
+  std::vector<SloAlert> alerts_;
+  u64 evaluations_ = 0;
+};
+
+}  // namespace rmc::telemetry

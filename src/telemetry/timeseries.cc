@@ -1,0 +1,389 @@
+#include "telemetry/timeseries.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "telemetry/json.h"
+
+namespace rmc::telemetry {
+
+namespace {
+
+// Interpolated percentile over one window's bucket deltas. Unlike
+// Histogram::percentile() there is no windowed min/max, so bucket 0 starts
+// at 0 and the overflow bucket ends at `overflow_hi` (the instrument's
+// lifetime max — the tightest deterministic upper edge available).
+double bucket_percentile(std::span<const u64> bounds,
+                         std::span<const u64> counts, u64 overflow_hi,
+                         double q) {
+  u64 total = 0;
+  for (u64 c : counts) total += c;
+  if (total == 0) return 0.0;
+  if (q <= 0.0) q = 0.0;
+  if (q >= 100.0) q = 100.0;
+  const double target = q / 100.0 * static_cast<double>(total);
+  u64 cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const u64 c = counts[i];
+    if (c == 0) continue;
+    if (static_cast<double>(cum + c) >= target) {
+      const double lo = i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+      double hi = i < bounds.size() ? static_cast<double>(bounds[i])
+                                    : static_cast<double>(overflow_hi);
+      if (hi < lo) hi = lo;
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(c);
+      return lo + (hi - lo) * frac;
+    }
+    cum += c;
+  }
+  return static_cast<double>(overflow_hi);
+}
+
+// %.6g matches JsonWriter::value(double), so CSV and JSON agree on the same
+// sample's text.
+void append_value(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out += buf;
+}
+
+void ring_points(std::vector<Sampler::Point>& out, const auto& ring,
+                 std::size_t cap) {
+  out.reserve(ring.size);
+  for (std::size_t i = 0; i < ring.size; ++i) out.push_back(ring.at(i, cap));
+}
+
+}  // namespace
+
+void Sampler::sample(u64 now_ms) {
+  scrape(now_ms);
+  ++samples_;
+  last_sample_ms_ = now_ms;
+  // Realign to the next period boundary strictly after now_ms: one sample
+  // per call even if the clock jumped several periods.
+  if (next_due_ms_ <= now_ms) {
+    const u64 behind = (now_ms - next_due_ms_) / cfg_.period_ms + 1;
+    next_due_ms_ += behind * cfg_.period_ms;
+  }
+}
+
+void Sampler::scrape(u64 t_ms) {
+  const std::size_t cap = cfg_.ring_capacity;
+  reg_->for_each_counter([&](const std::string& name, const Counter& c) {
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+      it = counters_.emplace(name, CounterSeries{}).first;
+      it->second.src = &c;
+    }
+    CounterSeries& s = it->second;
+    const u64 now = c.value();
+    // Benches reset() the registry between scenarios; treat a backwards
+    // step as a fresh baseline rather than a garbage delta.
+    const u64 delta = now >= s.prev ? now - s.prev : now;
+    s.prev = now;
+    s.ring.push({t_ms, static_cast<double>(delta)}, cap);
+  });
+  reg_->for_each_gauge([&](const std::string& name, const Gauge& g) {
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+      it = gauges_.emplace(name, GaugeSeries{}).first;
+      it->second.src = &g;
+    }
+    it->second.ring.push({t_ms, static_cast<double>(g.value())}, cap);
+  });
+  reg_->for_each_histogram([&](const std::string& name, const Histogram& h) {
+    auto it = hists_.find(name);
+    if (it == hists_.end()) {
+      it = hists_.emplace(name, HistSeries{}).first;
+      it->second.src = &h;
+      it->second.prev_counts.assign(h.counts().size(), 0);
+      it->second.bucket_deltas.assign(cap * h.counts().size(), 0);
+    }
+    HistSeries& s = it->second;
+    const std::span<const u64> counts = h.counts();
+    const std::size_t slot = s.ring.head;  // push() writes here next
+    u64* row = s.bucket_deltas.data() + slot * s.prev_counts.size();
+    const bool reset = h.count() < s.prev_count;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      row[i] = reset ? counts[i] : counts[i] - s.prev_counts[i];
+      s.prev_counts[i] = counts[i];
+    }
+    const u64 delta = reset ? h.count() : h.count() - s.prev_count;
+    s.prev_count = h.count();
+    s.ring.push({t_ms, static_cast<double>(delta)}, cap);
+  });
+}
+
+std::size_t Sampler::series_count() const {
+  return counters_.size() + gauges_.size() + hists_.size();
+}
+
+std::size_t Sampler::memory_bytes() const {
+  std::size_t total = 0;
+  const auto ring_bytes = [](const Ring& r) {
+    return r.pts.capacity() * sizeof(Point);
+  };
+  for (const auto& [name, s] : counters_) {
+    total += name.size() + sizeof(CounterSeries) + ring_bytes(s.ring);
+  }
+  for (const auto& [name, s] : gauges_) {
+    total += name.size() + sizeof(GaugeSeries) + ring_bytes(s.ring);
+  }
+  for (const auto& [name, s] : hists_) {
+    total += name.size() + sizeof(HistSeries) + ring_bytes(s.ring) +
+             (s.prev_counts.capacity() + s.bucket_deltas.capacity()) *
+                 sizeof(u64);
+  }
+  return total;
+}
+
+std::vector<Sampler::Point> Sampler::points(std::string_view name) const {
+  std::vector<Point> out;
+  if (auto it = counters_.find(name); it != counters_.end()) {
+    ring_points(out, it->second.ring, cfg_.ring_capacity);
+  } else if (auto g = gauges_.find(name); g != gauges_.end()) {
+    ring_points(out, g->second.ring, cfg_.ring_capacity);
+  }
+  return out;
+}
+
+std::vector<Sampler::Point> Sampler::histogram_count_points(
+    std::string_view name) const {
+  std::vector<Point> out;
+  if (const HistSeries* h = find_hist(name)) {
+    ring_points(out, h->ring, cfg_.ring_capacity);
+  }
+  return out;
+}
+
+u64 Sampler::window_counter_sum(std::string_view name,
+                                std::size_t periods) const {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) return 0;
+  const Ring& r = it->second.ring;
+  u64 sum = 0;
+  const std::size_t n = periods < r.size ? periods : r.size;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += static_cast<u64>(r.at(r.size - 1 - i, cfg_.ring_capacity).value);
+  }
+  return sum;
+}
+
+const Sampler::HistSeries* Sampler::find_hist(std::string_view name) const {
+  auto it = hists_.find(name);
+  return it == hists_.end() ? nullptr : &it->second;
+}
+
+std::span<const u64> Sampler::hist_row(const HistSeries& h,
+                                       std::size_t slot) const {
+  const std::size_t buckets = h.prev_counts.size();
+  return {h.bucket_deltas.data() + slot * buckets, buckets};
+}
+
+u64 Sampler::window_histogram_count(std::string_view name,
+                                    std::size_t periods) const {
+  const HistSeries* h = find_hist(name);
+  if (h == nullptr) return 0;
+  u64 sum = 0;
+  const std::size_t n = periods < h->ring.size ? periods : h->ring.size;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += static_cast<u64>(
+        h->ring.at(h->ring.size - 1 - i, cfg_.ring_capacity).value);
+  }
+  return sum;
+}
+
+double Sampler::hist_window_percentile(const HistSeries& h,
+                                       std::size_t periods, double q) const {
+  const std::size_t cap = cfg_.ring_capacity;
+  const std::size_t buckets = h.prev_counts.size();
+  std::vector<u64> window(buckets, 0);
+  const std::size_t n = periods < h.ring.size ? periods : h.ring.size;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Recover the physical slot of logical index (size - 1 - i).
+    const std::size_t logical = h.ring.size - 1 - i;
+    const std::size_t slot = (h.ring.head + cap - h.ring.size + logical) % cap;
+    const std::span<const u64> row = hist_row(h, slot);
+    for (std::size_t b = 0; b < buckets; ++b) window[b] += row[b];
+  }
+  return bucket_percentile(h.src->bounds(), window, h.src->max(), q);
+}
+
+double Sampler::window_percentile(std::string_view name, std::size_t periods,
+                                  double q) const {
+  const HistSeries* h = find_hist(name);
+  if (h == nullptr || h->src == nullptr) return 0.0;
+  return hist_window_percentile(*h, periods, q);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void write_points(JsonWriter& w, const char* key,
+                  const std::vector<Sampler::Point>& pts) {
+  w.key(key);
+  w.begin_array();
+  for (const Sampler::Point& p : pts) {
+    w.begin_array();
+    w.value(p.t_ms);
+    w.value(p.value);
+    w.end_array();
+  }
+  w.end_array();
+}
+
+}  // namespace
+
+void Sampler::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.kv("period_ms", cfg_.period_ms);
+  w.kv("ring_capacity", static_cast<u64>(cfg_.ring_capacity));
+  w.kv("samples", samples_);
+  w.key("series");
+  w.begin_object();
+  for (const auto& [name, s] : counters_) {
+    w.key(name);
+    w.begin_object();
+    w.kv("kind", "counter");
+    write_points(w, "points", points(name));
+    w.end_object();
+  }
+  for (const auto& [name, s] : gauges_) {
+    w.key(name);
+    w.begin_object();
+    w.kv("kind", "gauge");
+    write_points(w, "points", points(name));
+    w.end_object();
+  }
+  for (const auto& [name, s] : hists_) {
+    w.key(name);
+    w.begin_object();
+    w.kv("kind", "histogram");
+    write_points(w, "count_points", histogram_count_points(name));
+    // Per-period percentiles from that period's bucket deltas alone.
+    for (const auto& [key, q] :
+         {std::pair<const char*, double>{"p50_points", 50.0},
+          std::pair<const char*, double>{"p99_points", 99.0}}) {
+      w.key(key);
+      w.begin_array();
+      for (std::size_t i = 0; i < s.ring.size; ++i) {
+        const Point& p = s.ring.at(i, cfg_.ring_capacity);
+        const std::size_t slot =
+            (s.ring.head + cfg_.ring_capacity - s.ring.size + i) %
+            cfg_.ring_capacity;
+        std::vector<u64> row(hist_row(s, slot).begin(),
+                             hist_row(s, slot).end());
+        w.begin_array();
+        w.value(p.t_ms);
+        w.value(bucket_percentile(s.src->bounds(), row, s.src->max(), q));
+        w.end_array();
+      }
+      w.end_array();
+    }
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string Sampler::csv() const {
+  std::string out = "series,t_ms,value\n";
+  const auto row = [&out](std::string_view series, u64 t, double v) {
+    out += series;
+    out += ',';
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(t));
+    out += buf;
+    out += ',';
+    append_value(out, v);
+    out += '\n';
+  };
+  for (const auto& [name, s] : counters_) {
+    for (std::size_t i = 0; i < s.ring.size; ++i) {
+      const Point& p = s.ring.at(i, cfg_.ring_capacity);
+      row(name, p.t_ms, p.value);
+    }
+  }
+  for (const auto& [name, s] : gauges_) {
+    for (std::size_t i = 0; i < s.ring.size; ++i) {
+      const Point& p = s.ring.at(i, cfg_.ring_capacity);
+      row(name, p.t_ms, p.value);
+    }
+  }
+  for (const auto& [name, s] : hists_) {
+    for (std::size_t i = 0; i < s.ring.size; ++i) {
+      const Point& p = s.ring.at(i, cfg_.ring_capacity);
+      const std::size_t slot =
+          (s.ring.head + cfg_.ring_capacity - s.ring.size + i) %
+          cfg_.ring_capacity;
+      std::vector<u64> buckets(hist_row(s, slot).begin(),
+                               hist_row(s, slot).end());
+      row(name + ".count", p.t_ms, p.value);
+      row(name + ".p50", p.t_ms,
+          bucket_percentile(s.src->bounds(), buckets, s.src->max(), 50.0));
+      row(name + ".p99", p.t_ms,
+          bucket_percentile(s.src->bounds(), buckets, s.src->max(), 99.0));
+    }
+  }
+  return out;
+}
+
+std::string Sampler::chrome_trace_json(
+    std::span<const TraceEvent> events) const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  chrome_trace_body(w, events);
+  // Counter tracks on pid 0 ("global"): one "ph":"C" event per sample.
+  const auto counter_event = [&w](std::string_view name, u64 t_ms, double v) {
+    w.begin_object();
+    w.kv("name", name);
+    w.kv("ph", "C");
+    w.kv("ts", t_ms * 1000);
+    w.kv("pid", 0);
+    w.kv("tid", 0);
+    w.key("args");
+    w.begin_object();
+    w.kv("value", v);
+    w.end_object();
+    w.end_object();
+  };
+  for (const auto& [name, s] : counters_) {
+    for (std::size_t i = 0; i < s.ring.size; ++i) {
+      const Point& p = s.ring.at(i, cfg_.ring_capacity);
+      counter_event(name, p.t_ms, p.value);
+    }
+  }
+  for (const auto& [name, s] : gauges_) {
+    for (std::size_t i = 0; i < s.ring.size; ++i) {
+      const Point& p = s.ring.at(i, cfg_.ring_capacity);
+      counter_event(name, p.t_ms, p.value);
+    }
+  }
+  for (const auto& [name, s] : hists_) {
+    for (std::size_t i = 0; i < s.ring.size; ++i) {
+      const Point& p = s.ring.at(i, cfg_.ring_capacity);
+      const std::size_t slot =
+          (s.ring.head + cfg_.ring_capacity - s.ring.size + i) %
+          cfg_.ring_capacity;
+      std::vector<u64> buckets(hist_row(s, slot).begin(),
+                               hist_row(s, slot).end());
+      counter_event(name + ".count", p.t_ms, p.value);
+      counter_event(
+          name + ".p99", p.t_ms,
+          bucket_percentile(s.src->bounds(), buckets, s.src->max(), 99.0));
+    }
+  }
+  w.end_array();
+  w.kv("displayTimeUnit", "ms");
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace rmc::telemetry

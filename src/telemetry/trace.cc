@@ -23,6 +23,7 @@ const char* trace_layer_name(TraceLayer layer) {
     case TraceLayer::kIssl: return "issl";
     case TraceLayer::kService: return "svc";
     case TraceLayer::kBoard: return "board";
+    case TraceLayer::kSlo: return "slo";
   }
   return "?";
 }
@@ -73,6 +74,12 @@ const char* trace_event_name(TraceLayer layer, u8 event) {
       switch (event) {
         case BoardTrace::kBoot: return "boot";
         case BoardTrace::kFault: return "fault";
+      }
+      break;
+    case TraceLayer::kSlo:
+      switch (event) {
+        case SloTrace::kFire: return "slo_fire";
+        case SloTrace::kClear: return "slo_clear";
       }
       break;
   }
@@ -450,12 +457,7 @@ void chrome_complete(JsonWriter& w, const std::string& name, u32 pid, u64 tid,
 
 }  // namespace
 
-std::string chrome_trace_json(std::span<const TraceEvent> events) {
-  JsonWriter w;
-  w.begin_object();
-  w.key("traceEvents");
-  w.begin_array();
-
+void chrome_trace_body(JsonWriter& w, std::span<const TraceEvent> events) {
   // Track metadata: pid = connection, tid = layer + 1 (tid 0 renders badly
   // in some viewers). std::set gives deterministic ascending order.
   std::set<u32> conns;
@@ -509,7 +511,14 @@ std::string chrome_trace_json(std::span<const TraceEvent> events) {
                       (span.end_ms - span.start_ms) * 1000);
     }
   }
+}
 
+std::string chrome_trace_json(std::span<const TraceEvent> events) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  chrome_trace_body(w, events);
   w.end_array();
   w.kv("displayTimeUnit", "ms");
   w.end_object();

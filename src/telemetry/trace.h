@@ -48,6 +48,7 @@ using common::u64;
 using common::u8;
 
 class FlightRecorder;
+class JsonWriter;
 
 /// Layer that emitted an event (one trace track per layer per connection).
 enum class TraceLayer : u8 {
@@ -56,8 +57,9 @@ enum class TraceLayer : u8 {
   kIssl = 2,     // issl sessions: handshake stages, alerts
   kService = 3,  // redirector: handler-slot lifecycle, shed, watchdog
   kBoard = 4,    // supervisor: boots and faults
+  kSlo = 5,      // SLO engine: alert fire/clear transitions
 };
-inline constexpr std::size_t kTraceLayers = 5;
+inline constexpr std::size_t kTraceLayers = 6;
 
 // Event ids, per layer. Payload word conventions are noted per event; `a`
 // and `b` are free 32-bit words.
@@ -105,6 +107,12 @@ struct BoardTrace {
   enum : u8 {
     kBoot = 0,   // a = boot count, b = last FaultKind
     kFault = 1,  // a = FaultKind, b = active sessions dropped
+  };
+};
+struct SloTrace {
+  enum : u8 {
+    kFire = 0,   // a = rule index, b = observed value (rule-specific scaling)
+    kClear = 1,  // a = rule index, b = observed value at clear time
   };
 };
 
@@ -270,6 +278,12 @@ TraceAudit audit_trace(std::span<const TraceEvent> events);
 /// "X" spans for connection lifetimes and completed handshakes.
 /// Byte-deterministic for a given event sequence.
 std::string chrome_trace_json(std::span<const TraceEvent> events);
+
+/// The traceEvents array *contents* (metadata + instants + derived spans),
+/// emitted into an already-open array. Composition point for exporters that
+/// append extra tracks — the timeseries Sampler adds "ph":"C" counter events
+/// after this body so one file carries both the event stream and the curves.
+void chrome_trace_body(JsonWriter& w, std::span<const TraceEvent> events);
 
 bool write_chrome_trace(const std::string& path,
                         std::span<const TraceEvent> events);

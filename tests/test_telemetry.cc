@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/prng.h"
 #include "rabbit/board.h"
 #include "rasm/assembler.h"
 #include "telemetry/json.h"
@@ -104,6 +105,73 @@ TEST(Histogram, BucketsByUpperBoundWithOverflow) {
   EXPECT_EQ(h.bounds().size(), 2u);
 }
 
+TEST(Histogram, PercentileEmptyIsZero) {
+  Registry r;
+  const u64 bounds[] = {10, 100};
+  telemetry::Histogram& h = r.histogram("lat", bounds);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99.9), 0.0);
+}
+
+TEST(Histogram, PercentileSingleBucketInterpolatesBetweenMinAndBound) {
+  Registry r;
+  const u64 bounds[] = {100};
+  telemetry::Histogram& h = r.histogram("lat", bounds);
+  for (u64 v = 20; v <= 80; v += 20) h.record(v);  // 20 40 60 80, bucket 0
+  // Every mass is in bucket 0: edges are min()=20 and max()=80 (bound 100
+  // clamped to the recorded max), so percentiles stay within what was seen.
+  EXPECT_GE(h.percentile(50.0), 20.0);
+  EXPECT_LE(h.percentile(50.0), 80.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 80.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 20.0);
+}
+
+TEST(Histogram, PercentileAllOverflowMassUsesRecordedMax) {
+  Registry r;
+  const u64 bounds[] = {10};
+  telemetry::Histogram& h = r.histogram("lat", bounds);
+  h.record(500);
+  h.record(900);
+  h.record(1'000);
+  // All mass beyond the last bound: the overflow bucket's edges are
+  // min()=500 and max()=1000, never infinity or the bound.
+  const double p99 = h.percentile(99.0);
+  EXPECT_GE(p99, 500.0);
+  EXPECT_LE(p99, 1'000.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 1'000.0);
+}
+
+TEST(Histogram, PercentileExactBoundaryValues) {
+  Registry r;
+  const u64 bounds[] = {10, 100};
+  telemetry::Histogram& h = r.histogram("lat", bounds);
+  for (int i = 0; i < 50; ++i) h.record(10);   // boundary -> bucket 0
+  for (int i = 0; i < 50; ++i) h.record(100);  // boundary -> bucket 1
+  // p50 falls exactly on the edge between the buckets; interpolation must
+  // land on the shared bound, and p100 on the recorded max.
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 100.0);
+  const double p99 = h.percentile(99.0);
+  EXPECT_GE(p99, 10.0);
+  EXPECT_LE(p99, 100.0);
+}
+
+TEST(Histogram, PercentileMonotoneInP) {
+  Registry r;
+  const u64 bounds[] = {10, 100, 1'000};
+  telemetry::Histogram& h = r.histogram("lat", bounds);
+  common::Xorshift64 rng(99);
+  for (int i = 0; i < 500; ++i) h.record(rng.next() % 2'000);
+  double prev = h.percentile(0.0);
+  for (double p : {10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    const double v = h.percentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+  EXPECT_GE(h.percentile(0.0), static_cast<double>(h.min()));
+  EXPECT_LE(h.percentile(100.0), static_cast<double>(h.max()));
+}
+
 TEST(Span, RecordsElapsedMicrosOnDestructionExactlyOnce) {
   Registry r;
   const u64 bounds[] = {1'000'000};
@@ -175,7 +243,8 @@ TEST(JsonWriter, RegistryExportRoundTrip) {
             "{\"counters\":{\"alpha\":1,\"zeta\":3},"
             "\"gauges\":{\"g\":{\"value\":-2,\"max\":0}},"
             "\"histograms\":{\"h\":{\"count\":4,\"sum\":127,\"min\":5,"
-            "\"max\":101,\"bounds\":[10,100],\"counts\":[2,1,1]}}}");
+            "\"max\":101,\"bounds\":[10,100],\"counts\":[2,1,1],"
+            "\"cum_counts\":[2,3,4]}}}");
 }
 #endif  // RMC_TELEMETRY_ENABLED
 
@@ -389,7 +458,8 @@ TEST(JsonWriter, EmptyHistogramExportsZeroesNotGarbage) {
   EXPECT_EQ(r.to_json(),
             "{\"counters\":{},\"gauges\":{},"
             "\"histograms\":{\"latency\":{\"count\":0,\"sum\":0,\"min\":0,"
-            "\"max\":0,\"bounds\":[10],\"counts\":[0,0]}}}");
+            "\"max\":0,\"bounds\":[10],\"counts\":[0,0],"
+            "\"cum_counts\":[0,0]}}}");
 }
 #endif  // RMC_TELEMETRY_ENABLED
 
